@@ -1,0 +1,914 @@
+//! The whole-chip cycle-level simulation loop.
+//!
+//! One simulation cycle comprises three phases, matching the paper's §4
+//! timing rules:
+//!
+//! 1. **Network** — every router output forwards at most one operon one hop
+//!    along its YX route; arrived operons eject into the target cell's task
+//!    queue. "In a single simulation cycle, a message can traverse one hop."
+//! 2. **Compute** — every CC performs at most one unit of work: retire one
+//!    instruction of the running action, or stage one `propagate`d operon
+//!    into its router ("a single CC can perform either of the two
+//!    operations: a computing instruction, or the creation and staging of a
+//!    new message").
+//! 3. **IO** — every IO cell injects at most one pending operon into its
+//!    border cell. "Every cycle, each IO Cell reads an edge ... and sends it
+//!    to its connected CC."
+//!
+//! A cell that performed compute-phase work counts as *active* for the cycle
+//! (the quantity plotted in the paper's Figures 6–7).
+
+
+use crate::cell::Cell;
+use crate::config::ChipConfig;
+use crate::error::SimError;
+use crate::geom::yx_route_step;
+use crate::iocell::IoSystem;
+use crate::operon::{Address, Operon};
+use crate::placement::PlacementTable;
+use crate::program::{ExecCtx, Program};
+use crate::rng::SplitMix64;
+use crate::router::{NUM_OUTPUTS, NUM_PORTS, OUT_EJECT, PORT_IO, PORT_LOCAL};
+use crate::safra::{decode_token, initiator_detects, token_operon, SafraState, ACT_TOKEN};
+use crate::stats::{ActivityRecording, ActivitySeries, CellLoad, Counters};
+
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    Hop { src: u16, port: u8, dst: u16, in_port: u8 },
+    Deliver { cell: u16, port: u8 },
+}
+
+/// A simulated AM-CCA chip running program `P`.
+pub struct Chip<P: Program> {
+    cfg: ChipConfig,
+    placement: PlacementTable,
+    cells: Vec<Cell<P::Object>>,
+    io: IoSystem,
+    program: P,
+    cycle: u64,
+    counters: Counters,
+    activity: ActivitySeries,
+    /// Operons inside routers (staged or in flight).
+    in_network: u64,
+    /// Operons delivered but not yet picked up.
+    queued_tasks: u64,
+    /// Cells currently occupied by an action.
+    busy: u32,
+    error: Option<SimError>,
+    moves: Vec<Move>,
+    frame_scratch: Vec<u64>,
+    /// Distributed termination detection (Safra token), when enabled.
+    safra: Option<SafraState>,
+    /// True while a termination token is circulating.
+    token_alive: bool,
+    /// Per-cell load counters (deliveries, queue peaks).
+    loads: Vec<CellLoad>,
+}
+
+impl<P: Program> Chip<P> {
+    /// Build a chip from its configuration and program (action set).
+    pub fn new(cfg: ChipConfig, program: P) -> Self {
+        let placement = PlacementTable::new(cfg.ghost_placement, cfg.dims);
+        let root_rng = SplitMix64::new(cfg.seed);
+        let cells = cfg
+            .dims
+            .iter_ids()
+            .map(|id| {
+                Cell::new(
+                    id,
+                    cfg.dims.coord_of(id),
+                    cfg.arena_capacity,
+                    cfg.link_buffer,
+                    root_rng.fork(id as u64),
+                )
+            })
+            .collect();
+        let io = IoSystem::new(&cfg);
+        let stride = match cfg.record_activity {
+            ActivityRecording::Frames { stride } => stride,
+            _ => 0,
+        };
+        let words = (cfg.cell_count() as usize).div_ceil(64);
+        Chip {
+            placement,
+            cells,
+            io,
+            program,
+            cycle: 0,
+            counters: Counters::default(),
+            activity: ActivitySeries { frame_stride: stride, ..Default::default() },
+            in_network: 0,
+            queued_tasks: 0,
+            busy: 0,
+            error: None,
+            moves: Vec::with_capacity(cfg.cell_count() as usize),
+            frame_scratch: vec![0u64; words],
+            safra: None,
+            token_alive: false,
+            loads: vec![CellLoad::default(); cfg.cell_count() as usize],
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side (untimed) interface: graph construction and inspection.
+    // ------------------------------------------------------------------
+
+    /// Allocate an object on cell `cc` without charging simulation time.
+    /// Used for host-side graph construction ("the graph is constructed by
+    /// first allocating the root RPVO objects on the AM-CCA chip", §4).
+    pub fn host_alloc(&mut self, cc: u16, value: P::Object) -> Result<Address, SimError> {
+        if cc as u32 >= self.cfg.cell_count() {
+            return Err(SimError::BadTargetCell { cc });
+        }
+        match self.cells[cc as usize].memory.alloc(value) {
+            Ok(slot) => Ok(Address::new(cc, slot)),
+            Err(_) => Err(SimError::OutOfMemory { origin_cc: cc, retries: 0 }),
+        }
+    }
+
+    /// Host-side read of any object in the PGAS (for verification only).
+    pub fn object(&self, addr: Address) -> Option<&P::Object> {
+        self.cells.get(addr.cc as usize)?.memory.get(addr.slot)
+    }
+
+    /// Host-side mutable access (used to seed initial state, e.g. the BFS
+    /// root's level).
+    pub fn object_mut(&mut self, addr: Address) -> Option<&mut P::Object> {
+        self.cells.get_mut(addr.cc as usize)?.memory.get_mut(addr.slot)
+    }
+
+    /// Visit every live object on the chip.
+    pub fn for_each_object(&self, mut f: impl FnMut(Address, &P::Object)) {
+        for cell in &self.cells {
+            for (slot, obj) in cell.memory.iter() {
+                f(Address::new(cell.id, slot), obj);
+            }
+        }
+    }
+
+    /// Queue a stream of operons for injection through the IO channels,
+    /// distributed round-robin over the IO cells.
+    pub fn io_load(&mut self, ops: impl IntoIterator<Item = Operon>) {
+        self.io.load(ops);
+    }
+
+    /// Queue operons on one specific IO cell (ordered streams, tests).
+    pub fn io_load_to(&mut self, io_index: usize, ops: impl IntoIterator<Item = Operon>) {
+        self.io.load_to(io_index, ops);
+    }
+
+    /// Number of IO cells on this chip.
+    pub fn io_cell_count(&self) -> usize {
+        self.io.cells.len()
+    }
+
+    /// Directly enqueue an operon into its target cell's task queue,
+    /// bypassing the network. Host/debug facility for unit tests; not used
+    /// by the paper experiments.
+    pub fn host_inject(&mut self, op: Operon) {
+        let cc = op.target.cc as usize;
+        assert!(cc < self.cells.len(), "host_inject: bad target cell");
+        if op.action != ACT_TOKEN {
+            if let Some(s) = self.safra.as_mut() {
+                s.on_send(op.target.cc);
+            }
+        }
+        self.cells[cc].task_queue.push_back(op);
+        self.queued_tasks += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation loop.
+    // ------------------------------------------------------------------
+
+    /// Advance the chip by one cycle.
+    pub fn step(&mut self) {
+        self.network_phase();
+        let active = self.compute_phase();
+        self.io_phase();
+        self.record_activity(active);
+        self.cycle += 1;
+    }
+
+    fn network_phase(&mut self) {
+        for cell in &mut self.cells {
+            cell.router.begin_cycle();
+        }
+        self.moves.clear();
+        let dims = self.cfg.dims;
+        let n = self.cells.len();
+        for src in 0..n {
+            let cell = &self.cells[src];
+            if cell.router.total() == 0 {
+                continue;
+            }
+            let mut out_used = [false; NUM_OUTPUTS];
+            let rot = (self.cycle as usize).wrapping_add(src);
+            for k in 0..NUM_PORTS {
+                let port = (k + rot) % NUM_PORTS;
+                let Some(head) = cell.router.front(port) else { continue };
+                let tcc = head.target.cc;
+                if tcc as usize >= n {
+                    if self.error.is_none() {
+                        self.error = Some(SimError::BadTargetCell { cc: tcc });
+                    }
+                    continue;
+                }
+                if tcc as usize == src {
+                    // Ejection port: deliver to the local task queue.
+                    if out_used[OUT_EJECT] {
+                        continue;
+                    }
+                    if cell.task_queue.len() < self.cfg.task_queue_cap {
+                        out_used[OUT_EJECT] = true;
+                        self.moves.push(Move::Deliver { cell: src as u16, port: port as u8 });
+                    } else {
+                        self.counters.deliver_stalls += 1;
+                    }
+                } else {
+                    let dir = yx_route_step(cell.coord, dims.coord_of(tcc))
+                        .expect("non-local target must need a hop");
+                    let out = dir.index();
+                    if out_used[out] {
+                        continue;
+                    }
+                    let nb = dims
+                        .neighbor(src as u16, dir)
+                        .expect("YX minimal route never leaves the mesh");
+                    let in_port = dir.opposite().index();
+                    if self.cells[nb as usize].router.accepts(in_port) {
+                        out_used[out] = true;
+                        self.moves.push(Move::Hop {
+                            src: src as u16,
+                            port: port as u8,
+                            dst: nb,
+                            in_port: in_port as u8,
+                        });
+                    } else {
+                        self.counters.net_stalls += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..self.moves.len() {
+            match self.moves[i] {
+                Move::Hop { src, port, dst, in_port } => {
+                    let op = self.cells[src as usize].router.pop(port as usize);
+                    if op.action == ACT_TOKEN {
+                        if let Some(s) = self.safra.as_mut() {
+                            s.token_hops += 1;
+                        }
+                    }
+                    self.cells[dst as usize].router.push(in_port as usize, op);
+                    self.counters.hops += 1;
+                }
+                Move::Deliver { cell, port } => {
+                    let op = self.cells[cell as usize].router.pop(port as usize);
+                    self.cells[cell as usize].task_queue.push_back(op);
+                    self.in_network -= 1;
+                    self.queued_tasks += 1;
+                    self.counters.msgs_delivered += 1;
+                    let load = &mut self.loads[cell as usize];
+                    load.delivered += 1;
+                    load.peak_queue =
+                        load.peak_queue.max(self.cells[cell as usize].task_queue.len() as u32);
+                }
+            }
+        }
+    }
+
+    /// Returns the number of cells that performed work this cycle.
+    fn compute_phase(&mut self) -> u32 {
+        let record_frames = matches!(self.cfg.record_activity, ActivityRecording::Frames { .. });
+        if record_frames {
+            self.frame_scratch.fill(0);
+        }
+        let mut active = 0u32;
+        let cycle_now = self.cycle;
+        let Chip {
+            cells,
+            program,
+            counters,
+            error,
+            placement,
+            cfg,
+            queued_tasks,
+            in_network,
+            busy,
+            frame_scratch,
+            safra,
+            token_alive,
+            ..
+        } = self;
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if !cell.busy {
+                let Some(op) = cell.task_queue.pop_front() else { continue };
+                *queued_tasks -= 1;
+                if op.action == ACT_TOKEN {
+                    // Safra Rule 1: hold the token until passive, then add
+                    // our count, colour it, whiten ourselves, and forward —
+                    // or, at the initiator, run the Rule-2 detection check.
+                    let s = safra.as_mut().expect("token without detector");
+                    cell.busy = true;
+                    cell.remaining = 1; // one bookkeeping instruction
+                    *busy += 1;
+                    if cell.task_queue.is_empty() {
+                        let (q, colour) = decode_token(&op);
+                        let td = s.cells[i];
+                        if i == 0 {
+                            if initiator_detects(q, colour, td) {
+                                s.terminated = true;
+                                s.detected_at = Some(cycle_now);
+                                *token_alive = false; // token retired
+                            } else {
+                                // Unsuccessful probe: whiten, fresh round.
+                                s.rounds += 1;
+                                s.cells[0].black = false;
+                                let next = cfg.dims.serpentine_next(0);
+                                cell.outbox.push_back(token_operon(
+                                    next,
+                                    0,
+                                    crate::safra::Colour::White,
+                                ));
+                            }
+                        } else {
+                            let fwd_q = q + td.mc;
+                            let fwd_colour = if td.black || colour == crate::safra::Colour::Black
+                            {
+                                crate::safra::Colour::Black
+                            } else {
+                                crate::safra::Colour::White
+                            };
+                            s.cells[i].black = false;
+                            let next = cfg.dims.serpentine_next(i as u16);
+                            cell.outbox.push_back(token_operon(next, fwd_q, fwd_colour));
+                        }
+                    } else {
+                        // Not passive: poll — requeue the token behind the
+                        // pending work.
+                        s.token_requeues += 1;
+                        cell.task_queue.push_back(op);
+                        *queued_tasks += 1;
+                    }
+                } else {
+                    if let Some(s) = safra.as_mut() {
+                        s.on_consume(i as u16);
+                    }
+                    let mut charge = cfg.cost.dispatch;
+                    {
+                        let mut ctx = ExecCtx::new(
+                            cell.id,
+                            cell.coord,
+                            &mut cell.memory,
+                            &mut cell.outbox,
+                            &mut charge,
+                            counters,
+                            &cfg.cost,
+                            placement,
+                            &mut cell.rng,
+                            error,
+                        );
+                        program.execute(&mut ctx, &op);
+                    }
+                    cell.busy = true;
+                    cell.remaining = charge.max(1);
+                    *busy += 1;
+                }
+            }
+            debug_assert!(cell.busy);
+            let mut did_work = false;
+            if cell.remaining > 0 {
+                cell.remaining -= 1;
+                counters.instrs += 1;
+                did_work = true;
+            } else if let Some(&op) = cell.outbox.front() {
+                if cell.router.accepts_now(PORT_LOCAL) {
+                    cell.outbox.pop_front();
+                    cell.router.push(PORT_LOCAL, op);
+                    *in_network += 1;
+                    counters.msgs_staged += 1;
+                    if op.action != ACT_TOKEN {
+                        if let Some(s) = safra.as_mut() {
+                            s.on_send(i as u16);
+                        }
+                    }
+                    did_work = true;
+                } else {
+                    counters.stage_stalls += 1;
+                }
+            }
+            if cell.remaining == 0 && cell.outbox.is_empty() {
+                cell.busy = false;
+                *busy -= 1;
+            }
+            if did_work {
+                active += 1;
+                if record_frames {
+                    frame_scratch[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        active
+    }
+
+    fn io_phase(&mut self) {
+        for i in 0..self.io.cells.len() {
+            let Some(&op) = self.io.cells[i].queue.front() else { continue };
+            let cc = self.io.cells[i].cc as usize;
+            if self.cells[cc].router.accepts_now(PORT_IO) {
+                self.io.cells[i].queue.pop_front();
+                self.io.pending -= 1;
+                self.cells[cc].router.push(PORT_IO, op);
+                self.in_network += 1;
+                self.counters.io_injected += 1;
+                // The IO-cell-to-CC link traversal is a hop like any other.
+                self.counters.hops += 1;
+                // Termination accounting: an IO injection is a send by the
+                // environment, attributed to the border cell so the message
+                // count stays closed.
+                if let Some(s) = self.safra.as_mut() {
+                    s.on_send(cc as u16);
+                }
+            }
+        }
+    }
+
+    fn record_activity(&mut self, active: u32) {
+        match self.cfg.record_activity {
+            ActivityRecording::Off => {}
+            ActivityRecording::Counts => {
+                self.activity.counts.push(active.min(u16::MAX as u32) as u16);
+            }
+            ActivityRecording::Frames { stride } => {
+                self.activity.counts.push(active.min(u16::MAX as u32) as u16);
+                if stride > 0 && self.cycle.is_multiple_of(stride as u64) {
+                    self.activity.frames.push(self.frame_scratch.clone());
+                }
+            }
+        }
+    }
+
+    /// True when no work remains anywhere: routers, task queues, running
+    /// actions, and IO streams are all empty. This is the terminator's
+    /// quiescence condition.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_network == 0 && self.queued_tasks == 0 && self.busy == 0 && self.io.pending == 0
+    }
+
+    /// Run until quiescent; returns the number of cycles this run consumed.
+    pub fn run_until_quiescent(&mut self) -> Result<u64, SimError> {
+        let start = self.cycle;
+        while !self.is_quiescent() {
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+            if self.cycle - start >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+            }
+            self.step();
+        }
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(self.cycle - start)
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed termination detection (Safra token).
+    // ------------------------------------------------------------------
+
+    /// Enable Safra-token termination detection. Must be called while no
+    /// application messages are in flight (e.g. right after construction or
+    /// between quiescent segments) so the message accounting starts closed.
+    /// IO streams may already be loaded — they are counted on injection.
+    pub fn enable_safra_termination(&mut self) {
+        assert!(
+            self.in_network == 0 && self.queued_tasks == 0 && self.busy == 0,
+            "Safra accounting must start with no in-flight activity"
+        );
+        assert!(self.cfg.cell_count() >= 2, "token ring needs at least two cells");
+        if self.safra.is_none() {
+            self.safra = Some(SafraState::new(self.cfg.cell_count() as usize));
+        }
+    }
+
+    /// Whether the distributed termination detector is enabled.
+    pub fn safra_enabled(&self) -> bool {
+        self.safra.is_some()
+    }
+
+    /// Start (or restart) a detection probe: injects the token at the
+    /// initiator. No-op if a token is already circulating.
+    pub fn begin_safra_probe(&mut self) {
+        assert!(self.safra.is_some(), "enable_safra_termination first");
+        if self.token_alive {
+            return;
+        }
+        let s = self.safra.as_mut().unwrap();
+        s.terminated = false;
+        s.detected_at = None;
+        // The initiator's state must be conservative at probe start.
+        s.cells[0].black = true;
+        self.token_alive = true;
+        // Seed the probe: a black token so round 1 can never detect.
+        let op = token_operon(0, 0, crate::safra::Colour::Black);
+        self.cells[0].task_queue.push_back(op);
+        self.queued_tasks += 1;
+    }
+
+    /// Detector state (counters, rounds, overhead), if enabled.
+    pub fn safra(&self) -> Option<&SafraState> {
+        self.safra.as_ref()
+    }
+
+    /// Run until the *distributed* detector declares termination. With the
+    /// token circulating, [`Self::is_quiescent`] never holds, so this is the
+    /// only correct way to run a Safra-enabled chip.
+    pub fn run_until_terminated(&mut self) -> Result<u64, SimError> {
+        assert!(self.safra.is_some(), "enable_safra_termination first");
+        assert!(self.token_alive, "no probe running; call begin_safra_probe");
+        let start = self.cycle;
+        while !self.safra.as_ref().unwrap().terminated {
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+            if self.cycle - start >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The chip configuration.
+    pub fn cfg(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Cumulative event counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Recorded per-cycle activity (if recording is enabled).
+    pub fn activity(&self) -> &ActivitySeries {
+        &self.activity
+    }
+
+    /// Take the recorded activity series, leaving an empty one.
+    pub fn take_activity(&mut self) -> ActivitySeries {
+        let stride = self.activity.frame_stride;
+        std::mem::replace(
+            &mut self.activity,
+            ActivitySeries { frame_stride: stride, ..Default::default() },
+        )
+    }
+
+    /// Switch activity recording at run time (e.g. only for the increment a
+    /// figure needs).
+    pub fn set_activity_recording(&mut self, mode: ActivityRecording) {
+        self.cfg.record_activity = mode;
+        if let ActivityRecording::Frames { stride } = mode {
+            self.activity.frame_stride = stride;
+        }
+    }
+
+    /// The program (action set) running on the chip.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Mutable access to the program (e.g. to read app counters).
+    pub fn program_mut(&mut self) -> &mut P {
+        &mut self.program
+    }
+
+    /// Total energy consumed so far, in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.cfg.energy.total_uj(&self.counters, self.cfg.cell_count() as u64, self.cycle)
+    }
+
+    /// Snapshot `(cycle, counters)` for computing run-segment deltas.
+    pub fn snapshot(&self) -> (u64, Counters) {
+        (self.cycle, self.counters)
+    }
+
+    /// Number of operons currently queued at one cell (diagnostics).
+    pub fn cell_queue_len(&self, cc: u16) -> usize {
+        self.cells[cc as usize].task_queue.len()
+    }
+
+    /// Per-cell load counters (deliveries, queue peaks), indexed by cell id.
+    pub fn cell_loads(&self) -> &[CellLoad] {
+        &self.loads
+    }
+
+    /// Reset per-cell load counters (e.g. between experiment segments).
+    pub fn reset_cell_loads(&mut self) {
+        self.loads.fill(CellLoad::default());
+    }
+
+    /// Objects currently allocated at one cell (diagnostics / load maps).
+    pub fn cell_object_count(&self, cc: u16) -> u32 {
+        self.cells[cc as usize].memory.len()
+    }
+}
+
+/// A minimal program used by the chip's own unit tests: objects are `u64`
+/// counters; action 10 increments the target and optionally forwards a copy.
+#[cfg(test)]
+pub(crate) struct CounterProgram;
+
+#[cfg(test)]
+impl Program for CounterProgram {
+    type Object = u64;
+
+    fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
+        match op.action {
+            // Increment the target object by payload[0].
+            10 => {
+                ctx.charge(1);
+                let tgt = op.target;
+                match ctx.obj_mut(tgt.slot) {
+                    Some(v) => *v += op.payload[0],
+                    None => ctx.fail(SimError::BadAddress { addr: tgt, action: 10 }),
+                }
+            }
+            // Increment then forward the same increment to payload[1]'s addr.
+            11 => {
+                ctx.charge(1);
+                let tgt = op.target;
+                if let Some(v) = ctx.obj_mut(tgt.slot) {
+                    *v += op.payload[0];
+                }
+                let fwd = Address::unpack(op.payload[1]);
+                ctx.propagate(Operon::new(fwd, 10, [op.payload[0], 0]));
+            }
+            other => panic!("unknown action {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+
+    fn test_chip() -> Chip<CounterProgram> {
+        Chip::new(ChipConfig::small_test(), CounterProgram)
+    }
+
+    #[test]
+    fn empty_chip_is_quiescent() {
+        let chip = test_chip();
+        assert!(chip.is_quiescent());
+    }
+
+    #[test]
+    fn single_operon_delivery_and_latency() {
+        let mut chip = test_chip();
+        // Object on the far corner; operon injected via IO on the near corner.
+        let dims = chip.cfg().dims;
+        let dst_cc = dims.id_of(Coord::new(7, 7));
+        let addr = chip.host_alloc(dst_cc, 0u64).unwrap();
+        chip.io.load_to(0, [Operon::new(addr, 10, [5, 0])]); // io cell 0 feeds (0,0)
+        let cycles = chip.run_until_quiescent().unwrap();
+        assert_eq!(*chip.object(addr).unwrap(), 5);
+        // Injection (1) + 14 mesh hops + ejection + dispatch+1 instr ≈ 18;
+        // allow slack but require a plausible latency, not 0.
+        assert!(cycles >= 14, "cycles={cycles}");
+        assert!(cycles <= 30, "cycles={cycles}");
+        assert_eq!(chip.counters().io_injected, 1);
+        assert_eq!(chip.counters().msgs_delivered, 1);
+        // 14 mesh hops + 1 io link.
+        assert_eq!(chip.counters().hops, 15);
+    }
+
+    #[test]
+    fn forwarding_diffuses_work() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(3, 0u64).unwrap();
+        let b = chip.host_alloc(60, 0u64).unwrap();
+        // Action 11 at `a` increments and forwards an increment to `b`.
+        chip.io_load([Operon::new(a, 11, [7, b.pack()])]);
+        chip.run_until_quiescent().unwrap();
+        assert_eq!(*chip.object(a).unwrap(), 7);
+        assert_eq!(*chip.object(b).unwrap(), 7);
+        assert_eq!(chip.counters().msgs_staged, 1, "one propagate");
+        assert_eq!(chip.counters().msgs_delivered, 2);
+    }
+
+    #[test]
+    fn many_operons_all_arrive() {
+        let mut chip = test_chip();
+        let n = 64u32;
+        let addrs: Vec<Address> =
+            (0..n).map(|i| chip.host_alloc((i % 64) as u16, 0u64).unwrap()).collect();
+        let ops: Vec<Operon> = addrs.iter().map(|&a| Operon::new(a, 10, [1, 0])).collect();
+        chip.io_load(ops);
+        chip.run_until_quiescent().unwrap();
+        for &a in &addrs {
+            assert_eq!(*chip.object(a).unwrap(), 1);
+        }
+        assert_eq!(chip.counters().msgs_delivered, 64);
+    }
+
+    #[test]
+    fn contention_on_one_cell_serializes() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(27, 0u64).unwrap();
+        let k = 100u64;
+        chip.io_load((0..k).map(|_| Operon::new(a, 10, [1, 0])));
+        let cycles = chip.run_until_quiescent().unwrap();
+        assert_eq!(*chip.object(a).unwrap(), k);
+        // Each action costs dispatch(1)+1 = 2 cycles of compute at one cell.
+        assert!(cycles >= 2 * k, "serialized execution: {cycles} >= {}", 2 * k);
+    }
+
+    #[test]
+    fn bad_address_surfaces_as_error() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(5, 0u64).unwrap();
+        let dead = Address::new(5, a.slot + 100);
+        chip.io_load([Operon::new(dead, 10, [1, 0])]);
+        let err = chip.run_until_quiescent().unwrap_err();
+        assert!(matches!(err, SimError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn host_inject_bypasses_network() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(9, 0u64).unwrap();
+        chip.host_inject(Operon::new(a, 10, [3, 0]));
+        chip.run_until_quiescent().unwrap();
+        assert_eq!(*chip.object(a).unwrap(), 3);
+        assert_eq!(chip.counters().hops, 0, "no network traversal");
+    }
+
+    #[test]
+    fn activity_counts_recorded() {
+        let mut chip = Chip::new(
+            ChipConfig { record_activity: ActivityRecording::Counts, ..ChipConfig::small_test() },
+            CounterProgram,
+        );
+        let a = chip.host_alloc(12, 0u64).unwrap();
+        chip.io_load([Operon::new(a, 10, [1, 0])]);
+        chip.run_until_quiescent().unwrap();
+        let act = chip.activity();
+        assert_eq!(act.counts.len() as u64, chip.cycle());
+        assert!(act.counts.iter().any(|&c| c > 0), "some cycle had an active cell");
+        assert!(act.counts.iter().all(|&c| c <= 1), "at most one cell busy here");
+    }
+
+    #[test]
+    fn frames_recorded_at_stride() {
+        let mut chip = Chip::new(
+            ChipConfig {
+                record_activity: ActivityRecording::Frames { stride: 2 },
+                ..ChipConfig::small_test()
+            },
+            CounterProgram,
+        );
+        let a = chip.host_alloc(0, 0u64).unwrap();
+        chip.io_load([Operon::new(a, 10, [1, 0])]);
+        chip.run_until_quiescent().unwrap();
+        assert_eq!(chip.activity().frames.len() as u64, chip.cycle().div_ceil(2));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let run = || {
+            let mut chip = test_chip();
+            let addrs: Vec<Address> =
+                (0..40).map(|i| chip.host_alloc(i % 64, 0u64).unwrap()).collect();
+            chip.io_load(addrs.iter().map(|&a| Operon::new(a, 10, [1, 0])));
+            chip.run_until_quiescent().unwrap();
+            (chip.cycle(), *chip.counters())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cell_loads_track_deliveries_and_peaks() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(17, 0u64).unwrap();
+        let b = chip.host_alloc(18, 0u64).unwrap();
+        chip.io_load((0..20).map(|_| Operon::new(a, 10, [1, 0])));
+        chip.io_load([Operon::new(b, 10, [1, 0])]);
+        chip.run_until_quiescent().unwrap();
+        let loads = chip.cell_loads();
+        assert_eq!(loads[17].delivered, 20);
+        assert_eq!(loads[18].delivered, 1);
+        assert!(loads[17].peak_queue >= 2, "hammered cell queued up");
+        assert_eq!(loads[20].delivered, 0);
+        let delivered: Vec<u64> = loads.iter().map(|l| l.delivered).collect();
+        assert!(crate::stats::gini(&delivered) > 0.9, "two hot cells out of 64");
+        chip.reset_cell_loads();
+        assert_eq!(chip.cell_loads()[17].delivered, 0);
+    }
+
+    #[test]
+    fn safra_detects_termination_of_a_diffusion() {
+        // Same workload twice: global quiescence vs Safra token. Results
+        // must agree; the distributed detector must lag, not lead.
+        let workload = |chip: &mut Chip<CounterProgram>| -> Vec<Address> {
+            let addrs: Vec<Address> =
+                (0..48).map(|i| chip.host_alloc(i % 64, 0u64).unwrap()).collect();
+            // Forwarding chains: action 11 increments and forwards to the
+            // next address, creating multi-hop diffusions.
+            let ops: Vec<Operon> =
+                addrs.windows(2).map(|w| Operon::new(w[0], 11, [1, w[1].pack()])).collect();
+            chip.io_load(ops);
+            addrs
+        };
+        // Quiescence baseline.
+        let mut base = test_chip();
+        let addrs_b = workload(&mut base);
+        base.run_until_quiescent().unwrap();
+        let quiesce_cycles = base.cycle();
+
+        // Safra run.
+        let mut chip = test_chip();
+        let addrs = workload(&mut chip);
+        chip.enable_safra_termination();
+        chip.begin_safra_probe();
+        chip.run_until_terminated().unwrap();
+        let s = chip.safra().unwrap();
+        assert!(s.terminated);
+        assert!(s.token_hops > 0, "the token paid real hops");
+        // Every effect of the diffusion is visible at detection time.
+        for (a, b) in addrs.iter().zip(&addrs_b) {
+            assert_eq!(chip.object(*a), base.object(*b));
+        }
+        assert!(
+            chip.cycle() >= quiesce_cycles,
+            "distributed detection cannot precede actual termination: {} < {}",
+            chip.cycle(),
+            quiesce_cycles
+        );
+    }
+
+    #[test]
+    fn safra_never_detects_early() {
+        // A long serial chain: if the detector fired early, the tail of the
+        // chain would still be un-incremented at detection.
+        let mut chip = test_chip();
+        let addrs: Vec<Address> = (0..64).map(|i| chip.host_alloc(i, 0u64).unwrap()).collect();
+        let ops: Vec<Operon> =
+            addrs.windows(2).map(|w| Operon::new(w[0], 11, [1, w[1].pack()])).collect();
+        chip.enable_safra_termination();
+        chip.io_load(ops);
+        chip.begin_safra_probe();
+        chip.run_until_terminated().unwrap();
+        for a in &addrs[1..63] {
+            assert_eq!(*chip.object(*a).unwrap(), 2, "chain fully settled at {a}");
+        }
+    }
+
+    #[test]
+    fn safra_probe_can_rerun_across_segments() {
+        let mut chip = test_chip();
+        let a = chip.host_alloc(30, 0u64).unwrap();
+        chip.enable_safra_termination();
+        for seg in 1..=3u64 {
+            chip.io_load([Operon::new(a, 10, [1, 0])]);
+            chip.begin_safra_probe();
+            chip.run_until_terminated().unwrap();
+            assert_eq!(*chip.object(a).unwrap(), seg);
+        }
+        assert!(chip.safra().unwrap().rounds >= 3, "each segment ran probe rounds");
+    }
+
+    #[test]
+    fn safra_on_empty_chip_detects_quickly() {
+        let mut chip = test_chip();
+        chip.enable_safra_termination();
+        chip.begin_safra_probe();
+        let cycles = chip.run_until_terminated().unwrap();
+        // Black seed round + one clean white round over a 64-cell ring,
+        // with per-cell polling: well under 2K cycles.
+        assert!(cycles < 2000, "idle detection took {cycles} cycles");
+        assert_eq!(chip.safra().unwrap().token_requeues, 0, "no work to poll behind");
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut cfg = ChipConfig::small_test();
+        cfg.max_cycles = 3;
+        let mut chip = Chip::new(cfg, CounterProgram);
+        let a = chip.host_alloc(63, 0u64).unwrap();
+        chip.io_load([Operon::new(a, 10, [1, 0])]);
+        let err = chip.run_until_quiescent().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimitExceeded { limit: 3 }));
+    }
+}

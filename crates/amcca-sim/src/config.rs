@@ -1,0 +1,125 @@
+//! Chip configuration. Defaults reproduce the paper's experimental platform:
+//! a 32 × 32 mesh clocked at 1 GHz with IO channels on the north and south
+//! borders, YX routing, the Vicinity ghost allocator, and the calibrated
+//! energy model.
+
+use crate::cost::CostModel;
+use crate::energy::EnergyModel;
+use crate::geom::Dims;
+use crate::placement::{GhostPlacement, RootPlacement};
+use crate::stats::ActivityRecording;
+
+/// Which chip borders carry an IO channel (paper Fig. 2 shows two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoLayout {
+    /// North.
+    pub north: bool,
+    /// South.
+    pub south: bool,
+}
+
+impl Default for IoLayout {
+    fn default() -> Self {
+        IoLayout { north: true, south: true }
+    }
+}
+
+impl IoLayout {
+    /// Number of active IO channels (0–2).
+    pub fn channels(&self) -> u32 {
+        self.north as u32 + self.south as u32
+    }
+}
+
+/// Full configuration of a simulated AM-CCA chip.
+#[derive(Debug, Clone)]
+pub struct ChipConfig {
+    /// Mesh dimensions (paper: 32 × 32).
+    pub dims: Dims,
+    /// Capacity of each router input FIFO, in flits.
+    pub link_buffer: usize,
+    /// Capacity of each cell's delivered-task queue. Full queues exert
+    /// backpressure on the network rather than dropping operons.
+    pub task_queue_cap: usize,
+    /// Objects each cell's arena can hold (models finite scratchpad memory).
+    pub arena_capacity: u32,
+    /// Which borders have IO channels; each channel has one IO cell per column.
+    pub io_layout: IoLayout,
+    /// Instruction-cost constants for action bodies.
+    pub cost: CostModel,
+    /// Energy coefficients.
+    pub energy: EnergyModel,
+    /// Ghost allocation policy (Vicinity vs Random, paper Fig. 5).
+    pub ghost_placement: GhostPlacement,
+    /// Root vertex placement at graph-construction time.
+    pub root_placement: RootPlacement,
+    /// Per-cycle activity recording mode.
+    pub record_activity: ActivityRecording,
+    /// Hard cycle budget for `run_until_quiescent`.
+    pub max_cycles: u64,
+    /// Allocation retries before declaring the chip out of memory.
+    pub max_alloc_retries: u32,
+    /// Master seed for all simulator randomness.
+    pub seed: u64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig {
+            dims: Dims::new(32, 32),
+            link_buffer: 4,
+            task_queue_cap: 1 << 16,
+            arena_capacity: 1 << 14,
+            io_layout: IoLayout::default(),
+            cost: CostModel::default(),
+            energy: EnergyModel::default(),
+            ghost_placement: GhostPlacement::default(),
+            root_placement: RootPlacement::default(),
+            record_activity: ActivityRecording::Off,
+            max_cycles: 200_000_000,
+            max_alloc_retries: 4096,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// A small chip for unit tests: 8 × 8, tighter queues.
+    pub fn small_test() -> Self {
+        ChipConfig {
+            dims: Dims::new(8, 8),
+            arena_capacity: 1 << 12,
+            max_cycles: 20_000_000,
+            ..Default::default()
+        }
+    }
+
+    /// Number of compute cells.
+    pub fn cell_count(&self) -> u32 {
+        self.dims.cell_count()
+    }
+
+    /// Number of IO cells (one per column per active channel).
+    pub fn io_cell_count(&self) -> u32 {
+        self.io_layout.channels() * self.dims.x as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ChipConfig::default();
+        assert_eq!(c.cell_count(), 1024);
+        assert_eq!(c.io_cell_count(), 64);
+        assert_eq!(c.ghost_placement, GhostPlacement::Vicinity { max_hops: 2 });
+    }
+
+    #[test]
+    fn io_layout_channels() {
+        assert_eq!(IoLayout { north: true, south: false }.channels(), 1);
+        assert_eq!(IoLayout::default().channels(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Instruction-cost model for action bodies.
+//!
+//! The paper's simulator charges a compute cell one cycle per "computing
+//! instruction, which is contained in the action" and one cycle per "creation
+//! and staging of a new message when an instance of `propagate` is called"
+//! (§4). Message staging is charged implicitly by the chip (one cycle per
+//! outbox entry); the constants below are the instruction counts that action
+//! handlers charge for their compute steps. All are configurable so ablations
+//! can explore the sensitivity of results to the ISA-level assumptions.
+
+/// Instruction counts for the primitive steps of the streaming-graph actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Appending an edge to an object's local edge list (bounds check + write).
+    pub insert_edge: u32,
+    /// Comparing and updating a per-vertex application value (e.g. BFS level).
+    pub state_update: u32,
+    /// Inspecting or mutating a future LCO's state (pending / enqueue / set).
+    pub future_op: u32,
+    /// Allocating an object in the local arena (free-list pop + init), charged
+    /// at the *allocating* cell when the `allocate` system action executes.
+    pub alloc: u32,
+    /// Scanning one edge of a local edge list (membership checks, diffusion
+    /// set-up). Charged per edge examined.
+    pub scan_per_edge: u32,
+    /// Minimum instructions for any action dispatch (decode + operand fetch).
+    pub dispatch: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            insert_edge: 2,
+            state_update: 1,
+            future_op: 1,
+            alloc: 4,
+            scan_per_edge: 1,
+            dispatch: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonzero() {
+        let c = CostModel::default();
+        assert!(c.insert_edge > 0);
+        assert!(c.state_update > 0);
+        assert!(c.future_op > 0);
+        assert!(c.alloc > 0);
+        assert!(c.scan_per_edge > 0);
+        assert!(c.dispatch > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Energy model for the AM-CCA chip.
+//!
+//! The paper reuses the energy assumptions of its companion work (ref.\[4\],
+//! arXiv:2402.06086), whose exact constants are not restated; Table 2 gives
+//! whole-run totals for a 590 mm² 32 × 32 chip at 1 GHz. We therefore model
+//! energy as a linear function of simulator event counts,
+//!
+//! `E = N_instr·e_instr + N_hop·e_hop + N_alloc·e_alloc + cycles·N_cc·e_leak`,
+//!
+//! with coefficients in picojoules, calibrated so the *ingestion-only* rows
+//! of Table 2 land at the paper's scale (≈1.36 nJ per streamed edge at ~27
+//! mesh hops per insert operon). Two structural facts of Table 2 pin the
+//! calibration:
+//!
+//! * Edge and Snowball sampling consume near-identical ingestion energy
+//!   (1355 vs 1357 µJ) despite a 14 % cycle-count difference — so static
+//!   leakage must be a small term (sub-picojoule per cell per cycle).
+//! * Energy scales almost exactly with edge count (50 K → 500 K is 13480 /
+//!   1355 ≈ 9.95 ≈ 10.2/1.0 edges) — so per-event terms dominate.
+//!
+//! The Ingestion+BFS rows then follow from the simulated BFS action/hop
+//! counts with no further tuning, which is exactly the structure of the
+//! paper's model. See EXPERIMENTS.md for measured-vs-paper numbers.
+
+use crate::stats::Counters;
+
+/// Energy coefficients (picojoules per event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// pJ per retired instruction.
+    pub e_instr_pj: f64,
+    /// pJ per link traversal (one hop of one 256-bit flit).
+    pub e_hop_pj: f64,
+    /// pJ per object allocation (arena bookkeeping + initialization burst).
+    pub e_alloc_pj: f64,
+    /// pJ per compute cell per cycle of static/leakage power.
+    pub e_leak_cc_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Calibrated against Table 2's ingestion-only rows (see module docs).
+        EnergyModel { e_instr_pj: 20.0, e_hop_pj: 45.0, e_alloc_pj: 120.0, e_leak_cc_pj: 0.65 }
+    }
+}
+
+impl EnergyModel {
+    /// Total energy in microjoules for the given event counts.
+    pub fn total_uj(&self, c: &Counters, cells: u64, cycles: u64) -> f64 {
+        let dynamic_pj = c.instrs as f64 * self.e_instr_pj
+            + c.hops as f64 * self.e_hop_pj
+            + c.allocs as f64 * self.e_alloc_pj;
+        let leak_pj = cycles as f64 * cells as f64 * self.e_leak_cc_pj;
+        (dynamic_pj + leak_pj) / 1e6
+    }
+}
+
+/// Convert cycles to microseconds at the paper's 1 GHz clock.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_events_costs_only_leakage() {
+        let m = EnergyModel::default();
+        let c = Counters::default();
+        let e = m.total_uj(&c, 1024, 1000);
+        let expected = 1000.0 * 1024.0 * m.e_leak_cc_pj / 1e6;
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_linear_in_hops() {
+        let m = EnergyModel::default();
+        let mut c = Counters { hops: 10, ..Default::default() };
+        let e10 = m.total_uj(&c, 0, 0);
+        c.hops = 20;
+        let e20 = m.total_uj(&c, 0, 0);
+        assert!((e20 - 2.0 * e10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_scale_sanity() {
+        // ~1 M inserted edges at ~27 hops each plus ~4 M instructions must
+        // land within 2x of the paper's 1355 µJ (exact match is validated at
+        // full scale in EXPERIMENTS.md).
+        let m = EnergyModel::default();
+        let c = Counters {
+            instrs: 4_000_000,
+            hops: 27_000_000,
+            allocs: 30_000,
+            ..Default::default()
+        };
+        let e = m.total_uj(&c, 1024, 22_000);
+        assert!(e > 700.0 && e < 2700.0, "ingestion energy {e} µJ out of band");
+    }
+
+    #[test]
+    fn cycles_to_us_at_1ghz() {
+        assert_eq!(cycles_to_us(22_000), 22.0);
+        assert_eq!(cycles_to_us(0), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Simulator errors. Diffusive execution has no recoverable user-level
+//! failures — an action either runs or the simulation is mis-configured — so
+//! errors here are fatal for the run and carried out of `Chip::run_*`.
+
+use crate::operon::Address;
+
+/// Fatal simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Every allocation-retry candidate was full; the chip is out of memory.
+    /// `OutOfMemory` variant.
+    OutOfMemory {
+        /// Cell whose vertex requested the failed allocation.
+        origin_cc: u16,
+        /// Placement candidates that were tried.
+        retries: u32,
+    },
+    /// An action referenced an address whose slot is not live.
+    /// `BadAddress` variant.
+    BadAddress {
+        /// The dead or out-of-range address.
+        addr: Address,
+        /// Action id that referenced it.
+        action: u16,
+    },
+    /// `run_until_quiescent` exceeded the configured cycle budget.
+    /// `CycleLimitExceeded` variant.
+    CycleLimitExceeded {
+        /// The configured `max_cycles` budget.
+        limit: u64,
+    },
+    /// An operon targeted a cell id outside the mesh.
+    /// `BadTargetCell` variant.
+    BadTargetCell {
+        /// The offending cell id.
+        cc: u16,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory { origin_cc, retries } => {
+                write!(f, "out of memory: allocation from cc{origin_cc} failed after {retries} retries")
+            }
+            SimError::BadAddress { addr, action } => {
+                write!(f, "action {action} targeted dead address {addr}")
+            }
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded cycle limit {limit} without quiescing")
+            }
+            SimError::BadTargetCell { cc } => write!(f, "operon targeted non-existent cell {cc}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::OutOfMemory { origin_cc: 3, retries: 9 };
+        assert!(e.to_string().contains("cc3"));
+        let e = SimError::CycleLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = SimError::BadAddress { addr: Address::new(1, 2), action: 7 };
+        assert!(e.to_string().contains("cc1#2"));
+    }
+}

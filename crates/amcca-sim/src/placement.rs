@@ -1,0 +1,184 @@
+//! Object placement policies.
+//!
+//! Two concerns are covered: where *root* vertex objects go when the host
+//! constructs the graph, and where *ghost* vertices are allocated when an
+//! RPVO spills. The paper contrasts the **Vicinity Allocator** (ghosts land
+//! within 2 hops of the requesting cell, keeping intra-vertex latency low)
+//! with the **Random Allocator** (no locality; Fig. 5). Both are implemented;
+//! `paper ablate-alloc` quantifies the difference.
+
+use crate::geom::Dims;
+use crate::rng::SplitMix64;
+
+/// Placement policy for ghost-vertex allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhostPlacement {
+    /// Allocate within `max_hops` of the requesting cell (paper default: 2).
+    /// `Vicinity` variant.
+    Vicinity {
+        /// Maximum Manhattan distance from the requesting cell.
+        max_hops: u32,
+    },
+    /// Allocate on a uniformly random cell anywhere on the chip.
+    Random,
+}
+
+impl Default for GhostPlacement {
+    fn default() -> Self {
+        GhostPlacement::Vicinity { max_hops: 2 }
+    }
+}
+
+/// Precomputed candidate tables for ghost placement. Vicinity rings are
+/// computed once per chip so the per-allocation choice is O(1).
+#[derive(Debug, Clone)]
+pub struct PlacementTable {
+    policy: GhostPlacement,
+    dims: Dims,
+    /// For Vicinity: candidate cells per origin, ordered by distance.
+    rings: Vec<Vec<u16>>,
+}
+
+impl PlacementTable {
+    /// Precompute the candidate tables for `policy` on a `dims` mesh.
+    pub fn new(policy: GhostPlacement, dims: Dims) -> Self {
+        let rings = match policy {
+            GhostPlacement::Vicinity { max_hops } => {
+                dims.iter_ids().map(|id| dims.vicinity(id, max_hops)).collect()
+            }
+            GhostPlacement::Random => Vec::new(),
+        };
+        PlacementTable { policy, dims, rings }
+    }
+
+    /// The policy this table was built for.
+    pub fn policy(&self) -> GhostPlacement {
+        self.policy
+    }
+
+    /// Choose the target cell for an allocation requested by `origin`.
+    /// `retry` > 0 walks further candidates after a failed attempt, so a full
+    /// neighbour does not wedge the allocation.
+    pub fn choose(&self, origin: u16, retry: u32, rng: &mut SplitMix64) -> u16 {
+        match self.policy {
+            GhostPlacement::Vicinity { .. } => {
+                let ring = &self.rings[origin as usize];
+                debug_assert!(!ring.is_empty(), "vicinity ring empty");
+                if retry == 0 {
+                    ring[rng.gen_range(ring.len() as u64) as usize]
+                } else {
+                    // Deterministically sweep the ring outward on retries;
+                    // beyond the ring, spiral over the whole chip.
+                    let idx = retry as usize - 1;
+                    if idx < ring.len() {
+                        ring[idx]
+                    } else {
+                        let all = self.dims.cell_count() as u64;
+                        ((origin as u64 + retry as u64 * 131) % all) as u16
+                    }
+                }
+            }
+            GhostPlacement::Random => {
+                if retry == 0 {
+                    rng.gen_range(self.dims.cell_count() as u64) as u16
+                } else {
+                    let all = self.dims.cell_count() as u64;
+                    ((origin as u64 + retry as u64 * 131 + rng.gen_range(all)) % all) as u16
+                }
+            }
+        }
+    }
+}
+
+/// Placement policy for root vertex objects (host-side graph construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RootPlacement {
+    /// Vertex `i` lands on cell `i mod n_cells` (uniform spread; default).
+    #[default]
+    RoundRobin,
+    /// Pseudorandom cell per vertex id (seeded, reproducible).
+    Hashed,
+}
+
+impl RootPlacement {
+    /// Home cell for root vertex `vertex_id`.
+    pub fn cell_for(&self, vertex_id: u32, dims: Dims, seed: u64) -> u16 {
+        let n = dims.cell_count() as u64;
+        match self {
+            RootPlacement::RoundRobin => (vertex_id as u64 % n) as u16,
+            RootPlacement::Hashed => {
+                let mut r = SplitMix64::new(seed ^ (vertex_id as u64).wrapping_mul(0x9e3779b9));
+                r.gen_range(n) as u16
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Dims;
+
+    #[test]
+    fn vicinity_choices_stay_within_radius() {
+        let dims = Dims::new(16, 16);
+        let t = PlacementTable::new(GhostPlacement::Vicinity { max_hops: 2 }, dims);
+        let mut rng = SplitMix64::new(1);
+        for origin in dims.iter_ids() {
+            for _ in 0..8 {
+                let c = t.choose(origin, 0, &mut rng);
+                assert!(dims.distance(origin, c) <= 2);
+                assert_ne!(c, origin);
+            }
+        }
+    }
+
+    #[test]
+    fn vicinity_retries_walk_the_ring_then_spiral() {
+        let dims = Dims::new(8, 8);
+        let t = PlacementTable::new(GhostPlacement::Vicinity { max_hops: 1 }, dims);
+        let mut rng = SplitMix64::new(2);
+        let origin = dims.id_of(crate::geom::Coord::new(4, 4));
+        let ring = dims.vicinity(origin, 1);
+        let c1 = t.choose(origin, 1, &mut rng);
+        let c2 = t.choose(origin, 2, &mut rng);
+        assert_eq!(c1, ring[0]);
+        assert_eq!(c2, ring[1]);
+        // Retries beyond the ring still return valid, distinct cells.
+        let far = t.choose(origin, 10, &mut rng);
+        assert!((far as u32) < dims.cell_count());
+    }
+
+    #[test]
+    fn random_policy_disperses() {
+        let dims = Dims::new(32, 32);
+        let t = PlacementTable::new(GhostPlacement::Random, dims);
+        let mut rng = SplitMix64::new(3);
+        let origin = 0u16;
+        let far = (0..256)
+            .map(|_| t.choose(origin, 0, &mut rng))
+            .filter(|&c| dims.distance(origin, c) > 2)
+            .count();
+        assert!(far > 200, "random placement should usually leave the vicinity: {far}");
+    }
+
+    #[test]
+    fn round_robin_root_placement_covers_cells() {
+        let dims = Dims::new(4, 4);
+        let mut seen = [false; 16];
+        for v in 0..16u32 {
+            seen[RootPlacement::RoundRobin.cell_for(v, dims, 0) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hashed_root_placement_is_deterministic() {
+        let dims = Dims::new(8, 8);
+        for v in 0..64u32 {
+            let a = RootPlacement::Hashed.cell_for(v, dims, 42);
+            let b = RootPlacement::Hashed.cell_for(v, dims, 42);
+            assert_eq!(a, b);
+        }
+    }
+}

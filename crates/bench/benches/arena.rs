@@ -1,0 +1,45 @@
+//! Slab arena micro-benchmarks: the per-CC memory allocator on the
+//! ghost-allocation hot path.
+
+use amcca_sim::Arena;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_arena(c: &mut Criterion) {
+    c.bench_function("arena/alloc_free_churn", |b| {
+        let mut a: Arena<u64> = Arena::new(1024);
+        let mut slots = Vec::with_capacity(512);
+        b.iter(|| {
+            for i in 0..256u64 {
+                slots.push(a.alloc(i).unwrap());
+            }
+            for s in slots.drain(..) {
+                black_box(a.free(s));
+            }
+        })
+    });
+
+    c.bench_function("arena/get_hot", |b| {
+        let mut a: Arena<u64> = Arena::new(1024);
+        let slots: Vec<u32> = (0..1024).map(|i| a.alloc(i).unwrap()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 257) % slots.len();
+            black_box(a.get(slots[i]))
+        })
+    });
+
+    c.bench_function("arena/iter_live", |b| {
+        let mut a: Arena<u64> = Arena::new(4096);
+        for i in 0..4096 {
+            a.alloc(i).unwrap();
+        }
+        // Punch holes to exercise the skip path.
+        for s in (0..4096).step_by(3) {
+            a.free(s);
+        }
+        b.iter(|| black_box(a.iter().map(|(_, &v)| v).sum::<u64>()))
+    });
+}
+
+criterion_group!(benches, bench_arena);
+criterion_main!(benches);

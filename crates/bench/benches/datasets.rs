@@ -1,0 +1,26 @@
+//! Workload-generation benchmarks: SBM synthesis and the two sampling
+//! schedules at GraphChallenge-like densities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_datasets::{edge_sampling, generate_sbm, snowball_sampling, SbmParams};
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datasets");
+    g.sample_size(10);
+    for &(n, m) in &[(10_000u32, 200_000usize), (50_000, 1_000_000)] {
+        g.bench_with_input(BenchmarkId::new("sbm_generate", m), &(n, m), |b, &(n, m)| {
+            b.iter(|| black_box(generate_sbm(&SbmParams::scaled(n, m, 1))))
+        });
+        let edges = generate_sbm(&SbmParams::scaled(n, m, 1));
+        g.bench_with_input(BenchmarkId::new("edge_sampling", m), &edges, |b, e| {
+            b.iter(|| black_box(edge_sampling(n, e.clone(), 10, 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("snowball_sampling", m), &edges, |b, e| {
+            b.iter(|| black_box(snowball_sampling(n, e.clone(), 10, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the future LCO lifecycle (paper Fig. 4): the cost of
+//! the pending transition, waiter enqueue, and fulfillment drain.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffusive::{FutureLco, PendingOperon};
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("future/null_to_pending_to_ready", |b| {
+        b.iter(|| {
+            let mut f: FutureLco<u64> = FutureLco::Null;
+            f.make_pending().unwrap();
+            let drained = f.fulfill(black_box(42)).unwrap();
+            black_box(drained.len())
+        })
+    });
+
+    let mut g = c.benchmark_group("future/enqueue_and_drain");
+    for &waiters in &[1usize, 8, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(waiters), &waiters, |b, &n| {
+            b.iter(|| {
+                let mut f: FutureLco<u64> = FutureLco::Null;
+                f.make_pending().unwrap();
+                for i in 0..n {
+                    f.enqueue(PendingOperon { action: 8, payload: [i as u64, 0] }).unwrap();
+                }
+                black_box(f.fulfill(7).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("future/is_ready_check", |b| {
+        let f: FutureLco<u64> = FutureLco::Ready(9);
+        b.iter(|| black_box(f.is_ready()))
+    });
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

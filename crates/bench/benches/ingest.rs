@@ -1,0 +1,41 @@
+//! End-to-end ingestion benchmarks: simulated-cycles and wall-time of
+//! streaming edges into RPVO storage, with and without BFS propagation —
+//! the simulator-throughput numbers behind Table 2's runtime.
+
+use amcca_sim::ChipConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_datasets::{generate_sbm, SbmParams};
+use sdgp_core::apps::BfsAlgo;
+use sdgp_core::graph::{StreamEdge, StreamingGraph};
+use sdgp_core::rpvo::RpvoConfig;
+
+fn workload(n: u32, m: usize) -> Vec<StreamEdge> {
+    generate_sbm(&SbmParams::scaled(n, m, 7))
+}
+
+fn run(edges: &[StreamEdge], n: u32, with_bfs: bool) -> u64 {
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), n)
+            .unwrap();
+    g.set_algo_propagation(with_bfs);
+    let r = g.stream_increment(edges).unwrap();
+    r.cycles
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("ingest/stream_to_quiescence");
+    grp.sample_size(10);
+    for &(n, m) in &[(1_000u32, 10_000usize), (5_000, 50_000)] {
+        let edges = workload(n, m);
+        grp.bench_with_input(BenchmarkId::new("ingest_only", m), &edges, |b, e| {
+            b.iter(|| black_box(run(e, n, false)))
+        });
+        grp.bench_with_input(BenchmarkId::new("with_bfs", m), &edges, |b, e| {
+            b.iter(|| black_box(run(e, n, true)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Reference-oracle benchmarks: the sequential algorithms used for
+//! verification must stay cheap relative to the simulations they check.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_datasets::{generate_sbm, SbmParams};
+use refgraph::{bfs_levels, count_triangles, dijkstra, min_labels, DiGraph};
+
+fn bench_refgraph(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("refgraph");
+    grp.sample_size(20);
+    for &(n, m) in &[(10_000u32, 100_000usize), (50_000, 1_000_000)] {
+        let edges = generate_sbm(&SbmParams::scaled(n, m, 3));
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        grp.bench_with_input(BenchmarkId::new("bfs", m), &g, |b, g| {
+            b.iter(|| black_box(bfs_levels(g, 0)))
+        });
+        grp.bench_with_input(BenchmarkId::new("dijkstra", m), &g, |b, g| {
+            b.iter(|| black_box(dijkstra(g, 0)))
+        });
+        grp.bench_with_input(BenchmarkId::new("components", m), &g, |b, g| {
+            b.iter(|| black_box(min_labels(g)))
+        });
+        grp.bench_with_input(BenchmarkId::new("triangles", m), &edges, |b, e| {
+            b.iter(|| black_box(count_triangles(n, e.iter().map(|&(u, v, _)| (u, v)))))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_refgraph);
+criterion_main!(benches);

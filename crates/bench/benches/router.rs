@@ -1,0 +1,62 @@
+//! NoC throughput micro-benchmarks: cycles-per-second of the chip loop under
+//! synthetic all-to-all operon traffic (no application work), isolating the
+//! YX router and flow control.
+
+use amcca_sim::{Address, Chip, ChipConfig, Dims, ExecCtx, Operon, Program};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Sink program: one instruction per delivered operon, no propagation.
+struct Sink;
+
+impl Program for Sink {
+    type Object = u32;
+    fn execute(&mut self, ctx: &mut ExecCtx<'_, u32>, _op: &Operon) {
+        ctx.charge(1);
+    }
+}
+
+fn traffic(dims: Dims, n_msgs: u32, seed: u64) -> Vec<Operon> {
+    let mut rng = amcca_sim::SplitMix64::new(seed);
+    (0..n_msgs)
+        .map(|_| {
+            let cc = rng.gen_range(dims.cell_count() as u64) as u16;
+            Operon::new(Address::new(cc, 0), 8, [0, 0])
+        })
+        .collect()
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router/drain_random_traffic");
+    g.sample_size(20);
+    for &msgs in &[1_000u32, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &m| {
+            b.iter(|| {
+                let cfg = ChipConfig::default(); // 32x32
+                let mut chip = Chip::new(cfg, Sink);
+                for cc in chip.cfg().dims.iter_ids() {
+                    chip.host_alloc(cc, 0).unwrap();
+                }
+                chip.io_load(traffic(chip.cfg().dims, m, 42));
+                chip.run_until_quiescent().unwrap();
+                black_box(chip.counters().hops)
+            })
+        });
+    }
+    g.finish();
+
+    // Single-message end-to-end latency, corner to corner.
+    c.bench_function("router/corner_to_corner_latency", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig::default();
+            let far = cfg.dims.id_of(amcca_sim::Coord::new(31, 31));
+            let mut chip = Chip::new(cfg, Sink);
+            let a = chip.host_alloc(far, 0).unwrap();
+            chip.io_load([Operon::new(a, 8, [0, 0])]);
+            chip.run_until_quiescent().unwrap();
+            black_box(chip.cycle())
+        })
+    });
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Streaming dynamic graph applications built on the diffusive model.
+
+pub mod algo;
+pub mod bfs;
+pub mod concomp;
+pub mod jaccard;
+pub mod sssp;
+pub mod triangle;
+
+pub use algo::{insert_operon, GraphApp, VertexAlgo, ACT_ALGO_BASE, ACT_INSERT, ACT_RELAX};
+pub use bfs::{BfsAlgo, MAX_LEVEL};
+pub use concomp::CcAlgo;
+pub use jaccard::{JaccardAlgo, ACT_JC_CHECK, ACT_JC_GEN, ACT_JC_PROBE};
+pub use sssp::{SsspAlgo, INF};
+pub use triangle::{TriangleAlgo, ACT_TRI_CHECK, ACT_TRI_GEN, ACT_TRI_PROBE};

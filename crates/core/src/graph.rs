@@ -1,0 +1,285 @@
+//! Host-side streaming graph façade.
+//!
+//! Wraps a [`diffusive::Device`] running a [`GraphApp`] and provides the
+//! workflow of the paper's experiments: allocate root RPVOs for all vertices
+//! (untimed construction, §4), then stream edge increments through the IO
+//! channels and run each to quiescence, collecting a [`RunReport`] per
+//! increment (the data behind Figures 8–9 and Table 2).
+
+use amcca_sim::{Address, ChipConfig, Operon, SimError};
+use diffusive::{Device, RunReport};
+
+use crate::apps::algo::{insert_operon, GraphApp, VertexAlgo, ACT_INSERT, ACT_RELAX};
+use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
+
+/// A streamed edge: `(src, dst, weight)` with vertex ids.
+pub type StreamEdge = (u32, u32, u32);
+
+/// StreamingGraph.
+pub struct StreamingGraph<G: VertexAlgo> {
+    dev: Device<GraphApp<G>>,
+    addrs: Vec<Address>,
+}
+
+impl<G: VertexAlgo> StreamingGraph<G> {
+    /// Create the device, register the actions (Listing 1), and allocate the
+    /// root vertex objects of `n_vertices` across the chip.
+    pub fn new(
+        cfg: ChipConfig,
+        rcfg: RpvoConfig,
+        algo: G,
+        n_vertices: u32,
+    ) -> Result<Self, SimError> {
+        let dims = cfg.dims;
+        let root_placement = cfg.root_placement;
+        let seed = cfg.seed;
+        let fanout = rcfg.ghost_fanout;
+        let mut dev = Device::new(cfg, GraphApp::new(algo, rcfg, true));
+        dev.register_action_at(ACT_INSERT, "insert-edge-action");
+        dev.register_action_at(ACT_RELAX, G::NAME);
+        let mut addrs = Vec::with_capacity(n_vertices as usize);
+        for vid in 0..n_vertices {
+            let cc = root_placement.cell_for(vid, dims, seed);
+            let state = dev.app().algo.root_state(vid);
+            addrs.push(dev.host_alloc(cc, VertexObj::root(vid, state, fanout))?);
+        }
+        Ok(StreamingGraph { dev, addrs })
+    }
+
+    /// Enable/disable the algorithm's propagation on insert (the paper's
+    /// ingestion-only experiments disable it).
+    pub fn set_algo_propagation(&mut self, on: bool) {
+        self.dev.app_mut().propagate_algo = on;
+    }
+
+    /// Select the termination detector used by subsequent increments
+    /// (global quiescence by default; Safra's token for the distributed
+    /// variant — see `paper ablate-terminator`).
+    pub fn set_termination_mode(&mut self, mode: diffusive::TerminationMode) {
+        self.dev.set_termination_mode(mode);
+    }
+
+    /// Number of vertices the graph was constructed with.
+    pub fn n_vertices(&self) -> u32 {
+        self.addrs.len() as u32
+    }
+
+    /// Root-object address of a vertex.
+    pub fn addr_of(&self, vid: u32) -> Address {
+        self.addrs[vid as usize]
+    }
+
+    /// Stream one increment of edges through the IO channels and run the
+    /// diffusion to quiescence.
+    pub fn stream_increment(&mut self, edges: &[StreamEdge]) -> Result<RunReport, SimError> {
+        let ops: Vec<Operon> = edges
+            .iter()
+            .map(|&(u, v, w)| {
+                insert_operon(self.addrs[u as usize], &Edge::new(self.addrs[v as usize], v, w))
+            })
+            .collect();
+        self.dev.register_data_transfer(ops);
+        self.dev.run()
+    }
+
+    /// Inject an arbitrary operon wave through the IO channels and run it to
+    /// quiescence (used by snapshot queries such as triangle counting).
+    pub fn run_query(&mut self, ops: impl IntoIterator<Item = Operon>) -> Result<RunReport, SimError> {
+        self.dev.register_data_transfer(ops);
+        self.dev.run()
+    }
+
+    /// The algorithm state stored at a vertex's root object.
+    pub fn state_of(&self, vid: u32) -> G::State {
+        self.dev.object(self.addrs[vid as usize]).expect("root object live").state
+    }
+
+    /// All root states, indexed by vertex id.
+    pub fn states(&self) -> Vec<G::State> {
+        self.addrs.iter().map(|&a| self.dev.object(a).expect("root live").state).collect()
+    }
+
+    /// All edges stored anywhere in a vertex's RPVO, as `(dst_id, w)` pairs.
+    pub fn logical_edges(&self, vid: u32) -> Vec<(u32, u32)> {
+        walk::collect_edges(self.addrs[vid as usize], |a| self.dev.object(a))
+            .into_iter()
+            .map(|e| (e.dst_id, e.w))
+            .collect()
+    }
+
+    /// Out-degree of a vertex: edges stored across its whole RPVO.
+    pub fn degree(&self, vid: u32) -> usize {
+        walk::collect_objects(self.addrs[vid as usize], |a| self.dev.object(a))
+            .into_iter()
+            .map(|a| self.dev.object(a).expect("object live").edges.len())
+            .sum()
+    }
+
+    /// Depth of a vertex's RPVO (1 = root only).
+    pub fn rpvo_depth(&self, vid: u32) -> usize {
+        walk::depth(self.addrs[vid as usize], |a| self.dev.object(a))
+    }
+
+    /// Addresses of every object (root + ghosts) of a vertex's RPVO.
+    pub fn rpvo_objects(&self, vid: u32) -> Vec<Address> {
+        walk::collect_objects(self.addrs[vid as usize], |a| self.dev.object(a))
+    }
+
+    /// Verify that every ghost mirror of every vertex equals its root state
+    /// (must hold at quiescence). Returns the first violation.
+    pub fn check_mirror_consistency(&self) -> Result<(), String> {
+        for (vid, &root) in self.addrs.iter().enumerate() {
+            let want = self.dev.object(root).expect("root live").state;
+            for a in walk::collect_objects(root, |x| self.dev.object(x)) {
+                let got = self.dev.object(a).expect("object live").state;
+                if got != want {
+                    return Err(format!(
+                        "vertex {vid}: mirror at {a} has {got:?}, root has {want:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total edges stored on the chip (each streamed edge stored once).
+    pub fn total_edges_stored(&self) -> u64 {
+        let mut n = 0u64;
+        self.dev.chip().for_each_object(|_, obj| n += obj.edges.len() as u64);
+        n
+    }
+
+    /// `(ghost_count, average parent→ghost hop distance)` across all RPVOs —
+    /// the quantity the Vicinity vs Random ablation compares (Fig. 5).
+    pub fn ghost_distance_stats(&self) -> (u64, f64) {
+        let dims = self.dev.chip().cfg().dims;
+        let mut count = 0u64;
+        let mut hops = 0u64;
+        self.dev.chip().for_each_object(|addr, obj| {
+            for g in obj.ready_ghosts() {
+                count += 1;
+                hops += dims.distance(addr.cc, g.cc) as u64;
+            }
+        });
+        (count, if count == 0 { 0.0 } else { hops as f64 / count as f64 })
+    }
+
+    /// The underlying diffusive device (read access).
+    pub fn device(&self) -> &Device<GraphApp<G>> {
+        &self.dev
+    }
+
+    /// The underlying diffusive device (mutable access).
+    pub fn device_mut(&mut self) -> &mut Device<GraphApp<G>> {
+        &mut self.dev
+    }
+}
+
+/// Symmetrize an undirected edge list into a directed stream (both
+/// directions, interleaved so the two copies of an edge travel together).
+pub fn symmetrize(edges: &[StreamEdge]) -> Vec<StreamEdge> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for &(u, v, w) in edges {
+        out.push((u, v, w));
+        out.push((v, u, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::bfs::{BfsAlgo, MAX_LEVEL};
+    use amcca_sim::ChipConfig;
+
+    fn small() -> StreamingGraph<BfsAlgo> {
+        StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
+            BfsAlgo::new(0),
+            16,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_allocates_all_roots() {
+        let g = small();
+        assert_eq!(g.n_vertices(), 16);
+        assert_eq!(g.state_of(0), 0, "BFS root at level 0");
+        for v in 1..16 {
+            assert_eq!(g.state_of(v), MAX_LEVEL);
+        }
+        assert_eq!(g.total_edges_stored(), 0);
+    }
+
+    #[test]
+    fn stream_path_graph_levels() {
+        let mut g = small();
+        // 0 -> 1 -> 2 -> ... -> 15
+        let edges: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
+        g.stream_increment(&edges).unwrap();
+        for v in 0..16 {
+            assert_eq!(g.state_of(v), v as u64, "level along the path");
+        }
+        assert_eq!(g.total_edges_stored(), 15);
+    }
+
+    #[test]
+    fn reversed_stream_order_converges_identically() {
+        let mut g = small();
+        let mut edges: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
+        edges.reverse();
+        g.stream_increment(&edges).unwrap();
+        for v in 0..16 {
+            assert_eq!(g.state_of(v), v as u64);
+        }
+    }
+
+    #[test]
+    fn increments_update_previous_results() {
+        let mut g = small();
+        // Increment 1: a long path 0->1->...->7.
+        let edges: Vec<StreamEdge> = (0..7).map(|i| (i, i + 1, 1)).collect();
+        g.stream_increment(&edges).unwrap();
+        assert_eq!(g.state_of(7), 7);
+        // Increment 2: shortcut 0 -> 6 lowers downstream levels without
+        // recomputation from scratch.
+        g.stream_increment(&[(0, 6, 1)]).unwrap();
+        assert_eq!(g.state_of(6), 1);
+        assert_eq!(g.state_of(7), 2);
+        assert_eq!(g.state_of(3), 3, "untouched prefix keeps its level");
+    }
+
+    #[test]
+    fn mirror_consistency_after_spills() {
+        let mut g = small();
+        // A star around vertex 0 forces RPVO spills (cap 4).
+        let edges: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
+        g.stream_increment(&edges).unwrap();
+        g.check_mirror_consistency().unwrap();
+        assert!(g.rpvo_objects(0).len() > 1, "vertex 0 must have spilled");
+        assert_eq!(g.total_edges_stored(), 15);
+        // All leaves at level 1.
+        for v in 1..16 {
+            assert_eq!(g.state_of(v), 1);
+        }
+    }
+
+    #[test]
+    fn degree_and_depth_track_spills() {
+        let mut g = small();
+        let edges: Vec<StreamEdge> = (1..13).map(|v| (0, v, 1)).collect();
+        g.stream_increment(&edges).unwrap();
+        assert_eq!(g.degree(0), 12);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.rpvo_depth(0) >= 2, "cap 4 with 12 edges must spill");
+        assert_eq!(g.rpvo_depth(1), 1);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let s = symmetrize(&[(1, 2, 9), (3, 4, 1)]);
+        assert_eq!(s, vec![(1, 2, 9), (2, 1, 9), (3, 4, 1), (4, 3, 1)]);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # sdgp-core — streaming dynamic graph processing on AM-CCA
+//!
+//! The primary contribution of the reproduced paper: structures and
+//! techniques for streaming dynamic graph processing on decentralized
+//! message-driven systems.
+//!
+//! * [`rpvo`] — the **Recursively-Parallel Vertex Object**: a logical vertex
+//!   parallelized across many scratchpad-coupled compute cells (root + ghost
+//!   objects linked by future-of-pointer slots) behind a single address.
+//! * [`apps`] — streaming algorithms: edge ingestion (Listing 6), dynamic
+//!   BFS (Listings 4–5), and the paper's future-work algorithms implemented
+//!   here as extensions (SSSP, connected components, triangle counting).
+//! * [`graph`] — the host-side [`graph::StreamingGraph`] façade running the
+//!   paper's experiment workflow: construct roots, stream increments, verify.
+
+pub mod apps;
+pub mod graph;
+pub mod rpvo;
+
+pub use apps::{BfsAlgo, CcAlgo, GraphApp, SsspAlgo, TriangleAlgo, VertexAlgo};
+pub use graph::{symmetrize, StreamEdge, StreamingGraph};
+pub use rpvo::{Edge, RpvoConfig, VertexObj};

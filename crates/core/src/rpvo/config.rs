@@ -1,0 +1,59 @@
+//! RPVO shape parameters.
+//!
+//! The paper does not publish its inline edge-list capacity or ghost fanout;
+//! both are exposed here and swept by the `ablate-edgecap` / `ablate-ghosts`
+//! benches. Defaults: 16 edges per object, 2 ghost slots ("there can be two
+//! or more ghost vertices per RPVO to arbitrate", Listing 6 caption).
+
+/// Shape of every vertex object (root and ghost alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpvoConfig {
+    /// Edges stored inline in one object before spilling to a ghost.
+    pub edge_cap: usize,
+    /// Ghost slots per object (spills arbitrate round-robin among them).
+    pub ghost_fanout: usize,
+}
+
+impl Default for RpvoConfig {
+    fn default() -> Self {
+        RpvoConfig { edge_cap: 16, ghost_fanout: 2 }
+    }
+}
+
+impl RpvoConfig {
+    /// Validate against structural and encoding limits (the continuation
+    /// encoding carries the ghost-slot index in 4 bits).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.edge_cap == 0 {
+            return Err("edge_cap must be at least 1".into());
+        }
+        if self.ghost_fanout == 0 {
+            return Err("ghost_fanout must be at least 1".into());
+        }
+        if self.ghost_fanout > 16 {
+            return Err(format!(
+                "ghost_fanout {} exceeds the continuation encoding limit of 16",
+                self.ghost_fanout
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(RpvoConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(RpvoConfig { edge_cap: 0, ghost_fanout: 2 }.validate().is_err());
+        assert!(RpvoConfig { edge_cap: 4, ghost_fanout: 0 }.validate().is_err());
+        assert!(RpvoConfig { edge_cap: 4, ghost_fanout: 17 }.validate().is_err());
+        assert!(RpvoConfig { edge_cap: 1, ghost_fanout: 16 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,11 @@
+//! The Recursively-Parallel Vertex Object (RPVO): the paper's hierarchical
+//! dynamic vertex data structure (Fig. 1b).
+
+pub mod config;
+pub mod edge;
+pub mod vertex;
+pub mod walk;
+
+pub use config::RpvoConfig;
+pub use edge::{decode_edge, encode_edge, Edge};
+pub use vertex::{ObjKind, VertexObj};

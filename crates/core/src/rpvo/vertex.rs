@@ -1,0 +1,130 @@
+//! The Recursively-Parallel Vertex Object (paper Fig. 1b, Listing 2).
+//!
+//! A logical vertex is stored as a hierarchy: a **root** object on its home
+//! compute cell plus zero or more **ghost** objects on (usually nearby)
+//! cells, linked through ghost slots of type *future of pointer*. Every
+//! object — root or ghost — has the same layout: an inline edge list of
+//! bounded capacity and `ghost_fanout` ghost slots, so spilling recurses and
+//! the structure parallelizes a high-degree vertex across many cells while a
+//! single address (the root) remains the programming abstraction.
+
+use amcca_sim::Address;
+use diffusive::FutureLco;
+
+use super::edge::Edge;
+
+/// Whether an object is the root of its RPVO or a ghost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// `Root` variant.
+    Root,
+    /// `Ghost` variant.
+    Ghost,
+}
+
+/// One object of an RPVO, generic over the application's per-vertex state
+/// (BFS carries a level, SSSP a distance, …). Ghost objects mirror the
+/// application state of their root, kept consistent by the diffusion.
+#[derive(Debug, Clone)]
+pub struct VertexObj<S> {
+    /// Id of the logical vertex this object belongs to.
+    pub vid: u32,
+    /// Root or ghost.
+    pub kind: ObjKind,
+    /// Application state (paper Listing 2's `level` field, generalized).
+    pub state: S,
+    /// Inline edge list; the ingestion logic bounds its length by
+    /// [`super::config::RpvoConfig::edge_cap`].
+    pub edges: Vec<Edge>,
+    /// Ghost links: futures of pointers (paper Listing 2's `ghosts` field).
+    pub ghosts: Box<[FutureLco<Address>]>,
+    /// Round-robin cursor arbitrating spills among ghost slots.
+    pub ghost_rr: u8,
+}
+
+impl<S> VertexObj<S> {
+    /// Create a root object for vertex `vid`.
+    pub fn root(vid: u32, state: S, ghost_fanout: usize) -> Self {
+        Self::with_kind(vid, state, ghost_fanout, ObjKind::Root)
+    }
+
+    /// Create a ghost object mirroring vertex `vid`.
+    pub fn ghost(vid: u32, state: S, ghost_fanout: usize) -> Self {
+        Self::with_kind(vid, state, ghost_fanout, ObjKind::Ghost)
+    }
+
+    fn with_kind(vid: u32, state: S, ghost_fanout: usize, kind: ObjKind) -> Self {
+        let ghosts = (0..ghost_fanout).map(|_| FutureLco::Null).collect();
+        VertexObj { vid, kind, state, edges: Vec::new(), ghosts, ghost_rr: 0 }
+    }
+
+    /// Does the inline edge list still have room (paper's `vertex-has-room`)?
+    pub fn has_room(&self, edge_cap: usize) -> bool {
+        self.edges.len() < edge_cap
+    }
+
+    /// Pick the ghost slot for the next spill (round-robin arbitration).
+    pub fn pick_ghost_slot(&mut self) -> usize {
+        let n = self.ghosts.len();
+        let slot = self.ghost_rr as usize % n;
+        self.ghost_rr = ((slot + 1) % n) as u8;
+        slot
+    }
+
+    /// Addresses of all attached (Ready) ghosts.
+    pub fn ready_ghosts(&self) -> impl Iterator<Item = Address> + '_ {
+        self.ghosts.iter().filter_map(|g| g.value().copied())
+    }
+
+    /// True for the root object of an RPVO.
+    pub fn is_root(&self) -> bool {
+        matches!(self.kind, ObjKind::Root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_starts_empty_with_null_ghosts() {
+        let v: VertexObj<u64> = VertexObj::root(7, u64::MAX, 2);
+        assert!(v.is_root());
+        assert!(v.has_room(4));
+        assert_eq!(v.ghosts.len(), 2);
+        assert!(v.ghosts.iter().all(|g| g.is_null()));
+        assert_eq!(v.ready_ghosts().count(), 0);
+    }
+
+    #[test]
+    fn room_respects_capacity() {
+        let mut v: VertexObj<u64> = VertexObj::root(0, 0, 1);
+        for i in 0..3 {
+            v.edges.push(Edge::new(Address::new(0, i), i, 1));
+        }
+        assert!(v.has_room(4));
+        assert!(!v.has_room(3));
+    }
+
+    #[test]
+    fn ghost_slot_arbitration_round_robins() {
+        let mut v: VertexObj<u64> = VertexObj::root(0, 0, 3);
+        let picks: Vec<usize> = (0..7).map(|_| v.pick_ghost_slot()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_slot_always_zero() {
+        let mut v: VertexObj<u64> = VertexObj::root(0, 0, 1);
+        assert_eq!(v.pick_ghost_slot(), 0);
+        assert_eq!(v.pick_ghost_slot(), 0);
+    }
+
+    #[test]
+    fn ready_ghosts_lists_fulfilled_slots() {
+        let mut v: VertexObj<u64> = VertexObj::root(0, 0, 2);
+        v.ghosts[1].fulfill(Address::new(3, 9)).unwrap();
+        let ready: Vec<Address> = v.ready_ghosts().collect();
+        assert_eq!(ready, vec![Address::new(3, 9)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Host-side traversal of an RPVO hierarchy (verification and statistics).
+//!
+//! During simulation, actions reach ghost objects only through message
+//! forwarding; the host, however, may walk the structure directly to check
+//! invariants — e.g. that every streamed edge landed exactly once, or that
+//! ghost state mirrors converged to the root's value.
+
+use amcca_sim::Address;
+
+use super::edge::Edge;
+use super::vertex::VertexObj;
+
+/// Collect the addresses of all objects of the logical vertex rooted at
+/// `root`, in breadth-first ghost order (root first). `fetch` resolves an
+/// address to the object stored there.
+pub fn collect_objects<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>>,
+) -> Vec<Address> {
+    let mut out = vec![root];
+    let mut i = 0;
+    while i < out.len() {
+        let addr = out[i];
+        i += 1;
+        let obj = fetch(addr).unwrap_or_else(|| panic!("dangling RPVO link to {addr}"));
+        out.extend(obj.ready_ghosts());
+        assert!(out.len() <= 1_000_000, "RPVO ghost chain implausibly long");
+    }
+    out
+}
+
+/// Collect every edge stored anywhere in the RPVO rooted at `root`.
+pub fn collect_edges<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>> + Copy,
+) -> Vec<Edge> {
+    collect_objects(root, fetch)
+        .into_iter()
+        .flat_map(|a| fetch(a).unwrap().edges.iter().copied())
+        .collect()
+}
+
+/// Depth of the RPVO: 1 for a root with no ghosts, 2 if ghosts exist, etc.
+pub fn depth<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>> + Copy,
+) -> usize {
+    fn rec<'a, S: 'a>(
+        a: Address,
+        fetch: impl Fn(Address) -> Option<&'a VertexObj<S>> + Copy,
+        guard: usize,
+    ) -> usize {
+        assert!(guard < 10_000, "RPVO depth implausible");
+        let obj = fetch(a).expect("dangling RPVO link");
+        1 + obj.ready_ghosts().map(|g| rec(g, fetch, guard + 1)).max().unwrap_or(0)
+    }
+    rec(root, fetch, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn store() -> (HashMap<Address, VertexObj<u64>>, Address) {
+        // root(0) -> ghost(1) -> ghost(2); root also has a second ghost (3).
+        let mut m = HashMap::new();
+        let a = |i| Address::new(0, i);
+        let mut root: VertexObj<u64> = VertexObj::root(7, 0, 2);
+        root.edges.push(Edge::new(a(9), 9, 1));
+        root.ghosts[0].fulfill(a(1)).unwrap();
+        root.ghosts[1].fulfill(a(3)).unwrap();
+        let mut g1 = VertexObj::ghost(7, 0, 2);
+        g1.edges.push(Edge::new(a(8), 8, 1));
+        g1.ghosts[0].fulfill(a(2)).unwrap();
+        let mut g2 = VertexObj::ghost(7, 0, 2);
+        g2.edges.push(Edge::new(a(6), 6, 1));
+        let g3: VertexObj<u64> = VertexObj::ghost(7, 0, 2);
+        m.insert(a(0), root);
+        m.insert(a(1), g1);
+        m.insert(a(2), g2);
+        m.insert(a(3), g3);
+        (m, a(0))
+    }
+
+    #[test]
+    fn collects_all_objects_breadth_first() {
+        let (m, root) = store();
+        let objs = collect_objects(root, |a| m.get(&a));
+        assert_eq!(objs.len(), 4);
+        assert_eq!(objs[0], root);
+        // BFS order: root's two ghosts before the grand-ghost.
+        assert_eq!(objs[1], Address::new(0, 1));
+        assert_eq!(objs[2], Address::new(0, 3));
+        assert_eq!(objs[3], Address::new(0, 2));
+    }
+
+    #[test]
+    fn collects_all_edges() {
+        let (m, root) = store();
+        let mut ids: Vec<u32> = collect_edges(root, |a| m.get(&a)).iter().map(|e| e.dst_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![6, 8, 9]);
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        let (m, root) = store();
+        assert_eq!(depth(root, |a| m.get(&a)), 3);
+        let lone: VertexObj<u64> = VertexObj::root(0, 0, 2);
+        let mut m2 = HashMap::new();
+        m2.insert(Address::new(1, 1), lone);
+        assert_eq!(depth(Address::new(1, 1), |a| m2.get(&a)), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! GraphChallenge-scale dataset presets (paper Table 1).
+//!
+//! Four dynamic graphs drive all experiments: 50 K and 500 K vertices, each
+//! under Edge and Snowball sampling, ten increments, totalling 1.0 M and
+//! 10.2 M edges. [`GcPreset::build`] synthesizes the matching SBM graph and
+//! schedule; [`GcPreset::scaled_down`] shrinks both axes for quick runs
+//! while preserving density and schedule shape.
+
+use crate::sampling::{edge_sampling, snowball_sampling};
+use crate::sbm::{generate_sbm, SbmParams};
+use crate::stream::{Sampling, StreamingDataset};
+
+/// Number of streaming increments in all GraphChallenge schedules.
+pub const INCREMENTS: usize = 10;
+
+/// A Table 1 row: graph scale plus sampling method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPreset {
+    /// Vertex count of the static graph.
+    pub n_vertices: u32,
+    /// Total directed edges.
+    pub n_edges: usize,
+    /// Streaming schedule (Edge or Snowball).
+    pub sampling: Sampling,
+    /// Generator seed (defines the graph deterministically).
+    pub seed: u64,
+}
+
+impl GcPreset {
+    /// The paper's 50 K-vertex graph (1.0 M edges).
+    pub fn v50k(sampling: Sampling) -> Self {
+        GcPreset { n_vertices: 50_000, n_edges: 1_000_000, sampling, seed: 50 }
+    }
+
+    /// The paper's 500 K-vertex graph (10.2 M edges).
+    pub fn v500k(sampling: Sampling) -> Self {
+        GcPreset { n_vertices: 500_000, n_edges: 10_200_000, sampling, seed: 500 }
+    }
+
+    /// All four Table 1 rows, in the paper's order.
+    pub fn table1() -> [GcPreset; 4] {
+        [
+            GcPreset::v50k(Sampling::Edge),
+            GcPreset::v50k(Sampling::Snowball),
+            GcPreset::v500k(Sampling::Edge),
+            GcPreset::v500k(Sampling::Snowball),
+        ]
+    }
+
+    /// Shrink the preset by `factor` on both axes (keeps average degree and
+    /// the ten-increment schedule shape).
+    pub fn scaled_down(self, factor: u32) -> Self {
+        assert!(factor >= 1);
+        GcPreset {
+            n_vertices: (self.n_vertices / factor).max(64),
+            n_edges: (self.n_edges / factor as usize).max(640),
+            ..self
+        }
+    }
+
+    /// Generate the SBM graph and apply the sampling schedule.
+    pub fn build(&self) -> StreamingDataset {
+        let edges = generate_sbm(&SbmParams::scaled(self.n_vertices, self.n_edges, self.seed));
+        match self.sampling {
+            Sampling::Edge => edge_sampling(self.n_vertices, edges, INCREMENTS, self.seed),
+            Sampling::Snowball => snowball_sampling(self.n_vertices, edges, INCREMENTS, 0),
+        }
+    }
+
+    /// A short label like `50K/Edge` for tables.
+    pub fn label(&self) -> String {
+        let v = if self.n_vertices >= 1000 {
+            format!("{}K", self.n_vertices / 1000)
+        } else {
+            format!("{}", self.n_vertices)
+        };
+        format!("{v}/{}", self.sampling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_scales() {
+        let t = GcPreset::table1();
+        assert_eq!(t[0].n_vertices, 50_000);
+        assert_eq!(t[0].n_edges, 1_000_000);
+        assert_eq!(t[2].n_vertices, 500_000);
+        assert_eq!(t[2].n_edges, 10_200_000);
+        assert_eq!(t[1].sampling, Sampling::Snowball);
+    }
+
+    #[test]
+    fn scaled_preset_builds_ten_increments() {
+        let d = GcPreset::v50k(Sampling::Edge).scaled_down(50).build();
+        assert_eq!(d.increments(), INCREMENTS);
+        assert_eq!(d.total_edges(), 20_000);
+        assert_eq!(d.n_vertices, 1000);
+    }
+
+    #[test]
+    fn snowball_preset_grows() {
+        let d = GcPreset::v50k(Sampling::Snowball).scaled_down(50).build();
+        let sizes = d.increment_sizes();
+        assert!(sizes[9] > sizes[0], "snowball grows: {sizes:?}");
+    }
+
+    #[test]
+    fn labels_format() {
+        assert_eq!(GcPreset::v50k(Sampling::Edge).label(), "50K/Edge");
+        assert_eq!(GcPreset::v500k(Sampling::Snowball).label(), "500K/Snowball");
+    }
+}

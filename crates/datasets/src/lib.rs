@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # gc-datasets — GraphChallenge-style streaming dynamic graph workloads
+//!
+//! The paper evaluates on MIT GraphChallenge streaming SBM graphs (Table 1).
+//! This crate synthesizes equivalent workloads: SBM static graphs at the
+//! paper's scales and the two streaming schedules, Edge sampling (uniform,
+//! equal increments) and Snowball sampling (BFS-discovery order, growing
+//! increments). See DESIGN.md §3 for the substitution rationale.
+
+pub mod gc;
+pub mod loader;
+pub mod sampling;
+pub mod sbm;
+pub mod stream;
+
+pub use gc::{GcPreset, INCREMENTS};
+pub use loader::{load_edge_file, load_streaming_parts, parse_edges};
+pub use sampling::{edge_sampling, snowball_sampling};
+pub use sbm::{generate_sbm, SbmParams};
+pub use stream::{Sampling, StreamEdge, StreamingDataset};

@@ -1,0 +1,270 @@
+//! Streaming schedules: Edge sampling and Snowball sampling (paper §4).
+//!
+//! * **Edge sampling** — edges arrive "as if they were formed or observed in
+//!   the real world": a uniformly random order, split into `k` near-equal
+//!   increments (Table 1 shows ~102 K edges in every increment).
+//! * **Snowball sampling** — edges arrive "as they are discovered from a
+//!   starting point": vertices are ranked by BFS discovery from a seed, an
+//!   edge appears once its later-ranked endpoint is discovered, and the
+//!   vertex ranking is cut into `k` equal waves. Because each wave's
+//!   frontier is larger than the last, increments grow (Table 1: 37 K →
+//!   191 K), and levels arrive near-monotonically — the property §5 uses to
+//!   explain the smoother BFS behaviour under snowball sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::{Sampling, StreamEdge, StreamingDataset};
+
+/// Uniformly random order, `k` near-equal increments.
+pub fn edge_sampling(
+    n_vertices: u32,
+    mut edges: Vec<StreamEdge>,
+    k: usize,
+    seed: u64,
+) -> StreamingDataset {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xED6E_u64.rotate_left(17));
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        edges.swap(i, j);
+    }
+    let m = edges.len();
+    let mut offsets = Vec::with_capacity(k + 1);
+    for i in 0..=k {
+        offsets.push(i * m / k);
+    }
+    StreamingDataset::new(n_vertices, Sampling::Edge, edges, offsets)
+}
+
+/// BFS-discovery order from `start`, `k` vertex waves of equal size.
+pub fn snowball_sampling(
+    n_vertices: u32,
+    edges: Vec<StreamEdge>,
+    k: usize,
+    start: u32,
+) -> StreamingDataset {
+    assert!(k >= 1);
+    assert!(start < n_vertices);
+    // Undirected adjacency for the discovery walk.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_vertices as usize];
+    for &(u, v, _) in &edges {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    // BFS ranks; disconnected remainders continue from the next unvisited id.
+    let mut rank = vec![u32::MAX; n_vertices as usize];
+    let mut order = Vec::with_capacity(n_vertices as usize);
+    let mut queue = std::collections::VecDeque::new();
+    let mut next_seed = 0u32;
+    queue.push_back(start);
+    rank[start as usize] = 0;
+    order.push(start);
+    loop {
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u as usize] {
+                if rank[v as usize] == u32::MAX {
+                    rank[v as usize] = order.len() as u32;
+                    order.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        while next_seed < n_vertices && rank[next_seed as usize] != u32::MAX {
+            next_seed += 1;
+        }
+        if next_seed >= n_vertices {
+            break;
+        }
+        rank[next_seed as usize] = order.len() as u32;
+        order.push(next_seed);
+        queue.push_back(next_seed);
+    }
+    // An edge is revealed when its later endpoint is discovered.
+    let reveal =
+        |e: &StreamEdge| -> u32 { rank[e.0 as usize].max(rank[e.1 as usize]) };
+    let mut edges = edges;
+    edges.sort_by_key(reveal);
+    // Wave boundaries: vertex-rank thresholds at n*i/k.
+    let mut offsets = Vec::with_capacity(k + 1);
+    offsets.push(0usize);
+    for i in 1..=k {
+        let rank_limit = (n_vertices as u64 * i as u64 / k as u64) as u32;
+        let pos = edges.partition_point(|e| reveal(e) < rank_limit);
+        offsets.push(pos);
+    }
+    *offsets.last_mut().unwrap() = edges.len();
+    StreamingDataset::new(n_vertices, Sampling::Snowball, edges, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbm::{generate_sbm, SbmParams};
+
+    fn test_edges() -> Vec<StreamEdge> {
+        generate_sbm(&SbmParams::scaled(2000, 24_000, 5))
+    }
+
+    #[test]
+    fn edge_sampling_equal_increments() {
+        let d = edge_sampling(2000, test_edges(), 10, 1);
+        let sizes = d.increment_sizes();
+        assert_eq!(sizes.len(), 10);
+        assert_eq!(sizes.iter().sum::<usize>(), 24_000);
+        assert!(sizes.iter().all(|&s| s == 2400), "equal increments: {sizes:?}");
+    }
+
+    #[test]
+    fn edge_sampling_preserves_edge_multiset() {
+        let edges = test_edges();
+        let d = edge_sampling(2000, edges.clone(), 10, 1);
+        let mut a: Vec<_> = edges.clone();
+        let mut b: Vec<_> = d.all_edges().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_sampling_order_actually_shuffled() {
+        let edges = test_edges();
+        let d = edge_sampling(2000, edges.clone(), 10, 1);
+        assert_ne!(d.all_edges(), &edges[..], "schedule must not equal input order");
+    }
+
+    #[test]
+    fn snowball_increments_grow() {
+        let d = snowball_sampling(2000, test_edges(), 10, 0);
+        let sizes = d.increment_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 24_000);
+        // First wave touches few edges, last waves many (Table 1's shape).
+        let first = sizes[0];
+        let last = sizes[9];
+        assert!(
+            last > first * 2,
+            "snowball increments should grow: first={first} last={last} all={sizes:?}"
+        );
+        // Growth is near-monotone over the middle of the schedule.
+        let grew = sizes.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(grew >= 6, "mostly growing: {sizes:?}");
+    }
+
+    #[test]
+    fn snowball_edges_revealed_only_after_discovery() {
+        let edges = test_edges();
+        let d = snowball_sampling(2000, edges, 10, 0);
+        // Recompute ranks the same way and verify increments respect them.
+        let mut max_reveal_so_far = 0u32;
+        for i in 0..d.increments() {
+            for _e in d.increment(i) {
+                // stream order within the whole schedule is sorted by reveal,
+                // so cross-increment reveal ranks never decrease.
+            }
+            if let Some(&(u, v, _)) = d.increment(i).last() {
+                let _ = (u, v);
+            }
+        }
+        // The schedule is globally sorted by reveal rank: verify via vertex
+        // first-appearance: once a vertex appears as an endpoint, all its
+        // edges to *earlier* vertices are already streamed or in this wave.
+        let mut seen = vec![false; 2000];
+        seen[0] = true;
+        for &(u, v, _) in d.all_edges() {
+            // at least one endpoint must already be known (discovery order)
+            assert!(
+                seen[u as usize] || seen[v as usize] || max_reveal_so_far == 0,
+                "edge ({u},{v}) streamed before either endpoint discovered"
+            );
+            seen[u as usize] = true;
+            seen[v as usize] = true;
+            max_reveal_so_far += 1;
+        }
+    }
+
+    #[test]
+    fn snowball_covers_disconnected_graphs() {
+        // Two components: 0-1-2 and 3-4; snowball from 0 must still stream
+        // all edges.
+        let edges = vec![(0, 1, 1), (1, 2, 1), (3, 4, 1)];
+        let d = snowball_sampling(5, edges, 2, 0);
+        assert_eq!(d.total_edges(), 3);
+    }
+
+    #[test]
+    fn single_increment_degenerates_gracefully() {
+        let d = edge_sampling(2000, test_edges(), 1, 2);
+        assert_eq!(d.increments(), 1);
+        assert_eq!(d.increment(0).len(), 24_000);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 16, ..Default::default()
+        })]
+
+        /// Any edge set under either schedule: increments partition the
+        /// edge multiset exactly (nothing lost, duplicated, or reordered
+        /// across the increment boundaries' union).
+        #[test]
+        fn schedules_partition_the_edge_multiset(
+            raw in proptest::collection::vec((0u32..200, 0u32..200, 1u32..5), 1..400),
+            k in 1usize..12,
+            seed in 0u64..100,
+        ) {
+            let edges: Vec<crate::stream::StreamEdge> =
+                raw.into_iter().filter(|&(u, v, _)| u != v).collect();
+            proptest::prop_assume!(!edges.is_empty());
+            for d in [
+                edge_sampling(200, edges.clone(), k, seed),
+                snowball_sampling(200, edges.clone(), k, 0),
+            ] {
+                proptest::prop_assert_eq!(d.increments(), k);
+                let mut streamed: Vec<_> = d.all_edges().to_vec();
+                let mut orig = edges.clone();
+                streamed.sort_unstable();
+                orig.sort_unstable();
+                proptest::prop_assert_eq!(&streamed, &orig);
+                let total: usize = d.increment_sizes().iter().sum();
+                proptest::prop_assert_eq!(total, edges.len());
+            }
+        }
+
+        /// Snowball streams never reveal an edge before one endpoint was
+        /// discoverable (seed vertex, a previously seen vertex, or the next
+        /// component seed).
+        #[test]
+        fn snowball_respects_discovery_order(
+            raw in proptest::collection::vec((0u32..60, 0u32..60, 1u32..3), 1..150),
+        ) {
+            let edges: Vec<crate::stream::StreamEdge> =
+                raw.into_iter().filter(|&(u, v, _)| u != v).collect();
+            proptest::prop_assume!(!edges.is_empty());
+            let d = snowball_sampling(60, edges.clone(), 4, 0);
+            let mut has_edge = [false; 60];
+            for &(u, v, _) in &edges {
+                has_edge[u as usize] = true;
+                has_edge[v as usize] = true;
+            }
+            let mut seen = [false; 60];
+            seen[0] = true;
+            for &(u, v, _) in d.all_edges() {
+                if !(seen[u as usize] || seen[v as usize]) {
+                    // Only legal when a new component starts. The scan for
+                    // the next seed walks vertex ids upward (isolated
+                    // vertices pass through silently), so the seed is the
+                    // smallest undiscovered vertex that has any edge.
+                    let next_seed = (0..60u32)
+                        .find(|&x| !seen[x as usize] && has_edge[x as usize])
+                        .unwrap();
+                    proptest::prop_assert!(
+                        u == next_seed || v == next_seed,
+                        "edge ({u},{v}) streamed before discovery (seed {next_seed})"
+                    );
+                }
+                seen[u as usize] = true;
+                seen[v as usize] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Streaming dynamic graph workload types.
+//!
+//! A dataset is a static graph plus a *schedule*: an ordering of its edges
+//! into `k` streaming increments (GraphChallenge provides ten). The schedule
+//! is what the paper's experiments measure, so increments are first-class
+//! here: a [`StreamingDataset`] owns the edge array once and exposes
+//! increment slices by offset.
+
+/// A streamed edge `(src, dst, weight)`.
+pub type StreamEdge = (u32, u32, u32);
+
+/// How the edge stream was ordered (paper §4, citing Kao et al.):
+/// "In edge sampling, the edges are inserted as if they were formed or
+/// observed in the real world, while in Snowball sampling, the edges are
+/// inserted as they are discovered from a starting point."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// `Edge` variant.
+    Edge,
+    /// `Snowball` variant.
+    Snowball,
+}
+
+impl std::fmt::Display for Sampling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sampling::Edge => write!(f, "Edge"),
+            Sampling::Snowball => write!(f, "Snowball"),
+        }
+    }
+}
+
+/// A graph whose edges are scheduled into streaming increments.
+#[derive(Debug, Clone)]
+pub struct StreamingDataset {
+    /// Vertex count of the static graph.
+    pub n_vertices: u32,
+    /// Which schedule produced this stream order.
+    pub sampling: Sampling,
+    /// All edges, in stream order.
+    edges: Vec<StreamEdge>,
+    /// Increment boundaries: `offsets[i]..offsets[i+1]` is increment `i`.
+    offsets: Vec<usize>,
+}
+
+impl StreamingDataset {
+    /// Assemble a dataset from scheduled edges and increment offsets.
+    pub fn new(
+        n_vertices: u32,
+        sampling: Sampling,
+        edges: Vec<StreamEdge>,
+        offsets: Vec<usize>,
+    ) -> Self {
+        assert!(offsets.len() >= 2, "at least one increment");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap(), edges.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        StreamingDataset { n_vertices, sampling, edges, offsets }
+    }
+
+    /// Number of streaming increments.
+    pub fn increments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The edges of increment `i`, in stream order.
+    pub fn increment(&self, i: usize) -> &[StreamEdge] {
+        &self.edges[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Edges per increment (the columns of the paper's Table 1).
+    pub fn increment_sizes(&self) -> Vec<usize> {
+        (0..self.increments()).map(|i| self.increment(i).len()).collect()
+    }
+
+    /// All edges in stream order.
+    pub fn all_edges(&self) -> &[StreamEdge] {
+        &self.edges
+    }
+
+    /// Total edges across all increments.
+    pub fn total_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> StreamingDataset {
+        let edges = vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 1)];
+        StreamingDataset::new(4, Sampling::Edge, edges, vec![0, 2, 4, 5])
+    }
+
+    #[test]
+    fn increments_slice_correctly() {
+        let d = ds();
+        assert_eq!(d.increments(), 3);
+        assert_eq!(d.increment(0), &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(d.increment(2), &[(0, 2, 1)]);
+        assert_eq!(d.increment_sizes(), vec![2, 2, 1]);
+        assert_eq!(d.total_edges(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one increment")]
+    fn rejects_empty_offsets() {
+        StreamingDataset::new(4, Sampling::Edge, vec![], vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_offsets() {
+        StreamingDataset::new(4, Sampling::Edge, vec![(0, 1, 1)], vec![0, 2]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The **future LCO** (Local Control Object), after ParalleX/HPX.
+//!
+//! A future synchronizes data-dependent actions without blocking a compute
+//! cell. Its lifecycle (paper Fig. 4) is:
+//!
+//! ```text
+//! ⓪ Null            — value = null, queue = {}
+//! ① Pending         — first user puts it in pending while allocation runs
+//! ② Pending + queue — dependent tasks enqueue themselves as closures
+//! ③ value set       — a continuation returns with the value
+//! ④ Ready           — dependent tasks are scheduled, queue emptied
+//! ```
+//!
+//! Waiting tasks are stored as [`PendingOperon`]s: operons missing only their
+//! target address. When the future is fulfilled with an address, each waiter
+//! is completed with that address and re-propagated — exactly the λ-closure
+//! the paper's Listing 6 enqueues (`enqueue-future!`).
+
+use amcca_sim::{ActionId, Operon};
+
+/// A deferred operon: everything but the target address, which the future's
+/// value will supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingOperon {
+    /// Registered action to execute at the target.
+    pub action: ActionId,
+    /// Operand words (an edge, a level, a continuation...).
+    pub payload: [u64; 2],
+}
+
+impl PendingOperon {
+    /// Complete the deferred operon with the future's value.
+    pub fn into_operon(self, target: amcca_sim::Address) -> Operon {
+        Operon::new(target, self.action, self.payload)
+    }
+}
+
+/// State of a future LCO holding a value of type `T`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FutureLco<T> {
+    /// Untouched: no allocation has been requested.
+    #[default]
+    Null,
+    /// An allocation (continuation) is in flight; tasks queue here.
+    Pending(Vec<PendingOperon>),
+    /// The value has been produced.
+    Ready(T),
+}
+
+/// Error returned by transitions that violate the LCO protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutureError {
+    /// `make_pending` on a future that is not Null.
+    AlreadyInitiated,
+    /// `enqueue` on a future that is not Pending.
+    NotPending,
+    /// `fulfill` on a future that is already Ready.
+    AlreadyReady,
+}
+
+impl<T> FutureLco<T> {
+    /// State ⓪: untouched.
+    pub fn is_null(&self) -> bool {
+        matches!(self, FutureLco::Null)
+    }
+
+    /// States ①/②: a continuation is in flight.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, FutureLco::Pending(_))
+    }
+
+    /// State ④: the value is available.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, FutureLco::Ready(_))
+    }
+
+    /// The value, if Ready.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            FutureLco::Ready(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of queued waiters (0 unless Pending).
+    pub fn waiter_count(&self) -> usize {
+        match self {
+            FutureLco::Pending(q) => q.len(),
+            _ => 0,
+        }
+    }
+
+    /// ⓪ → ①: the paper's `future-pending!`. Only legal from Null.
+    pub fn make_pending(&mut self) -> Result<(), FutureError> {
+        match self {
+            FutureLco::Null => {
+                *self = FutureLco::Pending(Vec::new());
+                Ok(())
+            }
+            _ => Err(FutureError::AlreadyInitiated),
+        }
+    }
+
+    /// ① → ②: the paper's `enqueue-future!`. Only legal while Pending.
+    pub fn enqueue(&mut self, waiter: PendingOperon) -> Result<(), FutureError> {
+        match self {
+            FutureLco::Pending(q) => {
+                q.push(waiter);
+                Ok(())
+            }
+            _ => Err(FutureError::NotPending),
+        }
+    }
+
+    /// ② → ③ → ④: the paper's `set-future!` arriving from the continuation.
+    /// Returns the waiters to schedule; the queue is emptied. Fulfilling a
+    /// Null future is allowed (a continuation may return before any waiter
+    /// showed up); fulfilling twice is a protocol error.
+    pub fn fulfill(&mut self, value: T) -> Result<Vec<PendingOperon>, FutureError> {
+        match std::mem::replace(self, FutureLco::Null) {
+            FutureLco::Null => {
+                *self = FutureLco::Ready(value);
+                Ok(Vec::new())
+            }
+            FutureLco::Pending(q) => {
+                *self = FutureLco::Ready(value);
+                Ok(q)
+            }
+            ready @ FutureLco::Ready(_) => {
+                *self = ready;
+                Err(FutureError::AlreadyReady)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amcca_sim::Address;
+
+    fn waiter(n: u16) -> PendingOperon {
+        PendingOperon { action: n, payload: [n as u64, 0] }
+    }
+
+    /// Walks the exact ⓪→①→②→③→④ sequence of the paper's Figure 4.
+    #[test]
+    fn figure4_lifecycle() {
+        let mut f: FutureLco<Address> = FutureLco::Null;
+        // ⓪ null state.
+        assert!(f.is_null());
+        assert_eq!(f.waiter_count(), 0);
+        // ① the first insert-edge-action puts it in pending.
+        f.make_pending().unwrap();
+        assert!(f.is_pending());
+        // ② dependent tasks enqueue as closures (λ1, λ2, λ3).
+        f.enqueue(waiter(1)).unwrap();
+        f.enqueue(waiter(2)).unwrap();
+        f.enqueue(waiter(3)).unwrap();
+        assert_eq!(f.waiter_count(), 3);
+        // ③ a continuation returns the address of newly allocated memory.
+        let addr = Address::new(7, 99);
+        let drained = f.fulfill(addr).unwrap();
+        // ④ dependent tasks are scheduled, the queue is emptied.
+        assert!(f.is_ready());
+        assert_eq!(f.value(), Some(&addr));
+        assert_eq!(f.waiter_count(), 0);
+        assert_eq!(drained.len(), 3);
+        let ops: Vec<_> = drained.into_iter().map(|w| w.into_operon(addr)).collect();
+        assert!(ops.iter().all(|o| o.target == addr), "waiters target the new address");
+        assert_eq!(ops[0].action, 1);
+        assert_eq!(ops[2].payload[0], 3);
+    }
+
+    #[test]
+    fn make_pending_twice_is_an_error() {
+        let mut f: FutureLco<u32> = FutureLco::Null;
+        f.make_pending().unwrap();
+        assert_eq!(f.make_pending(), Err(FutureError::AlreadyInitiated));
+    }
+
+    #[test]
+    fn enqueue_requires_pending() {
+        let mut f: FutureLco<u32> = FutureLco::Null;
+        assert_eq!(f.enqueue(waiter(1)), Err(FutureError::NotPending));
+        f.make_pending().unwrap();
+        f.fulfill(5).unwrap();
+        assert_eq!(f.enqueue(waiter(1)), Err(FutureError::NotPending));
+    }
+
+    #[test]
+    fn fulfill_null_is_allowed_and_empty() {
+        let mut f: FutureLco<u32> = FutureLco::Null;
+        let drained = f.fulfill(9).unwrap();
+        assert!(drained.is_empty());
+        assert_eq!(f.value(), Some(&9));
+    }
+
+    #[test]
+    fn double_fulfill_is_an_error_and_preserves_value() {
+        let mut f: FutureLco<u32> = FutureLco::Null;
+        f.fulfill(1).unwrap();
+        assert_eq!(f.fulfill(2), Err(FutureError::AlreadyReady));
+        assert_eq!(f.value(), Some(&1));
+    }
+
+    #[test]
+    fn default_is_null() {
+        let f: FutureLco<u64> = FutureLco::default();
+        assert!(f.is_null());
+    }
+}

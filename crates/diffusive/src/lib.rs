@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # diffusive — the diffusive programming model runtime
+//!
+//! Implements the programming model of the paper on top of `amcca-sim`: an
+//! asynchronous active message (an *action*) "is sent from a memory locality
+//! to another memory locality ... can mutate the state of the target locality
+//! and can further create new actions (work) at the destination thereby
+//! creating a ripple effect or diffusion" (§2).
+//!
+//! The crate provides:
+//!
+//! * [`action`] — action registration (`AMCCA_REGISTER_ACTION`).
+//! * [`future`] — the **future LCO** with the Null → Pending(+queue) → Ready
+//!   lifecycle of the paper's Figure 4.
+//! * [`continuation`] — `call/cc`-style remote allocation: the `allocate`
+//!   system action plus the anonymous return-trigger action of Figure 3.
+//! * [`app`] — the [`App`] trait applications implement, and the [`Runtime`]
+//!   adapter that dispatches system actions.
+//! * [`device`] — the host-side [`Device`] façade mirroring Listing 1.
+//! * [`terminator`] — termination detection for diffusions.
+
+pub mod action;
+pub mod app;
+pub mod continuation;
+pub mod device;
+pub mod future;
+pub mod terminator;
+
+pub use action::{ActionRegistry, ACT_ALLOCATE, ACT_SET_FUTURE, FIRST_USER_ACTION};
+pub use app::{App, Runtime};
+pub use continuation::{allocate_operon, decode_allocate, decode_set_future, set_future_operon, AllocRequest, Continuation};
+pub use device::Device;
+pub use future::{FutureError, FutureLco, PendingOperon};
+pub use terminator::{RunReport, TerminationMode};

@@ -1,0 +1,83 @@
+//! Termination detection for diffusions (the paper's `AMCCA_Terminator`,
+//! Listing 1: "Create a terminator object that handles termination detection
+//! for the diffusion ... Diffuse and wait on the terminator").
+//!
+//! Two detectors are provided:
+//!
+//! * [`TerminationMode::Quiescence`] — the chip-global check the paper's
+//!   CCASimulator uses: the diffusion has terminated when no operon is in
+//!   flight, no task is queued, no cell is busy, and the IO streams are
+//!   drained. Free of message overhead; this is what all paper experiments
+//!   run with.
+//! * [`TerminationMode::SafraToken`] — Safra's distributed token algorithm
+//!   (Dijkstra EWD 998): message counters and colours per cell, a token
+//!   circulating a serpentine ring over the mesh, detection at the
+//!   initiator after a clean white round. It detects the same terminations
+//!   but pays real token hops and polling cycles — the bookkeeping a real
+//!   decentralized system cannot avoid. `paper ablate-terminator`
+//!   quantifies the overhead. See [`amcca_sim::safra`].
+
+use amcca_sim::{ActivitySeries, Counters, EnergyModel};
+
+/// How `Device::run` decides the diffusion has finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// Global quiescence detection (zero overhead; the paper's setup).
+    #[default]
+    Quiescence,
+    /// Safra's distributed token-ring detection with real message overhead.
+    SafraToken,
+}
+
+/// Report of one `Device::run` segment (e.g. one streaming increment).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulation cycles consumed by this segment.
+    pub cycles: u64,
+    /// Event-counter deltas for this segment.
+    pub counters: Counters,
+    /// Energy consumed by this segment, microjoules.
+    pub energy_uj: f64,
+    /// Wall-clock time of this segment at 1 GHz, microseconds.
+    pub time_us: f64,
+    /// Per-cycle activity recorded during this segment (if enabled).
+    pub activity: ActivitySeries,
+}
+
+impl RunReport {
+    /// Build a report from a segment's cycle count and counter deltas.
+    pub fn from_delta(
+        cycles: u64,
+        counters: Counters,
+        energy: &EnergyModel,
+        cells: u64,
+        activity: ActivitySeries,
+    ) -> Self {
+        let energy_uj = energy.total_uj(&counters, cells, cycles);
+        let time_us = amcca_sim::cycles_to_us(cycles);
+        RunReport { cycles, counters, energy_uj, time_us, activity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_converts_cycles_to_time() {
+        let r = RunReport::from_delta(
+            22_000,
+            Counters::default(),
+            &EnergyModel::default(),
+            1024,
+            ActivitySeries::default(),
+        );
+        assert_eq!(r.time_us, 22.0);
+        assert!(r.energy_uj > 0.0, "leakage energy is nonzero");
+    }
+
+    #[test]
+    fn default_mode_is_quiescence() {
+        assert_eq!(TerminationMode::default(), TerminationMode::Quiescence);
+    }
+}

@@ -1,0 +1,61 @@
+//! Reference BFS levels (what NetworkX's `shortest_path_length` gives the
+//! paper's authors for verification, §4).
+
+use std::collections::VecDeque;
+
+use crate::graph::DiGraph;
+
+/// Sentinel for unreachable vertices, matching the simulator's `max-level`.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// BFS levels from `root` over directed edges.
+pub fn bfs_levels(g: &DiGraph, root: u32) -> Vec<u64> {
+    let mut level = vec![UNREACHED; g.n() as usize];
+    let mut q = VecDeque::new();
+    level[root as usize] = 0;
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        let lu = level[u as usize];
+        for &(v, _) in g.neighbors(u) {
+            if level[v as usize] == UNREACHED {
+                level[v as usize] = lu + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_levels() {
+        let g = DiGraph::from_edges(5, (0..4).map(|i| (i, i + 1, 1)));
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_stays_max() {
+        let g = DiGraph::from_edges(4, [(0, 1, 1)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[1], 1);
+        assert_eq!(l[2], UNREACHED);
+        assert_eq!(l[3], UNREACHED);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let g = DiGraph::from_edges(3, [(1, 0, 1), (1, 2, 1)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn diamond_takes_shortest() {
+        // 0->1->3, 0->2->3, 0->3
+        let g = DiGraph::from_edges(4, [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1), (0, 3, 1)]);
+        assert_eq!(bfs_levels(&g, 0)[3], 1);
+    }
+}

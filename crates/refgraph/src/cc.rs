@@ -1,0 +1,84 @@
+//! Reference weakly-connected components via union-find, reported as
+//! min-vertex-id labels (the fixpoint of the simulator's label propagation).
+
+use crate::graph::DiGraph;
+
+/// Union-find with path halving and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// New.
+    pub fn new(n: u32) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n as usize] }
+    }
+
+    /// Find.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Union.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+}
+
+/// Per-vertex label = minimum vertex id in its weakly connected component
+/// (edges treated as undirected).
+pub fn min_labels(g: &DiGraph) -> Vec<u64> {
+    let n = g.n();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n {
+        for &(v, _) in g.neighbors(u) {
+            uf.union(u, v);
+        }
+    }
+    let mut min_of_root = vec![u32::MAX; n as usize];
+    for v in 0..n {
+        let r = uf.find(v) as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n).map(|v| min_of_root[uf.find(v) as usize] as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = DiGraph::from_edges(6, [(0, 1, 1), (1, 2, 1), (4, 5, 1)]);
+        assert_eq!(min_labels(&g), vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        let g = DiGraph::from_edges(3, [(2, 0, 1)]);
+        assert_eq!(min_labels(&g), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn union_find_merges_once() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.find(1), uf.find(0));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+}

@@ -1,0 +1,64 @@
+//! A plain adjacency-list digraph used as ground truth.
+
+/// Directed multigraph with `u32` vertex ids and `u32` edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl DiGraph {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: u32) -> Self {
+        DiGraph { adj: vec![Vec::new(); n as usize] }
+    }
+
+    /// Build a graph from an edge list.
+    pub fn from_edges(n: u32, edges: impl IntoIterator<Item = (u32, u32, u32)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of directed edges.
+    pub fn m(&self) -> u64 {
+        self.adj.iter().map(|a| a.len() as u64).sum()
+    }
+
+    /// Append a directed edge `u → v` with weight `w`.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: u32) {
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        self.adj[u as usize].push((v, w));
+    }
+
+    /// Neighbors.
+    pub fn neighbors(&self, u: u32) -> &[(u32, u32)] {
+        &self.adj[u as usize]
+    }
+
+    /// Out degree.
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = DiGraph::from_edges(4, [(0, 1, 5), (1, 2, 1), (0, 2, 9)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.neighbors(1), &[(2, 1)]);
+        assert!(g.neighbors(3).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Reference Jaccard coefficients per undirected edge.
+
+use std::collections::HashSet;
+
+/// Jaccard coefficient for every canonical edge `(u < v)` of the undirected
+/// simple graph induced by `edges`: `J = |N(u)∩N(v)| / |N(u)∪N(v)|`.
+/// Returns `(u, v, J)` sorted by `(u, v)`.
+pub fn jaccard_coefficients(
+    n: u32,
+    edges: impl IntoIterator<Item = (u32, u32)>,
+) -> Vec<(u32, u32, f64)> {
+    let mut nbrs: Vec<HashSet<u32>> = vec![HashSet::new(); n as usize];
+    let mut canon: Vec<(u32, u32)> = Vec::new();
+    for (a, b) in edges {
+        if a == b {
+            continue;
+        }
+        let (u, v) = (a.min(b), a.max(b));
+        if nbrs[u as usize].insert(v) {
+            canon.push((u, v));
+        }
+        nbrs[v as usize].insert(u);
+    }
+    canon.sort_unstable();
+    canon
+        .into_iter()
+        .map(|(u, v)| {
+            let nu = &nbrs[u as usize];
+            let nv = &nbrs[v as usize];
+            let inter = nu.intersection(nv).count() as f64;
+            let union = (nu.len() + nv.len()) as f64 - inter;
+            (u, v, if union == 0.0 { 0.0 } else { inter / union })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_edges_share_one_neighbor() {
+        let j = jaccard_coefficients(3, [(0, 1), (1, 2), (0, 2)]);
+        // Each edge: intersection 1 (the third vertex), union 3 (deg 2+2-1).
+        for &(_, _, v) in &j {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_has_zero_overlap() {
+        let j = jaccard_coefficients(3, [(0, 1), (1, 2)]);
+        assert_eq!(j.len(), 2);
+        assert!(j.iter().all(|&(_, _, v)| v == 0.0));
+    }
+
+    #[test]
+    fn k4_edges() {
+        let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let j = jaccard_coefficients(4, k4);
+        // Every edge of K4: |inter| = 2, |union| = 3+3-2 = 4 → 0.5.
+        assert_eq!(j.len(), 6);
+        for &(_, _, v) in &j {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_loops_ignored() {
+        let j = jaccard_coefficients(3, [(0, 1), (1, 0), (1, 1), (1, 2), (0, 2)]);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn star_center_vs_leaves() {
+        // Star: leaves share the center; leaf pairs are not edges, so only
+        // center-leaf edges exist, each with empty intersection.
+        let j = jaccard_coefficients(4, [(0, 1), (0, 2), (0, 3)]);
+        assert!(j.iter().all(|&(_, _, v)| v == 0.0));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # refgraph — sequential reference graph algorithms
+//!
+//! The paper verifies simulator results "for correctness against known
+//! results found using NetworkX" (§4). This crate is that oracle: simple,
+//! obviously-correct sequential implementations of the algorithms the
+//! simulator runs as diffusions, applied to accumulated edge sets.
+
+pub mod bfs;
+pub mod cc;
+pub mod graph;
+pub mod jaccard;
+pub mod sssp;
+pub mod triangle;
+
+pub use bfs::{bfs_levels, UNREACHED};
+pub use cc::{min_labels, UnionFind};
+pub use graph::DiGraph;
+pub use jaccard::jaccard_coefficients;
+pub use sssp::{dijkstra, INF};
+pub use triangle::count_triangles;

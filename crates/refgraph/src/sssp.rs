@@ -1,0 +1,59 @@
+//! Reference single-source shortest paths (binary-heap Dijkstra).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::DiGraph;
+
+/// Sentinel for unreachable vertices.
+pub const INF: u64 = u64::MAX;
+
+/// Dijkstra distances from `source` (non-negative weights).
+pub fn dijkstra(g: &DiGraph, source: u32) -> Vec<u64> {
+    let mut dist = vec![INF; g.n() as usize];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w as u64);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_path() {
+        let g = DiGraph::from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        assert_eq!(dijkstra(&g, 0), vec![0, 2, 5, 9]);
+    }
+
+    #[test]
+    fn shortcut_wins() {
+        let g = DiGraph::from_edges(3, [(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
+        assert_eq!(dijkstra(&g, 0)[1], 2);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = DiGraph::from_edges(3, [(0, 1, 1)]);
+        assert_eq!(dijkstra(&g, 0)[2], INF);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = DiGraph::from_edges(3, [(0, 1, 0), (1, 2, 0)]);
+        assert_eq!(dijkstra(&g, 0), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Reference exact triangle counting on an undirected simple graph
+//! (node-iterator over oriented adjacency, O(Σ d(v)²) worst case).
+
+use std::collections::HashSet;
+
+/// Count triangles in the undirected simple graph induced by `edges`
+/// (duplicates and self-loops are ignored).
+pub fn count_triangles(n: u32, edges: impl IntoIterator<Item = (u32, u32)>) -> u64 {
+    let mut seen = HashSet::new();
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n as usize]; // u -> v with v > u
+    for (a, b) in edges {
+        if a == b {
+            continue;
+        }
+        let (u, v) = (a.min(b), a.max(b));
+        if seen.insert(((u as u64) << 32) | v as u64) {
+            fwd[u as usize].push(v);
+        }
+    }
+    for l in &mut fwd {
+        l.sort_unstable();
+    }
+    let mut count = 0u64;
+    for u in 0..n as usize {
+        let nu = &fwd[u];
+        for (i, &v) in nu.iter().enumerate() {
+            let nv = &fwd[v as usize];
+            // Intersect {w ∈ N⁺(u), w > v} with N⁺(v) by merge.
+            let (mut a, mut b) = (i + 1, 0);
+            while a < nu.len() && b < nv.len() {
+                match nu[a].cmp(&nv[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_triangle() {
+        assert_eq!(count_triangles(3, [(0, 1), (1, 2), (0, 2)]), 1);
+    }
+
+    #[test]
+    fn square_has_none_diagonal_adds_two() {
+        let square = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        assert_eq!(count_triangles(4, square), 0);
+        let with_diag: Vec<_> = square.iter().copied().chain([(0, 2)]).collect();
+        assert_eq!(count_triangles(4, with_diag), 2);
+    }
+
+    #[test]
+    fn k4_has_four() {
+        let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        assert_eq!(count_triangles(4, k4), 4);
+    }
+
+    #[test]
+    fn duplicates_and_loops_ignored() {
+        assert_eq!(count_triangles(3, [(0, 1), (1, 0), (1, 2), (0, 2), (2, 2)]), 1);
+    }
+
+    #[test]
+    fn k5_has_ten() {
+        let mut es = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                es.push((u, v));
+            }
+        }
+        assert_eq!(count_triangles(5, es), 10);
+    }
+}

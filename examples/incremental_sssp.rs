@@ -1,0 +1,68 @@
+//! Incremental single-source shortest paths — one of the paper's proposed
+//! future-work algorithms, running on the same diffusive machinery as BFS.
+//!
+//! Streams a weighted road-network-like grid, then drops in shortcut edges
+//! ("new roads") and shows distances updating without recomputation.
+//!
+//! ```sh
+//! cargo run --release --example incremental_sssp
+//! ```
+
+use amcca::prelude::*;
+use refgraph::{dijkstra, DiGraph};
+
+const SIDE: u32 = 20; // 20×20 grid = 400 vertices
+
+fn vid(x: u32, y: u32) -> u32 {
+    y * SIDE + x
+}
+
+fn main() {
+    let n = SIDE * SIDE;
+    let mut g = StreamingGraph::new(
+        ChipConfig::default(),
+        RpvoConfig::default(),
+        SsspAlgo::new(0), // source = north-west corner
+        n,
+    )
+    .unwrap();
+
+    // Increment 1: the grid — east/south streets with weight 10.
+    let mut streets: Vec<StreamEdge> = Vec::new();
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            if x + 1 < SIDE {
+                streets.push((vid(x, y), vid(x + 1, y), 10));
+            }
+            if y + 1 < SIDE {
+                streets.push((vid(x, y), vid(x, y + 1), 10));
+            }
+        }
+    }
+    let r = g.stream_increment(&streets).unwrap();
+    let corner = vid(SIDE - 1, SIDE - 1);
+    println!("grid streamed: {} edges, {} cycles", streets.len(), r.cycles);
+    println!("  distance to far corner: {}", g.state_of(corner)); // 38 * 10
+
+    // Increment 2: a diagonal expressway with cheap segments.
+    let highway: Vec<StreamEdge> =
+        (0..SIDE - 1).map(|i| (vid(i, i), vid(i + 1, i + 1), 3)).collect();
+    let r = g.stream_increment(&highway).unwrap();
+    println!("highway streamed: {} edges, {} cycles", highway.len(), r.cycles);
+    println!("  distance to far corner now: {}", g.state_of(corner)); // 19 * 3
+
+    // Verify against Dijkstra on the accumulated network.
+    let mut all = streets.clone();
+    all.extend_from_slice(&highway);
+    let reference = dijkstra(&DiGraph::from_edges(n, all.iter().copied()), 0);
+    assert_eq!(g.states(), reference);
+    println!("distances verified against Dijkstra ✓");
+
+    // Increment 3: close one more gap — only affected vertices update.
+    let r = g.stream_increment(&[(0, vid(SIDE - 1, 0), 5)]).unwrap();
+    println!(
+        "shortcut streamed: 1 edge, {} cycles (incremental update only)",
+        r.cycles
+    );
+    println!("  distance to north-east corner: {}", g.state_of(vid(SIDE - 1, 0)));
+}

@@ -1,0 +1,60 @@
+//! # amcca — streaming dynamic graph processing on a message-driven system
+//!
+//! Umbrella crate for the Rust reproduction of
+//!
+//! > Chandio, Brodowicz, Sterling. *Structures and Techniques for Streaming
+//! > Dynamic Graph Processing on Decentralized Message-Driven Systems.*
+//! > ICPP 2024 (arXiv:2406.01201).
+//!
+//! Re-exports the full stack:
+//!
+//! * [`amcca_sim`] — cycle-level AM-CCA chip simulator (mesh, YX routing,
+//!   IO channels, energy model).
+//! * [`diffusive`] — the diffusive programming model (actions, future LCOs,
+//!   continuations, termination detection, the `Device` façade).
+//! * [`sdgp_core`] — the paper's contribution: RPVO vertex storage, streaming
+//!   edge ingestion, dynamic BFS and the extension algorithms.
+//! * [`gc_datasets`] — GraphChallenge-style SBM workloads with Edge and
+//!   Snowball sampling schedules.
+//! * [`refgraph`] — sequential reference algorithms used as oracles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use amcca::prelude::*;
+//!
+//! // A 32×32 chip, default RPVO shape, BFS rooted at vertex 0.
+//! let mut g = StreamingGraph::new(
+//!     ChipConfig::default(),
+//!     RpvoConfig::default(),
+//!     BfsAlgo::new(0),
+//!     100,
+//! ).unwrap();
+//!
+//! // Stream a path 0→1→…→99 and run the diffusion to quiescence.
+//! let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();
+//! let report = g.stream_increment(&edges).unwrap();
+//! assert_eq!(g.state_of(99), 99);
+//! assert!(report.cycles > 0);
+//! ```
+
+pub use amcca_sim;
+pub use diffusive;
+pub use gc_datasets;
+pub use refgraph;
+pub use sdgp_core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use amcca_sim::{
+        ActivityRecording, Address, ChipConfig, Dims, EnergyModel, GhostPlacement, Operon,
+        RootPlacement, SimError,
+    };
+    pub use diffusive::{Device, FutureLco, RunReport, TerminationMode};
+    pub use gc_datasets::{GcPreset, Sampling, SbmParams, StreamingDataset};
+    pub use sdgp_core::{
+        apps::{BfsAlgo, CcAlgo, SsspAlgo, TriangleAlgo, MAX_LEVEL},
+        graph::{symmetrize, StreamEdge, StreamingGraph},
+        rpvo::RpvoConfig,
+    };
+}

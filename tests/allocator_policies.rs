@@ -1,0 +1,64 @@
+//! Vicinity vs Random ghost allocation (paper Fig. 5): both must be
+//! *correct*; they differ in where ghosts land and what that costs.
+
+use amcca::prelude::*;
+use gc_datasets::{generate_sbm, SbmParams};
+use refgraph::{bfs_levels, DiGraph};
+
+fn run_with(placement: GhostPlacement) -> (Vec<u64>, f64, u64, f64) {
+    let cfg = ChipConfig {
+        ghost_placement: placement,
+        ..ChipConfig::default()
+    };
+    let n = 400u32;
+    let edges = generate_sbm(&SbmParams::scaled(n, 6000, 13));
+    let mut g = StreamingGraph::new(
+        cfg,
+        RpvoConfig { edge_cap: 4, ghost_fanout: 2 }, // plenty of ghosts
+        BfsAlgo::new(0),
+        n,
+    )
+    .unwrap();
+    let report = g.stream_increment(&edges).unwrap();
+    let (count, avg) = g.ghost_distance_stats();
+    assert!(count > 100, "this workload must create many ghosts, got {count}");
+    (g.states(), avg, report.cycles, report.energy_uj)
+}
+
+#[test]
+fn both_policies_compute_identical_bfs() {
+    let (lv, _, _, _) = run_with(GhostPlacement::Vicinity { max_hops: 2 });
+    let (lr, _, _, _) = run_with(GhostPlacement::Random);
+    assert_eq!(lv, lr, "placement must not affect results");
+    let edges = generate_sbm(&SbmParams::scaled(400, 6000, 13));
+    let reference = bfs_levels(&DiGraph::from_edges(400, edges.iter().copied()), 0);
+    assert_eq!(lv, reference);
+}
+
+#[test]
+fn vicinity_keeps_ghosts_close_random_does_not() {
+    let (_, avg_vicinity, _, _) = run_with(GhostPlacement::Vicinity { max_hops: 2 });
+    let (_, avg_random, _, _) = run_with(GhostPlacement::Random);
+    assert!(avg_vicinity <= 2.0, "vicinity allocator bound: {avg_vicinity}");
+    // Mean link distance on a 32×32 mesh under uniform placement is ~21.
+    assert!(avg_random > 8.0, "random allocator should scatter: {avg_random}");
+    assert!(avg_random > 3.0 * avg_vicinity);
+}
+
+#[test]
+fn vicinity_spends_less_energy_on_intra_vertex_traffic() {
+    let (_, _, _, e_vicinity) = run_with(GhostPlacement::Vicinity { max_hops: 2 });
+    let (_, _, _, e_random) = run_with(GhostPlacement::Random);
+    // Ghost-bound operons (spilled inserts, mirror syncs, ghost forwards)
+    // travel further under random placement; vicinity must not lose.
+    assert!(
+        e_vicinity <= e_random,
+        "vicinity {e_vicinity:.1}µJ should not exceed random {e_random:.1}µJ"
+    );
+}
+
+#[test]
+fn wider_vicinity_still_bounded() {
+    let (_, avg, _, _) = run_with(GhostPlacement::Vicinity { max_hops: 4 });
+    assert!(avg <= 4.0, "max_hops=4 bound: {avg}");
+}

@@ -1,0 +1,145 @@
+//! Failure injection and stress: exhausted memory, minimal buffers, heavy
+//! contention. The simulator must either complete correctly (backpressure is
+//! allowed to slow it down, never to corrupt it) or surface a structured
+//! error.
+
+use amcca::prelude::*;
+use refgraph::{bfs_levels, DiGraph};
+
+#[test]
+fn out_of_memory_is_reported_not_hung() {
+    // Arena of 1 object per cell: the 64 roots fill the whole 8×8 chip, so
+    // the first RPVO spill can never allocate a ghost anywhere.
+    let cfg = ChipConfig {
+        arena_capacity: 1,
+        max_alloc_retries: 16,
+        ..ChipConfig::small_test()
+    };
+    let n = 64u32;
+    let mut g = StreamingGraph::new(
+        cfg,
+        RpvoConfig { edge_cap: 1, ghost_fanout: 1 },
+        BfsAlgo::new(0),
+        n,
+    )
+    .unwrap();
+    let edges: Vec<StreamEdge> = (1..5).map(|v| (0, v, 1)).collect();
+    let err = g.stream_increment(&edges).unwrap_err();
+    assert!(matches!(err, SimError::OutOfMemory { .. }), "got {err:?}");
+}
+
+#[test]
+fn construction_fails_cleanly_when_roots_do_not_fit() {
+    let cfg = ChipConfig { arena_capacity: 1, ..ChipConfig::small_test() };
+    // 65 roots on a 64-cell chip with capacity 1: the 65th cannot fit.
+    let res = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), 65);
+    assert!(matches!(res.err(), Some(SimError::OutOfMemory { .. })));
+}
+
+#[test]
+fn single_slot_link_buffers_still_converge() {
+    // Worst-case flow control: every FIFO holds one flit.
+    let cfg = ChipConfig { link_buffer: 1, ..ChipConfig::small_test() };
+    let n = 100u32;
+    let edges: Vec<StreamEdge> =
+        (0..n - 1).map(|i| (i, i + 1, 1)).chain((1..n - 1).map(|i| (0, i, 1))).collect();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let report = g.stream_increment(&edges).unwrap();
+    let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
+    assert_eq!(g.states(), reference);
+    assert!(report.counters.net_stalls > 0, "tiny buffers must cause backpressure");
+}
+
+#[test]
+fn tiny_task_queues_backpressure_without_loss() {
+    let cfg = ChipConfig { task_queue_cap: 2, ..ChipConfig::small_test() };
+    let n = 50u32;
+    // Hammer one vertex with inserts from everywhere.
+    let edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let report = g.stream_increment(&edges).unwrap();
+    assert_eq!(g.total_edges_stored(), (n - 1) as u64);
+    assert!(report.counters.deliver_stalls > 0, "ejection must have stalled");
+}
+
+#[test]
+fn cycle_limit_guards_against_runaway() {
+    let cfg = ChipConfig { max_cycles: 50, ..ChipConfig::small_test() };
+    let n = 200u32;
+    let edges: Vec<StreamEdge> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let err = g.stream_increment(&edges).unwrap_err();
+    assert!(matches!(err, SimError::CycleLimitExceeded { limit: 50 }));
+}
+
+#[test]
+fn allocation_retries_relocate_ghosts_under_pressure() {
+    // Capacity 2: roots plus a little room. Spills must hunt for space but
+    // eventually succeed, with retries recorded.
+    let cfg = ChipConfig {
+        arena_capacity: 2,
+        max_alloc_retries: 256,
+        ..ChipConfig::small_test()
+    };
+    let n = 64u32;
+    let mut g = StreamingGraph::new(
+        cfg,
+        RpvoConfig { edge_cap: 2, ghost_fanout: 1 },
+        BfsAlgo::new(0),
+        n,
+    )
+    .unwrap();
+    // ~3 extra objects per vertex needed; chip has 64 spare slots total, so
+    // keep the load just within capacity: 16 hub edges → 7 ghosts.
+    let edges: Vec<StreamEdge> = (1..17).map(|v| (0, v, 1)).collect();
+    let report = g.stream_increment(&edges).unwrap();
+    assert_eq!(g.total_edges_stored(), 16);
+    let reference =
+        bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
+    assert_eq!(g.states(), reference);
+    let _ = report;
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let run = || {
+        let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
+            BfsAlgo::new(0),
+            40,
+        )
+        .unwrap();
+        let r = g.stream_increment(&edges).unwrap();
+        (r.cycles, r.counters, g.states())
+    };
+    let (c1, ct1, s1) = run();
+    let (c2, ct2, s2) = run();
+    assert_eq!(c1, c2, "cycle-exact determinism");
+    assert_eq!(ct1, ct2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn different_seed_changes_schedule_not_results() {
+    let run = |seed: u64| {
+        let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
+        let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
+        let mut g = StreamingGraph::new(
+            cfg,
+            RpvoConfig { edge_cap: 2, ghost_fanout: 2 },
+            BfsAlgo::new(0),
+            40,
+        )
+        .unwrap();
+        let r = g.stream_increment(&edges).unwrap();
+        (r.cycles, g.states())
+    };
+    let (c1, s1) = run(1);
+    let (c2, s2) = run(2);
+    assert_eq!(s1, s2, "results are seed-independent");
+    // Ghost placement is randomized, so timing may differ (not asserted
+    // strictly — placements can coincide on a small chip).
+    let _ = (c1, c2);
+}

@@ -1,0 +1,217 @@
+//! Verification of the extension algorithms (the paper's §6 future work,
+//! implemented here): incremental SSSP, incremental connected components,
+//! and exact message-driven triangle counting — each against its sequential
+//! reference oracle.
+
+use amcca::prelude::*;
+use gc_datasets::{edge_sampling, generate_sbm, SbmParams};
+use refgraph::{count_triangles, dijkstra, jaccard_coefficients, min_labels, DiGraph};
+use sdgp_core::apps::{JaccardAlgo, ACT_JC_GEN, ACT_TRI_GEN, INF};
+
+#[test]
+fn sssp_matches_dijkstra_every_increment() {
+    let n = 600u32;
+    let edges = generate_sbm(&SbmParams {
+        n_vertices: n,
+        n_edges: 6000,
+        blocks: 6,
+        intra_prob: 0.7,
+        max_weight: 9,
+        seed: 31,
+    });
+    let d = edge_sampling(n, edges, 5, 4);
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), SsspAlgo::new(0), n)
+            .unwrap();
+    let mut acc: Vec<StreamEdge> = Vec::new();
+    for i in 0..d.increments() {
+        g.stream_increment(d.increment(i)).unwrap();
+        acc.extend_from_slice(d.increment(i));
+        let reference = dijkstra(&DiGraph::from_edges(n, acc.iter().copied()), 0);
+        assert_eq!(g.states(), reference, "SSSP mismatch after increment {i}");
+    }
+    g.check_mirror_consistency().unwrap();
+}
+
+#[test]
+fn sssp_shortcut_lowers_downstream_distances() {
+    let mut g = StreamingGraph::new(
+        ChipConfig::small_test(),
+        RpvoConfig::default(),
+        SsspAlgo::new(0),
+        5,
+    )
+    .unwrap();
+    g.stream_increment(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
+    assert_eq!(g.state_of(3), 30);
+    // A cheap shortcut 0→2 must incrementally improve 2 and 3.
+    g.stream_increment(&[(0, 2, 3)]).unwrap();
+    assert_eq!(g.state_of(2), 3);
+    assert_eq!(g.state_of(3), 13);
+    assert_eq!(g.state_of(4), INF, "untouched vertex stays unreached");
+}
+
+#[test]
+fn connected_components_match_union_find() {
+    let n = 500u32;
+    let base = generate_sbm(&SbmParams::scaled(n, 2000, 17));
+    let d = edge_sampling(n, base, 4, 9);
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), CcAlgo, n).unwrap();
+    let mut acc: Vec<StreamEdge> = Vec::new();
+    for i in 0..d.increments() {
+        // CC requires undirected connectivity: stream both directions.
+        let sym = symmetrize(d.increment(i));
+        g.stream_increment(&sym).unwrap();
+        acc.extend_from_slice(&sym);
+        let reference = min_labels(&DiGraph::from_edges(n, acc.iter().copied()));
+        assert_eq!(g.states(), reference, "CC labels mismatch after increment {i}");
+    }
+}
+
+#[test]
+fn components_merge_when_bridge_streams() {
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), CcAlgo, 6).unwrap();
+    g.stream_increment(&symmetrize(&[(0, 1, 1), (3, 4, 1)])).unwrap();
+    assert_eq!(g.state_of(1), 0);
+    assert_eq!(g.state_of(4), 3);
+    assert_eq!(g.state_of(5), 5);
+    // Bridge the two components: the higher label must drain to 0.
+    g.stream_increment(&symmetrize(&[(1, 3, 1)])).unwrap();
+    assert_eq!(g.state_of(3), 0);
+    assert_eq!(g.state_of(4), 0);
+    assert_eq!(g.state_of(5), 5, "isolated vertex keeps its own label");
+}
+
+fn run_triangle_count(n: u32, undirected: &[(u32, u32)]) -> u64 {
+    let cfg = ChipConfig::default();
+    let ncc = cfg.cell_count();
+    let mut g = StreamingGraph::new(
+        cfg,
+        RpvoConfig { edge_cap: 4, ghost_fanout: 2 }, // force spills
+        TriangleAlgo::new(ncc),
+        n,
+    )
+    .unwrap();
+    let stream: Vec<StreamEdge> =
+        undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
+    g.stream_increment(&symmetrize(&stream)).unwrap();
+    // Snapshot query: a tri-gen wave over every vertex.
+    let gens: Vec<Operon> = (0..n)
+        .map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0]))
+        .collect();
+    g.device_mut().app_mut().algo.reset();
+    g.run_query(gens).unwrap();
+    g.device().app().algo.total()
+}
+
+#[test]
+fn triangle_count_exact_on_known_graphs() {
+    // K4 has 4 triangles.
+    let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    assert_eq!(run_triangle_count(4, &k4), 4);
+    // A square has none; with one diagonal, two.
+    assert_eq!(run_triangle_count(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]), 0);
+    assert_eq!(run_triangle_count(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]), 2);
+}
+
+#[test]
+fn triangle_count_matches_reference_on_sbm() {
+    let n = 300u32;
+    let edges = generate_sbm(&SbmParams::scaled(n, 2400, 77));
+    // Canonicalize to undirected unique pairs.
+    let mut und: Vec<(u32, u32)> =
+        edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+    und.sort_unstable();
+    und.dedup();
+    let expect = count_triangles(n, und.iter().copied());
+    assert!(expect > 0, "SBM community graph should contain triangles");
+    assert_eq!(run_triangle_count(n, &und), expect);
+}
+
+/// Run a Jaccard query wave and return `(u, v, J)` per canonical edge.
+fn run_jaccard(n: u32, undirected: &[(u32, u32)], rcfg: RpvoConfig) -> Vec<(u32, u32, f64)> {
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), rcfg, JaccardAlgo::new(), n).unwrap();
+    let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
+    g.stream_increment(&symmetrize(&stream)).unwrap();
+    let wave: Vec<Operon> =
+        (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
+    g.device_mut().app_mut().algo.reset();
+    g.run_query(wave).unwrap();
+    // Assemble J from intersection hits plus host-side degrees.
+    let degrees: Vec<usize> = (0..n).map(|v| g.logical_edges(v).len()).collect();
+    let mut out: Vec<(u32, u32, f64)> = Vec::new();
+    for &(a, b) in undirected {
+        let (u, v) = (a.min(b), a.max(b));
+        let inter = g.device().app().algo.intersection(u, v) as f64;
+        let union = (degrees[u as usize] + degrees[v as usize]) as f64 - inter;
+        out.push((u, v, if union == 0.0 { 0.0 } else { inter / union }));
+    }
+    out.sort_by_key(|&(u, v, _)| (u, v));
+    out.dedup_by_key(|&mut (u, v, _)| (u, v));
+    out
+}
+
+#[test]
+fn jaccard_exact_on_known_graphs() {
+    // Triangle: every edge has J = 1/3.
+    let j = run_jaccard(3, &[(0, 1), (1, 2), (0, 2)], RpvoConfig::default());
+    assert_eq!(j.len(), 3);
+    for &(_, _, v) in &j {
+        assert!((v - 1.0 / 3.0).abs() < 1e-12, "triangle edge J = {v}");
+    }
+    // K4: every edge has J = 0.5; tight capacity forces ghost walks.
+    let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    let j = run_jaccard(4, &k4, RpvoConfig { edge_cap: 1, ghost_fanout: 1 });
+    for &(_, _, v) in &j {
+        assert!((v - 0.5).abs() < 1e-12, "K4 edge J = {v}");
+    }
+    // Path: disjoint neighbourhoods.
+    let j = run_jaccard(4, &[(0, 1), (1, 2), (2, 3)], RpvoConfig::default());
+    assert!(j.iter().all(|&(_, _, v)| v == 0.0));
+}
+
+#[test]
+fn jaccard_matches_reference_on_sbm() {
+    let n = 200u32;
+    let edges = generate_sbm(&SbmParams::scaled(n, 1600, 55));
+    let mut und: Vec<(u32, u32)> =
+        edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+    und.sort_unstable();
+    und.dedup();
+    let got = run_jaccard(n, &und, RpvoConfig { edge_cap: 8, ghost_fanout: 2 });
+    let want = jaccard_coefficients(n, und.iter().copied());
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!((g.0, g.1), (w.0, w.1));
+        assert!((g.2 - w.2).abs() < 1e-9, "J({},{}) = {} vs ref {}", g.0, g.1, g.2, w.2);
+    }
+}
+
+#[test]
+fn triangle_recount_per_increment_tracks_growth() {
+    // Build a growing clique; after each increment the snapshot count must
+    // equal the reference on the accumulated graph.
+    let n = 10u32;
+    let cfg = ChipConfig::small_test();
+    let ncc = cfg.cell_count();
+    let mut g =
+        StreamingGraph::new(cfg, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
+    let mut acc: Vec<(u32, u32)> = Vec::new();
+    for k in 2..n {
+        // Increment: connect vertex k to all previous vertices.
+        let newe: Vec<(u32, u32)> = (0..k).map(|u| (u, k)).collect();
+        let stream: Vec<StreamEdge> = newe.iter().map(|&(u, v)| (u, v, 1)).collect();
+        g.stream_increment(&symmetrize(&stream)).unwrap();
+        acc.extend_from_slice(&newe);
+        let gens: Vec<Operon> =
+            (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();
+        g.device_mut().app_mut().algo.reset();
+        g.run_query(gens).unwrap();
+        let got = g.device().app().algo.total();
+        let expect = count_triangles(n, acc.iter().copied());
+        assert_eq!(got, expect, "triangle count after connecting vertex {k}");
+    }
+}
