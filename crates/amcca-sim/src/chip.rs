@@ -18,7 +18,6 @@
 //! A cell that performed compute-phase work counts as *active* for the cycle
 //! (the quantity plotted in the paper's Figures 6–7).
 
-
 use crate::cell::Cell;
 use crate::config::ChipConfig;
 use crate::error::SimError;
@@ -334,8 +333,7 @@ impl<P: Program> Chip<P> {
                             }
                         } else {
                             let fwd_q = q + td.mc;
-                            let fwd_colour = if td.black || colour == crate::safra::Colour::Black
-                            {
+                            let fwd_colour = if td.black || colour == crate::safra::Colour::Black {
                                 crate::safra::Colour::Black
                             } else {
                                 crate::safra::Colour::White

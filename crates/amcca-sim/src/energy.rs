@@ -89,12 +89,8 @@ mod tests {
         // land within 2x of the paper's 1355 µJ (exact match is validated at
         // full scale in EXPERIMENTS.md).
         let m = EnergyModel::default();
-        let c = Counters {
-            instrs: 4_000_000,
-            hops: 27_000_000,
-            allocs: 30_000,
-            ..Default::default()
-        };
+        let c =
+            Counters { instrs: 4_000_000, hops: 27_000_000, allocs: 30_000, ..Default::default() };
         let e = m.total_uj(&c, 1024, 22_000);
         assert!(e > 700.0 && e < 2700.0, "ingestion energy {e} µJ out of band");
     }

@@ -41,7 +41,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::OutOfMemory { origin_cc, retries } => {
-                write!(f, "out of memory: allocation from cc{origin_cc} failed after {retries} retries")
+                write!(
+                    f,
+                    "out of memory: allocation from cc{origin_cc} failed after {retries} retries"
+                )
             }
             SimError::BadAddress { addr, action } => {
                 write!(f, "action {action} targeted dead address {addr}")

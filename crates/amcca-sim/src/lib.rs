@@ -50,5 +50,7 @@ pub use operon::{ActionId, Address, Operon};
 pub use placement::{GhostPlacement, PlacementTable, RootPlacement};
 pub use program::{ExecCtx, Program};
 pub use rng::SplitMix64;
-pub use stats::{gini, max_mean_ratio, top_k_share, ActivityRecording, ActivitySeries, CellLoad, Counters};
 pub use safra::{SafraState, ACT_TOKEN};
+pub use stats::{
+    gini, max_mean_ratio, top_k_share, ActivityRecording, ActivitySeries, CellLoad, Counters,
+};

@@ -52,12 +52,7 @@ impl Router {
     /// Create a router whose FIFOs hold `capacity` flits each.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "router FIFOs need at least one slot");
-        Router {
-            bufs: Default::default(),
-            start_len: [0; NUM_PORTS],
-            total: 0,
-            capacity,
-        }
+        Router { bufs: Default::default(), start_len: [0; NUM_PORTS], total: 0, capacity }
     }
 
     /// Total flits currently buffered in this router.

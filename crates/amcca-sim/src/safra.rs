@@ -124,8 +124,7 @@ mod tests {
 
     #[test]
     fn token_codec_roundtrip() {
-        for &(q, c) in
-            &[(0i64, Colour::White), (-5, Colour::Black), (i64::MAX / 2, Colour::White)]
+        for &(q, c) in &[(0i64, Colour::White), (-5, Colour::Black), (i64::MAX / 2, Colour::White)]
         {
             let op = token_operon(7, q, c);
             assert_eq!(op.action, ACT_TOKEN);

@@ -86,8 +86,7 @@ pub fn gini(loads: &[u64]) -> f64 {
         return 0.0;
     }
     // G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with i starting at 1.
-    let weighted: u128 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as u128 + 1) * x as u128).sum();
+    let weighted: u128 = sorted.iter().enumerate().map(|(i, &x)| (i as u128 + 1) * x as u128).sum();
     (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 

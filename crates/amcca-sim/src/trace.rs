@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn sparkline_width_and_glyphs() {
-        let s = ActivitySeries { counts: vec![0, 256, 512, 1024, 512, 0, 0, 128], ..Default::default() };
+        let s = ActivitySeries {
+            counts: vec![0, 256, 512, 1024, 512, 0, 0, 128],
+            ..Default::default()
+        };
         let sp = activity_sparkline(&s, 1024, 4);
         assert_eq!(sp.chars().count(), 4);
         assert!(sp.contains('█'), "full activity renders a full bar: {sp}");

@@ -21,11 +21,7 @@ impl Program for CountProgram {
                 for i in 0..4 {
                     let corner = Address::unpack(op.payload[i / 2]);
                     // payload packs two corner addresses; alternate slots.
-                    let a = if i % 2 == 0 {
-                        corner
-                    } else {
-                        Address::new(corner.cc, corner.slot)
-                    };
+                    let a = if i % 2 == 0 { corner } else { Address::new(corner.cc, corner.slot) };
                     ctx.propagate(Operon::new(a, 8, [0, 0]));
                 }
             }
@@ -35,11 +31,7 @@ impl Program for CountProgram {
 }
 
 fn chip(link_buffer: usize) -> Chip<CountProgram> {
-    let cfg = ChipConfig {
-        dims: Dims::new(8, 8),
-        link_buffer,
-        ..ChipConfig::small_test()
-    };
+    let cfg = ChipConfig { dims: Dims::new(8, 8), link_buffer, ..ChipConfig::small_test() };
     Chip::new(cfg, CountProgram)
 }
 
@@ -110,9 +102,8 @@ fn single_column_congestion_is_fair() {
     let col: Vec<Address> =
         (0..8).map(|y| c.host_alloc(dims.id_of(Coord::new(3, y)), 0).unwrap()).collect();
     let per_cell = 64u64;
-    let ops: Vec<Operon> = (0..per_cell)
-        .flat_map(|_| col.iter().map(|&a| Operon::new(a, 8, [0, 0])))
-        .collect();
+    let ops: Vec<Operon> =
+        (0..per_cell).flat_map(|_| col.iter().map(|&a| Operon::new(a, 8, [0, 0]))).collect();
     c.io_load(ops);
     c.run_until_quiescent().unwrap();
     for &a in &col {
@@ -127,8 +118,7 @@ fn rectangular_meshes_route_correctly() {
         let cfg = ChipConfig { dims: Dims::new(w, h), ..ChipConfig::small_test() };
         let mut c = Chip::new(cfg, CountProgram);
         let dims = c.cfg().dims;
-        let addrs: Vec<Address> =
-            dims.iter_ids().map(|cc| c.host_alloc(cc, 0).unwrap()).collect();
+        let addrs: Vec<Address> = dims.iter_ids().map(|cc| c.host_alloc(cc, 0).unwrap()).collect();
         c.io_load(addrs.iter().map(|&a| Operon::new(a, 8, [0, 0])));
         c.run_until_quiescent().unwrap();
         let mut total = 0u64;

@@ -75,7 +75,8 @@ fn parse_args() -> Args {
             "--edges" => a.edges.push(PathBuf::from(value(&argv, &mut i, "--edges"))),
             "--algo" => a.algo = value(&argv, &mut i, "--algo"),
             "--root" => {
-                a.root = value(&argv, &mut i, "--root").parse().unwrap_or_else(|_| die("bad --root"))
+                a.root =
+                    value(&argv, &mut i, "--root").parse().unwrap_or_else(|_| die("bad --root"))
             }
             "--zero-indexed" => a.one_indexed = false,
             "--symmetrize" => a.symmetrize = true,
@@ -88,8 +89,9 @@ fn parse_args() -> Args {
                 );
             }
             "--edge-cap" => {
-                a.edge_cap =
-                    value(&argv, &mut i, "--edge-cap").parse().unwrap_or_else(|_| die("bad --edge-cap"))
+                a.edge_cap = value(&argv, &mut i, "--edge-cap")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --edge-cap"))
             }
             "--ghosts" => {
                 a.ghosts =
@@ -111,9 +113,8 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let dataset =
-        load_streaming_parts(&args.edges, Sampling::Edge, args.one_indexed, None)
-            .unwrap_or_else(|e| die(&format!("loading edges: {e}")));
+    let dataset = load_streaming_parts(&args.edges, Sampling::Edge, args.one_indexed, None)
+        .unwrap_or_else(|e| die(&format!("loading edges: {e}")));
     eprintln!(
         "loaded {} edges over {} increment(s), {} vertices",
         dataset.total_edges(),

@@ -246,7 +246,10 @@ fn table2(args: &Args) {
     }
     println!("{}", format_table(&header, &rows));
     if args.scale != Scale::Full {
-        println!("note: paper columns are FULL scale; measured columns are 1/{} scale", args.scale.factor());
+        println!(
+            "note: paper columns are FULL scale; measured columns are 1/{} scale",
+            args.scale.factor()
+        );
     }
     let dir = out_dir(&args.out);
     write_csv(&dir.join("table2.csv"), "dataset,ingest_uj,ingest_us,bfs_uj,bfs_us", csv);
@@ -281,7 +284,10 @@ fn fig67(args: &Args, with_bfs: bool) {
             .collect(),
         args.jobs,
     );
-    println!("\nFigure {figno}: percent of cells active per cycle — {mode} (scale {:?})", args.scale);
+    println!(
+        "\nFigure {figno}: percent of cells active per cycle — {mode} (scale {:?})",
+        args.scale
+    );
     let dir = out_dir(&args.out);
     for (p, r) in ps.iter().zip(&results) {
         let peak = r.activity.iter().copied().max().unwrap_or(0);
@@ -592,9 +598,7 @@ fn loadmap(args: &Args) {
     use sdgp_core::graph::StreamingGraph;
 
     eprintln!("[loadmap] per-cell load, Edge vs Snowball, scale {:?}...", args.scale);
-    println!(
-        "\nLoad distribution across compute cells (ingestion-only, §5's congestion claim):"
-    );
+    println!("\nLoad distribution across compute cells (ingestion-only, §5's congestion claim):");
     let dir = out_dir(&args.out);
     for sampling in [Sampling::Edge, Sampling::Snowball] {
         let p = args.scale.apply(GcPreset::v50k(sampling));
@@ -614,10 +618,8 @@ fn loadmap(args: &Args) {
         }
         g.device_mut().chip_mut().reset_cell_loads();
         g.stream_increment(d.increment(d.increments() - 1)).unwrap();
-        let loads: Vec<u64> =
-            g.device().chip().cell_loads().iter().map(|l| l.delivered).collect();
-        let peaks: Vec<u32> =
-            g.device().chip().cell_loads().iter().map(|l| l.peak_queue).collect();
+        let loads: Vec<u64> = g.device().chip().cell_loads().iter().map(|l| l.delivered).collect();
+        let peaks: Vec<u32> = g.device().chip().cell_loads().iter().map(|l| l.peak_queue).collect();
         println!(
             "  {:9}: max/mean {:5.2}  gini {:5.3}  top-1% share {:5.1}%  peak queue {}",
             sampling.to_string(),
@@ -626,10 +628,8 @@ fn loadmap(args: &Args) {
             top_k_share(&loads, loads.len().div_ceil(100)) * 100.0,
             peaks.iter().max().unwrap(),
         );
-        let name = format!(
-            "loadmap_{}.csv",
-            if sampling == Sampling::Edge { "edge" } else { "snowball" }
-        );
+        let name =
+            format!("loadmap_{}.csv", if sampling == Sampling::Edge { "edge" } else { "snowball" });
         write_csv(
             &dir.join(&name),
             "cell,delivered,peak_queue",
@@ -668,11 +668,7 @@ fn verify(args: &Args) {
         acc.extend_from_slice(d.increment(i));
         let reference = bfs_levels(&DiGraph::from_edges(d.n_vertices, acc.iter().copied()), 0);
         assert_eq!(g.states(), reference, "mismatch after increment {i}");
-        println!(
-            "  increment {:2}: {:7} edges accumulated, levels verified OK",
-            i + 1,
-            acc.len()
-        );
+        println!("  increment {:2}: {:7} edges accumulated, levels verified OK", i + 1, acc.len());
     }
     g.check_mirror_consistency().unwrap();
     println!("verify: all increments match the reference oracle; mirrors consistent");

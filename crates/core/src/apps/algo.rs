@@ -19,7 +19,7 @@
 //! through the [`VertexAlgo`] trait.
 
 use amcca_sim::{ActionId, Address, ExecCtx, Operon, SimError};
-use diffusive::{allocate_operon, App, AllocRequest, Continuation, FutureLco, PendingOperon};
+use diffusive::{allocate_operon, AllocRequest, App, Continuation, FutureLco, PendingOperon};
 
 use crate::rpvo::{decode_edge, encode_edge, Edge, RpvoConfig, VertexObj};
 
@@ -95,7 +95,13 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// Create the application from an algorithm, an RPVO shape, and the propagate-on-insert flag.
     pub fn new(algo: G, rcfg: RpvoConfig, propagate_algo: bool) -> Self {
         rcfg.validate().expect("invalid RPVO configuration");
-        GraphApp { algo, rcfg, propagate_algo, scratch_edges: Vec::new(), scratch_ghosts: Vec::new() }
+        GraphApp {
+            algo,
+            rcfg,
+            propagate_algo,
+            scratch_edges: Vec::new(),
+            scratch_ghosts: Vec::new(),
+        }
     }
 
     /// Listing 6: insert an edge, spilling through ghost futures on overflow.
@@ -234,7 +240,10 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             let waiters = match obj.ghosts[slot as usize].fulfill(value) {
                 Ok(w) => w,
                 Err(_) => {
-                    ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_SET_FUTURE });
+                    ctx.fail(SimError::BadAddress {
+                        addr: target,
+                        action: diffusive::ACT_SET_FUTURE,
+                    });
                     return;
                 }
             };
@@ -308,9 +317,8 @@ mod tests {
     }
 
     fn stream_edges(chip: &mut NullChip, src: Address, n: u32) {
-        let ops: Vec<Operon> = (0..n)
-            .map(|i| insert_operon(src, &Edge::new(Address::new(0, 999), 999, i)))
-            .collect();
+        let ops: Vec<Operon> =
+            (0..n).map(|i| insert_operon(src, &Edge::new(Address::new(0, 999), 999, i))).collect();
         chip.io_load(ops);
         chip.run_until_quiescent().unwrap();
     }

@@ -65,11 +65,7 @@ impl TriangleAlgo {
 
     /// Snapshot local edges + ghost targets of the object, enqueueing a
     /// deferred copy of `op` on any Pending ghost slot.
-    fn snapshot(
-        &mut self,
-        ctx: &mut ExecCtx<'_, VertexObj<()>>,
-        op: &Operon,
-    ) -> Option<u32> {
+    fn snapshot(&mut self, ctx: &mut ExecCtx<'_, VertexObj<()>>, op: &Operon) -> Option<u32> {
         let Some(obj) = ctx.obj_mut(op.target.slot) else {
             ctx.fail(SimError::BadAddress { addr: op.target, action: op.action });
             return None;

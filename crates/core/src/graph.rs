@@ -84,7 +84,10 @@ impl<G: VertexAlgo> StreamingGraph<G> {
 
     /// Inject an arbitrary operon wave through the IO channels and run it to
     /// quiescence (used by snapshot queries such as triangle counting).
-    pub fn run_query(&mut self, ops: impl IntoIterator<Item = Operon>) -> Result<RunReport, SimError> {
+    pub fn run_query(
+        &mut self,
+        ops: impl IntoIterator<Item = Operon>,
+    ) -> Result<RunReport, SimError> {
         self.dev.register_data_transfer(ops);
         self.dev.run()
     }

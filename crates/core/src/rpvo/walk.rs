@@ -98,7 +98,8 @@ mod tests {
     #[test]
     fn collects_all_edges() {
         let (m, root) = store();
-        let mut ids: Vec<u32> = collect_edges(root, |a| m.get(&a)).iter().map(|e| e.dst_id).collect();
+        let mut ids: Vec<u32> =
+            collect_edges(root, |a| m.get(&a)).iter().map(|e| e.dst_id).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![6, 8, 9]);
     }

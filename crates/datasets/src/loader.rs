@@ -6,7 +6,6 @@
 //! feeds them to the same harness the synthetic datasets use; otherwise the
 //! `gc` module's SBM presets stand in (see DESIGN.md §3).
 
-
 use std::path::Path;
 
 use crate::stream::{Sampling, StreamEdge, StreamingDataset};

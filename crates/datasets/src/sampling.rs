@@ -81,8 +81,7 @@ pub fn snowball_sampling(
         queue.push_back(next_seed);
     }
     // An edge is revealed when its later endpoint is discovered.
-    let reveal =
-        |e: &StreamEdge| -> u32 { rank[e.0 as usize].max(rank[e.1 as usize]) };
+    let reveal = |e: &StreamEdge| -> u32 { rank[e.0 as usize].max(rank[e.1 as usize]) };
     let mut edges = edges;
     edges.sort_by_key(reveal);
     // Wave boundaries: vertex-rank thresholds at n*i/k.

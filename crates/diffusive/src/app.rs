@@ -13,11 +13,13 @@
 //! * **set-future** — the anonymous return-trigger action: resumes the
 //!   waiting state by fulfilling the future slot on the requesting object.
 
-use amcca_sim::{ExecCtx, Operon, Program};
 use amcca_sim::{Address, SimError};
+use amcca_sim::{ExecCtx, Operon, Program};
 
 use crate::action::{ACT_ALLOCATE, ACT_SET_FUTURE};
-use crate::continuation::{allocate_operon, decode_allocate, decode_set_future, set_future_operon, MAX_ENCODABLE_RETRY};
+use crate::continuation::{
+    allocate_operon, decode_allocate, decode_set_future, set_future_operon, MAX_ENCODABLE_RETRY,
+};
 
 /// A diffusive application: object layout plus action handlers.
 pub trait App {
@@ -84,8 +86,7 @@ impl<A: App> Program for Runtime<A> {
                             // vicinity locality is preserved.
                             ctx.note_alloc_retry();
                             let retry = req.retry + 1;
-                            let next =
-                                ctx.choose_alloc_target_from(req.cont.return_to.cc, retry);
+                            let next = ctx.choose_alloc_target_from(req.cont.return_to.cc, retry);
                             ctx.propagate(allocate_operon(next, req.cont, retry, req.tag));
                         }
                     }
@@ -108,7 +109,7 @@ mod tests {
     use super::*;
     use crate::continuation::Continuation;
     use crate::future::{FutureLco, PendingOperon};
-    use amcca_sim::{ChipConfig, Chip, Operon};
+    use amcca_sim::{Chip, ChipConfig, Operon};
 
     /// A miniature RPVO-like app used to exercise the continuation + future
     /// machinery end to end: each object stores up to 2 values and chains to
@@ -210,9 +211,8 @@ mod tests {
     #[test]
     fn continuation_grows_a_chain_across_cells() {
         let mut chip = Chip::new(ChipConfig::small_test(), Runtime::new(ChainApp, 64));
-        let root = chip
-            .host_alloc(27, ChainNode { values: Vec::new(), next: FutureLco::Null })
-            .unwrap();
+        let root =
+            chip.host_alloc(27, ChainNode { values: Vec::new(), next: FutureLco::Null }).unwrap();
         let n = 20u64;
         chip.io_load((0..n).map(|i| Operon::new(root, ACT_APPEND, [i, 0])));
         chip.run_until_quiescent().unwrap();
@@ -250,13 +250,11 @@ mod tests {
         cfg.arena_capacity = 1;
         cfg.max_alloc_retries = 64;
         let mut chip = Chip::new(cfg, Runtime::new(ChainApp, 64));
-        let root = chip
-            .host_alloc(27, ChainNode { values: Vec::new(), next: FutureLco::Null })
-            .unwrap();
+        let root =
+            chip.host_alloc(27, ChainNode { values: Vec::new(), next: FutureLco::Null }).unwrap();
         let dims = chip.cfg().dims;
         for cc in dims.vicinity(27, 2) {
-            chip.host_alloc(cc, ChainNode { values: Vec::new(), next: FutureLco::Null })
-                .unwrap();
+            chip.host_alloc(cc, ChainNode { values: Vec::new(), next: FutureLco::Null }).unwrap();
         }
         chip.io_load((0..4u64).map(|i| Operon::new(root, ACT_APPEND, [i, 0])));
         chip.run_until_quiescent().unwrap();

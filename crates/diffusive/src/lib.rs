@@ -28,7 +28,10 @@ pub mod terminator;
 
 pub use action::{ActionRegistry, ACT_ALLOCATE, ACT_SET_FUTURE, FIRST_USER_ACTION};
 pub use app::{App, Runtime};
-pub use continuation::{allocate_operon, decode_allocate, decode_set_future, set_future_operon, AllocRequest, Continuation};
+pub use continuation::{
+    allocate_operon, decode_allocate, decode_set_future, set_future_operon, AllocRequest,
+    Continuation,
+};
 pub use device::Device;
 pub use future::{FutureError, FutureLco, PendingOperon};
 pub use terminator::{RunReport, TerminationMode};

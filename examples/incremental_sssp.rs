@@ -60,9 +60,6 @@ fn main() {
 
     // Increment 3: close one more gap — only affected vertices update.
     let r = g.stream_increment(&[(0, vid(SIDE - 1, 0), 5)]).unwrap();
-    println!(
-        "shortcut streamed: 1 edge, {} cycles (incremental update only)",
-        r.cycles
-    );
+    println!("shortcut streamed: 1 edge, {} cycles (incremental update only)", r.cycles);
     println!("  distance to north-east corner: {}", g.state_of(vid(SIDE - 1, 0)));
 }

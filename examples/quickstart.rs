@@ -21,8 +21,7 @@ fn main() {
     .expect("graph construction");
 
     // Increment 1: a binary tree below the root.
-    let tree: Vec<StreamEdge> =
-        (1..n_vertices).map(|v| ((v - 1) / 2, v, 1)).collect();
+    let tree: Vec<StreamEdge> = (1..n_vertices).map(|v| ((v - 1) / 2, v, 1)).collect();
     let r1 = graph.stream_increment(&tree).expect("increment 1");
     println!(
         "increment 1: {} edges in {} cycles ({:.1} µs @ 1 GHz, {:.1} µJ)",

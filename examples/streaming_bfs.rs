@@ -13,8 +13,13 @@ use refgraph::{bfs_levels, DiGraph};
 fn run(sampling: Sampling) {
     let preset = GcPreset::v50k(sampling).scaled_down(50); // 1K vertices, 20K edges
     let dataset = preset.build();
-    println!("\n=== {} sampling: {} vertices, {} edges, {} increments ===",
-        sampling, dataset.n_vertices, dataset.total_edges(), dataset.increments());
+    println!(
+        "\n=== {} sampling: {} vertices, {} edges, {} increments ===",
+        sampling,
+        dataset.n_vertices,
+        dataset.total_edges(),
+        dataset.increments()
+    );
 
     for with_bfs in [false, true] {
         let mut g = StreamingGraph::new(

@@ -23,9 +23,15 @@ fn main() {
     let mut g =
         StreamingGraph::new(chip, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
 
-    println!("streaming {} edges over {} increments, recounting triangles each time:\n",
-        dataset.total_edges(), dataset.increments());
-    println!("{:>9}  {:>10}  {:>10}  {:>12}  {:>9}", "increment", "edges", "triangles", "query cycles", "verified");
+    println!(
+        "streaming {} edges over {} increments, recounting triangles each time:\n",
+        dataset.total_edges(),
+        dataset.increments()
+    );
+    println!(
+        "{:>9}  {:>10}  {:>10}  {:>12}  {:>9}",
+        "increment", "edges", "triangles", "query cycles", "verified"
+    );
 
     let mut accumulated: Vec<(u32, u32)> = Vec::new();
     for i in 0..dataset.increments() {

@@ -6,10 +6,7 @@ use gc_datasets::{generate_sbm, SbmParams};
 use refgraph::{bfs_levels, DiGraph};
 
 fn run_with(placement: GhostPlacement) -> (Vec<u64>, f64, u64, f64) {
-    let cfg = ChipConfig {
-        ghost_placement: placement,
-        ..ChipConfig::default()
-    };
+    let cfg = ChipConfig { ghost_placement: placement, ..ChipConfig::default() };
     let n = 400u32;
     let edges = generate_sbm(&SbmParams::scaled(n, 6000, 13));
     let mut g = StreamingGraph::new(

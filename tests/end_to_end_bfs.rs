@@ -12,8 +12,7 @@ use refgraph::{bfs_levels, DiGraph};
 
 fn verify_schedule(dataset: &StreamingDataset, cfg: ChipConfig) {
     let n = dataset.n_vertices;
-    let mut g =
-        StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
     let mut accumulated: Vec<StreamEdge> = Vec::new();
     for i in 0..dataset.increments() {
         let inc = dataset.increment(i);
@@ -70,13 +69,9 @@ fn heavy_hub_spills_deep_and_stays_correct() {
 fn edges_into_the_root_update_it_live() {
     // Edges pointing AT the BFS root must never change its level; edges out
     // of unreached vertices stay silent until the vertex is reached.
-    let mut g = StreamingGraph::new(
-        ChipConfig::small_test(),
-        RpvoConfig::default(),
-        BfsAlgo::new(0),
-        8,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), 8)
+            .unwrap();
     g.stream_increment(&[(3, 0, 1), (3, 4, 1)]).unwrap();
     assert_eq!(g.state_of(0), 0);
     assert_eq!(g.state_of(3), MAX_LEVEL);
@@ -89,13 +84,9 @@ fn edges_into_the_root_update_it_live() {
 
 #[test]
 fn duplicate_and_cyclic_edges_converge() {
-    let mut g = StreamingGraph::new(
-        ChipConfig::small_test(),
-        RpvoConfig::default(),
-        BfsAlgo::new(0),
-        6,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), 6)
+            .unwrap();
     // Parallel edges, a 2-cycle, and a self-reinforcing triangle.
     let edges = vec![
         (0, 1, 1),
@@ -115,13 +106,9 @@ fn duplicate_and_cyclic_edges_converge() {
 #[test]
 fn ingestion_only_mode_inserts_without_bfs() {
     let edges = generate_sbm(&SbmParams::scaled(400, 4000, 9));
-    let mut g = StreamingGraph::new(
-        ChipConfig::default(),
-        RpvoConfig::default(),
-        BfsAlgo::new(0),
-        400,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), 400)
+            .unwrap();
     g.set_algo_propagation(false);
     let report = g.stream_increment(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), 4000);
@@ -134,8 +121,7 @@ fn ingestion_only_mode_inserts_without_bfs() {
     // silently-ingested out-edges must be re-announced to start the wave.
     // Everything downstream then catches up through relax diffusion alone.
     g.set_algo_propagation(true);
-    let root_edges: Vec<StreamEdge> =
-        edges.iter().copied().filter(|&(u, _, _)| u == 0).collect();
+    let root_edges: Vec<StreamEdge> = edges.iter().copied().filter(|&(u, _, _)| u == 0).collect();
     assert!(!root_edges.is_empty(), "SBM graph should give the root out-edges");
     g.stream_increment(&root_edges).unwrap();
     let mut all: Vec<StreamEdge> = edges.clone();

@@ -10,19 +10,11 @@ use refgraph::{bfs_levels, DiGraph};
 fn out_of_memory_is_reported_not_hung() {
     // Arena of 1 object per cell: the 64 roots fill the whole 8×8 chip, so
     // the first RPVO spill can never allocate a ghost anywhere.
-    let cfg = ChipConfig {
-        arena_capacity: 1,
-        max_alloc_retries: 16,
-        ..ChipConfig::small_test()
-    };
+    let cfg = ChipConfig { arena_capacity: 1, max_alloc_retries: 16, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g = StreamingGraph::new(
-        cfg,
-        RpvoConfig { edge_cap: 1, ghost_fanout: 1 },
-        BfsAlgo::new(0),
-        n,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(cfg, RpvoConfig { edge_cap: 1, ghost_fanout: 1 }, BfsAlgo::new(0), n)
+            .unwrap();
     let edges: Vec<StreamEdge> = (1..5).map(|v| (0, v, 1)).collect();
     let err = g.stream_increment(&edges).unwrap_err();
     assert!(matches!(err, SimError::OutOfMemory { .. }), "got {err:?}");
@@ -76,26 +68,17 @@ fn cycle_limit_guards_against_runaway() {
 fn allocation_retries_relocate_ghosts_under_pressure() {
     // Capacity 2: roots plus a little room. Spills must hunt for space but
     // eventually succeed, with retries recorded.
-    let cfg = ChipConfig {
-        arena_capacity: 2,
-        max_alloc_retries: 256,
-        ..ChipConfig::small_test()
-    };
+    let cfg = ChipConfig { arena_capacity: 2, max_alloc_retries: 256, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g = StreamingGraph::new(
-        cfg,
-        RpvoConfig { edge_cap: 2, ghost_fanout: 1 },
-        BfsAlgo::new(0),
-        n,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(cfg, RpvoConfig { edge_cap: 2, ghost_fanout: 1 }, BfsAlgo::new(0), n)
+            .unwrap();
     // ~3 extra objects per vertex needed; chip has 64 spare slots total, so
     // keep the load just within capacity: 16 hub edges → 7 ghosts.
     let edges: Vec<StreamEdge> = (1..17).map(|v| (0, v, 1)).collect();
     let report = g.stream_increment(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), 16);
-    let reference =
-        bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
+    let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
     let _ = report;
 }

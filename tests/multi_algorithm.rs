@@ -35,13 +35,9 @@ fn sssp_matches_dijkstra_every_increment() {
 
 #[test]
 fn sssp_shortcut_lowers_downstream_distances() {
-    let mut g = StreamingGraph::new(
-        ChipConfig::small_test(),
-        RpvoConfig::default(),
-        SsspAlgo::new(0),
-        5,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), SsspAlgo::new(0), 5)
+            .unwrap();
     g.stream_increment(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
     assert_eq!(g.state_of(3), 30);
     // A cheap shortcut 0→2 must incrementally improve 2 and 3.
@@ -94,13 +90,11 @@ fn run_triangle_count(n: u32, undirected: &[(u32, u32)]) -> u64 {
         n,
     )
     .unwrap();
-    let stream: Vec<StreamEdge> =
-        undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
+    let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
     g.stream_increment(&symmetrize(&stream)).unwrap();
     // Snapshot query: a tri-gen wave over every vertex.
-    let gens: Vec<Operon> = (0..n)
-        .map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0]))
-        .collect();
+    let gens: Vec<Operon> =
+        (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();
     g.device_mut().app_mut().algo.reset();
     g.run_query(gens).unwrap();
     g.device().app().algo.total()
@@ -121,8 +115,7 @@ fn triangle_count_matches_reference_on_sbm() {
     let n = 300u32;
     let edges = generate_sbm(&SbmParams::scaled(n, 2400, 77));
     // Canonicalize to undirected unique pairs.
-    let mut und: Vec<(u32, u32)> =
-        edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+    let mut und: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
     und.sort_unstable();
     und.dedup();
     let expect = count_triangles(n, und.iter().copied());
@@ -132,12 +125,10 @@ fn triangle_count_matches_reference_on_sbm() {
 
 /// Run a Jaccard query wave and return `(u, v, J)` per canonical edge.
 fn run_jaccard(n: u32, undirected: &[(u32, u32)], rcfg: RpvoConfig) -> Vec<(u32, u32, f64)> {
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), rcfg, JaccardAlgo::new(), n).unwrap();
+    let mut g = StreamingGraph::new(ChipConfig::default(), rcfg, JaccardAlgo::new(), n).unwrap();
     let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
     g.stream_increment(&symmetrize(&stream)).unwrap();
-    let wave: Vec<Operon> =
-        (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
+    let wave: Vec<Operon> = (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
     g.device_mut().app_mut().algo.reset();
     g.run_query(wave).unwrap();
     // Assemble J from intersection hits plus host-side degrees.
@@ -177,8 +168,7 @@ fn jaccard_exact_on_known_graphs() {
 fn jaccard_matches_reference_on_sbm() {
     let n = 200u32;
     let edges = generate_sbm(&SbmParams::scaled(n, 1600, 55));
-    let mut und: Vec<(u32, u32)> =
-        edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+    let mut und: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
     und.sort_unstable();
     und.dedup();
     let got = run_jaccard(n, &und, RpvoConfig { edge_cap: 8, ghost_fanout: 2 });
@@ -197,8 +187,7 @@ fn triangle_recount_per_increment_tracks_growth() {
     let n = 10u32;
     let cfg = ChipConfig::small_test();
     let ncc = cfg.cell_count();
-    let mut g =
-        StreamingGraph::new(cfg, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
     let mut acc: Vec<(u32, u32)> = Vec::new();
     for k in 2..n {
         // Increment: connect vertex k to all previous vertices.

@@ -1,0 +1,49 @@
+//! Workspace smoke test: the umbrella crate's public API, end to end.
+//!
+//! Mirrors the quickstart of `src/lib.rs` — everything a new user touches
+//! must be reachable through `amcca::prelude` alone: chip + RPVO config,
+//! algorithm construction, streaming, and the run report.
+
+use amcca::prelude::*;
+
+#[test]
+fn quickstart_path_through_prelude() {
+    // A 32×32 chip, default RPVO shape, BFS rooted at vertex 0.
+    let mut g =
+        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), 100)
+            .unwrap();
+
+    // Stream a path 0→1→…→99 and run the diffusion to quiescence.
+    let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();
+    let report = g.stream_increment(&edges).unwrap();
+    assert_eq!(g.state_of(99), 99, "BFS level of the path's end");
+    assert!(report.cycles > 0);
+    assert!(report.energy_uj > 0.0, "energy model charged the run");
+
+    // A second increment keeps the levels current (short-circuit the path).
+    let report2 = g.stream_increment(&[(0, 99, 1)]).unwrap();
+    assert_eq!(g.state_of(99), 1, "shortcut edge lowers the level");
+    assert!(report2.cycles > 0);
+}
+
+#[test]
+fn prelude_reaches_every_layer() {
+    // gc_datasets: synthesize a small SBM workload and a streaming schedule.
+    let d: StreamingDataset = GcPreset::v50k(Sampling::Edge).scaled_down(500).build();
+    assert!(d.increments() > 0);
+    assert!(d.total_edges() > 0);
+
+    // amcca-sim + sdgp_core: run the first increment on a small chip.
+    let cfg = ChipConfig::small_test();
+    let mut g =
+        StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), d.n_vertices).unwrap();
+    let report = g.stream_increment(d.increment(0)).unwrap();
+    assert!(report.cycles > 0);
+
+    // refgraph (re-exported at the crate root): oracle agrees on level 0.
+    let oracle = amcca::refgraph::bfs_levels(
+        &amcca::refgraph::DiGraph::from_edges(d.n_vertices, d.increment(0).iter().copied()),
+        0,
+    );
+    assert_eq!(g.state_of(0), oracle[0], "root level matches the oracle");
+}

@@ -22,7 +22,8 @@ fn arb_edges() -> impl Strategy<Value = Vec<StreamEdge>> {
 }
 
 fn arb_rpvo() -> impl Strategy<Value = RpvoConfig> {
-    (1usize..6, 1usize..4).prop_map(|(edge_cap, ghost_fanout)| RpvoConfig { edge_cap, ghost_fanout })
+    (1usize..6, 1usize..4)
+        .prop_map(|(edge_cap, ghost_fanout)| RpvoConfig { edge_cap, ghost_fanout })
 }
 
 proptest! {
@@ -138,8 +139,7 @@ proptest! {
 fn walk_covers_all_allocated_objects() {
     let edges: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
     let rcfg = RpvoConfig { edge_cap: 2, ghost_fanout: 2 };
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
+    let mut g = StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
     g.stream_increment(&edges).unwrap();
     let mut walked = 0usize;
     for v in 0..20 {

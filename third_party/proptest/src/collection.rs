@@ -1,0 +1,85 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`], mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate `Vec`s whose length is drawn from `size` (e.g. `1..400`) and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let n = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let mut rng = TestRng::from_name("vec_test");
+        for _ in 0..200 {
+            let v = vec((0u32..10, 5u32..8), 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 10 && (5..8).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn nested_vec_generates() {
+        let mut rng = TestRng::from_name("nested");
+        let v = vec(vec(0u16..36, 1..8), 1..4).generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn fixed_and_inclusive_sizes() {
+        let mut rng = TestRng::from_name("sizes");
+        assert_eq!(vec(0u8..5, 3).generate(&mut rng).len(), 3);
+        let v = vec(0u8..5, 2..=4).generate(&mut rng);
+        assert!((2..=4).contains(&v.len()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the surface this workspace uses: the [`proptest!`] macro (with
+//! optional `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, integer range and tuple strategies, [`collection::vec`],
+//! [`Strategy::prop_map`], and [`arbitrary::any`]. Cases are generated from a
+//! deterministic per-test seed; there is **no shrinking** — a failing case
+//! panics with the case number so it can be re-run deterministically.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+pub mod arbitrary;
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_add(config.max_global_rejects);
+                while ran < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest `{}`: too many rejected cases ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body; ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {} (attempt {}): {}",
+                                stringify!($name), ran, attempts, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l, r,
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    l, r, format!($($fmt)+),
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r,
+                );
+            }
+        }
+    };
+}
+
+/// Reject the current case (it does not count toward `config.cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
