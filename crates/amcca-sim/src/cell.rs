@@ -10,6 +10,7 @@ use crate::geom::Coord;
 use crate::operon::Operon;
 use crate::rng::SplitMix64;
 use crate::router::Router;
+use crate::safra::CellTd;
 
 #[derive(Debug)]
 /// A compute cell; see the module docs for the execution model.
@@ -37,6 +38,10 @@ pub struct Cell<T> {
     pub router: Router,
     /// Per-cell deterministic RNG stream (used by placement decisions).
     pub rng: SplitMix64,
+    /// Safra termination-detection state (message count + colour). Kept
+    /// cell-local so the detector shards with the cells; meaningful only
+    /// while the chip's detector is enabled (reset at enable time).
+    pub td: CellTd,
 }
 
 impl<T> Cell<T> {
@@ -58,6 +63,7 @@ impl<T> Cell<T> {
             outbox: VecDeque::new(),
             router: Router::new(link_buffer),
             rng,
+            td: CellTd::start(),
         }
     }
 

@@ -21,47 +21,336 @@
 use crate::cell::Cell;
 use crate::config::ChipConfig;
 use crate::error::SimError;
-use crate::geom::yx_route_step;
-use crate::iocell::IoSystem;
+use crate::geom::{yx_route_step, Dims};
+use crate::iocell::{IoCell, IoSystem};
 use crate::operon::{Address, Operon};
 use crate::placement::PlacementTable;
 use crate::program::{ExecCtx, Program};
 use crate::rng::SplitMix64;
 use crate::router::{NUM_OUTPUTS, NUM_PORTS, OUT_EJECT, PORT_IO, PORT_LOCAL};
-use crate::safra::{decode_token, initiator_detects, token_operon, SafraState, ACT_TOKEN};
+use crate::safra::{decode_token, initiator_detects, token_operon, CellTd, SafraState, ACT_TOKEN};
+use crate::shard::ShardPlan;
 use crate::stats::{ActivityRecording, ActivitySeries, CellLoad, Counters};
 
+/// One resolved network-phase move; decided for all cells first, then applied
+/// (so every decision sees the same start-of-cycle state).
 #[derive(Debug, Clone, Copy)]
-enum Move {
-    Hop { src: u16, port: u8, dst: u16, in_port: u8 },
-    Deliver { cell: u16, port: u8 },
+pub(crate) enum Move {
+    /// Forward the head of `src`'s `port` FIFO one hop to `dst`'s `in_port`.
+    Hop {
+        /// Source cell id.
+        src: u16,
+        /// Source input-FIFO index holding the flit.
+        port: u8,
+        /// Destination (neighbouring) cell id.
+        dst: u16,
+        /// Destination input-FIFO index the flit arrives on.
+        in_port: u8,
+    },
+    /// Eject the head of `cell`'s `port` FIFO into its local task queue.
+    Deliver {
+        /// The arriving flit's cell id.
+        cell: u16,
+        /// Input-FIFO index holding the arrived flit.
+        port: u8,
+    },
 }
 
 /// A simulated AM-CCA chip running program `P`.
+///
+/// Fields are `pub(crate)` so the sharded parallel engine (the crate's
+/// `parallel` module) can split-borrow them across worker threads.
 pub struct Chip<P: Program> {
-    cfg: ChipConfig,
-    placement: PlacementTable,
-    cells: Vec<Cell<P::Object>>,
-    io: IoSystem,
-    program: P,
-    cycle: u64,
-    counters: Counters,
-    activity: ActivitySeries,
+    pub(crate) cfg: ChipConfig,
+    pub(crate) placement: PlacementTable,
+    pub(crate) cells: Vec<Cell<P::Object>>,
+    pub(crate) io: IoSystem,
+    pub(crate) program: P,
+    pub(crate) cycle: u64,
+    pub(crate) counters: Counters,
+    pub(crate) activity: ActivitySeries,
     /// Operons inside routers (staged or in flight).
-    in_network: u64,
+    pub(crate) in_network: u64,
     /// Operons delivered but not yet picked up.
-    queued_tasks: u64,
+    pub(crate) queued_tasks: u64,
     /// Cells currently occupied by an action.
-    busy: u32,
-    error: Option<SimError>,
+    pub(crate) busy: u32,
+    pub(crate) error: Option<SimError>,
     moves: Vec<Move>,
-    frame_scratch: Vec<u64>,
+    pub(crate) frame_scratch: Vec<u64>,
     /// Distributed termination detection (Safra token), when enabled.
-    safra: Option<SafraState>,
+    pub(crate) safra: Option<SafraState>,
     /// True while a termination token is circulating.
-    token_alive: bool,
+    pub(crate) token_alive: bool,
     /// Per-cell load counters (deliveries, queue peaks).
-    loads: Vec<CellLoad>,
+    pub(crate) loads: Vec<CellLoad>,
+}
+
+// ----------------------------------------------------------------------
+// Shared per-cell phase logic.
+//
+// These free functions are the single source of truth for what one cell does
+// in each phase of a cycle. The sequential `Chip::step` path and the sharded
+// parallel engine both call them, which is what makes the two engines
+// bit-identical by construction: a shard worker runs exactly this code over
+// its own cells, and every side effect that is not cell-local is surfaced
+// through the explicit outputs (`Move` lists, `ComputeFx`, return values) so
+// the caller can aggregate it deterministically.
+// ----------------------------------------------------------------------
+
+/// What the Safra token did at the cell that held it this cycle. The caller
+/// owns the chip-global detector scalars and applies the matching update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenStep {
+    /// Cell was not passive: token re-queued behind pending work.
+    Requeued,
+    /// Non-initiator forwarded the token along the ring.
+    Forwarded,
+    /// Initiator's probe failed: a fresh white probe was launched.
+    Restarted,
+    /// Initiator detected termination; the token retires.
+    Detected,
+}
+
+/// Non-cell-local side effects of one cell's compute phase, reported as
+/// deltas so per-shard sums merge into the chip totals exactly.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ComputeFx {
+    /// Change in the number of delivered-but-unconsumed tasks.
+    pub d_queued: i64,
+    /// Change in the number of busy cells.
+    pub d_busy: i64,
+    /// Change in the number of operons inside routers.
+    pub d_in_network: i64,
+    /// Safra-token action performed by this cell, if it held the token.
+    pub token: Option<TokenStep>,
+}
+
+/// Decide the network-phase moves of one cell: serve each input FIFO in the
+/// cycle's rotated round-robin order, granting at most one flit per output
+/// port, subject to start-of-cycle credits. `accepts(nb, in_port)` answers
+/// whether neighbour `nb` had a free slot on `in_port` at cycle start (the
+/// parallel engine answers cross-shard probes from published credit frames).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_cell_moves<T>(
+    cell: &Cell<T>,
+    src: u16,
+    cycle: u64,
+    dims: Dims,
+    n_cells: usize,
+    task_queue_cap: usize,
+    accepts: &mut dyn FnMut(u16, usize) -> bool,
+    moves: &mut Vec<Move>,
+    counters: &mut Counters,
+    error: &mut Option<SimError>,
+) {
+    if cell.router.total() == 0 {
+        return;
+    }
+    let mut out_used = [false; NUM_OUTPUTS];
+    let rot = (cycle as usize).wrapping_add(src as usize);
+    for k in 0..NUM_PORTS {
+        let port = (k + rot) % NUM_PORTS;
+        let Some(head) = cell.router.front(port) else { continue };
+        let tcc = head.target.cc;
+        if tcc as usize >= n_cells {
+            if error.is_none() {
+                *error = Some(SimError::BadTargetCell { cc: tcc });
+            }
+            continue;
+        }
+        if tcc == src {
+            // Ejection port: deliver to the local task queue.
+            if out_used[OUT_EJECT] {
+                continue;
+            }
+            if cell.task_queue.len() < task_queue_cap {
+                out_used[OUT_EJECT] = true;
+                moves.push(Move::Deliver { cell: src, port: port as u8 });
+            } else {
+                counters.deliver_stalls += 1;
+            }
+        } else {
+            let dir = yx_route_step(cell.coord, dims.coord_of(tcc))
+                .expect("non-local target must need a hop");
+            let out = dir.index();
+            if out_used[out] {
+                continue;
+            }
+            let nb = dims.neighbor(src, dir).expect("YX minimal route never leaves the mesh");
+            let in_port = dir.opposite().index();
+            if accepts(nb, in_port) {
+                out_used[out] = true;
+                moves.push(Move::Hop { src, port: port as u8, dst: nb, in_port: in_port as u8 });
+            } else {
+                counters.net_stalls += 1;
+            }
+        }
+    }
+}
+
+/// Run one cell's compute phase: pick up a task if idle (executing the action
+/// body, or handling the Safra token), then retire one instruction or stage
+/// one outgoing operon. Returns whether the cell did work (is *active*).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_cell<P: Program>(
+    cell: &mut Cell<P::Object>,
+    i: usize,
+    safra_on: bool,
+    program: &mut P,
+    counters: &mut Counters,
+    cfg: &ChipConfig,
+    placement: &PlacementTable,
+    error: &mut Option<SimError>,
+    fx: &mut ComputeFx,
+) -> bool {
+    if !cell.busy {
+        if let Some(op) = cell.task_queue.pop_front() {
+            fx.d_queued -= 1;
+            if op.action == ACT_TOKEN {
+                // Safra Rule 1: hold the token until passive, then add our
+                // count, colour it, whiten ourselves, and forward — or, at
+                // the initiator, run the Rule-2 detection check. Global
+                // detector scalars are the caller's via `fx.token`.
+                debug_assert!(safra_on, "token without detector");
+                cell.busy = true;
+                cell.remaining = 1; // one bookkeeping instruction
+                fx.d_busy += 1;
+                if cell.task_queue.is_empty() {
+                    let (q, colour) = decode_token(&op);
+                    let td = cell.td;
+                    if i == 0 {
+                        if initiator_detects(q, colour, td) {
+                            fx.token = Some(TokenStep::Detected);
+                        } else {
+                            // Unsuccessful probe: whiten, fresh round.
+                            fx.token = Some(TokenStep::Restarted);
+                            cell.td.black = false;
+                            let next = cfg.dims.serpentine_next(0);
+                            cell.outbox.push_back(token_operon(
+                                next,
+                                0,
+                                crate::safra::Colour::White,
+                            ));
+                        }
+                    } else {
+                        let fwd_q = q + td.mc;
+                        let fwd_colour = if td.black || colour == crate::safra::Colour::Black {
+                            crate::safra::Colour::Black
+                        } else {
+                            crate::safra::Colour::White
+                        };
+                        cell.td.black = false;
+                        let next = cfg.dims.serpentine_next(i as u16);
+                        cell.outbox.push_back(token_operon(next, fwd_q, fwd_colour));
+                        fx.token = Some(TokenStep::Forwarded);
+                    }
+                } else {
+                    // Not passive: poll — requeue the token behind the
+                    // pending work.
+                    fx.token = Some(TokenStep::Requeued);
+                    cell.task_queue.push_back(op);
+                    fx.d_queued += 1;
+                }
+            } else {
+                if safra_on {
+                    cell.td.on_consume();
+                }
+                let mut charge = cfg.cost.dispatch;
+                {
+                    let mut ctx = ExecCtx::new(
+                        cell.id,
+                        cell.coord,
+                        &mut cell.memory,
+                        &mut cell.outbox,
+                        &mut charge,
+                        counters,
+                        &cfg.cost,
+                        placement,
+                        &mut cell.rng,
+                        error,
+                    );
+                    program.execute(&mut ctx, &op);
+                }
+                cell.busy = true;
+                cell.remaining = charge.max(1);
+                fx.d_busy += 1;
+            }
+        } else {
+            return false;
+        }
+    }
+    debug_assert!(cell.busy);
+    let mut did_work = false;
+    if cell.remaining > 0 {
+        cell.remaining -= 1;
+        counters.instrs += 1;
+        did_work = true;
+    } else if let Some(&op) = cell.outbox.front() {
+        if cell.router.accepts_now(PORT_LOCAL) {
+            cell.outbox.pop_front();
+            cell.router.push(PORT_LOCAL, op);
+            fx.d_in_network += 1;
+            counters.msgs_staged += 1;
+            if op.action != ACT_TOKEN && safra_on {
+                cell.td.on_send();
+            }
+            did_work = true;
+        } else {
+            counters.stage_stalls += 1;
+        }
+    }
+    if cell.remaining == 0 && cell.outbox.is_empty() {
+        cell.busy = false;
+        fx.d_busy -= 1;
+    }
+    did_work
+}
+
+/// Apply a cell's [`TokenStep`] to the chip-global detector scalars. Both
+/// engines route token effects through here so the bookkeeping is identical.
+pub(crate) fn apply_token_step(
+    step: TokenStep,
+    s: &mut SafraState,
+    token_alive: &mut bool,
+    cycle_now: u64,
+) {
+    match step {
+        TokenStep::Requeued => s.token_requeues += 1,
+        TokenStep::Forwarded => {}
+        TokenStep::Restarted => s.rounds += 1,
+        TokenStep::Detected => {
+            s.terminated = true;
+            s.detected_at = Some(cycle_now);
+            *token_alive = false; // token retired
+        }
+    }
+}
+
+/// Run one IO cell's phase: inject its head operon into the attached border
+/// cell's router if the IO port has a free slot. Returns whether an operon
+/// was injected (the caller updates `io.pending` / `in_network`).
+pub(crate) fn io_cell_step<T>(
+    io_cell: &mut IoCell,
+    border: &mut Cell<T>,
+    safra_on: bool,
+    counters: &mut Counters,
+) -> bool {
+    let Some(&op) = io_cell.queue.front() else { return false };
+    if !border.router.accepts_now(PORT_IO) {
+        return false;
+    }
+    io_cell.queue.pop_front();
+    border.router.push(PORT_IO, op);
+    counters.io_injected += 1;
+    // The IO-cell-to-CC link traversal is a hop like any other.
+    counters.hops += 1;
+    // Termination accounting: an IO injection is a send by the environment,
+    // attributed to the border cell so the message count stays closed.
+    if safra_on {
+        border.td.on_send();
+    }
+    true
 }
 
 impl<P: Program> Chip<P> {
@@ -168,10 +457,8 @@ impl<P: Program> Chip<P> {
     pub fn host_inject(&mut self, op: Operon) {
         let cc = op.target.cc as usize;
         assert!(cc < self.cells.len(), "host_inject: bad target cell");
-        if op.action != ACT_TOKEN {
-            if let Some(s) = self.safra.as_mut() {
-                s.on_send(op.target.cc);
-            }
+        if op.action != ACT_TOKEN && self.safra.is_some() {
+            self.cells[cc].td.on_send();
         }
         self.cells[cc].task_queue.push_back(op);
         self.queued_tasks += 1;
@@ -194,61 +481,27 @@ impl<P: Program> Chip<P> {
         for cell in &mut self.cells {
             cell.router.begin_cycle();
         }
-        self.moves.clear();
         let dims = self.cfg.dims;
         let n = self.cells.len();
+        let cap = self.cfg.task_queue_cap;
+        let cyc = self.cycle;
+        let Chip { cells, counters, error, moves, .. } = self;
+        moves.clear();
         for src in 0..n {
-            let cell = &self.cells[src];
-            if cell.router.total() == 0 {
-                continue;
-            }
-            let mut out_used = [false; NUM_OUTPUTS];
-            let rot = (self.cycle as usize).wrapping_add(src);
-            for k in 0..NUM_PORTS {
-                let port = (k + rot) % NUM_PORTS;
-                let Some(head) = cell.router.front(port) else { continue };
-                let tcc = head.target.cc;
-                if tcc as usize >= n {
-                    if self.error.is_none() {
-                        self.error = Some(SimError::BadTargetCell { cc: tcc });
-                    }
-                    continue;
-                }
-                if tcc as usize == src {
-                    // Ejection port: deliver to the local task queue.
-                    if out_used[OUT_EJECT] {
-                        continue;
-                    }
-                    if cell.task_queue.len() < self.cfg.task_queue_cap {
-                        out_used[OUT_EJECT] = true;
-                        self.moves.push(Move::Deliver { cell: src as u16, port: port as u8 });
-                    } else {
-                        self.counters.deliver_stalls += 1;
-                    }
-                } else {
-                    let dir = yx_route_step(cell.coord, dims.coord_of(tcc))
-                        .expect("non-local target must need a hop");
-                    let out = dir.index();
-                    if out_used[out] {
-                        continue;
-                    }
-                    let nb = dims
-                        .neighbor(src as u16, dir)
-                        .expect("YX minimal route never leaves the mesh");
-                    let in_port = dir.opposite().index();
-                    if self.cells[nb as usize].router.accepts(in_port) {
-                        out_used[out] = true;
-                        self.moves.push(Move::Hop {
-                            src: src as u16,
-                            port: port as u8,
-                            dst: nb,
-                            in_port: in_port as u8,
-                        });
-                    } else {
-                        self.counters.net_stalls += 1;
-                    }
-                }
-            }
+            let cell = &cells[src];
+            let mut accepts = |nb: u16, in_port: usize| cells[nb as usize].router.accepts(in_port);
+            decide_cell_moves(
+                cell,
+                src as u16,
+                cyc,
+                dims,
+                n,
+                cap,
+                &mut accepts,
+                moves,
+                counters,
+                error,
+            );
         }
         for i in 0..self.moves.len() {
             match self.moves[i] {
@@ -285,6 +538,7 @@ impl<P: Program> Chip<P> {
         }
         let mut active = 0u32;
         let cycle_now = self.cycle;
+        let safra_on = self.safra.is_some();
         let Chip {
             cells,
             program,
@@ -300,106 +554,22 @@ impl<P: Program> Chip<P> {
             token_alive,
             ..
         } = self;
+        let mut totals = ComputeFx::default();
         for (i, cell) in cells.iter_mut().enumerate() {
-            if !cell.busy {
-                let Some(op) = cell.task_queue.pop_front() else { continue };
-                *queued_tasks -= 1;
-                if op.action == ACT_TOKEN {
-                    // Safra Rule 1: hold the token until passive, then add
-                    // our count, colour it, whiten ourselves, and forward —
-                    // or, at the initiator, run the Rule-2 detection check.
-                    let s = safra.as_mut().expect("token without detector");
-                    cell.busy = true;
-                    cell.remaining = 1; // one bookkeeping instruction
-                    *busy += 1;
-                    if cell.task_queue.is_empty() {
-                        let (q, colour) = decode_token(&op);
-                        let td = s.cells[i];
-                        if i == 0 {
-                            if initiator_detects(q, colour, td) {
-                                s.terminated = true;
-                                s.detected_at = Some(cycle_now);
-                                *token_alive = false; // token retired
-                            } else {
-                                // Unsuccessful probe: whiten, fresh round.
-                                s.rounds += 1;
-                                s.cells[0].black = false;
-                                let next = cfg.dims.serpentine_next(0);
-                                cell.outbox.push_back(token_operon(
-                                    next,
-                                    0,
-                                    crate::safra::Colour::White,
-                                ));
-                            }
-                        } else {
-                            let fwd_q = q + td.mc;
-                            let fwd_colour = if td.black || colour == crate::safra::Colour::Black {
-                                crate::safra::Colour::Black
-                            } else {
-                                crate::safra::Colour::White
-                            };
-                            s.cells[i].black = false;
-                            let next = cfg.dims.serpentine_next(i as u16);
-                            cell.outbox.push_back(token_operon(next, fwd_q, fwd_colour));
-                        }
-                    } else {
-                        // Not passive: poll — requeue the token behind the
-                        // pending work.
-                        s.token_requeues += 1;
-                        cell.task_queue.push_back(op);
-                        *queued_tasks += 1;
-                    }
-                } else {
-                    if let Some(s) = safra.as_mut() {
-                        s.on_consume(i as u16);
-                    }
-                    let mut charge = cfg.cost.dispatch;
-                    {
-                        let mut ctx = ExecCtx::new(
-                            cell.id,
-                            cell.coord,
-                            &mut cell.memory,
-                            &mut cell.outbox,
-                            &mut charge,
-                            counters,
-                            &cfg.cost,
-                            placement,
-                            &mut cell.rng,
-                            error,
-                        );
-                        program.execute(&mut ctx, &op);
-                    }
-                    cell.busy = true;
-                    cell.remaining = charge.max(1);
-                    *busy += 1;
-                }
+            let mut fx = ComputeFx::default();
+            let did_work =
+                compute_cell(cell, i, safra_on, program, counters, cfg, placement, error, &mut fx);
+            if let Some(step) = fx.token {
+                apply_token_step(
+                    step,
+                    safra.as_mut().expect("token without detector"),
+                    token_alive,
+                    cycle_now,
+                );
             }
-            debug_assert!(cell.busy);
-            let mut did_work = false;
-            if cell.remaining > 0 {
-                cell.remaining -= 1;
-                counters.instrs += 1;
-                did_work = true;
-            } else if let Some(&op) = cell.outbox.front() {
-                if cell.router.accepts_now(PORT_LOCAL) {
-                    cell.outbox.pop_front();
-                    cell.router.push(PORT_LOCAL, op);
-                    *in_network += 1;
-                    counters.msgs_staged += 1;
-                    if op.action != ACT_TOKEN {
-                        if let Some(s) = safra.as_mut() {
-                            s.on_send(i as u16);
-                        }
-                    }
-                    did_work = true;
-                } else {
-                    counters.stage_stalls += 1;
-                }
-            }
-            if cell.remaining == 0 && cell.outbox.is_empty() {
-                cell.busy = false;
-                *busy -= 1;
-            }
+            totals.d_queued += fx.d_queued;
+            totals.d_busy += fx.d_busy;
+            totals.d_in_network += fx.d_in_network;
             if did_work {
                 active += 1;
                 if record_frames {
@@ -407,27 +577,21 @@ impl<P: Program> Chip<P> {
                 }
             }
         }
+        *queued_tasks = (*queued_tasks as i64 + totals.d_queued) as u64;
+        *busy = (*busy as i64 + totals.d_busy) as u32;
+        *in_network = (*in_network as i64 + totals.d_in_network) as u64;
         active
     }
 
     fn io_phase(&mut self) {
-        for i in 0..self.io.cells.len() {
-            let Some(&op) = self.io.cells[i].queue.front() else { continue };
-            let cc = self.io.cells[i].cc as usize;
-            if self.cells[cc].router.accepts_now(PORT_IO) {
-                self.io.cells[i].queue.pop_front();
-                self.io.pending -= 1;
-                self.cells[cc].router.push(PORT_IO, op);
-                self.in_network += 1;
-                self.counters.io_injected += 1;
-                // The IO-cell-to-CC link traversal is a hop like any other.
-                self.counters.hops += 1;
-                // Termination accounting: an IO injection is a send by the
-                // environment, attributed to the border cell so the message
-                // count stays closed.
-                if let Some(s) = self.safra.as_mut() {
-                    s.on_send(cc as u16);
-                }
+        let safra_on = self.safra.is_some();
+        let Chip { cells, io, counters, in_network, .. } = self;
+        let IoSystem { cells: io_cells, pending, .. } = io;
+        for io_cell in io_cells.iter_mut() {
+            let cc = io_cell.cc as usize;
+            if io_cell_step(io_cell, &mut cells[cc], safra_on, counters) {
+                *pending -= 1;
+                *in_network += 1;
             }
         }
     }
@@ -454,8 +618,21 @@ impl<P: Program> Chip<P> {
         self.in_network == 0 && self.queued_tasks == 0 && self.busy == 0 && self.io.pending == 0
     }
 
+    /// Whether runs will use the sharded parallel engine (more than one
+    /// non-empty column band after clamping to the mesh width).
+    pub fn is_sharded(&self) -> bool {
+        self.cfg.shards > 1 && ShardPlan::new(self.cfg.dims, self.cfg.shards).shard_count() > 1
+    }
+
     /// Run until quiescent; returns the number of cycles this run consumed.
+    ///
+    /// With [`ChipConfig::shards`] > 1 the run executes on the sharded
+    /// parallel engine; results (cycle count, counters, object states,
+    /// activity, energy) are bit-identical to the sequential path.
     pub fn run_until_quiescent(&mut self) -> Result<u64, SimError> {
+        if self.is_sharded() {
+            return crate::parallel::run_sharded(self, crate::parallel::RunGoal::Quiescence);
+        }
         let start = self.cycle;
         while !self.is_quiescent() {
             if let Some(e) = self.error.take() {
@@ -487,7 +664,10 @@ impl<P: Program> Chip<P> {
         );
         assert!(self.cfg.cell_count() >= 2, "token ring needs at least two cells");
         if self.safra.is_none() {
-            self.safra = Some(SafraState::new(self.cfg.cell_count() as usize));
+            self.safra = Some(SafraState::new());
+            for cell in &mut self.cells {
+                cell.td = CellTd::start();
+            }
         }
     }
 
@@ -507,7 +687,7 @@ impl<P: Program> Chip<P> {
         s.terminated = false;
         s.detected_at = None;
         // The initiator's state must be conservative at probe start.
-        s.cells[0].black = true;
+        self.cells[0].td.black = true;
         self.token_alive = true;
         // Seed the probe: a black token so round 1 can never detect.
         let op = token_operon(0, 0, crate::safra::Colour::Black);
@@ -520,12 +700,21 @@ impl<P: Program> Chip<P> {
         self.safra.as_ref()
     }
 
+    /// Global Safra message balance: Σ `mc` over all cells. Zero exactly when
+    /// the closed-system accounting balances (no operon in flight).
+    pub fn safra_balance(&self) -> i64 {
+        self.cells.iter().map(|c| c.td.mc).sum()
+    }
+
     /// Run until the *distributed* detector declares termination. With the
     /// token circulating, [`Self::is_quiescent`] never holds, so this is the
     /// only correct way to run a Safra-enabled chip.
     pub fn run_until_terminated(&mut self) -> Result<u64, SimError> {
         assert!(self.safra.is_some(), "enable_safra_termination first");
         assert!(self.token_alive, "no probe running; call begin_safra_probe");
+        if self.is_sharded() {
+            return crate::parallel::run_sharded(self, crate::parallel::RunGoal::SafraTermination);
+        }
         let start = self.cycle;
         while !self.safra.as_ref().unwrap().terminated {
             if let Some(e) = self.error.take() {
@@ -630,6 +819,10 @@ pub(crate) struct CounterProgram;
 #[cfg(test)]
 impl Program for CounterProgram {
     type Object = u64;
+
+    fn fork(&self) -> Self {
+        CounterProgram
+    }
 
     fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
         match op.action {

@@ -61,6 +61,18 @@ pub struct ChipConfig {
     pub max_alloc_retries: u32,
     /// Master seed for all simulator randomness.
     pub seed: u64,
+    /// Number of column-band shards the execution engine runs in parallel
+    /// during `run_until_quiescent` / `run_until_terminated`. `1` selects the
+    /// sequential reference path; any other value partitions the mesh columns
+    /// into contiguous bands, one worker thread per band, with results
+    /// **bit-identical** to the sequential engine (clamped to the number of
+    /// mesh columns). Defaults to `available_parallelism()`.
+    pub shards: usize,
+}
+
+/// Default shard count: one worker per available hardware thread.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Default for ChipConfig {
@@ -79,19 +91,29 @@ impl Default for ChipConfig {
             max_cycles: 200_000_000,
             max_alloc_retries: 4096,
             seed: 0xC0FFEE,
+            shards: default_shards(),
         }
     }
 }
 
 impl ChipConfig {
-    /// A small chip for unit tests: 8 × 8, tighter queues.
+    /// A small chip for unit tests: 8 × 8, tighter queues, sequential
+    /// engine (unit tests pin the single-shard reference path; shard
+    /// equivalence has its own dedicated tests).
     pub fn small_test() -> Self {
         ChipConfig {
             dims: Dims::new(8, 8),
             arena_capacity: 1 << 12,
             max_cycles: 20_000_000,
+            shards: 1,
             ..Default::default()
         }
+    }
+
+    /// Builder-style override of the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Number of compute cells.
@@ -115,6 +137,15 @@ mod tests {
         assert_eq!(c.cell_count(), 1024);
         assert_eq!(c.io_cell_count(), 64);
         assert_eq!(c.ghost_placement, GhostPlacement::Vicinity { max_hops: 2 });
+    }
+
+    #[test]
+    fn shard_defaults() {
+        assert_eq!(ChipConfig::default().shards, default_shards());
+        assert!(default_shards() >= 1);
+        assert_eq!(ChipConfig::small_test().shards, 1, "unit tests pin the reference engine");
+        assert_eq!(ChipConfig::small_test().with_shards(0).shards, 1, "0 clamps to sequential");
+        assert_eq!(ChipConfig::small_test().with_shards(4).shards, 4);
     }
 
     #[test]

@@ -20,6 +20,16 @@
 //! The crate is application-agnostic: programs implement [`Program`] and are
 //! plugged into [`Chip`]. The `diffusive` crate builds the paper's
 //! programming model (actions, futures, continuations) on top of this.
+//!
+//! ## Parallel execution
+//!
+//! With [`ChipConfig::shards`] > 1 (the default is one shard per hardware
+//! thread), whole-run entry points execute on a sharded engine: the mesh is
+//! partitioned into contiguous column bands, one worker thread per band,
+//! exchanging cross-band operons at a cycle barrier. Results are
+//! **bit-identical to the sequential engine for any shard count**; `shards:
+//! 1` keeps the original single-threaded path as the reference
+//! implementation. See [`shard`] and the crate's `shard_equivalence` tests.
 
 pub mod arena;
 pub mod cell;
@@ -31,11 +41,13 @@ pub mod error;
 pub mod geom;
 pub mod iocell;
 pub mod operon;
+pub(crate) mod parallel;
 pub mod placement;
 pub mod program;
 pub mod rng;
 pub mod router;
 pub mod safra;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 
@@ -50,7 +62,8 @@ pub use operon::{ActionId, Address, Operon};
 pub use placement::{GhostPlacement, PlacementTable, RootPlacement};
 pub use program::{ExecCtx, Program};
 pub use rng::SplitMix64;
-pub use safra::{SafraState, ACT_TOKEN};
+pub use safra::{CellTd, SafraState, ACT_TOKEN};
+pub use shard::{run_tasks, ShardPlan};
 pub use stats::{
     gini, max_mean_ratio, top_k_share, ActivityRecording, ActivitySeries, CellLoad, Counters,
 };

@@ -1,0 +1,693 @@
+//! The sharded parallel execution engine.
+//!
+//! [`crate::ChipConfig::shards`] > 1 runs `run_until_quiescent` /
+//! `run_until_terminated` on this engine: the mesh is split into contiguous
+//! column bands ([`ShardPlan`]), each band's cells (and its slice of the
+//! north/south IO cells) are owned by one worker on a `std::thread::scope`
+//! thread, and workers advance in lock-step cycles. The contract is strict
+//! **bit-identity with the sequential engine** for any shard count; the
+//! determinism CI gate and `tests/shard_equivalence.rs` enforce it.
+//!
+//! # Why this is deterministic
+//!
+//! Each simulated cycle has two worker phases separated by a barrier:
+//!
+//! 1. **Route** — every worker decides its own cells' network moves against
+//!    the *start-of-cycle* router snapshot (cross-band credits are read from
+//!    frames published at the previous cycle's end), then applies them:
+//!    intra-band hops move directly, cross-band hops are popped locally and
+//!    posted to a per-pair outbox. Under YX routing only east/west boundary
+//!    hops cross bands, and flow control admits at most one flit per input
+//!    FIFO per cycle, so outbox drain order cannot affect any FIFO's final
+//!    order.
+//! 2. **Drain + compute + IO** — every worker drains its inboxes in shard-id
+//!    order, runs the shared per-cell compute ([`crate::chip::compute_cell`])
+//!    and IO steps over its own cells (all cell-local by the architecture's
+//!    message-driven discipline), snapshots its routers for the next cycle,
+//!    and publishes boundary credit frames plus a cycle report.
+//!
+//! The coordinator (the calling thread) then folds the per-shard reports —
+//! active-cell counts, queue/occupancy deltas, Safra token events, and the
+//! first error in (phase, cell-id) order — exactly as the sequential loop
+//! would have, and decides whether another cycle runs. Event counters and
+//! per-cell load stats accumulate in worker-local storage with **no locks or
+//! atomics on the hot path** and merge once at run end; program state runs on
+//! per-shard forks merged in shard order ([`crate::Program::fork`]).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::cell::Cell;
+use crate::chip::{
+    apply_token_step, compute_cell, decide_cell_moves, io_cell_step, Chip, ComputeFx, Move,
+    TokenStep,
+};
+use crate::config::ChipConfig;
+use crate::error::SimError;
+use crate::iocell::{IoCell, IoSystem};
+use crate::operon::Operon;
+use crate::placement::PlacementTable;
+use crate::program::Program;
+use crate::router::{PORT_EAST, PORT_WEST};
+use crate::safra::ACT_TOKEN;
+use crate::shard::{backoff, ShardPlan, SpinBarrier};
+use crate::stats::{ActivityRecording, CellLoad, Counters};
+
+/// What a sharded run waits for (mirrors the two sequential run loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunGoal {
+    /// Stop at global quiescence (`Chip::is_quiescent`).
+    Quiescence,
+    /// Stop when the Safra detector declares termination.
+    SafraTermination,
+}
+
+/// A shard worker's run-long accumulators, folded back into the chip once
+/// the run stops (in shard-id order).
+type ShardOutcome<P> = (usize, P, Counters, Vec<CellLoad>);
+
+/// A cross-band hop in flight between two shards.
+struct Mail {
+    dst: u16,
+    in_port: u8,
+    op: Operon,
+}
+
+/// One shard's non-cell-local effects for one cycle, handed to the
+/// coordinator at the cycle barrier.
+#[derive(Default)]
+struct CycleReport {
+    active: u32,
+    d_in_network: i64,
+    d_queued: i64,
+    d_busy: i64,
+    io_injected: u64,
+    token: Option<TokenStep>,
+    token_hops: u64,
+    /// First network-phase error, with the deciding cell id.
+    net_err: Option<(u16, SimError)>,
+    /// First compute-phase error, with the executing cell id.
+    comp_err: Option<(u16, SimError)>,
+    /// Activity bitmap words (whole-chip indexing); used only in Frames mode.
+    frame: Vec<u64>,
+}
+
+/// Start-of-cycle acceptance of a band's boundary columns, published for the
+/// neighbouring shards' route decisions.
+struct CreditFrame {
+    /// `west[y]`: does cell `(x0, y)` accept on its west port (an eastbound
+    /// hop from the left neighbour)?
+    west: Vec<bool>,
+    /// `east[y]`: does cell `(x1-1, y)` accept on its east port (a westbound
+    /// hop from the right neighbour)?
+    east: Vec<bool>,
+}
+
+/// Coordinator ⇄ worker rendezvous: workers report arrival, the coordinator
+/// merges reports and releases the next cycle by bumping the epoch.
+struct Gate {
+    epoch: AtomicUsize,
+    arrived: AtomicUsize,
+    stop: AtomicBool,
+    poisoned: AtomicBool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            epoch: AtomicUsize::new(0),
+            arrived: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn arrive(&self) {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn wait_epoch(&self, target: usize) {
+        let mut spins = 0u32;
+        while self.epoch.load(Ordering::Acquire) < target {
+            if self.poisoned.load(Ordering::Relaxed) {
+                panic!("shard engine poisoned: a sibling worker panicked");
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    fn wait_arrivals(&self, n: usize) {
+        let mut spins = 0u32;
+        while self.arrived.load(Ordering::Acquire) < n {
+            if self.poisoned.load(Ordering::Relaxed) {
+                panic!("shard engine poisoned: a worker panicked");
+            }
+            backoff(&mut spins);
+        }
+        self.arrived.store(0, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Everything shared (read-only or lock-protected) between the workers and
+/// the coordinator for one run.
+struct Shared<'a> {
+    cfg: &'a ChipConfig,
+    placement: &'a PlacementTable,
+    plan: &'a ShardPlan,
+    /// `mailboxes[src][dst]`: cross-band hops posted by `src` for `dst`.
+    mailboxes: Vec<Vec<Mutex<Vec<Mail>>>>,
+    credits: Vec<Mutex<CreditFrame>>,
+    reports: Vec<Mutex<CycleReport>>,
+    gate: Gate,
+    mid: SpinBarrier,
+    safra_on: bool,
+    frames_on: bool,
+    start_cycle: u64,
+    n_cells: usize,
+}
+
+/// One shard worker: exclusive owner of a column band's cells, IO cells,
+/// program fork, and statistics.
+struct Worker<'a, P: Program> {
+    sid: usize,
+    x0: usize,
+    width: usize,
+    /// One row-segment per mesh row: `rows[y][x - x0]` is cell `(x, y)`.
+    rows: Vec<&'a mut [Cell<P::Object>]>,
+    /// This band's IO-cell segments (one per active channel).
+    io_segs: Vec<&'a mut [IoCell]>,
+    program: P,
+    counters: Counters,
+    loads: Vec<CellLoad>,
+    moves: Vec<Move>,
+    /// Pending cross-band mail per destination shard.
+    outbufs: Vec<Vec<Mail>>,
+    /// Copies of the neighbours' published credit frames.
+    left_credit: Vec<bool>,
+    right_credit: Vec<bool>,
+    frame: Vec<u64>,
+    rep: CycleReport,
+}
+
+impl<'a, P: Program> Worker<'a, P> {
+    fn cell_mut(&mut self, id: u16, dims_x: u16) -> &mut Cell<P::Object> {
+        let x = (id % dims_x) as usize;
+        let y = (id / dims_x) as usize;
+        &mut self.rows[y][x - self.x0]
+    }
+
+    fn run(&mut self, shared: &Shared<'_>) {
+        let dims = shared.cfg.dims;
+        // P0: snapshot routers and publish credits for the first cycle.
+        self.begin_cycle_and_publish(shared);
+        shared.gate.arrive();
+        let mut cur = shared.start_cycle;
+        let mut epoch = 0usize;
+        loop {
+            epoch += 1;
+            shared.gate.wait_epoch(epoch);
+            if shared.gate.stop.load(Ordering::Acquire) {
+                break;
+            }
+            self.phase_route(shared, cur, dims);
+            shared.mid.wait();
+            self.phase_drain_compute_io(shared, cur, dims);
+            self.begin_cycle_and_publish(shared);
+            self.flush_report(shared);
+            cur += 1;
+            shared.gate.arrive();
+        }
+    }
+
+    /// Decide this band's moves against the start-of-cycle snapshot, then
+    /// apply them (cross-band hops go to the outboxes).
+    fn phase_route(&mut self, shared: &Shared<'_>, cur: u64, dims: crate::geom::Dims) {
+        let n_shards = shared.plan.shard_count();
+        if self.sid > 0 {
+            let c = shared.credits[self.sid - 1].lock().unwrap();
+            self.left_credit.clone_from(&c.east);
+        }
+        if self.sid + 1 < n_shards {
+            let c = shared.credits[self.sid + 1].lock().unwrap();
+            self.right_credit.clone_from(&c.west);
+        }
+        let Worker { rows, left_credit, right_credit, moves, counters, x0, width, rep, .. } = self;
+        let (x0, width) = (*x0, *width);
+        moves.clear();
+        let mut err: Option<SimError> = None;
+        for (gy, row) in rows.iter().enumerate() {
+            for (lx, cell) in row.iter().enumerate() {
+                let src = (gy * dims.x as usize + x0 + lx) as u16;
+                let mut accepts = |nb: u16, in_port: usize| -> bool {
+                    let nx = (nb % dims.x) as usize;
+                    let ny = (nb / dims.x) as usize;
+                    if nx >= x0 && nx < x0 + width {
+                        rows[ny][nx - x0].router.accepts(in_port)
+                    } else if nx < x0 {
+                        debug_assert_eq!(in_port, PORT_EAST, "westbound hop arrives east");
+                        left_credit[ny]
+                    } else {
+                        debug_assert_eq!(in_port, PORT_WEST, "eastbound hop arrives west");
+                        right_credit[ny]
+                    }
+                };
+                let before = err.is_some();
+                decide_cell_moves(
+                    cell,
+                    src,
+                    cur,
+                    dims,
+                    shared.n_cells,
+                    shared.cfg.task_queue_cap,
+                    &mut accepts,
+                    moves,
+                    counters,
+                    &mut err,
+                );
+                if !before {
+                    if let Some(e) = err.clone() {
+                        rep.net_err = Some((src, e));
+                    }
+                }
+            }
+        }
+        // Apply: pops are always band-local; pushes may cross the boundary.
+        for i in 0..self.moves.len() {
+            let mv = self.moves[i];
+            match mv {
+                Move::Hop { src, port, dst, in_port } => {
+                    let op = self.cell_mut(src, dims.x).router.pop(port as usize);
+                    if op.action == ACT_TOKEN {
+                        self.rep.token_hops += 1;
+                    }
+                    self.counters.hops += 1;
+                    let dx = (dst % dims.x) as usize;
+                    if dx >= self.x0 && dx < self.x0 + self.width {
+                        self.cell_mut(dst, dims.x).router.push(in_port as usize, op);
+                    } else {
+                        let t = if dx < self.x0 { self.sid - 1 } else { self.sid + 1 };
+                        self.outbufs[t].push(Mail { dst, in_port, op });
+                    }
+                }
+                Move::Deliver { cell, port } => {
+                    let c = self.cell_mut(cell, dims.x);
+                    let op = c.router.pop(port as usize);
+                    c.task_queue.push_back(op);
+                    let queue_len = c.task_queue.len() as u32;
+                    self.rep.d_in_network -= 1;
+                    self.rep.d_queued += 1;
+                    self.counters.msgs_delivered += 1;
+                    let load = &mut self.loads[cell as usize];
+                    load.delivered += 1;
+                    load.peak_queue = load.peak_queue.max(queue_len);
+                }
+            }
+        }
+        for t in [self.sid.wrapping_sub(1), self.sid + 1] {
+            if t < n_shards && !self.outbufs[t].is_empty() {
+                shared.mailboxes[self.sid][t].lock().unwrap().append(&mut self.outbufs[t]);
+            }
+        }
+    }
+
+    /// Drain cross-band arrivals, then run compute and IO over the band.
+    fn phase_drain_compute_io(&mut self, shared: &Shared<'_>, cur: u64, dims: crate::geom::Dims) {
+        let _ = cur;
+        let n_shards = shared.plan.shard_count();
+        // Drain inboxes in shard-id order (deterministic; and each input
+        // FIFO receives at most one flit per cycle regardless).
+        for src in [self.sid.wrapping_sub(1), self.sid + 1] {
+            if src >= n_shards {
+                continue;
+            }
+            let mut mb = shared.mailboxes[src][self.sid].lock().unwrap();
+            for m in mb.drain(..) {
+                self.cell_mut(m.dst, dims.x).router.push(m.in_port as usize, m.op);
+            }
+        }
+        // Compute phase over own cells, in cell-id order.
+        if shared.frames_on {
+            self.frame.fill(0);
+        }
+        let mut active = 0u32;
+        let mut comp_err: Option<SimError> = None;
+        let Worker { rows, program, counters, x0, rep, frame, .. } = self;
+        let x0 = *x0;
+        for (gy, row) in rows.iter_mut().enumerate() {
+            for (lx, cell) in row.iter_mut().enumerate() {
+                let i = gy * dims.x as usize + x0 + lx;
+                let mut fx = ComputeFx::default();
+                let before = comp_err.is_some();
+                let did_work = compute_cell(
+                    cell,
+                    i,
+                    shared.safra_on,
+                    program,
+                    counters,
+                    shared.cfg,
+                    shared.placement,
+                    &mut comp_err,
+                    &mut fx,
+                );
+                if !before {
+                    if let Some(e) = comp_err.clone() {
+                        rep.comp_err = Some((i as u16, e));
+                    }
+                }
+                rep.d_queued += fx.d_queued;
+                rep.d_busy += fx.d_busy;
+                rep.d_in_network += fx.d_in_network;
+                if fx.token.is_some() {
+                    debug_assert!(rep.token.is_none(), "one token per chip");
+                    rep.token = fx.token;
+                }
+                if did_work {
+                    active += 1;
+                    if shared.frames_on {
+                        frame[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+            }
+        }
+        self.rep.active = active;
+        // IO phase over this band's IO cells.
+        let Worker { rows, io_segs, counters, rep, .. } = self;
+        for seg in io_segs.iter_mut() {
+            for io_cell in seg.iter_mut() {
+                let x = (io_cell.cc % dims.x) as usize;
+                let y = (io_cell.cc / dims.x) as usize;
+                let border = &mut rows[y][x - x0];
+                if io_cell_step(io_cell, border, shared.safra_on, counters) {
+                    rep.io_injected += 1;
+                    rep.d_in_network += 1;
+                }
+            }
+        }
+    }
+
+    /// Snapshot this band's routers for the next cycle's credits and publish
+    /// the boundary acceptance frames.
+    fn begin_cycle_and_publish(&mut self, shared: &Shared<'_>) {
+        for row in self.rows.iter_mut() {
+            for cell in row.iter_mut() {
+                cell.router.begin_cycle();
+            }
+        }
+        let mut cf = shared.credits[self.sid].lock().unwrap();
+        for (y, row) in self.rows.iter().enumerate() {
+            cf.west[y] = row[0].router.accepts(PORT_WEST);
+            cf.east[y] = row[self.width - 1].router.accepts(PORT_EAST);
+        }
+    }
+
+    /// Hand this cycle's report to the coordinator slot.
+    fn flush_report(&mut self, shared: &Shared<'_>) {
+        let mut slot = shared.reports[self.sid].lock().unwrap();
+        if shared.frames_on {
+            std::mem::swap(&mut slot.frame, &mut self.frame);
+        }
+        slot.active = self.rep.active;
+        slot.d_in_network = self.rep.d_in_network;
+        slot.d_queued = self.rep.d_queued;
+        slot.d_busy = self.rep.d_busy;
+        slot.io_injected = self.rep.io_injected;
+        slot.token = self.rep.token.take();
+        slot.token_hops = self.rep.token_hops;
+        slot.net_err = self.rep.net_err.take();
+        slot.comp_err = self.rep.comp_err.take();
+        self.rep = CycleReport { frame: std::mem::take(&mut self.rep.frame), ..Default::default() };
+    }
+}
+
+/// Split the row-major cell array into per-shard row segments.
+fn split_cells<'a, T>(cells: &'a mut [Cell<T>], plan: &ShardPlan) -> Vec<Vec<&'a mut [Cell<T>]>> {
+    let x = plan.dims().x as usize;
+    let n = plan.shard_count();
+    let mut out: Vec<Vec<&'a mut [Cell<T>]>> =
+        (0..n).map(|_| Vec::with_capacity(plan.dims().y as usize)).collect();
+    for row in cells.chunks_mut(x) {
+        let mut rest = row;
+        for (s, slot) in out.iter_mut().enumerate() {
+            let (a, b) = plan.band(s);
+            let (seg, r) = rest.split_at_mut((b - a) as usize);
+            slot.push(seg);
+            rest = r;
+        }
+    }
+    out
+}
+
+/// Split the IO cells (one contiguous run of `dims.x` per channel) into
+/// per-shard column segments.
+fn split_io<'a>(io_cells: &'a mut [IoCell], plan: &ShardPlan) -> Vec<Vec<&'a mut [IoCell]>> {
+    let x = plan.dims().x as usize;
+    let n = plan.shard_count();
+    debug_assert_eq!(io_cells.len() % x, 0, "one IO cell per column per channel");
+    let mut out: Vec<Vec<&'a mut [IoCell]>> = (0..n).map(|_| Vec::new()).collect();
+    for channel in io_cells.chunks_mut(x) {
+        let mut rest = channel;
+        for (s, slot) in out.iter_mut().enumerate() {
+            let (a, b) = plan.band(s);
+            let (seg, r) = rest.split_at_mut((b - a) as usize);
+            slot.push(seg);
+            rest = r;
+        }
+    }
+    out
+}
+
+#[inline]
+fn add_delta(v: u64, d: i64) -> u64 {
+    (v as i64 + d) as u64
+}
+
+/// Run the chip to `goal` on the sharded engine. Semantics (including error
+/// precedence and the cycle budget) mirror the sequential run loops exactly.
+pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Result<u64, SimError> {
+    let plan = ShardPlan::new(chip.cfg.dims, chip.cfg.shards);
+    let n_shards = plan.shard_count();
+    debug_assert!(n_shards >= 2, "caller dispatches single-shard runs sequentially");
+    if goal == RunGoal::Quiescence && chip.is_quiescent() {
+        // Nothing to run: mirror the sequential loop's exit (error wins).
+        return match chip.error.take() {
+            Some(e) => Err(e),
+            None => Ok(0),
+        };
+    }
+    let start = chip.cycle;
+    let safra_on = chip.safra.is_some();
+    let frames_on = matches!(chip.cfg.record_activity, ActivityRecording::Frames { .. });
+    let dims = chip.cfg.dims;
+    let n_cells = chip.cfg.cell_count() as usize;
+    let words = n_cells.div_ceil(64);
+
+    let Chip {
+        cfg,
+        placement,
+        cells,
+        io,
+        program,
+        cycle,
+        counters,
+        activity,
+        in_network,
+        queued_tasks,
+        busy,
+        error,
+        frame_scratch,
+        safra,
+        token_alive,
+        loads,
+        ..
+    } = chip;
+    let IoSystem { cells: io_cells, pending: io_pending, .. } = io;
+
+    let forks: Vec<P> = (0..n_shards).map(|_| program.fork()).collect();
+    let cell_views = split_cells(cells, &plan);
+    let io_views = split_io(io_cells, &plan);
+
+    let shared = Shared {
+        cfg,
+        placement,
+        plan: &plan,
+        mailboxes: (0..n_shards)
+            .map(|_| (0..n_shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        credits: (0..n_shards)
+            .map(|_| {
+                Mutex::new(CreditFrame {
+                    west: vec![false; dims.y as usize],
+                    east: vec![false; dims.y as usize],
+                })
+            })
+            .collect(),
+        reports: (0..n_shards)
+            .map(|_| {
+                Mutex::new(CycleReport {
+                    // Sized up front: `flush_report` ping-pongs this buffer
+                    // with the worker's, so both must span the whole chip.
+                    frame: vec![0u64; if frames_on { words } else { 0 }],
+                    ..Default::default()
+                })
+            })
+            .collect(),
+        gate: Gate::new(),
+        mid: SpinBarrier::new(n_shards),
+        safra_on,
+        frames_on,
+        start_cycle: start,
+        n_cells,
+    };
+    let outcomes: Mutex<Vec<ShardOutcome<P>>> = Mutex::new(Vec::with_capacity(n_shards));
+
+    let mut result: Result<u64, SimError> = Ok(0);
+
+    std::thread::scope(|scope| {
+        for (sid, ((rows, io_segs), prog)) in
+            cell_views.into_iter().zip(io_views).zip(forks).enumerate()
+        {
+            let shared = &shared;
+            let outcomes = &outcomes;
+            let (x0, _) = plan.band(sid);
+            scope.spawn(move || {
+                let mut w = Worker {
+                    sid,
+                    x0: x0 as usize,
+                    width: rows[0].len(),
+                    rows,
+                    io_segs,
+                    program: prog,
+                    counters: Counters::default(),
+                    loads: vec![CellLoad::default(); n_cells],
+                    moves: Vec::new(),
+                    outbufs: (0..n_shards).map(|_| Vec::new()).collect(),
+                    left_credit: vec![false; dims.y as usize],
+                    right_credit: vec![false; dims.y as usize],
+                    frame: vec![0u64; words],
+                    rep: CycleReport::default(),
+                };
+                let run = catch_unwind(AssertUnwindSafe(|| w.run(shared)));
+                if let Err(panic) = run {
+                    shared.gate.poisoned.store(true, Ordering::Release);
+                    shared.mid.poison();
+                    resume_unwind(panic);
+                }
+                outcomes.lock().unwrap().push((w.sid, w.program, w.counters, w.loads));
+            });
+        }
+
+        // Coordinator: merge cycle reports and drive the stop conditions.
+        shared.gate.wait_arrivals(n_shards); // initial snapshots published
+        loop {
+            let stop = match goal {
+                RunGoal::Quiescence
+                    if *in_network == 0 && *queued_tasks == 0 && *busy == 0 && *io_pending == 0 =>
+                {
+                    Some(match error.take() {
+                        Some(e) => Err(e),
+                        None => Ok(*cycle - start),
+                    })
+                }
+                RunGoal::SafraTermination if safra.as_ref().is_some_and(|s| s.terminated) => {
+                    Some(Ok(*cycle - start))
+                }
+                _ => {
+                    if let Some(e) = error.take() {
+                        Some(Err(e))
+                    } else if *cycle - start >= cfg.max_cycles {
+                        Some(Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles }))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(res) = stop {
+                result = res;
+                shared.gate.stop.store(true, Ordering::Release);
+                shared.gate.release();
+                break;
+            }
+            shared.gate.release();
+            shared.gate.wait_arrivals(n_shards);
+
+            let mut active = 0u32;
+            let mut net_err: Option<(u16, SimError)> = None;
+            let mut comp_err: Option<(u16, SimError)> = None;
+            if frames_on {
+                frame_scratch.fill(0);
+            }
+            for slot in &shared.reports {
+                let mut r = slot.lock().unwrap();
+                active += r.active;
+                *in_network = add_delta(*in_network, r.d_in_network);
+                *queued_tasks = add_delta(*queued_tasks, r.d_queued);
+                *busy = (*busy as i64 + r.d_busy) as u32;
+                *io_pending -= r.io_injected;
+                if let Some((cc, e)) = r.net_err.take() {
+                    if net_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
+                        net_err = Some((cc, e));
+                    }
+                }
+                if let Some((cc, e)) = r.comp_err.take() {
+                    if comp_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
+                        comp_err = Some((cc, e));
+                    }
+                }
+                if let Some(step) = r.token.take() {
+                    apply_token_step(
+                        step,
+                        safra.as_mut().expect("token without detector"),
+                        token_alive,
+                        *cycle,
+                    );
+                }
+                if r.token_hops > 0 {
+                    if let Some(s) = safra.as_mut() {
+                        s.token_hops += r.token_hops;
+                    }
+                }
+                if frames_on {
+                    for (acc, w) in frame_scratch.iter_mut().zip(&r.frame) {
+                        *acc |= *w;
+                    }
+                }
+            }
+            // First error in (network, then compute) × cell-id order — the
+            // same precedence the sequential phases produce.
+            if error.is_none() {
+                *error = net_err.map(|(_, e)| e).or(comp_err.map(|(_, e)| e));
+            }
+            match cfg.record_activity {
+                ActivityRecording::Off => {}
+                ActivityRecording::Counts => {
+                    activity.counts.push(active.min(u16::MAX as u32) as u16);
+                }
+                ActivityRecording::Frames { stride } => {
+                    activity.counts.push(active.min(u16::MAX as u32) as u16);
+                    if stride > 0 && cycle.is_multiple_of(stride as u64) {
+                        activity.frames.push(frame_scratch.clone());
+                    }
+                }
+            }
+            *cycle += 1;
+        }
+    });
+
+    // Fold the per-shard accumulators back, in shard-id order.
+    let mut outs = outcomes.into_inner().unwrap();
+    outs.sort_by_key(|(sid, ..)| *sid);
+    for (_, fork, fork_counters, fork_loads) in outs {
+        program.merge(fork);
+        counters.merge(&fork_counters);
+        for (total, shard) in loads.iter_mut().zip(&fork_loads) {
+            total.delivered += shard.delivered;
+            total.peak_queue = total.peak_queue.max(shard.peak_queue);
+        }
+    }
+    result
+}

@@ -132,14 +132,45 @@ impl<'a, T> ExecCtx<'a, T> {
 }
 
 /// The action set executed by the chip's compute cells.
-pub trait Program {
+///
+/// # Sharded execution contract
+///
+/// When [`crate::ChipConfig::shards`] > 1, the chip partitions the mesh into
+/// column bands and runs one *forked* program instance per band on its own
+/// worker thread (hence the `Send` bounds). For the parallel engine to stay
+/// bit-identical to the sequential one, any mutable state a program keeps
+/// outside cell memory must be either call-local scratch, or *per-cell
+/// partitioned / commutatively mergeable* (e.g. per-cell hit counters), so
+/// that [`Program::merge`] can fold the shard instances back losslessly.
+/// State that couples cells within a cycle is outside the architecture's
+/// message-driven discipline and unsupported.
+pub trait Program: Send {
     /// The object type living in compute-cell memory (e.g. a vertex object).
-    type Object;
+    type Object: Send;
 
     /// Execute one delivered operon on the cell it targeted. Mutations are
     /// applied immediately; timing is charged via `ctx.charge` and the
     /// staging of each `ctx.propagate`d operon (one cycle apiece).
     fn execute(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon);
+
+    /// Create an independent instance for one shard of a parallel run.
+    /// Configuration is copied; accumulator state starts empty (it is folded
+    /// back by [`Program::merge`] when the run completes).
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Fold a shard instance's accumulated state back into `self` after a
+    /// parallel run. Shards are merged in shard-id order, so a commutative,
+    /// associative merge reproduces the sequential totals exactly. The
+    /// default drops the worker — correct only for programs whose forks
+    /// accumulate nothing.
+    fn merge(&mut self, worker: Self)
+    where
+        Self: Sized,
+    {
+        let _ = worker;
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,10 @@ pub enum Colour {
     Black,
 }
 
-/// Per-cell termination-detection state.
+/// Per-cell termination-detection state. This lives *inside* each
+/// [`crate::cell::Cell`] (not in a chip-global table) so that the sharded
+/// parallel engine can update it with no cross-thread traffic — exactly the
+/// decentralization a real machine would have.
 #[derive(Debug, Clone, Copy)]
 pub struct CellTd {
     /// Messages sent minus messages consumed by this cell.
@@ -48,11 +51,38 @@ pub struct CellTd {
     pub black: bool,
 }
 
-/// Chip-level detector state.
-#[derive(Debug)]
+impl CellTd {
+    /// Fresh per-cell state at detector start. Starts black: activity before
+    /// the first probe must not allow a spurious first-round detection.
+    pub fn start() -> Self {
+        CellTd { mc: 0, black: true }
+    }
+
+    /// Account one application-operon send by this cell.
+    #[inline]
+    pub fn on_send(&mut self) {
+        self.mc += 1;
+    }
+
+    /// Account one application-operon consumption by this cell.
+    #[inline]
+    pub fn on_consume(&mut self) {
+        self.mc -= 1;
+        self.black = true;
+    }
+}
+
+impl Default for CellTd {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Chip-level detector state: only the global scalars live here. The
+/// per-cell counters and colours are each cell's [`CellTd`]
+/// (`Cell::td`), so every hot-path update stays cell-local.
+#[derive(Debug, Default)]
 pub struct SafraState {
-    /// Per-cell counters and colours, indexed by cell id.
-    pub cells: Vec<CellTd>,
     /// Set when the initiator declares termination.
     pub terminated: bool,
     /// Completed (unsuccessful) probe rounds.
@@ -66,32 +96,9 @@ pub struct SafraState {
 }
 
 impl SafraState {
-    /// Fresh detector state for an `n_cells`-cell chip.
-    pub fn new(n_cells: usize) -> Self {
-        SafraState {
-            // Start black: activity before the first probe must not allow a
-            // spurious first-round detection.
-            cells: vec![CellTd { mc: 0, black: true }; n_cells],
-            terminated: false,
-            rounds: 0,
-            token_hops: 0,
-            token_requeues: 0,
-            detected_at: None,
-        }
-    }
-
-    /// Account one application-operon send by `cc`.
-    #[inline]
-    pub fn on_send(&mut self, cc: u16) {
-        self.cells[cc as usize].mc += 1;
-    }
-
-    /// Account one application-operon consumption by `cc`.
-    #[inline]
-    pub fn on_consume(&mut self, cc: u16) {
-        let c = &mut self.cells[cc as usize];
-        c.mc -= 1;
-        c.black = true;
+    /// Fresh detector state (per-cell state is reset by the chip).
+    pub fn new() -> Self {
+        SafraState::default()
     }
 }
 
@@ -134,14 +141,14 @@ mod tests {
 
     #[test]
     fn accounting_tracks_flow() {
-        let mut s = SafraState::new(4);
-        s.on_send(1);
-        s.on_send(1);
-        s.on_consume(2);
-        assert_eq!(s.cells[1].mc, 2);
-        assert_eq!(s.cells[2].mc, -1);
-        assert!(s.cells[2].black);
-        let total: i64 = s.cells.iter().map(|c| c.mc).sum();
+        let mut cells = [CellTd::start(); 4];
+        cells[1].on_send();
+        cells[1].on_send();
+        cells[2].on_consume();
+        assert_eq!(cells[1].mc, 2);
+        assert_eq!(cells[2].mc, -1);
+        assert!(cells[2].black);
+        let total: i64 = cells.iter().map(|c| c.mc).sum();
         assert_eq!(total, 1, "one message still in flight");
     }
 
@@ -158,8 +165,7 @@ mod tests {
 
     #[test]
     fn fresh_state_is_black_everywhere() {
-        let s = SafraState::new(8);
-        assert!(s.cells.iter().all(|c| c.black), "no spurious first-round detection");
-        assert!(!s.terminated);
+        assert!(CellTd::start().black, "no spurious first-round detection");
+        assert!(!SafraState::new().terminated);
     }
 }

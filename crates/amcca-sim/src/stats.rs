@@ -29,6 +29,23 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Element-wise sum `self += other`. Used to fold the per-shard counters
+    /// of a parallel run back into the chip's totals; every field is an
+    /// order-independent event count, so the merged result is bit-identical
+    /// to a sequential run.
+    pub fn merge(&mut self, other: &Counters) {
+        self.instrs += other.instrs;
+        self.hops += other.hops;
+        self.msgs_staged += other.msgs_staged;
+        self.io_injected += other.io_injected;
+        self.msgs_delivered += other.msgs_delivered;
+        self.allocs += other.allocs;
+        self.alloc_retries += other.alloc_retries;
+        self.stage_stalls += other.stage_stalls;
+        self.net_stalls += other.net_stalls;
+        self.deliver_stalls += other.deliver_stalls;
+    }
+
     /// Element-wise difference `self - earlier` (for run-segment reports).
     pub fn delta(&self, earlier: &Counters) -> Counters {
         Counters {
@@ -175,6 +192,16 @@ mod tests {
         assert_eq!(top_k_share(&[40, 0, 0, 0], 1), 1.0);
         assert_eq!(top_k_share(&[1, 2, 3, 4], 2), 0.7);
         assert_eq!(top_k_share(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = Counters { instrs: 10, hops: 20, ..Default::default() };
+        let b = Counters { instrs: 5, msgs_delivered: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instrs, 15);
+        assert_eq!(a.hops, 20);
+        assert_eq!(a.msgs_delivered, 3);
     }
 
     #[test]

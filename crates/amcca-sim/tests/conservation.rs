@@ -16,6 +16,10 @@ const TTL_SHIFT: u32 = 48;
 impl Program for AccProgram {
     type Object = u64;
 
+    fn fork(&self) -> Self {
+        AccProgram
+    }
+
     fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
         ctx.charge(1);
         let value = op.payload[0] & ((1 << TTL_SHIFT) - 1);

@@ -23,6 +23,10 @@ fn mix(x: u64) -> u64 {
 impl Program for FanProgram {
     type Object = u64;
 
+    fn fork(&self) -> Self {
+        FanProgram
+    }
+
     fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
         ctx.charge(1);
         let value = op.payload[0] & 0xFFFF;
@@ -95,8 +99,7 @@ proptest! {
         let s = chip.safra().unwrap();
         prop_assert!(s.terminated);
         // Global message balance: Σ mc over all cells is zero.
-        let balance: i64 = s.cells.iter().map(|c| c.mc).sum();
-        prop_assert_eq!(balance, 0, "closed-system accounting must balance");
+        prop_assert_eq!(chip.safra_balance(), 0, "closed-system accounting must balance");
         // (a) detection happened at or after true termination.
         prop_assert!(chip.cycle() >= base.cycle());
     }

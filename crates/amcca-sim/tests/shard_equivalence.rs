@@ -1,0 +1,228 @@
+//! Property tests of the sharded parallel engine: for arbitrary operon
+//! workloads, any shard count must produce results **bit-identical** to the
+//! sequential reference engine — final object states, cycle counts, event
+//! counters, per-cell loads, activity series, errors, and the Safra
+//! detector's statistics.
+
+use amcca_sim::{
+    ActivityRecording, Address, Chip, ChipConfig, Counters, Dims, ExecCtx, Operon, Program,
+    SimError,
+};
+use proptest::prelude::*;
+
+/// Workload program exercising every engine surface: fan-out diffusion
+/// (action 7), local allocation + placement-RNG routing (action 8), and
+/// plain increments (action 9). Payload packs `value | ttl << 48`.
+struct StressProgram;
+
+const TTL_SHIFT: u32 = 48;
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+const DIMS: Dims = Dims::new(9, 5);
+const N_CELLS: u64 = 45;
+
+impl Program for StressProgram {
+    type Object = u64;
+
+    fn fork(&self) -> Self {
+        StressProgram
+    }
+
+    fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
+        ctx.charge(1);
+        let value = op.payload[0] & 0xFFFF;
+        let ttl = (op.payload[0] >> TTL_SHIFT) & 0xFF;
+        match op.action {
+            // Fan-out: add, then forward two children to mixed cells.
+            7 => {
+                *ctx.obj_mut(op.target.slot).expect("live") += value;
+                if ttl > 0 {
+                    for k in 0..2u64 {
+                        let h = mix(op.payload[1] ^ (ttl << 8) ^ k);
+                        let cc = (h % N_CELLS) as u16;
+                        ctx.propagate(Operon::new(
+                            Address::new(cc, 0),
+                            7,
+                            [((ttl - 1) << TTL_SHIFT) | value, h],
+                        ));
+                    }
+                }
+            }
+            // Allocate locally, then route an increment through the
+            // placement policy's per-cell RNG (exercises RNG determinism).
+            8 => {
+                if let Ok(addr) = ctx.alloc(value) {
+                    ctx.propagate(Operon::new(addr, 9, [1, 0]));
+                }
+                let tcc = ctx.choose_alloc_target(0);
+                ctx.propagate(Operon::new(Address::new(tcc, 0), 9, [value, 0]));
+            }
+            9 => match ctx.obj_mut(op.target.slot) {
+                Some(v) => *v += value,
+                None => ctx.fail(SimError::BadAddress { addr: op.target, action: 9 }),
+            },
+            other => panic!("unknown action {other}"),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct RunOutcome {
+    result: Result<u64, SimError>,
+    cycle: u64,
+    counters: Counters,
+    objects: Vec<(u16, u32, u64)>,
+    loads: Vec<(u64, u32)>,
+    activity: Vec<u16>,
+}
+
+fn build(shards: usize, link_buffer: usize, queue_cap: usize, seed: u64) -> Chip<StressProgram> {
+    let cfg = ChipConfig {
+        dims: DIMS,
+        link_buffer,
+        task_queue_cap: queue_cap,
+        record_activity: ActivityRecording::Counts,
+        seed,
+        shards,
+        ..ChipConfig::small_test()
+    };
+    let mut chip = Chip::new(cfg, StressProgram);
+    for cc in 0..N_CELLS as u16 {
+        chip.host_alloc(cc, 0).unwrap();
+    }
+    chip
+}
+
+fn run(
+    shards: usize,
+    link_buffer: usize,
+    queue_cap: usize,
+    seed: u64,
+    ops: &[Operon],
+) -> RunOutcome {
+    let mut chip = build(shards, link_buffer, queue_cap, seed);
+    assert_eq!(chip.is_sharded(), shards > 1, "plan engages for every tested shard count");
+    chip.io_load(ops.iter().copied());
+    let result = chip.run_until_quiescent();
+    let mut objects = Vec::new();
+    chip.for_each_object(|a, &v| objects.push((a.cc, a.slot, v)));
+    RunOutcome {
+        result,
+        cycle: chip.cycle(),
+        counters: *chip.counters(),
+        objects,
+        loads: chip.cell_loads().iter().map(|l| (l.delivered, l.peak_queue)).collect(),
+        activity: chip.activity().counts.clone(),
+    }
+}
+
+fn workload(seeds: &[(u16, u64, u64, u64, u8)]) -> Vec<Operon> {
+    seeds
+        .iter()
+        .map(|&(cc, v, ttl, h, action)| {
+            let action = 7 + (action % 2) as u16; // 7 (fan-out) or 8 (alloc+rng)
+            Operon::new(Address::new(cc % N_CELLS as u16, 0), action, [(ttl << TTL_SHIFT) | v, h])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Sequential (shards = 1) and sharded (2, 3, 8) runs are bit-identical:
+    /// same cycles, counters, objects, loads, and activity series — even
+    /// under tight buffers where backpressure stalls dominate.
+    #[test]
+    fn sharded_runs_match_sequential(
+        seeds in prop::collection::vec(
+            (0u16..N_CELLS as u16, 1u64..8, 0u64..5, any::<u64>(), 0u8..2), 1..24),
+        link_buffer in 1usize..3,
+        queue_cap in 2usize..40,
+        chip_seed in 0u64..1000,
+    ) {
+        let ops = workload(&seeds);
+        let reference = run(1, link_buffer, queue_cap, chip_seed, &ops);
+        prop_assert!(reference.result.is_ok());
+        for shards in [2usize, 3, 8] {
+            let sharded = run(shards, link_buffer, queue_cap, chip_seed, &ops);
+            prop_assert_eq!(&reference, &sharded, "shards={} diverged", shards);
+        }
+    }
+
+    /// The distributed Safra detector behaves identically under sharding:
+    /// same detection cycle, same token statistics, same results.
+    #[test]
+    fn sharded_safra_matches_sequential(
+        seeds in prop::collection::vec(
+            (0u16..N_CELLS as u16, 1u64..8, 0u64..4, any::<u64>(), 0u8..2), 1..12),
+        chip_seed in 0u64..1000,
+    ) {
+        let ops = workload(&seeds);
+        let outcomes: Vec<_> = [1usize, 2, 3, 8]
+            .into_iter()
+            .map(|shards| {
+                let mut chip = build(shards, 4, 1 << 16, chip_seed);
+                chip.io_load(ops.iter().copied());
+                chip.enable_safra_termination();
+                chip.begin_safra_probe();
+                chip.run_until_terminated().unwrap();
+                let s = chip.safra().unwrap();
+                let mut objects = Vec::new();
+                chip.for_each_object(|a, &v| objects.push((a.cc, a.slot, v)));
+                (
+                    chip.cycle(),
+                    *chip.counters(),
+                    objects,
+                    s.rounds,
+                    s.token_hops,
+                    s.token_requeues,
+                    s.detected_at,
+                    chip.safra_balance(),
+                )
+            })
+            .collect();
+        for o in &outcomes[1..] {
+            prop_assert_eq!(&outcomes[0], o);
+        }
+        prop_assert_eq!(outcomes[0].7, 0, "closed-system accounting balances");
+    }
+}
+
+/// Errors surface identically: same variant, at the same cycle.
+#[test]
+fn sharded_error_matches_sequential() {
+    let bad = Operon::new(Address::new(40, 7), 9, [1, 0]); // dead slot
+    let mut mixed: Vec<Operon> =
+        workload(&[(3, 2, 3, 99, 0), (17, 1, 2, 7, 1), (40, 1, 4, 1234, 0)]);
+    mixed.push(bad);
+    let mut outcomes = Vec::new();
+    for shards in [1usize, 3] {
+        let mut chip = build(shards, 4, 1 << 16, 42);
+        chip.io_load(mixed.iter().copied());
+        let err = chip.run_until_quiescent().unwrap_err();
+        outcomes.push((err, chip.cycle()));
+    }
+    assert!(matches!(outcomes[0].0, SimError::BadAddress { .. }));
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+/// Frame-mode activity bitmaps (the animation data) are identical too.
+#[test]
+fn sharded_frames_match_sequential() {
+    let ops = workload(&[(1, 3, 4, 5, 0), (20, 2, 3, 11, 1), (44, 1, 4, 23, 0)]);
+    let mut frames = Vec::new();
+    for shards in [1usize, 4] {
+        let mut chip = build(shards, 4, 1 << 16, 7);
+        chip.set_activity_recording(ActivityRecording::Frames { stride: 2 });
+        chip.io_load(ops.iter().copied());
+        chip.run_until_quiescent().unwrap();
+        frames.push((chip.activity().counts.clone(), chip.activity().frames.clone()));
+    }
+    assert!(!frames[0].1.is_empty(), "frames were recorded");
+    assert_eq!(frames[0], frames[1]);
+}

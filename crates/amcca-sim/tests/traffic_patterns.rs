@@ -10,6 +10,10 @@ struct CountProgram;
 impl Program for CountProgram {
     type Object = u64;
 
+    fn fork(&self) -> Self {
+        CountProgram
+    }
+
     fn execute(&mut self, ctx: &mut ExecCtx<'_, u64>, op: &Operon) {
         ctx.charge(1);
         match op.action {

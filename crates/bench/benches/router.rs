@@ -10,6 +10,9 @@ struct Sink;
 
 impl Program for Sink {
     type Object = u32;
+    fn fork(&self) -> Self {
+        Sink
+    }
     fn execute(&mut self, ctx: &mut ExecCtx<'_, u32>, _op: &Operon) {
         ctx.charge(1);
     }

@@ -1,0 +1,38 @@
+//! Sharded-engine scaling benchmark: wall-clock time of an ingestion+BFS
+//! streaming workload on the paper's 32×32 chip at shard counts 1/2/4.
+//!
+//! Shard 1 is the sequential reference engine; higher counts run the
+//! column-band parallel engine, which produces bit-identical simulation
+//! results (asserted below), so any delta is pure wall-clock speedup.
+
+use amcca_sim::ChipConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_datasets::{generate_sbm, SbmParams};
+use sdgp_core::apps::BfsAlgo;
+use sdgp_core::graph::{StreamEdge, StreamingGraph};
+use sdgp_core::rpvo::RpvoConfig;
+
+fn run(edges: &[StreamEdge], n: u32, shards: usize) -> u64 {
+    let cfg = ChipConfig::default().with_shards(shards);
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    g.stream_increment(edges).unwrap().cycles
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("shards/ingest_bfs_32x32");
+    grp.sample_size(10);
+    let (n, m) = (4_000u32, 40_000usize);
+    let edges = generate_sbm(&SbmParams::scaled(n, m, 7));
+    let reference = run(&edges, n, 1);
+    for &shards in &[1usize, 2, 4] {
+        // Determinism: the simulated cycle count must not depend on shards.
+        assert_eq!(run(&edges, n, shards), reference, "shards={shards} diverged");
+        grp.bench_with_input(BenchmarkId::new("shards", shards), &edges, |b, e| {
+            b.iter(|| black_box(run(e, n, shards)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

@@ -12,6 +12,8 @@
 //!   --zero-indexed     ids start at 0 (default: 1-indexed, GraphChallenge)
 //!   --symmetrize       insert both directions of every edge (needed for cc)
 //!   --chip WxH         mesh size (default 32x32)
+//!   --shards N         parallel execution shards (default: one per hardware
+//!                      thread; results are identical for any N)
 //!   --edge-cap N       RPVO inline edge capacity (default 16)
 //!   --ghosts N         RPVO ghost fanout (default 2)
 //!   --random-alloc     Random ghost placement instead of Vicinity
@@ -36,6 +38,7 @@ struct Args {
     one_indexed: bool,
     symmetrize: bool,
     dims: Dims,
+    shards: usize,
     edge_cap: usize,
     ghosts: usize,
     random_alloc: bool,
@@ -58,6 +61,7 @@ fn parse_args() -> Args {
         one_indexed: true,
         symmetrize: false,
         dims: Dims::new(32, 32),
+        shards: amcca_sim::config::default_shards(),
         edge_cap: 16,
         ghosts: 2,
         random_alloc: false,
@@ -87,6 +91,10 @@ fn parse_args() -> Args {
                     w.parse().unwrap_or_else(|_| die("bad chip width")),
                     h.parse().unwrap_or_else(|_| die("bad chip height")),
                 );
+            }
+            "--shards" => {
+                a.shards =
+                    value(&argv, &mut i, "--shards").parse().unwrap_or_else(|_| die("bad --shards"))
             }
             "--edge-cap" => {
                 a.edge_cap = value(&argv, &mut i, "--edge-cap")
@@ -123,6 +131,7 @@ fn main() {
     );
     let chip = ChipConfig {
         dims: args.dims,
+        shards: args.shards.max(1),
         ghost_placement: if args.random_alloc {
             GhostPlacement::Random
         } else {

@@ -24,14 +24,11 @@
 //! minutes and a few GB of RAM for the 500K runs. CSV artifacts land in
 //! `--out` (default `bench_out/`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use amcca_bench::{
     chip_with_placement, format_table, human_count, out_dir, run_streaming_bfs, sparkline,
     write_activity_csv, write_csv, ExperimentResult, RunOpts, Scale,
 };
-use amcca_sim::GhostPlacement;
+use amcca_sim::{run_tasks, ChipConfig, GhostPlacement};
 use gc_datasets::{GcPreset, Sampling, StreamingDataset};
 use sdgp_core::rpvo::RpvoConfig;
 
@@ -39,6 +36,12 @@ struct Args {
     command: String,
     scale: Scale,
     out: String,
+    /// Parallelism budget: every simulated chip runs with this many shards
+    /// (chip-running scenarios then fan out one at a time, see
+    /// [`CHIP_SCENARIO_WORKERS`]); dataset-only fan-outs use it as a plain
+    /// worker cap. Simulation results are shard-count-independent (the CI
+    /// determinism gate diffs the CSVs), so `--jobs` only changes
+    /// wall-clock time and peak memory.
     jobs: usize,
 }
 
@@ -76,11 +79,7 @@ fn parse_args() -> Args {
         die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|loadmap|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
     }
     if jobs == 0 {
-        // Full-scale runs are memory-hungry; default to modest parallelism.
-        jobs = match scale {
-            Scale::Full => 2,
-            _ => std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4),
-        };
+        jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     }
     Args { command, scale, out, jobs }
 }
@@ -90,30 +89,22 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Run closures in parallel with at most `jobs` workers, preserving order.
-fn run_parallel<T: Send, F: FnOnce() -> T + Send>(tasks: Vec<F>, jobs: usize) -> Vec<T> {
-    let n = tasks.len();
-    let tasks: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..jobs.max(1).min(n.max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let task = tasks[i].lock().unwrap().take().unwrap();
-                *results[i].lock().unwrap() = Some(task());
-            });
-        }
-    });
-    results.into_iter().map(|r| r.into_inner().unwrap().unwrap()).collect()
-}
-
 fn presets(scale: Scale) -> Vec<GcPreset> {
     GcPreset::table1().into_iter().map(|p| scale.apply(p)).collect()
 }
+
+/// The chip every experiment runs on: paper platform, sharded per `--jobs`.
+fn chip_for(args: &Args) -> ChipConfig {
+    ChipConfig::default().with_shards(args.jobs)
+}
+
+/// Worker cap for fanning out *chip-running* scenarios. Each chip already
+/// consumes the whole `--jobs` budget as shards, so scenarios run one at a
+/// time: `workers × shards` never exceeds the budget (no oversubscribed
+/// spin barriers), and at `--scale full` at most one multi-GB dataset+chip
+/// is resident at a time. Dataset-only fan-outs (table1) have no chip and
+/// use the full budget as plain workers instead.
+const CHIP_SCENARIO_WORKERS: usize = 1;
 
 fn main() {
     let args = parse_args();
@@ -151,7 +142,7 @@ fn main() {
 
 fn table1(args: &Args) {
     eprintln!("[table1] building datasets at scale {:?}...", args.scale);
-    let datasets: Vec<(GcPreset, StreamingDataset)> = run_parallel(
+    let datasets: Vec<(GcPreset, StreamingDataset)> = run_tasks(
         presets(args.scale).into_iter().map(|p| move || (p, p.build())).collect(),
         args.jobs,
     );
@@ -196,18 +187,19 @@ const PAPER_TABLE2: [(&str, f64, f64, f64, f64); 4] = [
 fn table2(args: &Args) {
     eprintln!("[table2] running 4 datasets x 2 modes at scale {:?}...", args.scale);
     let ps = presets(args.scale);
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         ps.iter()
             .flat_map(|p| [(*p, false), (*p, true)])
             .map(|(p, with_algo)| {
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
-                    let opts = RunOpts { with_algo, ..Default::default() };
+                    let opts = RunOpts { with_algo, chip, ..Default::default() };
                     run_streaming_bfs(&d, &opts, &p.label())
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nTable 2: energy (µJ) and time (µs), 32x32 chip @ 1 GHz (scale {:?})", args.scale);
     let header = [
@@ -267,22 +259,24 @@ fn fig67(args: &Args, with_bfs: bool) {
         .into_iter()
         .map(|s| args.scale.apply(GcPreset::v500k(s)))
         .collect();
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         ps.iter()
             .map(|p| {
                 let p = *p;
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
                     let opts = RunOpts {
                         with_algo: with_bfs,
                         record_activity: true,
+                        chip,
                         ..Default::default()
                     };
                     run_streaming_bfs(&d, &opts, &p.label())
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!(
         "\nFigure {figno}: percent of cells active per cycle — {mode} (scale {:?})",
@@ -327,18 +321,19 @@ fn fig89(args: &Args, big: bool) {
             [(p, false), (p, true)]
         })
         .collect();
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         tasks
             .iter()
             .map(|&(p, with_algo)| {
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
-                    let opts = RunOpts { with_algo, ..Default::default() };
+                    let opts = RunOpts { with_algo, chip, ..Default::default() };
                     run_streaming_bfs(&d, &opts, &p.label())
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nFigure {figno}: cycles per increment, {size} graph (scale {:?})", args.scale);
     let dir = out_dir(&args.out);
@@ -410,15 +405,16 @@ fn ablate_alloc(args: &Args) {
         ("vicinity-4", GhostPlacement::Vicinity { max_hops: 4 }),
         ("random", GhostPlacement::Random),
     ];
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         policies
             .iter()
             .map(|&(name, pol)| {
                 let p: GcPreset = p;
+                let shards = args.jobs;
                 move || {
                     let d = p.build();
                     let opts = RunOpts {
-                        chip: chip_with_placement(pol),
+                        chip: chip_with_placement(pol).with_shards(shards),
                         rcfg: RpvoConfig { edge_cap: 8, ghost_fanout: 2 },
                         ..Default::default()
                     };
@@ -426,7 +422,7 @@ fn ablate_alloc(args: &Args) {
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nAblation: ghost allocation policy (Fig. 5), {} + BFS", p.label());
     let header = ["Policy", "Cycles", "Energy µJ", "Hops", "Ghosts", "Avg ghost hops"];
@@ -457,21 +453,23 @@ fn ablate_edgecap(args: &Args) {
     eprintln!("[ablate-edgecap] RPVO edge-capacity sweep, scale {:?}...", args.scale);
     let p = args.scale.apply(GcPreset::v50k(Sampling::Edge));
     let caps = [2usize, 4, 8, 16, 32];
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         caps.iter()
             .map(|&cap| {
                 let p: GcPreset = p;
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
                     let opts = RunOpts {
                         rcfg: RpvoConfig { edge_cap: cap, ghost_fanout: 2 },
+                        chip,
                         ..Default::default()
                     };
                     run_streaming_bfs(&d, &opts, &format!("cap={cap}"))
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nAblation: RPVO inline edge capacity, {} + BFS", p.label());
     let header = ["edge_cap", "Cycles", "Energy µJ", "Ghosts", "Msgs staged"];
@@ -501,22 +499,24 @@ fn ablate_ghosts(args: &Args) {
     eprintln!("[ablate-ghosts] RPVO ghost-fanout sweep, scale {:?}...", args.scale);
     let p = args.scale.apply(GcPreset::v50k(Sampling::Edge));
     let fanouts = [1usize, 2, 4, 8];
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         fanouts
             .iter()
             .map(|&f| {
                 let p: GcPreset = p;
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
                     let opts = RunOpts {
                         rcfg: RpvoConfig { edge_cap: 4, ghost_fanout: f },
+                        chip,
                         ..Default::default()
                     };
                     run_streaming_bfs(&d, &opts, &format!("fanout={f}"))
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nAblation: RPVO ghost fanout (spill-tree arity), {} + BFS", p.label());
     let header = ["ghost_fanout", "Cycles", "Energy µJ", "Ghosts", "Avg ghost hops"];
@@ -548,19 +548,20 @@ fn ablate_terminator(args: &Args) {
         ("quiescence", diffusive::TerminationMode::Quiescence),
         ("safra-token", diffusive::TerminationMode::SafraToken),
     ];
-    let results: Vec<ExperimentResult> = run_parallel(
+    let results: Vec<ExperimentResult> = run_tasks(
         modes
             .iter()
             .map(|&(name, mode)| {
                 let p: GcPreset = p;
+                let chip = chip_for(args);
                 move || {
                     let d = p.build();
-                    let opts = RunOpts { termination: mode, ..Default::default() };
+                    let opts = RunOpts { termination: mode, chip, ..Default::default() };
                     run_streaming_bfs(&d, &opts, name)
                 }
             })
             .collect(),
-        args.jobs,
+        CHIP_SCENARIO_WORKERS,
     );
     println!("\nAblation: termination detection, {} + BFS (10 increments)", p.label());
     let header = ["Detector", "Cycles", "Energy µJ", "Hops", "Detection overhead"];
@@ -593,7 +594,7 @@ fn ablate_terminator(args: &Args) {
 }
 
 fn loadmap(args: &Args) {
-    use amcca_sim::{gini, max_mean_ratio, top_k_share, ChipConfig};
+    use amcca_sim::{gini, max_mean_ratio, top_k_share};
     use sdgp_core::apps::BfsAlgo;
     use sdgp_core::graph::StreamingGraph;
 
@@ -604,7 +605,7 @@ fn loadmap(args: &Args) {
         let p = args.scale.apply(GcPreset::v50k(sampling));
         let d = p.build();
         let mut g = StreamingGraph::new(
-            ChipConfig::default(),
+            chip_for(args),
             RpvoConfig::default(),
             BfsAlgo::new(0),
             d.n_vertices,
@@ -647,7 +648,6 @@ fn loadmap(args: &Args) {
 // ---------------------------------------------------------------------
 
 fn verify(args: &Args) {
-    use amcca_sim::ChipConfig;
     use refgraph::{bfs_levels, DiGraph};
     use sdgp_core::apps::BfsAlgo;
     use sdgp_core::graph::{StreamEdge, StreamingGraph};
@@ -655,13 +655,9 @@ fn verify(args: &Args) {
     eprintln!("[verify] streamed BFS vs reference oracle...");
     let p = args.scale.apply(GcPreset::v50k(Sampling::Edge)).scaled_down(4);
     let d = p.build();
-    let mut g = StreamingGraph::new(
-        ChipConfig::default(),
-        RpvoConfig::default(),
-        BfsAlgo::new(0),
-        d.n_vertices,
-    )
-    .unwrap();
+    let mut g =
+        StreamingGraph::new(chip_for(args), RpvoConfig::default(), BfsAlgo::new(0), d.n_vertices)
+            .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
         g.stream_increment(d.increment(i)).unwrap();

@@ -33,10 +33,16 @@ pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 2;
 /// A streaming vertex algorithm: per-vertex state plus the semantic hooks of
 /// the monotone relax pattern. Values on the wire are `u64` (one payload
 /// word); `State` is the per-object representation.
-pub trait VertexAlgo {
+///
+/// Algorithms are `Send` (with `Send` state) so the chip's sharded parallel
+/// engine can run one forked instance per mesh shard; any accumulator state
+/// an algorithm keeps (e.g. triangle hit counters) must merge commutatively
+/// through [`VertexAlgo::merge`] — see `amcca_sim::Program` for the full
+/// contract.
+pub trait VertexAlgo: Send {
     /// Per-object algorithm state. `Copy` so handlers can snapshot it while
     /// juggling borrows of cell memory.
-    type State: Copy + PartialEq + std::fmt::Debug;
+    type State: Copy + PartialEq + std::fmt::Debug + Send;
 
     /// `const` variant.
     const NAME: &'static str;
@@ -74,6 +80,22 @@ pub trait VertexAlgo {
     ) {
         let _ = (ctx, rcfg);
         panic!("{}: unknown action {}", Self::NAME, op.action);
+    }
+
+    /// Create an independent instance for one shard of a parallel run
+    /// (configuration copied, accumulators empty).
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Fold a shard instance's accumulated state back after a parallel run.
+    /// The default drops the worker — correct only for algorithms whose
+    /// forks accumulate nothing.
+    fn merge(&mut self, worker: Self)
+    where
+        Self: Sized,
+    {
+        let _ = worker;
     }
 }
 
@@ -220,6 +242,20 @@ impl<G: VertexAlgo> GraphApp<G> {
 impl<G: VertexAlgo> App for GraphApp<G> {
     type Object = VertexObj<G::State>;
 
+    fn fork(&self) -> Self {
+        GraphApp {
+            algo: self.algo.fork(),
+            rcfg: self.rcfg,
+            propagate_algo: self.propagate_algo,
+            scratch_edges: Vec::new(),
+            scratch_ghosts: Vec::new(),
+        }
+    }
+
+    fn merge(&mut self, worker: Self) {
+        self.algo.merge(worker.algo);
+    }
+
     fn construct(&mut self, req: &AllocRequest) -> Self::Object {
         let vid = req.tag as u32;
         VertexObj::ghost(vid, self.algo.ghost_state(vid), self.rcfg.ghost_fanout)
@@ -292,6 +328,9 @@ mod tests {
     impl VertexAlgo for NullAlgo {
         type State = ();
         const NAME: &'static str = "null";
+        fn fork(&self) -> Self {
+            NullAlgo
+        }
         fn root_state(&self, _vid: u32) {}
         fn ghost_state(&self, _vid: u32) {}
         fn improve(&self, _s: &mut (), _incoming: u64) -> bool {

@@ -33,6 +33,10 @@ impl VertexAlgo for BfsAlgo {
 
     const NAME: &'static str = "bfs";
 
+    fn fork(&self) -> Self {
+        *self
+    }
+
     fn root_state(&self, vid: u32) -> u64 {
         if vid == self.root {
             0

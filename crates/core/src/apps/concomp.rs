@@ -20,6 +20,10 @@ impl VertexAlgo for CcAlgo {
 
     const NAME: &'static str = "concomp";
 
+    fn fork(&self) -> Self {
+        *self
+    }
+
     fn root_state(&self, vid: u32) -> u64 {
         vid as u64
     }

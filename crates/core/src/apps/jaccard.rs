@@ -94,6 +94,18 @@ impl VertexAlgo for JaccardAlgo {
 
     const NAME: &'static str = "jaccard";
 
+    fn fork(&self) -> Self {
+        JaccardAlgo::new()
+    }
+
+    fn merge(&mut self, worker: Self) {
+        // A pair's hits may be recorded on cells of different shards (one
+        // common neighbour each); summing per key merges them exactly.
+        for (pair, hits) in worker.hits {
+            *self.hits.entry(pair).or_insert(0) += hits;
+        }
+    }
+
     fn root_state(&self, _vid: u32) {}
 
     fn ghost_state(&self, _vid: u32) {}

@@ -32,6 +32,10 @@ impl VertexAlgo for SsspAlgo {
 
     const NAME: &'static str = "sssp";
 
+    fn fork(&self) -> Self {
+        *self
+    }
+
     fn root_state(&self, vid: u32) -> u64 {
         if vid == self.source {
             0

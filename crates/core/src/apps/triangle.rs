@@ -91,6 +91,18 @@ impl VertexAlgo for TriangleAlgo {
 
     const NAME: &'static str = "triangle";
 
+    fn fork(&self) -> Self {
+        TriangleAlgo::new(self.counts.len() as u32)
+    }
+
+    fn merge(&mut self, worker: Self) {
+        // Per-cell hit counters: each cell belongs to exactly one shard, so
+        // the element-wise sum reproduces the sequential counts exactly.
+        for (total, shard) in self.counts.iter_mut().zip(&worker.counts) {
+            *total += shard;
+        }
+    }
+
     fn root_state(&self, _vid: u32) {}
 
     fn ghost_state(&self, _vid: u32) {}

@@ -285,4 +285,31 @@ mod tests {
         let s = symmetrize(&[(1, 2, 9), (3, 4, 1)]);
         assert_eq!(s, vec![(1, 2, 9), (2, 1, 9), (3, 4, 1), (4, 3, 1)]);
     }
+
+    #[test]
+    fn sharded_streaming_matches_sequential() {
+        // The full streaming-BFS workflow (ingestion spills, ghost
+        // allocation, relax diffusion) is shard-count-independent: identical
+        // states, cycles, and counters on 1 vs 3 shards.
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards),
+                RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
+                BfsAlgo::new(0),
+                24,
+            )
+            .unwrap();
+            let mut cycles = 0u64;
+            // A star (forces RPVO spills) plus a path (multi-hop BFS).
+            let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
+            let path: Vec<StreamEdge> = (0..23).map(|v| (v, v + 1, 1)).collect();
+            for inc in [star, path] {
+                cycles += g.stream_increment(&inc).unwrap().cycles;
+            }
+            g.check_mirror_consistency().unwrap();
+            (g.states(), cycles, *g.device().chip().counters())
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(3));
+    }
 }

@@ -22,9 +22,14 @@ use crate::continuation::{
 };
 
 /// A diffusive application: object layout plus action handlers.
-pub trait App {
+///
+/// Apps are `Send` (with `Send` objects) so a chip configured with
+/// `ChipConfig::shards > 1` can run one forked app instance per mesh shard;
+/// see [`amcca_sim::Program`] for the sharded-state contract ([`App::fork`] /
+/// [`App::merge`] mirror it one level up).
+pub trait App: Send {
     /// The object type stored in compute-cell memory (e.g. a vertex object).
-    type Object;
+    type Object: Send;
 
     /// Construct a fresh object for an `allocate` request (e.g. a ghost
     /// vertex for logical vertex `req.tag`).
@@ -43,6 +48,22 @@ pub trait App {
 
     /// Dispatch an application action.
     fn on_action(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon);
+
+    /// Create an independent instance for one shard of a parallel run
+    /// (configuration copied, accumulators empty).
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Fold a shard instance's accumulated state back after a parallel run.
+    /// The default drops the worker — correct only for apps whose forks
+    /// accumulate nothing.
+    fn merge(&mut self, worker: Self)
+    where
+        Self: Sized,
+    {
+        let _ = worker;
+    }
 }
 
 /// Adapter that runs an [`App`] on an [`amcca_sim::Chip`].
@@ -62,6 +83,14 @@ impl<A: App> Runtime<A> {
 
 impl<A: App> Program for Runtime<A> {
     type Object = A::Object;
+
+    fn fork(&self) -> Self {
+        Runtime { app: self.app.fork(), max_alloc_retries: self.max_alloc_retries }
+    }
+
+    fn merge(&mut self, worker: Self) {
+        self.app.merge(worker.app);
+    }
 
     fn execute(&mut self, ctx: &mut ExecCtx<'_, A::Object>, op: &Operon) {
         match op.action {
@@ -126,6 +155,10 @@ mod tests {
 
     impl App for ChainApp {
         type Object = ChainNode;
+
+        fn fork(&self) -> Self {
+            ChainApp
+        }
 
         fn construct(&mut self, _req: &crate::continuation::AllocRequest) -> ChainNode {
             ChainNode { values: Vec::with_capacity(NODE_CAP), next: FutureLco::Null }

@@ -61,6 +61,12 @@ impl<A: App> Device<A> {
         self.mode
     }
 
+    /// Number of execution shards the underlying chip runs with (from
+    /// `ChipConfig::shards`; results are shard-count-independent).
+    pub fn shards(&self) -> usize {
+        self.chip.cfg().shards
+    }
+
     /// Host-side object allocation for graph construction (untimed; the
     /// paper allocates root RPVOs before streaming starts).
     pub fn host_alloc(&mut self, cc: u16, obj: A::Object) -> Result<Address, SimError> {
@@ -151,6 +157,10 @@ mod tests {
     impl App for AddApp {
         type Object = u64;
 
+        fn fork(&self) -> Self {
+            AddApp
+        }
+
         fn construct(&mut self, _req: &AllocRequest) -> u64 {
             0
         }
@@ -219,6 +229,21 @@ mod tests {
         let (vs, cs) = run(TerminationMode::SafraToken);
         assert_eq!(vq, vs, "same results under both terminators");
         assert!(cs > cq, "token detection must cost extra cycles: {cs} vs {cq}");
+    }
+
+    #[test]
+    fn sharded_device_matches_sequential() {
+        let run = |shards: usize| {
+            let mut dev = Device::new(ChipConfig::small_test().with_shards(shards), AddApp);
+            assert_eq!(dev.shards(), shards);
+            let act = dev.register_action("add");
+            let a = dev.host_alloc(10, 0).unwrap();
+            dev.register_data_transfer((0..16).map(|i| Operon::new(a, act, [i, 0])));
+            let r = dev.run().unwrap();
+            (*dev.object(a).unwrap(), r.cycles, r.counters, r.energy_uj)
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(4), "device runs are shard-count-independent");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Implements the surface this workspace uses: the [`proptest!`] macro (with
 //! optional `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`/
 //! `prop_assume!`, integer range and tuple strategies, [`collection::vec`],
-//! [`Strategy::prop_map`], and [`arbitrary::any`]. Cases are generated from a
+//! `Strategy::prop_map`, and [`arbitrary::any`]. Cases are generated from a
 //! deterministic per-test seed; there is **no shrinking** — a failing case
 //! panics with the case number so it can be re-run deterministically.
 
