@@ -84,7 +84,20 @@ pub struct Chip<P: Program> {
     pub(crate) token_alive: bool,
     /// Per-cell load counters (deliveries, queue peaks).
     pub(crate) loads: Vec<CellLoad>,
+    /// Active-cell count of the most recent cycle (drives the adaptive
+    /// engine switch; not part of [`Counters`], so shard counts and engine
+    /// choices stay invisible to result comparisons).
+    pub(crate) last_active: u32,
+    /// Cycles executed on the sharded engine (diagnostics for the adaptive
+    /// switch; deliberately not part of [`Counters`]).
+    pub(crate) sharded_cycles: u64,
 }
+
+/// Consecutive cycles above/below [`ChipConfig::shard_break_even`] required
+/// before the adaptive engine switches up/down. Hysteresis: both directions
+/// use the same window and the same measured active-cell count, so the
+/// switch cannot thrash on a workload hovering at the threshold.
+pub(crate) const ADAPT_WINDOW: u32 = 16;
 
 // ----------------------------------------------------------------------
 // Shared per-cell phase logic.
@@ -394,6 +407,8 @@ impl<P: Program> Chip<P> {
             safra: None,
             token_alive: false,
             loads: vec![CellLoad::default(); cfg.cell_count() as usize],
+            last_active: 0,
+            sharded_cycles: 0,
             cfg,
         }
     }
@@ -474,6 +489,7 @@ impl<P: Program> Chip<P> {
         let active = self.compute_phase();
         self.io_phase();
         self.record_activity(active);
+        self.last_active = active;
         self.cycle += 1;
     }
 
@@ -628,25 +644,55 @@ impl<P: Program> Chip<P> {
     ///
     /// With [`ChipConfig::shards`] > 1 the run executes on the sharded
     /// parallel engine; results (cycle count, counters, object states,
-    /// activity, energy) are bit-identical to the sequential path.
+    /// activity, energy) are bit-identical to the sequential path. With
+    /// [`ChipConfig::adaptive_shards`] (the default) the run starts on the
+    /// sequential engine and switches to the sharded one only while measured
+    /// per-cycle activity stays above [`ChipConfig::shard_break_even`] — so
+    /// small increments and diffusion tails skip the barrier cost entirely,
+    /// still with bit-identical results (the engines are interchangeable at
+    /// any cycle boundary).
     pub fn run_until_quiescent(&mut self) -> Result<u64, SimError> {
-        if self.is_sharded() {
-            return crate::parallel::run_sharded(self, crate::parallel::RunGoal::Quiescence);
-        }
+        use crate::parallel::{run_sharded, RunGoal, SegmentEnd};
         let start = self.cycle;
-        while !self.is_quiescent() {
-            if let Some(e) = self.error.take() {
-                return Err(e);
-            }
-            if self.cycle - start >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
-            }
-            self.step();
+        if self.is_sharded() && !self.cfg.adaptive_shards {
+            run_sharded(self, RunGoal::Quiescence, start, false)?;
+            return Ok(self.cycle - start);
         }
-        if let Some(e) = self.error.take() {
-            return Err(e);
+        let adaptive = self.is_sharded();
+        let mut hot_streak = 0u32;
+        loop {
+            // Sequential engine while cold (or always, when not sharded).
+            while !self.is_quiescent() {
+                if let Some(e) = self.error.take() {
+                    return Err(e);
+                }
+                if self.cycle - start >= self.cfg.max_cycles {
+                    return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+                }
+                if adaptive && hot_streak >= ADAPT_WINDOW {
+                    break;
+                }
+                self.step();
+                if self.last_active >= self.cfg.shard_break_even {
+                    hot_streak += 1;
+                } else {
+                    hot_streak = 0;
+                }
+            }
+            if self.is_quiescent() {
+                if let Some(e) = self.error.take() {
+                    return Err(e);
+                }
+                return Ok(self.cycle - start);
+            }
+            // Hot for a full window: hand the run to the sharded engine. It
+            // returns either at the goal or after a cold window (yield).
+            hot_streak = 0;
+            match run_sharded(self, RunGoal::Quiescence, start, true)? {
+                SegmentEnd::Done => return Ok(self.cycle - start),
+                SegmentEnd::Yielded => {}
+            }
         }
-        Ok(self.cycle - start)
     }
 
     // ------------------------------------------------------------------
@@ -712,10 +758,19 @@ impl<P: Program> Chip<P> {
     pub fn run_until_terminated(&mut self) -> Result<u64, SimError> {
         assert!(self.safra.is_some(), "enable_safra_termination first");
         assert!(self.token_alive, "no probe running; call begin_safra_probe");
-        if self.is_sharded() {
-            return crate::parallel::run_sharded(self, crate::parallel::RunGoal::SafraTermination);
-        }
         let start = self.cycle;
+        if self.is_sharded() {
+            // The circulating token keeps at least one cell active every few
+            // cycles, so the quiescence-based adaptive switch does not apply;
+            // Safra runs stay on the sharded engine end to end.
+            crate::parallel::run_sharded(
+                self,
+                crate::parallel::RunGoal::SafraTermination,
+                start,
+                false,
+            )?;
+            return Ok(self.cycle - start);
+        }
         while !self.safra.as_ref().unwrap().terminated {
             if let Some(e) = self.error.take() {
                 return Err(e);
@@ -808,6 +863,13 @@ impl<P: Program> Chip<P> {
     /// Objects currently allocated at one cell (diagnostics / load maps).
     pub fn cell_object_count(&self, cc: u16) -> u32 {
         self.cells[cc as usize].memory.len()
+    }
+
+    /// Cycles executed on the sharded engine so far (the remainder ran
+    /// sequentially). Diagnostics for the adaptive engine switch — the split
+    /// never affects simulation results, only wall-clock time.
+    pub fn sharded_cycles(&self) -> u64 {
+        self.sharded_cycles
     }
 }
 

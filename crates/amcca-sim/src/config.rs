@@ -6,7 +6,7 @@
 use crate::cost::CostModel;
 use crate::energy::EnergyModel;
 use crate::geom::Dims;
-use crate::placement::{GhostPlacement, RootPlacement};
+use crate::placement::{GhostPlacement, RhizomePlacement, RootPlacement};
 use crate::stats::ActivityRecording;
 
 /// Which chip borders carry an IO channel (paper Fig. 2 shows two).
@@ -53,6 +53,9 @@ pub struct ChipConfig {
     pub ghost_placement: GhostPlacement,
     /// Root vertex placement at graph-construction time.
     pub root_placement: RootPlacement,
+    /// Placement of the extra co-equal roots when a hub vertex is promoted
+    /// to a rhizome (see `RhizomePlacement`).
+    pub rhizome_placement: RhizomePlacement,
     /// Per-cycle activity recording mode.
     pub record_activity: ActivityRecording,
     /// Hard cycle budget for `run_until_quiescent`.
@@ -68,6 +71,17 @@ pub struct ChipConfig {
     /// **bit-identical** to the sequential engine (clamped to the number of
     /// mesh columns). Defaults to `available_parallelism()`.
     pub shards: usize,
+    /// With `shards > 1`, adaptively drop to the sequential engine while
+    /// per-cycle activity is below [`ChipConfig::shard_break_even`] (e.g.
+    /// between streaming increments, or in a diffusion's long tail) and
+    /// re-engage the sharded engine when activity ramps back up. Both
+    /// engines are bit-identical, so switching at a cycle boundary cannot
+    /// change any result — it only avoids paying the spin-barrier cost for
+    /// cycles with too little work to amortize it.
+    pub adaptive_shards: bool,
+    /// Active-cell count below which a simulated cycle does not amortize the
+    /// sharded engine's barrier ("tens of active cells").
+    pub shard_break_even: u32,
 }
 
 /// Default shard count: one worker per available hardware thread.
@@ -87,11 +101,14 @@ impl Default for ChipConfig {
             energy: EnergyModel::default(),
             ghost_placement: GhostPlacement::default(),
             root_placement: RootPlacement::default(),
+            rhizome_placement: RhizomePlacement::default(),
             record_activity: ActivityRecording::Off,
             max_cycles: 200_000_000,
             max_alloc_retries: 4096,
             seed: 0xC0FFEE,
             shards: default_shards(),
+            adaptive_shards: true,
+            shard_break_even: 24,
         }
     }
 }

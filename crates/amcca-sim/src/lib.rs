@@ -59,7 +59,7 @@ pub use energy::{cycles_to_us, EnergyModel};
 pub use error::SimError;
 pub use geom::{Coord, Dims, Direction};
 pub use operon::{ActionId, Address, Operon};
-pub use placement::{GhostPlacement, PlacementTable, RootPlacement};
+pub use placement::{GhostPlacement, PlacementTable, RhizomePlacement, RootPlacement};
 pub use program::{ExecCtx, Program};
 pub use rng::SplitMix64;
 pub use safra::{CellTd, SafraState, ACT_TOKEN};

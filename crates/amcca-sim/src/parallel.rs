@@ -63,6 +63,16 @@ pub(crate) enum RunGoal {
     SafraTermination,
 }
 
+/// How a sharded segment ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SegmentEnd {
+    /// The run goal was reached (quiescence / Safra termination).
+    Done,
+    /// Activity stayed below the break-even for a full adaptive window; the
+    /// caller should continue on the sequential engine.
+    Yielded,
+}
+
 /// A shard worker's run-long accumulators, folded back into the chip once
 /// the run stops (in shard-id order).
 type ShardOutcome<P> = (usize, P, Counters, Vec<CellLoad>);
@@ -467,8 +477,18 @@ fn add_delta(v: u64, d: i64) -> u64 {
 }
 
 /// Run the chip to `goal` on the sharded engine. Semantics (including error
-/// precedence and the cycle budget) mirror the sequential run loops exactly.
-pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Result<u64, SimError> {
+/// precedence and the cycle budget, measured from `run_start`) mirror the
+/// sequential run loops exactly. With `yield_when_cold`, the segment stops
+/// early — workers released, state at an ordinary cycle boundary — once the
+/// measured active-cell count stays below `ChipConfig::shard_break_even` for
+/// [`crate::chip::ADAPT_WINDOW`] consecutive cycles, so the caller can finish
+/// the cold tail on the sequential engine.
+pub(crate) fn run_sharded<P: Program>(
+    chip: &mut Chip<P>,
+    goal: RunGoal,
+    run_start: u64,
+    yield_when_cold: bool,
+) -> Result<SegmentEnd, SimError> {
     let plan = ShardPlan::new(chip.cfg.dims, chip.cfg.shards);
     let n_shards = plan.shard_count();
     debug_assert!(n_shards >= 2, "caller dispatches single-shard runs sequentially");
@@ -476,10 +496,10 @@ pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Resu
         // Nothing to run: mirror the sequential loop's exit (error wins).
         return match chip.error.take() {
             Some(e) => Err(e),
-            None => Ok(0),
+            None => Ok(SegmentEnd::Done),
         };
     }
-    let start = chip.cycle;
+    let seg_start = chip.cycle;
     let safra_on = chip.safra.is_some();
     let frames_on = matches!(chip.cfg.record_activity, ActivityRecording::Frames { .. });
     let dims = chip.cfg.dims;
@@ -503,6 +523,8 @@ pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Resu
         safra,
         token_alive,
         loads,
+        last_active,
+        sharded_cycles,
         ..
     } = chip;
     let IoSystem { cells: io_cells, pending: io_pending, .. } = io;
@@ -540,12 +562,13 @@ pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Resu
         mid: SpinBarrier::new(n_shards),
         safra_on,
         frames_on,
-        start_cycle: start,
+        start_cycle: seg_start,
         n_cells,
     };
     let outcomes: Mutex<Vec<ShardOutcome<P>>> = Mutex::new(Vec::with_capacity(n_shards));
 
-    let mut result: Result<u64, SimError> = Ok(0);
+    let mut result: Result<SegmentEnd, SimError> = Ok(SegmentEnd::Done);
+    let mut cold_streak = 0u32;
 
     std::thread::scope(|scope| {
         for (sid, ((rows, io_segs), prog)) in
@@ -590,17 +613,19 @@ pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Resu
                 {
                     Some(match error.take() {
                         Some(e) => Err(e),
-                        None => Ok(*cycle - start),
+                        None => Ok(SegmentEnd::Done),
                     })
                 }
                 RunGoal::SafraTermination if safra.as_ref().is_some_and(|s| s.terminated) => {
-                    Some(Ok(*cycle - start))
+                    Some(Ok(SegmentEnd::Done))
                 }
                 _ => {
                     if let Some(e) = error.take() {
                         Some(Err(e))
-                    } else if *cycle - start >= cfg.max_cycles {
+                    } else if *cycle - run_start >= cfg.max_cycles {
                         Some(Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles }))
+                    } else if yield_when_cold && cold_streak >= crate::chip::ADAPT_WINDOW {
+                        Some(Ok(SegmentEnd::Yielded))
                     } else {
                         None
                     }
@@ -673,6 +698,13 @@ pub(crate) fn run_sharded<P: Program>(chip: &mut Chip<P>, goal: RunGoal) -> Resu
                         activity.frames.push(frame_scratch.clone());
                     }
                 }
+            }
+            *last_active = active;
+            *sharded_cycles += 1;
+            if active < cfg.shard_break_even {
+                cold_streak += 1;
+            } else {
+                cold_streak = 0;
             }
             *cycle += 1;
         }

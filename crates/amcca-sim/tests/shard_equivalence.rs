@@ -82,6 +82,16 @@ struct RunOutcome {
 }
 
 fn build(shards: usize, link_buffer: usize, queue_cap: usize, seed: u64) -> Chip<StressProgram> {
+    build_adaptive(shards, link_buffer, queue_cap, seed, false)
+}
+
+fn build_adaptive(
+    shards: usize,
+    link_buffer: usize,
+    queue_cap: usize,
+    seed: u64,
+    adaptive: bool,
+) -> Chip<StressProgram> {
     let cfg = ChipConfig {
         dims: DIMS,
         link_buffer,
@@ -89,6 +99,10 @@ fn build(shards: usize, link_buffer: usize, queue_cap: usize, seed: u64) -> Chip
         record_activity: ActivityRecording::Counts,
         seed,
         shards,
+        adaptive_shards: adaptive,
+        // Low enough that hot phases of these 45-cell workloads actually
+        // cross it, so adaptive runs exercise both engines.
+        shard_break_even: 4,
         ..ChipConfig::small_test()
     };
     let mut chip = Chip::new(cfg, StressProgram);
@@ -103,9 +117,10 @@ fn run(
     link_buffer: usize,
     queue_cap: usize,
     seed: u64,
+    adaptive: bool,
     ops: &[Operon],
 ) -> RunOutcome {
-    let mut chip = build(shards, link_buffer, queue_cap, seed);
+    let mut chip = build_adaptive(shards, link_buffer, queue_cap, seed, adaptive);
     assert_eq!(chip.is_sharded(), shards > 1, "plan engages for every tested shard count");
     chip.io_load(ops.iter().copied());
     let result = chip.run_until_quiescent();
@@ -146,11 +161,16 @@ proptest! {
         chip_seed in 0u64..1000,
     ) {
         let ops = workload(&seeds);
-        let reference = run(1, link_buffer, queue_cap, chip_seed, &ops);
+        let reference = run(1, link_buffer, queue_cap, chip_seed, false, &ops);
         prop_assert!(reference.result.is_ok());
         for shards in [2usize, 3, 8] {
-            let sharded = run(shards, link_buffer, queue_cap, chip_seed, &ops);
-            prop_assert_eq!(&reference, &sharded, "shards={} diverged", shards);
+            for adaptive in [false, true] {
+                let sharded = run(shards, link_buffer, queue_cap, chip_seed, adaptive, &ops);
+                prop_assert_eq!(
+                    &reference, &sharded,
+                    "shards={} adaptive={} diverged", shards, adaptive
+                );
+            }
         }
     }
 
@@ -209,6 +229,38 @@ fn sharded_error_matches_sequential() {
     }
     assert!(matches!(outcomes[0].0, SimError::BadAddress { .. }));
     assert_eq!(outcomes[0], outcomes[1]);
+}
+
+/// A workload too small to ever cross the break-even never pays for the
+/// sharded engine: the adaptive run completes entirely sequentially.
+#[test]
+fn adaptive_small_run_stays_sequential() {
+    let ops = workload(&[(3, 2, 0, 5, 0), (11, 1, 0, 9, 0)]); // ttl 0: no fan-out
+    let reference = run(1, 4, 1 << 16, 21, false, &ops);
+    let mut chip = build_adaptive(4, 4, 1 << 16, 21, true);
+    chip.io_load(ops.iter().copied());
+    chip.run_until_quiescent().unwrap();
+    assert_eq!(chip.sharded_cycles(), 0, "two lonely operons never amortize a barrier");
+    assert_eq!(chip.cycle(), reference.cycle);
+    assert_eq!(chip.counters(), &reference.counters);
+}
+
+/// A hot fan-out workload crosses the break-even: the adaptive run engages
+/// the sharded engine mid-run and drops back for the cold tail — with
+/// results still bit-identical to the sequential reference.
+#[test]
+fn adaptive_hot_run_engages_sharded_engine() {
+    let seeds: Vec<(u16, u64, u64, u64, u8)> =
+        (0..24).map(|i| (i as u16 * 2 % N_CELLS as u16, 3, 7, mix(i), 0)).collect();
+    let ops = workload(&seeds);
+    let reference = run(1, 4, 1 << 16, 33, false, &ops);
+    let adaptive = run(4, 4, 1 << 16, 33, true, &ops);
+    assert_eq!(reference, adaptive, "adaptive switching must not change any result");
+    let mut chip = build_adaptive(4, 4, 1 << 16, 33, true);
+    chip.io_load(ops.iter().copied());
+    chip.run_until_quiescent().unwrap();
+    assert!(chip.sharded_cycles() > 0, "the hot phase must have run sharded");
+    assert!(chip.sharded_cycles() < chip.cycle(), "warm-up and tail ran sequentially");
 }
 
 /// Frame-mode activity bitmaps (the animation data) are identical too.

@@ -13,7 +13,10 @@ use sdgp_core::graph::{StreamEdge, StreamingGraph};
 use sdgp_core::rpvo::RpvoConfig;
 
 fn run(edges: &[StreamEdge], n: u32, shards: usize) -> u64 {
-    let cfg = ChipConfig::default().with_shards(shards);
+    // Adaptive switching off: this bench isolates the sharded engine itself,
+    // so shards > 1 must run every cycle on the parallel path (the adaptive
+    // default would hand warm-up and cold tails to the sequential engine).
+    let cfg = ChipConfig { adaptive_shards: false, ..ChipConfig::default().with_shards(shards) };
     let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
     g.stream_increment(edges).unwrap().cycles
 }

@@ -139,7 +139,7 @@ fn main() {
         },
         ..ChipConfig::default()
     };
-    let rcfg = RpvoConfig { edge_cap: args.edge_cap, ghost_fanout: args.ghosts };
+    let rcfg = RpvoConfig::basic(args.edge_cap, args.ghosts);
     match args.algo.as_str() {
         "bfs" => run_algo(&args, &dataset, chip, rcfg, BfsAlgo::new(args.root)),
         "sssp" => run_algo(&args, &dataset, chip, rcfg, SsspAlgo::new(args.root)),

@@ -14,7 +14,9 @@
 //!   ablate-edgecap   RPVO inline edge-capacity sweep
 //!   ablate-ghosts    RPVO ghost-fanout sweep
 //!   ablate-terminator  Quiescence vs Safra-token termination detection
+//!   ablate-rhizomes  Rhizome root-count sweep (K ∈ 1,2,4,8) on the RMAT graph
 //!   loadmap          Per-cell load skew, Edge vs Snowball (§5 congestion)
+//!   skew             Power-law (RMAT) streaming with rhizome promotion
 //!   verify           Check streamed BFS against the reference oracle (§4)
 //!   all              Everything above, in order
 //! ```
@@ -29,7 +31,7 @@ use amcca_bench::{
     write_activity_csv, write_csv, ExperimentResult, RunOpts, Scale,
 };
 use amcca_sim::{run_tasks, ChipConfig, GhostPlacement};
-use gc_datasets::{GcPreset, Sampling, StreamingDataset};
+use gc_datasets::{GcPreset, Sampling, SkewPreset, StreamingDataset};
 use sdgp_core::rpvo::RpvoConfig;
 
 struct Args {
@@ -76,7 +78,7 @@ fn parse_args() -> Args {
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|loadmap|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -119,7 +121,9 @@ fn main() {
         "ablate-edgecap" => ablate_edgecap(&args),
         "ablate-ghosts" => ablate_ghosts(&args),
         "ablate-terminator" => ablate_terminator(&args),
+        "ablate-rhizomes" => ablate_rhizomes(&args),
         "loadmap" => loadmap(&args),
+        "skew" => skew(&args),
         "verify" => verify(&args),
         "all" => {
             table1(&args);
@@ -129,7 +133,9 @@ fn main() {
             ablate_edgecap(&args);
             ablate_ghosts(&args);
             ablate_terminator(&args);
+            ablate_rhizomes(&args);
             loadmap(&args);
+            skew(&args);
             verify(&args);
         }
         other => die(&format!("unknown command {other}")),
@@ -415,7 +421,7 @@ fn ablate_alloc(args: &Args) {
                     let d = p.build();
                     let opts = RunOpts {
                         chip: chip_with_placement(pol).with_shards(shards),
-                        rcfg: RpvoConfig { edge_cap: 8, ghost_fanout: 2 },
+                        rcfg: RpvoConfig::basic(8, 2),
                         ..Default::default()
                     };
                     run_streaming_bfs(&d, &opts, name)
@@ -460,11 +466,8 @@ fn ablate_edgecap(args: &Args) {
                 let chip = chip_for(args);
                 move || {
                     let d = p.build();
-                    let opts = RunOpts {
-                        rcfg: RpvoConfig { edge_cap: cap, ghost_fanout: 2 },
-                        chip,
-                        ..Default::default()
-                    };
+                    let opts =
+                        RunOpts { rcfg: RpvoConfig::basic(cap, 2), chip, ..Default::default() };
                     run_streaming_bfs(&d, &opts, &format!("cap={cap}"))
                 }
             })
@@ -507,11 +510,8 @@ fn ablate_ghosts(args: &Args) {
                 let chip = chip_for(args);
                 move || {
                     let d = p.build();
-                    let opts = RunOpts {
-                        rcfg: RpvoConfig { edge_cap: 4, ghost_fanout: f },
-                        chip,
-                        ..Default::default()
-                    };
+                    let opts =
+                        RunOpts { rcfg: RpvoConfig::basic(4, f), chip, ..Default::default() };
                     run_streaming_bfs(&d, &opts, &format!("fanout={f}"))
                 }
             })
@@ -601,6 +601,7 @@ fn loadmap(args: &Args) {
     eprintln!("[loadmap] per-cell load, Edge vs Snowball, scale {:?}...", args.scale);
     println!("\nLoad distribution across compute cells (ingestion-only, §5's congestion claim):");
     let dir = out_dir(&args.out);
+    let mut summary = Vec::new();
     for sampling in [Sampling::Edge, Sampling::Snowball] {
         let p = args.scale.apply(GcPreset::v50k(sampling));
         let d = p.build();
@@ -621,26 +622,227 @@ fn loadmap(args: &Args) {
         g.stream_increment(d.increment(d.increments() - 1)).unwrap();
         let loads: Vec<u64> = g.device().chip().cell_loads().iter().map(|l| l.delivered).collect();
         let peaks: Vec<u32> = g.device().chip().cell_loads().iter().map(|l| l.peak_queue).collect();
+        // Per-cell storage skew: how many vertex objects and stored edges
+        // each cell ended up hosting (degree concentration made visible).
+        let mut objects = vec![0u32; loads.len()];
+        let mut edges_stored = vec![0u64; loads.len()];
+        g.device().chip().for_each_object(|a, o| {
+            objects[a.cc as usize] += 1;
+            edges_stored[a.cc as usize] += o.edges.len() as u64;
+        });
+        let peak_queue = *peaks.iter().max().unwrap();
         println!(
-            "  {:9}: max/mean {:5.2}  gini {:5.3}  top-1% share {:5.1}%  peak queue {}",
+            "  {:9}: max/mean {:5.2}  gini {:5.3}  top-1% share {:5.1}%  peak queue {}  \
+             max edges/cell {}",
             sampling.to_string(),
             max_mean_ratio(&loads),
             gini(&loads),
             top_k_share(&loads, loads.len().div_ceil(100)) * 100.0,
-            peaks.iter().max().unwrap(),
+            peak_queue,
+            edges_stored.iter().max().unwrap(),
         );
+        summary.push(format!(
+            "{},{:.4},{:.4},{:.4},{},{},{}",
+            sampling,
+            max_mean_ratio(&loads),
+            gini(&loads),
+            top_k_share(&loads, loads.len().div_ceil(100)),
+            peak_queue,
+            objects.iter().max().unwrap(),
+            edges_stored.iter().max().unwrap(),
+        ));
         let name =
             format!("loadmap_{}.csv", if sampling == Sampling::Edge { "edge" } else { "snowball" });
         write_csv(
             &dir.join(&name),
-            "cell,delivered,peak_queue",
-            loads.iter().zip(&peaks).enumerate().map(|(i, (d, p))| format!("{i},{d},{p}")),
+            "cell,delivered,peak_queue,objects,edges_stored",
+            loads
+                .iter()
+                .zip(&peaks)
+                .zip(objects.iter().zip(&edges_stored))
+                .enumerate()
+                .map(|(i, ((d, p), (o, e)))| format!("{i},{d},{p},{o},{e}")),
         );
+        println!("    (csv: {}/{name})", args.out);
     }
+    write_csv(
+        &dir.join("loadmap.csv"),
+        "sampling,max_mean,gini,top1_share,peak_queue,max_objects,max_edges_stored",
+        summary,
+    );
+    println!("  (summary csv: {}/loadmap.csv)", args.out);
     println!(
         "  (Snowball's final increment concentrates inserts on frontier vertices,\n\
          raising skew vs the uniformly spread Edge sampling)"
     );
+}
+
+// ---------------------------------------------------------------------
+// Skewed-graph scenario + rhizome ablation (arXiv:2402.06086).
+// ---------------------------------------------------------------------
+
+/// Promotion threshold for the skew workloads: a hub is any vertex whose
+/// streamed degree (both endpoints counted) exceeds four mean degrees.
+/// Derived from the dataset itself so every `--scale` promotes the same
+/// *fraction* of the graph.
+fn skew_threshold(stats: &gc_datasets::DegreeStats) -> usize {
+    ((stats.mean * 4.0).ceil() as usize).max(16)
+}
+
+fn skew_preset(args: &Args) -> SkewPreset {
+    SkewPreset::v50k().scaled_down(args.scale.factor())
+}
+
+fn skew(args: &Args) {
+    eprintln!("[skew] RMAT power-law streaming + rhizome promotion, scale {:?}...", args.scale);
+    let p = skew_preset(args);
+    // Generate once; the schedule is a permutation of the edge list, so the
+    // degree stats can be read off the built dataset directly.
+    let d = p.build();
+    let stats = gc_datasets::degree_stats(d.n_vertices, d.all_edges());
+    let threshold = skew_threshold(&stats);
+    let rcfg = RpvoConfig::default().with_rhizomes(threshold, 4);
+    let results: Vec<ExperimentResult> = run_tasks(
+        [false, true]
+            .iter()
+            .map(|&with_algo| {
+                let chip = chip_for(args);
+                let d = &d;
+                let label = p.label();
+                move || {
+                    let opts = RunOpts { with_algo, rcfg, chip, ..Default::default() };
+                    run_streaming_bfs(d, &opts, &label)
+                }
+            })
+            .collect(),
+        CHIP_SCENARIO_WORKERS,
+    );
+    let (ing, bfs) = (&results[0], &results[1]);
+    println!(
+        "\nSkewed-graph streaming: {} (degree max {}, mean {:.1}, gini {:.3}, top-1% {:.1}%)",
+        p.label(),
+        stats.max,
+        stats.mean,
+        stats.gini,
+        stats.top1_share * 100.0
+    );
+    println!(
+        "  rhizomes: threshold {} touches, K=4 → {} vertices promoted, {} extra roots",
+        threshold, ing.rhizomes.0, ing.rhizomes.1
+    );
+    let header = ["Increment", "Edges", "Ingest cycles", "Ingest+BFS cycles", "ratio"];
+    let rows: Vec<Vec<String>> = (0..ing.rows.len())
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                ing.rows[i].edges.to_string(),
+                ing.rows[i].cycles.to_string(),
+                bfs.rows[i].cycles.to_string(),
+                format!("{:.2}", bfs.rows[i].cycles as f64 / ing.rows[i].cycles.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "  totals: ingestion {} cycles, with BFS {} cycles",
+        ing.total_cycles(),
+        bfs.total_cycles()
+    );
+    let dir = out_dir(&args.out);
+    write_csv(
+        &dir.join("skew.csv"),
+        "increment,edges,ingest_cycles,bfs_cycles,promoted,extra_roots",
+        (0..ing.rows.len()).map(|i| {
+            // promoted/extra_roots are cumulative as of this increment —
+            // the promotion timeline across the stream.
+            format!(
+                "{},{},{},{},{},{}",
+                i + 1,
+                ing.rows[i].edges,
+                ing.rows[i].cycles,
+                bfs.rows[i].cycles,
+                ing.rows[i].rhizomes.0,
+                ing.rows[i].rhizomes.1
+            )
+        }),
+    );
+    println!("  (csv: {}/skew.csv)", args.out);
+}
+
+fn ablate_rhizomes(args: &Args) {
+    eprintln!("[ablate-rhizomes] rhizome root-count sweep, scale {:?}...", args.scale);
+    let p = skew_preset(args);
+    let d = p.build();
+    let stats = gc_datasets::degree_stats(d.n_vertices, d.all_edges());
+    let threshold = skew_threshold(&stats);
+    let ks = [1usize, 2, 4, 8];
+    let results: Vec<ExperimentResult> = run_tasks(
+        ks.iter()
+            .flat_map(|&k| [(k, false), (k, true)])
+            .map(|(k, with_algo)| {
+                let chip = chip_for(args);
+                let d = &d;
+                move || {
+                    // K = 1 is the single-root reference (promotion off).
+                    let rcfg = if k == 1 {
+                        RpvoConfig::default()
+                    } else {
+                        RpvoConfig::default().with_rhizomes(threshold, k)
+                    };
+                    let opts = RunOpts { with_algo, rcfg, chip, ..Default::default() };
+                    run_streaming_bfs(d, &opts, &format!("K={k}"))
+                }
+            })
+            .collect(),
+        CHIP_SCENARIO_WORKERS,
+    );
+    println!(
+        "\nAblation: rhizome roots per hub (threshold {} touches), {} streaming",
+        threshold,
+        p.label()
+    );
+    let header =
+        ["K", "Promoted", "Extra roots", "Ingest cycles", "Ingest µJ", "+BFS cycles", "+BFS µJ"];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, &k) in ks.iter().enumerate() {
+        let ing = &results[2 * i];
+        let bfs = &results[2 * i + 1];
+        assert!(!ing.with_algo && bfs.with_algo);
+        rows.push(vec![
+            k.to_string(),
+            ing.rhizomes.0.to_string(),
+            ing.rhizomes.1.to_string(),
+            ing.total_cycles().to_string(),
+            format!("{:.0}", ing.total_energy_uj()),
+            bfs.total_cycles().to_string(),
+            format!("{:.0}", bfs.total_energy_uj()),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{:.1},{},{:.1}",
+            k,
+            ing.rhizomes.0,
+            ing.rhizomes.1,
+            ing.total_cycles(),
+            ing.total_energy_uj(),
+            bfs.total_cycles(),
+            bfs.total_energy_uj()
+        ));
+    }
+    println!("{}", format_table(&header, &rows));
+    let k1 = results[0].total_cycles();
+    let k4 = results[4].total_cycles();
+    println!(
+        "  ingestion cycles K=4 vs K=1: {k4} vs {k1} ({:+.1}%)",
+        (k4 as f64 / k1.max(1) as f64 - 1.0) * 100.0
+    );
+    let dir = out_dir(&args.out);
+    write_csv(
+        &dir.join("ablate_rhizomes.csv"),
+        "k,promoted,extra_roots,ingest_cycles,ingest_uj,bfs_cycles,bfs_uj",
+        csv,
+    );
+    println!("  (csv: {}/ablate_rhizomes.csv)", args.out);
 }
 
 // ---------------------------------------------------------------------

@@ -57,6 +57,10 @@ pub struct IncrementRow {
     pub energy_uj: f64,
     pub time_us: f64,
     pub counters: Counters,
+    /// Cumulative rhizome stats at the end of this increment:
+    /// `(vertices promoted, extra roots allocated)` — the promotion
+    /// timeline, not just the end-of-stream total.
+    pub rhizomes: (u64, u64),
 }
 
 /// A full streaming run over one dataset in one mode.
@@ -70,6 +74,9 @@ pub struct ExperimentResult {
     pub cell_count: u32,
     /// Ghost statistics after the full stream: `(count, avg parent→ghost hops)`.
     pub ghosts: (u64, f64),
+    /// Rhizome statistics after the full stream: `(vertices promoted to
+    /// multi-root, extra co-equal roots allocated)`.
+    pub rhizomes: (u64, u64),
 }
 
 impl ExperimentResult {
@@ -139,9 +146,13 @@ pub fn run_streaming_bfs(
             energy_uj: report.energy_uj,
             time_us: report.time_us,
             counters: report.counters,
+            rhizomes: g.rhizome_stats(),
         });
         activity.extend_from_slice(&report.activity.counts);
     }
+    // Single source of truth: the summary equals the last increment's
+    // cumulative snapshot.
+    let rhizomes = rows.last().map(|r| r.rhizomes).unwrap_or_default();
     ExperimentResult {
         label: label.to_string(),
         with_algo: opts.with_algo,
@@ -149,6 +160,7 @@ pub fn run_streaming_bfs(
         activity,
         cell_count,
         ghosts: g.ghost_distance_stats(),
+        rhizomes,
     }
 }
 

@@ -30,6 +30,26 @@ pub const ACT_RELAX: ActionId = diffusive::FIRST_USER_ACTION + 1;
 /// First action id available to algorithm-specific extras (triangle probes).
 pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 2;
 
+/// Bit 63 of a *query* operon's `payload[0]` (triangle / Jaccard probes and
+/// checks) marking that the operon was already fanned across a rhizome's
+/// co-equal roots. The first root reached fans a marked copy to each peer so
+/// the whole logical adjacency is visited exactly once; vertex ids are 32-bit,
+/// so the flag never collides with the carried id.
+pub const QUERY_FANNED_BIT: u64 = 1 << 63;
+
+/// Fan an unmarked query arrival across a rhizome's co-equal roots: one
+/// marked copy of `op` per peer (marked copies never re-fan; `payload[1]` —
+/// e.g. Jaccard's pair key — travels along unchanged). No-op on already
+/// fanned operons and on objects without peers (ghosts, single roots).
+pub(crate) fn fan_query_to_peers<T>(ctx: &mut ExecCtx<'_, T>, op: &Operon, peers: &[Address]) {
+    if op.payload[0] & QUERY_FANNED_BIT != 0 {
+        return;
+    }
+    for &p in peers {
+        ctx.propagate(Operon::new(p, op.action, [op.payload[0] | QUERY_FANNED_BIT, op.payload[1]]));
+    }
+}
+
 /// A streaming vertex algorithm: per-vertex state plus the semantic hooks of
 /// the monotone relax pattern. Values on the wire are `u64` (one payload
 /// word); `State` is the per-object representation.
@@ -111,6 +131,7 @@ pub struct GraphApp<G: VertexAlgo> {
     pub propagate_algo: bool,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
+    scratch_peers: Vec<Address>,
 }
 
 impl<G: VertexAlgo> GraphApp<G> {
@@ -123,6 +144,7 @@ impl<G: VertexAlgo> GraphApp<G> {
             propagate_algo,
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
+            scratch_peers: Vec::new(),
         }
     }
 
@@ -192,20 +214,29 @@ impl<G: VertexAlgo> GraphApp<G> {
         }
     }
 
-    /// Listing 5 (generalized): relax the object's state and diffuse.
-    fn relax(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
-        let target = op.target;
-        let incoming = op.payload[0];
+    /// Listing 5 (generalized): relax the object's state and diffuse. Shared
+    /// by the relax action proper and the cross-rhizome sync action (a peer
+    /// root's announcement is semantically a relax; `action` only labels
+    /// errors).
+    fn relax_value(
+        &mut self,
+        ctx: &mut ExecCtx<'_, VertexObj<G::State>>,
+        target: Address,
+        incoming: u64,
+        action: ActionId,
+    ) {
         ctx.charge(ctx.cost().state_update);
         let improved = {
             let Some(obj) = ctx.obj_mut(target.slot) else {
-                ctx.fail(SimError::BadAddress { addr: target, action: ACT_RELAX });
+                ctx.fail(SimError::BadAddress { addr: target, action });
                 return;
             };
             if self.algo.improve(&mut obj.state, incoming) {
                 // Snapshot diffusion targets while the object is borrowed.
                 self.scratch_edges.clear();
                 self.scratch_edges.extend_from_slice(&obj.edges);
+                self.scratch_peers.clear();
+                self.scratch_peers.extend_from_slice(&obj.peers);
                 self.scratch_ghosts.clear();
                 for g in obj.ghosts.iter_mut() {
                     match g {
@@ -235,6 +266,14 @@ impl<G: VertexAlgo> GraphApp<G> {
                 let g = self.scratch_ghosts[i];
                 ctx.propagate(Operon::new(g, ACT_RELAX, [incoming, 0]));
             }
+            // Announce the improvement to co-equal rhizome roots so every
+            // root (and through it, every edge slice) converges. Monotone
+            // improvement bounds the exchange: a root only re-announces when
+            // it actually improved, so the peer traffic terminates.
+            for i in 0..self.scratch_peers.len() {
+                let p = self.scratch_peers[i];
+                ctx.propagate(diffusive::sync_operon(p, incoming));
+            }
         }
     }
 }
@@ -249,6 +288,7 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             propagate_algo: self.propagate_algo,
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
+            scratch_peers: Vec::new(),
         }
     }
 
@@ -297,10 +337,14 @@ impl<G: VertexAlgo> App for GraphApp<G> {
         }
     }
 
+    fn rhizome_sync(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, value: u64) {
+        self.relax_value(ctx, target, value, diffusive::ACT_RHIZOME_SYNC);
+    }
+
     fn on_action(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon) {
         match op.action {
             ACT_INSERT => self.ingest(ctx, op),
-            ACT_RELAX => self.relax(ctx, op),
+            ACT_RELAX => self.relax_value(ctx, op.target, op.payload[0], ACT_RELAX),
             _ => {
                 // Split borrow: hand the algorithm the context plus config.
                 let rcfg = self.rcfg;
@@ -364,7 +408,7 @@ mod tests {
 
     #[test]
     fn edges_within_capacity_stay_in_root() {
-        let mut c = chip(RpvoConfig { edge_cap: 8, ghost_fanout: 2 });
+        let mut c = chip(RpvoConfig::basic(8, 2));
         let root = c.host_alloc(20, VertexObj::root(0, (), 2)).unwrap();
         stream_edges(&mut c, root, 8);
         let obj = c.object(root).unwrap();
@@ -375,7 +419,7 @@ mod tests {
 
     #[test]
     fn overflow_spills_to_ghosts_without_losing_edges() {
-        let mut c = chip(RpvoConfig { edge_cap: 4, ghost_fanout: 2 });
+        let mut c = chip(RpvoConfig::basic(4, 2));
         let root = c.host_alloc(20, VertexObj::root(0, (), 2)).unwrap();
         let n = 50;
         stream_edges(&mut c, root, n);
@@ -393,7 +437,7 @@ mod tests {
 
     #[test]
     fn ghosts_obey_vicinity_placement() {
-        let mut c = chip(RpvoConfig { edge_cap: 2, ghost_fanout: 2 });
+        let mut c = chip(RpvoConfig::basic(2, 2));
         let root_cc = 36u16; // interior cell of the 8x8 mesh
         let root = c.host_alloc(root_cc, VertexObj::root(0, (), 2)).unwrap();
         stream_edges(&mut c, root, 30);
@@ -408,7 +452,7 @@ mod tests {
 
     #[test]
     fn ghost_fanout_spreads_spill_subtrees() {
-        let mut c = chip(RpvoConfig { edge_cap: 2, ghost_fanout: 2 });
+        let mut c = chip(RpvoConfig::basic(2, 2));
         let root = c.host_alloc(10, VertexObj::root(0, (), 2)).unwrap();
         stream_edges(&mut c, root, 40);
         let obj = c.object(root).unwrap();
@@ -417,7 +461,7 @@ mod tests {
 
     #[test]
     fn rpvo_depth_grows_logarithmically_with_fanout_two() {
-        let mut c = chip(RpvoConfig { edge_cap: 2, ghost_fanout: 2 });
+        let mut c = chip(RpvoConfig::basic(2, 2));
         let root = c.host_alloc(10, VertexObj::root(0, (), 2)).unwrap();
         stream_edges(&mut c, root, 62); // 31 objects needed
         let d = walk::depth(root, |a| c.object(a));
@@ -429,7 +473,7 @@ mod tests {
     #[test]
     fn deterministic_ingestion() {
         let run = || {
-            let mut c = chip(RpvoConfig { edge_cap: 4, ghost_fanout: 2 });
+            let mut c = chip(RpvoConfig::basic(4, 2));
             let root = c.host_alloc(20, VertexObj::root(0, (), 2)).unwrap();
             stream_edges(&mut c, root, 40);
             (c.cycle(), *c.counters())

@@ -28,7 +28,7 @@ use diffusive::{FutureLco, PendingOperon};
 
 use crate::rpvo::{Edge, RpvoConfig, VertexObj};
 
-use super::algo::{VertexAlgo, ACT_ALGO_BASE};
+use super::algo::{VertexAlgo, ACT_ALGO_BASE, QUERY_FANNED_BIT};
 
 /// Start the canonical-pair generation walk at a vertex object.
 pub const ACT_JC_GEN: ActionId = ACT_ALGO_BASE;
@@ -43,12 +43,18 @@ pub struct JaccardAlgo {
     pub hits: HashMap<u64, u64>,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
+    scratch_peers: Vec<Address>,
 }
 
 impl JaccardAlgo {
     /// Fresh accumulator state.
     pub fn new() -> Self {
-        JaccardAlgo { hits: HashMap::new(), scratch_edges: Vec::new(), scratch_ghosts: Vec::new() }
+        JaccardAlgo {
+            hits: HashMap::new(),
+            scratch_edges: Vec::new(),
+            scratch_ghosts: Vec::new(),
+            scratch_peers: Vec::new(),
+        }
     }
 
     /// Clear all recorded intersection hits (before a new query).
@@ -69,6 +75,8 @@ impl JaccardAlgo {
         };
         self.scratch_edges.clear();
         self.scratch_edges.extend_from_slice(&obj.edges);
+        self.scratch_peers.clear();
+        self.scratch_peers.extend_from_slice(&obj.peers);
         self.scratch_ghosts.clear();
         for g in obj.ghosts.iter_mut() {
             match g {
@@ -80,6 +88,13 @@ impl JaccardAlgo {
             }
         }
         Some(obj.vid)
+    }
+
+    /// Fan an unmarked query arrival across the rhizome's co-equal roots
+    /// (see [`super::algo::fan_query_to_peers`]); `payload[1]` — the pair
+    /// key for checks — travels along unchanged.
+    fn fan_rhizome(&mut self, ctx: &mut ExecCtx<'_, VertexObj<()>>, op: &Operon) {
+        super::algo::fan_query_to_peers(ctx, op, &self.scratch_peers);
     }
 }
 
@@ -135,6 +150,7 @@ impl VertexAlgo for JaccardAlgo {
         match op.action {
             ACT_JC_GEN => {
                 let Some(vid) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 for i in 0..self.scratch_edges.len() {
                     let e = self.scratch_edges[i];
@@ -149,8 +165,9 @@ impl VertexAlgo for JaccardAlgo {
                 }
             }
             ACT_JC_PROBE => {
-                let u = op.payload[0] as u32;
+                let u = (op.payload[0] & !QUERY_FANNED_BIT) as u32;
                 let Some(vid) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 let pair = ((u as u64) << 32) | vid as u64;
                 for i in 0..self.scratch_edges.len() {
@@ -164,8 +181,9 @@ impl VertexAlgo for JaccardAlgo {
                 }
             }
             ACT_JC_CHECK => {
-                let u = op.payload[0] as u32;
+                let u = (op.payload[0] & !QUERY_FANNED_BIT) as u32;
                 let Some(_w) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 if self.scratch_edges.iter().any(|e| e.dst_id == u) {
                     *self.hits.entry(op.payload[1]).or_insert(0) += 1;

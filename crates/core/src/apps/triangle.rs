@@ -19,13 +19,19 @@
 //!
 //! Counting is re-run per streaming increment (a snapshot query); a fully
 //! incremental variant remains future work, as in the paper.
+//!
+//! The graph must be **simple** (no duplicate directed edges): the
+//! exactness argument rests on each edge being stored in exactly one
+//! object, and a duplicate split across two ghost subtrees — or, on a
+//! promoted rhizome vertex, across two root slices — would be counted once
+//! per copy. The same assumption applies to the Jaccard query.
 
 use amcca_sim::{ActionId, Address, ExecCtx, Operon, SimError};
 use diffusive::{FutureLco, PendingOperon};
 
 use crate::rpvo::{Edge, RpvoConfig, VertexObj};
 
-use super::algo::{VertexAlgo, ACT_ALGO_BASE};
+use super::algo::{VertexAlgo, ACT_ALGO_BASE, QUERY_FANNED_BIT};
 
 /// Start the pair-generation walk at a vertex object.
 pub const ACT_TRI_GEN: ActionId = ACT_ALGO_BASE;
@@ -41,6 +47,7 @@ pub struct TriangleAlgo {
     pub counts: Vec<u64>,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
+    scratch_peers: Vec<Address>,
 }
 
 impl TriangleAlgo {
@@ -50,6 +57,7 @@ impl TriangleAlgo {
             counts: vec![0; cell_count as usize],
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
+            scratch_peers: Vec::new(),
         }
     }
 
@@ -72,6 +80,8 @@ impl TriangleAlgo {
         };
         self.scratch_edges.clear();
         self.scratch_edges.extend_from_slice(&obj.edges);
+        self.scratch_peers.clear();
+        self.scratch_peers.extend_from_slice(&obj.peers);
         self.scratch_ghosts.clear();
         for g in obj.ghosts.iter_mut() {
             match g {
@@ -83,6 +93,13 @@ impl TriangleAlgo {
             }
         }
         Some(obj.vid)
+    }
+
+    /// First arrival of a query action at a rhizome root: fan a marked copy
+    /// to every co-equal peer root, so each disjoint edge slice of the
+    /// logical vertex participates (see [`super::algo::fan_query_to_peers`]).
+    fn fan_rhizome(&mut self, ctx: &mut ExecCtx<'_, VertexObj<()>>, op: &Operon) {
+        super::algo::fan_query_to_peers(ctx, op, &self.scratch_peers);
     }
 }
 
@@ -132,6 +149,7 @@ impl VertexAlgo for TriangleAlgo {
         match op.action {
             ACT_TRI_GEN => {
                 let Some(vid) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 for i in 0..self.scratch_edges.len() {
                     let e = self.scratch_edges[i];
@@ -145,8 +163,9 @@ impl VertexAlgo for TriangleAlgo {
                 }
             }
             ACT_TRI_PROBE => {
-                let u = op.payload[0];
+                let u = op.payload[0] & !QUERY_FANNED_BIT;
                 let Some(vid) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 for i in 0..self.scratch_edges.len() {
                     let e = self.scratch_edges[i];
@@ -160,8 +179,9 @@ impl VertexAlgo for TriangleAlgo {
                 }
             }
             ACT_TRI_CHECK => {
-                let u = op.payload[0] as u32;
+                let u = (op.payload[0] & !QUERY_FANNED_BIT) as u32;
                 let Some(_vid) = self.snapshot(ctx, op) else { return };
+                self.fan_rhizome(ctx, op);
                 ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
                 if self.scratch_edges.iter().any(|e| e.dst_id == u) {
                     self.counts[ctx.cc as usize] += 1;

@@ -10,6 +10,7 @@ use amcca_sim::{Address, ChipConfig, Operon, SimError};
 use diffusive::{Device, RunReport};
 
 use crate::apps::algo::{insert_operon, GraphApp, VertexAlgo, ACT_INSERT, ACT_RELAX};
+use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
 use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
 
 /// A streamed edge: `(src, dst, weight)` with vertex ids.
@@ -18,7 +19,10 @@ pub type StreamEdge = (u32, u32, u32);
 /// StreamingGraph.
 pub struct StreamingGraph<G: VertexAlgo> {
     dev: Device<GraphApp<G>>,
-    addrs: Vec<Address>,
+    /// Per-vertex root sets, streamed-degree counters, and the deterministic
+    /// per-edge root router (single-root vertices route to their primary).
+    rz: RhizomeDirectory,
+    rcfg: RpvoConfig,
 }
 
 impl<G: VertexAlgo> StreamingGraph<G> {
@@ -43,7 +47,33 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             let state = dev.app().algo.root_state(vid);
             addrs.push(dev.host_alloc(cc, VertexObj::root(vid, state, fanout))?);
         }
-        Ok(StreamingGraph { dev, addrs })
+        Ok(StreamingGraph { dev, rz: RhizomeDirectory::new(addrs), rcfg })
+    }
+
+    /// Promote vertex `v` from a single root to a rhizome of
+    /// `rcfg.rhizome_roots` co-equal roots: allocate the extra roots on the
+    /// cells the chip's [`amcca_sim::RhizomePlacement`] picks (untimed, like
+    /// graph construction), seed them with the primary's current converged
+    /// state, and fully cross-link all roots. Subsequent edges for `v` are
+    /// round-robined across the root set.
+    fn promote(&mut self, v: u32) -> Result<(), SimError> {
+        let k = self.rcfg.rhizome_roots;
+        let primary = self.rz.primary(v);
+        let cfg = self.dev.chip().cfg();
+        let (dims, seed, policy) = (cfg.dims, cfg.seed, cfg.rhizome_placement);
+        let cells = policy.cells_for(primary.cc, k, dims, seed ^ ((v as u64) << 1 | 1));
+        let state = self.dev.object(primary).expect("primary root live").state;
+        let fanout = self.rcfg.ghost_fanout;
+        let mut roots = Vec::with_capacity(k);
+        roots.push(primary);
+        for cc in cells {
+            roots.push(self.dev.host_alloc(cc, VertexObj::root(v, state, fanout))?);
+        }
+        for (addr, peers) in roots.iter().zip(peer_sets(&roots)) {
+            self.dev.object_mut(*addr).expect("root live").peers = peers;
+        }
+        self.rz.install(v, roots[1..].to_vec());
+        Ok(())
     }
 
     /// Enable/disable the algorithm's propagation on insert (the paper's
@@ -61,23 +91,45 @@ impl<G: VertexAlgo> StreamingGraph<G> {
 
     /// Number of vertices the graph was constructed with.
     pub fn n_vertices(&self) -> u32 {
-        self.addrs.len() as u32
+        self.rz.len() as u32
     }
 
-    /// Root-object address of a vertex.
+    /// Primary root-object address of a vertex (any co-equal rhizome roots
+    /// are reachable through its links).
     pub fn addr_of(&self, vid: u32) -> Address {
-        self.addrs[vid as usize]
+        self.rz.primary(vid)
+    }
+
+    /// All co-equal root addresses of a vertex, primary first (one entry for
+    /// ordinary vertices).
+    pub fn roots_of(&self, vid: u32) -> Vec<Address> {
+        self.rz.roots(vid)
     }
 
     /// Stream one increment of edges through the IO channels and run the
     /// diffusion to quiescence.
+    ///
+    /// While building the wave the host counts each edge endpoint toward its
+    /// vertex's streamed degree; a vertex crossing
+    /// [`RpvoConfig::rhizome_threshold`] is promoted to a rhizome on the
+    /// spot (untimed, like construction), and every edge is then routed to a
+    /// deterministically chosen co-equal root of its source — with the
+    /// destination address likewise picking one of the destination's roots —
+    /// so a hub's ingest and frontier traffic fans out across cells.
     pub fn stream_increment(&mut self, edges: &[StreamEdge]) -> Result<RunReport, SimError> {
-        let ops: Vec<Operon> = edges
-            .iter()
-            .map(|&(u, v, w)| {
-                insert_operon(self.addrs[u as usize], &Edge::new(self.addrs[v as usize], v, w))
-            })
-            .collect();
+        let threshold = self.rcfg.rhizome_threshold;
+        let mut ops: Vec<Operon> = Vec::with_capacity(edges.len());
+        for &(u, v, w) in edges {
+            if self.rz.note_touch(u, threshold) {
+                self.promote(u)?;
+            }
+            if self.rz.note_touch(v, threshold) {
+                self.promote(v)?;
+            }
+            let src = self.rz.route(u);
+            let dst = self.rz.route(v);
+            ops.push(insert_operon(src, &Edge::new(dst, v, w)));
+        }
         self.dev.register_data_transfer(ops);
         self.dev.run()
     }
@@ -92,48 +144,65 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         self.dev.run()
     }
 
-    /// The algorithm state stored at a vertex's root object.
+    /// The algorithm state stored at a vertex's primary root object (all
+    /// co-equal roots agree at quiescence; see
+    /// [`Self::check_mirror_consistency`]).
     pub fn state_of(&self, vid: u32) -> G::State {
-        self.dev.object(self.addrs[vid as usize]).expect("root object live").state
+        self.dev.object(self.rz.primary(vid)).expect("root object live").state
     }
 
     /// All root states, indexed by vertex id.
     pub fn states(&self) -> Vec<G::State> {
-        self.addrs.iter().map(|&a| self.dev.object(a).expect("root live").state).collect()
+        (0..self.n_vertices()).map(|v| self.state_of(v)).collect()
     }
 
-    /// All edges stored anywhere in a vertex's RPVO, as `(dst_id, w)` pairs.
+    /// All edges stored anywhere in a vertex's logical adjacency — every
+    /// co-equal root and its ghost subtree — as `(dst_id, w)` pairs.
     pub fn logical_edges(&self, vid: u32) -> Vec<(u32, u32)> {
-        walk::collect_edges(self.addrs[vid as usize], |a| self.dev.object(a))
+        walk::collect_logical_edges(self.rz.primary(vid), |a| self.dev.object(a))
             .into_iter()
             .map(|e| (e.dst_id, e.w))
             .collect()
     }
 
-    /// Out-degree of a vertex: edges stored across its whole RPVO.
+    /// Out-degree of a vertex: edges stored across all roots and ghosts.
     pub fn degree(&self, vid: u32) -> usize {
-        walk::collect_objects(self.addrs[vid as usize], |a| self.dev.object(a))
+        walk::collect_logical_objects(self.rz.primary(vid), |a| self.dev.object(a))
             .into_iter()
             .map(|a| self.dev.object(a).expect("object live").edges.len())
             .sum()
     }
 
-    /// Depth of a vertex's RPVO (1 = root only).
+    /// Depth of a vertex's primary-root RPVO subtree (1 = root only).
     pub fn rpvo_depth(&self, vid: u32) -> usize {
-        walk::depth(self.addrs[vid as usize], |a| self.dev.object(a))
+        walk::depth(self.rz.primary(vid), |a| self.dev.object(a))
     }
 
-    /// Addresses of every object (root + ghosts) of a vertex's RPVO.
+    /// Addresses of every object of a vertex's *primary* RPVO subtree (root
+    /// first). Use [`Self::rhizome_objects`] to span co-equal roots too.
     pub fn rpvo_objects(&self, vid: u32) -> Vec<Address> {
-        walk::collect_objects(self.addrs[vid as usize], |a| self.dev.object(a))
+        walk::collect_objects(self.rz.primary(vid), |a| self.dev.object(a))
     }
 
-    /// Verify that every ghost mirror of every vertex equals its root state
-    /// (must hold at quiescence). Returns the first violation.
+    /// Addresses of every object of the whole logical vertex: all co-equal
+    /// roots and each root's ghost subtree.
+    pub fn rhizome_objects(&self, vid: u32) -> Vec<Address> {
+        walk::collect_logical_objects(self.rz.primary(vid), |a| self.dev.object(a))
+    }
+
+    /// `(promoted vertices, extra roots allocated)` so far.
+    pub fn rhizome_stats(&self) -> (u64, u64) {
+        (self.rz.promoted_count(), self.rz.extra_root_count())
+    }
+
+    /// Verify that every object of every vertex — co-equal roots and ghost
+    /// mirrors alike — equals the primary root's state (must hold at
+    /// quiescence). Returns the first violation.
     pub fn check_mirror_consistency(&self) -> Result<(), String> {
-        for (vid, &root) in self.addrs.iter().enumerate() {
+        for vid in 0..self.n_vertices() {
+            let root = self.rz.primary(vid);
             let want = self.dev.object(root).expect("root live").state;
-            for a in walk::collect_objects(root, |x| self.dev.object(x)) {
+            for a in walk::collect_logical_objects(root, |x| self.dev.object(x)) {
                 let got = self.dev.object(a).expect("object live").state;
                 if got != want {
                     return Err(format!(
@@ -196,13 +265,8 @@ mod tests {
     use amcca_sim::ChipConfig;
 
     fn small() -> StreamingGraph<BfsAlgo> {
-        StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
-            BfsAlgo::new(0),
-            16,
-        )
-        .unwrap()
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), BfsAlgo::new(0), 16)
+            .unwrap()
     }
 
     #[test]
@@ -281,6 +345,105 @@ mod tests {
     }
 
     #[test]
+    fn hub_promotes_to_rhizome_and_stays_correct() {
+        let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 24).unwrap();
+        // A star around vertex 0: crosses the threshold mid-increment.
+        let edges: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
+        g.stream_increment(&edges).unwrap();
+        let (promoted, extra) = g.rhizome_stats();
+        assert_eq!(promoted, 1, "only the hub crossed the threshold");
+        assert_eq!(extra, 2, "K=3 adds two extra roots");
+        assert_eq!(g.roots_of(0).len(), 3);
+        assert_eq!(g.roots_of(1).len(), 1);
+        // Every root is cross-linked to the other two.
+        for a in g.roots_of(0) {
+            let obj = g.device().object(a).unwrap();
+            assert!(obj.is_root() && obj.is_rhizome());
+            assert_eq!(obj.peers.len(), 2);
+        }
+        // All 23 edges stored exactly once across the root slices.
+        assert_eq!(g.degree(0), 23);
+        assert_eq!(g.total_edges_stored(), 23);
+        // The edge slices are genuinely split across roots.
+        let with_edges = g
+            .roots_of(0)
+            .iter()
+            .filter(|&&a| !walk::collect_edges(a, |x| g.device().object(x)).is_empty())
+            .count();
+        assert!(with_edges >= 2, "edge list split across co-equal roots");
+        // BFS results unchanged: every leaf at level 1, mirrors consistent.
+        for v in 1..24 {
+            assert_eq!(g.state_of(v), 1);
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn rhizome_states_match_single_root_reference() {
+        // Same stream, with and without rhizomes: identical BFS fixpoints.
+        let run = |rcfg: RpvoConfig| {
+            let mut g =
+                StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 16).unwrap();
+            let star: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
+            let path: Vec<StreamEdge> = (0..15).map(|v| (v, v + 1, 1)).collect();
+            g.stream_increment(&star).unwrap();
+            g.stream_increment(&path).unwrap();
+            g.check_mirror_consistency().unwrap();
+            (g.states(), g.total_edges_stored())
+        };
+        let single = run(RpvoConfig::basic(4, 2));
+        let rhizome = run(RpvoConfig::basic(4, 2).with_rhizomes(4, 4));
+        assert_eq!(single, rhizome);
+    }
+
+    #[test]
+    fn promotion_mid_stream_preserves_reached_state() {
+        // Reach vertex 5 first, then promote it in a later increment: the
+        // extra roots must inherit the converged level so edges landing on
+        // them still announce values.
+        let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(8, 2);
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 32).unwrap();
+        g.stream_increment(&[(0, 5, 1)]).unwrap();
+        assert_eq!(g.state_of(5), 1);
+        // Now hammer vertex 5 until it promotes, fanning edges to vertices
+        // reached only through the post-promotion slices.
+        let burst: Vec<StreamEdge> = (6..31).map(|v| (5, v, 1)).collect();
+        g.stream_increment(&burst).unwrap();
+        assert!(g.rhizome_stats().0 >= 1, "vertex 5 promoted");
+        for v in 6..31 {
+            assert_eq!(g.state_of(v), 2, "leaf {v} reached through a rhizome slice");
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn sharded_rhizome_streaming_matches_sequential() {
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards),
+                RpvoConfig::basic(4, 2).with_rhizomes(5, 4),
+                BfsAlgo::new(0),
+                24,
+            )
+            .unwrap();
+            let mut cycles = 0u64;
+            let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
+            let path: Vec<StreamEdge> = (0..23).map(|v| (v, v + 1, 1)).collect();
+            for inc in [star, path] {
+                cycles += g.stream_increment(&inc).unwrap().cycles;
+            }
+            g.check_mirror_consistency().unwrap();
+            (g.states(), cycles, *g.device().chip().counters(), g.rhizome_stats())
+        };
+        let sequential = run(1);
+        assert!(sequential.3 .0 > 0, "workload must exercise promotion");
+        assert_eq!(sequential, run(3));
+    }
+
+    #[test]
     fn symmetrize_doubles_edges() {
         let s = symmetrize(&[(1, 2, 9), (3, 4, 1)]);
         assert_eq!(s, vec![(1, 2, 9), (2, 1, 9), (3, 4, 1), (4, 3, 1)]);
@@ -294,7 +457,7 @@ mod tests {
         let run = |shards: usize| {
             let mut g = StreamingGraph::new(
                 ChipConfig::small_test().with_shards(shards),
-                RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
+                RpvoConfig::basic(4, 2),
                 BfsAlgo::new(0),
                 24,
             )

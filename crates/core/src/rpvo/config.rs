@@ -4,6 +4,14 @@
 //! both are exposed here and swept by the `ablate-edgecap` / `ablate-ghosts`
 //! benches. Defaults: 16 edges per object, 2 ghost slots ("there can be two
 //! or more ghost vertices per RPVO to arbitrate", Listing 6 caption).
+//!
+//! The rhizome knobs extend the RPVO with multiple co-equal roots for hub
+//! vertices (Chandio et al., arXiv:2402.06086): once a vertex's streamed
+//! degree crosses [`RpvoConfig::rhizome_threshold`], the host promotes it to
+//! [`RpvoConfig::rhizome_roots`] cross-linked roots, each owning a disjoint
+//! slice of the edge list and its own ghost subtree. A threshold of 0 (the
+//! default) disables promotion, preserving the single-root RPVO of the
+//! source paper exactly.
 
 /// Shape of every vertex object (root and ghost alike).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,15 +20,41 @@ pub struct RpvoConfig {
     pub edge_cap: usize,
     /// Ghost slots per object (spills arbitrate round-robin among them).
     pub ghost_fanout: usize,
+    /// Streamed degree at which a vertex is promoted from a single root to
+    /// a rhizome: both endpoints of every streamed edge count one touch
+    /// (hubs are hot both as insert targets and as relax destinations).
+    /// On-chip relax traffic is *not* counted. `0` disables promotion.
+    pub rhizome_threshold: usize,
+    /// Number of co-equal roots a promoted vertex is split into (K ≥ 2).
+    pub rhizome_roots: usize,
 }
 
 impl Default for RpvoConfig {
     fn default() -> Self {
-        RpvoConfig { edge_cap: 16, ghost_fanout: 2 }
+        RpvoConfig::basic(16, 2)
     }
 }
 
 impl RpvoConfig {
+    /// A single-root configuration (rhizomes disabled) — the shape of the
+    /// source paper's RPVO.
+    pub fn basic(edge_cap: usize, ghost_fanout: usize) -> Self {
+        RpvoConfig { edge_cap, ghost_fanout, rhizome_threshold: 0, rhizome_roots: 4 }
+    }
+
+    /// Builder-style rhizome enablement: promote at `threshold` into `roots`
+    /// co-equal roots.
+    pub fn with_rhizomes(mut self, threshold: usize, roots: usize) -> Self {
+        self.rhizome_threshold = threshold;
+        self.rhizome_roots = roots;
+        self
+    }
+
+    /// Whether rhizome promotion is enabled.
+    pub fn rhizomes_enabled(&self) -> bool {
+        self.rhizome_threshold > 0 && self.rhizome_roots >= 2
+    }
+
     /// Validate against structural and encoding limits (the continuation
     /// encoding carries the ghost-slot index in 4 bits).
     pub fn validate(&self) -> Result<(), String> {
@@ -36,6 +70,17 @@ impl RpvoConfig {
                 self.ghost_fanout
             ));
         }
+        if self.rhizome_threshold > 0 {
+            if self.rhizome_roots < 2 {
+                return Err("a rhizome needs at least 2 co-equal roots".into());
+            }
+            if self.rhizome_roots > 16 {
+                return Err(format!(
+                    "rhizome_roots {} exceeds the supported maximum of 16",
+                    self.rhizome_roots
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -45,15 +90,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_valid() {
-        assert!(RpvoConfig::default().validate().is_ok());
+    fn default_is_valid_and_single_root() {
+        let c = RpvoConfig::default();
+        assert!(c.validate().is_ok());
+        assert!(!c.rhizomes_enabled(), "rhizomes are opt-in");
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(RpvoConfig { edge_cap: 0, ghost_fanout: 2 }.validate().is_err());
-        assert!(RpvoConfig { edge_cap: 4, ghost_fanout: 0 }.validate().is_err());
-        assert!(RpvoConfig { edge_cap: 4, ghost_fanout: 17 }.validate().is_err());
-        assert!(RpvoConfig { edge_cap: 1, ghost_fanout: 16 }.validate().is_ok());
+        assert!(RpvoConfig::basic(0, 2).validate().is_err());
+        assert!(RpvoConfig::basic(4, 0).validate().is_err());
+        assert!(RpvoConfig::basic(4, 17).validate().is_err());
+        assert!(RpvoConfig::basic(1, 16).validate().is_ok());
+    }
+
+    #[test]
+    fn rhizome_limits_enforced() {
+        assert!(RpvoConfig::basic(4, 2).with_rhizomes(8, 4).validate().is_ok());
+        assert!(RpvoConfig::basic(4, 2).with_rhizomes(8, 1).validate().is_err());
+        assert!(RpvoConfig::basic(4, 2).with_rhizomes(8, 17).validate().is_err());
+        assert!(RpvoConfig::basic(4, 2).with_rhizomes(0, 1).validate().is_ok(), "0 disables");
+        assert!(RpvoConfig::basic(4, 2).with_rhizomes(8, 4).rhizomes_enabled());
     }
 }

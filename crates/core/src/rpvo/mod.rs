@@ -1,11 +1,14 @@
 //! The Recursively-Parallel Vertex Object (RPVO): the paper's hierarchical
-//! dynamic vertex data structure (Fig. 1b).
+//! dynamic vertex data structure (Fig. 1b), extended with multi-root
+//! rhizomes for hub vertices on skewed graphs (see [`rhizome`]).
 
 pub mod config;
 pub mod edge;
+pub mod rhizome;
 pub mod vertex;
 pub mod walk;
 
 pub use config::RpvoConfig;
 pub use edge::{decode_edge, encode_edge, Edge};
+pub use rhizome::{peer_sets, RhizomeDirectory};
 pub use vertex::{ObjKind, VertexObj};

@@ -1,0 +1,235 @@
+//! Multi-root (rhizome) vertex objects.
+//!
+//! The source paper's RPVO parallelizes a vertex's *storage* across ghost
+//! objects but keeps a single root, so every ingest and frontier action for
+//! a hub vertex still serializes at one compute cell. The follow-up work
+//! (Chandio et al., "Rhizomes and Diffusions for Processing Highly Skewed
+//! Graphs on Fine-Grain Message-Driven Systems", arXiv:2402.06086) breaks
+//! that bottleneck with **rhizomes**: K co-equal root objects per hub
+//! vertex, cross-linked through rhizome links, each owning a disjoint slice
+//! of the edge list and its own ghost subtree.
+//!
+//! This module holds the host-side bookkeeping: the [`RhizomeDirectory`]
+//! tracks every vertex's root set and streamed degree, decides *when* a
+//! vertex is promoted (its degree crosses the configured threshold during
+//! streaming ingestion), and answers *which* root an edge is routed to — a
+//! deterministic per-vertex round-robin, so results are reproducible and
+//! independent of host parallelism. The on-chip side (cross-linked
+//! [`super::VertexObj::peers`], the `rhizome-sync` diffusion) lives in the
+//! vertex object and the application layer.
+
+use amcca_sim::Address;
+
+/// Host-side registry of every logical vertex's root set.
+///
+/// Most vertices keep exactly one root; vertices promoted to rhizomes carry
+/// `K - 1` extra roots. Routing state (the per-vertex round-robin cursor)
+/// lives here too, so the host façade can pick a target root per edge in
+/// O(1) deterministically.
+#[derive(Debug, Clone)]
+pub struct RhizomeDirectory {
+    /// Primary root of each vertex (allocated at graph construction).
+    primary: Vec<Address>,
+    /// Extra co-equal roots of promoted vertices (empty otherwise).
+    extra: Vec<Vec<Address>>,
+    /// Streamed-degree counter per vertex: one touch per endpoint of every
+    /// streamed edge (hubs are hot both as insert targets and as relax
+    /// destinations, so both sides count toward promotion).
+    touches: Vec<u32>,
+    /// Round-robin cursor per vertex, advanced on every routed pick.
+    rr: Vec<u32>,
+    /// Number of vertices promoted so far.
+    promoted: u64,
+}
+
+impl RhizomeDirectory {
+    /// Build the directory from the primary roots allocated at construction.
+    pub fn new(primary: Vec<Address>) -> Self {
+        let n = primary.len();
+        RhizomeDirectory {
+            primary,
+            extra: vec![Vec::new(); n],
+            touches: vec![0; n],
+            rr: vec![0; n],
+            promoted: 0,
+        }
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True when no vertices are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// The primary root of vertex `v` (the address the host hands out for
+    /// seeding queries; co-equal peers are reachable through its links).
+    pub fn primary(&self, v: u32) -> Address {
+        self.primary[v as usize]
+    }
+
+    /// All roots of vertex `v`, primary first.
+    pub fn roots(&self, v: u32) -> Vec<Address> {
+        let mut out = Vec::with_capacity(1 + self.extra[v as usize].len());
+        out.push(self.primary[v as usize]);
+        out.extend_from_slice(&self.extra[v as usize]);
+        out
+    }
+
+    /// Number of co-equal roots vertex `v` currently has.
+    pub fn root_count(&self, v: u32) -> usize {
+        1 + self.extra[v as usize].len()
+    }
+
+    /// Record one streamed-degree touch on `v`; returns `true` exactly when
+    /// the touch crosses `threshold` on a not-yet-promoted vertex (i.e. the
+    /// caller must promote now). A `threshold` of 0 disables promotion.
+    pub fn note_touch(&mut self, v: u32, threshold: usize) -> bool {
+        let t = &mut self.touches[v as usize];
+        *t = t.saturating_add(1);
+        threshold > 0 && *t as usize == threshold && self.extra[v as usize].is_empty()
+    }
+
+    /// Streamed-degree touches recorded for vertex `v`.
+    pub fn touches(&self, v: u32) -> u32 {
+        self.touches[v as usize]
+    }
+
+    /// Install the extra roots of a freshly promoted vertex.
+    pub fn install(&mut self, v: u32, extras: Vec<Address>) {
+        assert!(self.extra[v as usize].is_empty(), "vertex {v} promoted twice");
+        assert!(!extras.is_empty(), "a rhizome adds at least one root");
+        self.extra[v as usize] = extras;
+        self.promoted += 1;
+    }
+
+    /// Pick the root that handles the next action routed to `v`
+    /// (deterministic per-vertex round-robin over the co-equal roots).
+    pub fn route(&mut self, v: u32) -> Address {
+        let extra = &self.extra[v as usize];
+        if extra.is_empty() {
+            return self.primary[v as usize];
+        }
+        let k = extra.len() + 1;
+        let cursor = &mut self.rr[v as usize];
+        let pick = *cursor as usize % k;
+        *cursor = cursor.wrapping_add(1);
+        if pick == 0 {
+            self.primary[v as usize]
+        } else {
+            extra[pick - 1]
+        }
+    }
+
+    /// Vertices promoted so far.
+    pub fn promoted_count(&self) -> u64 {
+        self.promoted
+    }
+
+    /// Total extra roots allocated across all promoted vertices.
+    pub fn extra_root_count(&self) -> u64 {
+        self.extra.iter().map(|e| e.len() as u64).sum()
+    }
+}
+
+/// The fully cross-linked peer sets of a rhizome: for root `i` of `roots`,
+/// entry `i` lists every *other* root (in root order). This is what gets
+/// written into each root object's [`super::VertexObj::peers`].
+pub fn peer_sets(roots: &[Address]) -> Vec<Box<[Address]>> {
+    roots
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            roots
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &a)| a)
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(n: u32) -> RhizomeDirectory {
+        RhizomeDirectory::new((0..n).map(|i| Address::new(i as u16, 0)).collect())
+    }
+
+    #[test]
+    fn unpromoted_vertices_route_to_their_primary() {
+        let mut d = dir(4);
+        for v in 0..4 {
+            assert_eq!(d.route(v), Address::new(v as u16, 0));
+            assert_eq!(d.root_count(v), 1);
+            assert_eq!(d.roots(v), vec![Address::new(v as u16, 0)]);
+        }
+        assert_eq!(d.promoted_count(), 0);
+    }
+
+    #[test]
+    fn touch_crosses_threshold_exactly_once() {
+        let mut d = dir(2);
+        assert!(!d.note_touch(0, 3));
+        assert!(!d.note_touch(0, 3));
+        assert!(d.note_touch(0, 3), "third touch crosses the threshold");
+        d.install(0, vec![Address::new(9, 0)]);
+        assert!(!d.note_touch(0, 3), "already promoted: never again");
+        assert_eq!(d.touches(0), 4);
+        assert!(!d.note_touch(1, 0), "threshold 0 disables promotion");
+    }
+
+    #[test]
+    fn promoted_vertex_round_robins_across_all_roots() {
+        let mut d = dir(2);
+        let extras = vec![Address::new(10, 0), Address::new(11, 0), Address::new(12, 0)];
+        d.install(1, extras.clone());
+        assert_eq!(d.root_count(1), 4);
+        assert_eq!(d.promoted_count(), 1);
+        assert_eq!(d.extra_root_count(), 3);
+        let picks: Vec<Address> = (0..8).map(|_| d.route(1)).collect();
+        assert_eq!(picks[0], Address::new(1, 0), "primary first");
+        assert_eq!(&picks[1..4], &extras[..]);
+        assert_eq!(&picks[0..4], &picks[4..8], "cycle repeats deterministically");
+        // The other vertex is untouched.
+        assert_eq!(d.route(0), Address::new(0, 0));
+    }
+
+    #[test]
+    fn routing_is_reproducible() {
+        let run = || {
+            let mut d = dir(3);
+            d.install(2, vec![Address::new(20, 0), Address::new(21, 0)]);
+            (0..10).map(|i| d.route(i % 3)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "promoted twice")]
+    fn double_promotion_is_a_bug() {
+        let mut d = dir(1);
+        d.install(0, vec![Address::new(5, 0)]);
+        d.install(0, vec![Address::new(6, 0)]);
+    }
+
+    #[test]
+    fn peer_sets_cross_link_fully() {
+        let roots = [Address::new(0, 0), Address::new(1, 0), Address::new(2, 0)];
+        let sets = peer_sets(&roots);
+        assert_eq!(sets.len(), 3);
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(set.len(), 2, "each root links every other root");
+            assert!(!set.contains(&roots[i]), "no self link");
+            for r in set.iter() {
+                assert!(roots.contains(r));
+            }
+        }
+    }
+}

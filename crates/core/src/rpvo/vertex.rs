@@ -40,6 +40,12 @@ pub struct VertexObj<S> {
     pub ghosts: Box<[FutureLco<Address>]>,
     /// Round-robin cursor arbitrating spills among ghost slots.
     pub ghost_rr: u8,
+    /// Rhizome links: the addresses of this root's co-equal peer roots
+    /// (empty for ordinary single-root vertices and for ghosts). Peers are
+    /// fully cross-linked so any root can answer or forward actions for the
+    /// logical vertex, and improvements diffuse to peers via the
+    /// `rhizome-sync` system action.
+    pub peers: Box<[Address]>,
 }
 
 impl<S> VertexObj<S> {
@@ -55,7 +61,7 @@ impl<S> VertexObj<S> {
 
     fn with_kind(vid: u32, state: S, ghost_fanout: usize, kind: ObjKind) -> Self {
         let ghosts = (0..ghost_fanout).map(|_| FutureLco::Null).collect();
-        VertexObj { vid, kind, state, edges: Vec::new(), ghosts, ghost_rr: 0 }
+        VertexObj { vid, kind, state, edges: Vec::new(), ghosts, ghost_rr: 0, peers: Box::new([]) }
     }
 
     /// Does the inline edge list still have room (paper's `vertex-has-room`)?
@@ -80,6 +86,11 @@ impl<S> VertexObj<S> {
     pub fn is_root(&self) -> bool {
         matches!(self.kind, ObjKind::Root)
     }
+
+    /// True for a root that is part of a rhizome (has co-equal peer roots).
+    pub fn is_rhizome(&self) -> bool {
+        !self.peers.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +105,15 @@ mod tests {
         assert_eq!(v.ghosts.len(), 2);
         assert!(v.ghosts.iter().all(|g| g.is_null()));
         assert_eq!(v.ready_ghosts().count(), 0);
+        assert!(!v.is_rhizome(), "fresh roots are single-root until promoted");
+    }
+
+    #[test]
+    fn cross_linked_root_reports_rhizome() {
+        let mut v: VertexObj<u64> = VertexObj::root(7, 0, 2);
+        v.peers = vec![Address::new(1, 0), Address::new(2, 0)].into_boxed_slice();
+        assert!(v.is_rhizome());
+        assert!(v.is_root(), "rhizome links do not change the object kind");
     }
 
     #[test]

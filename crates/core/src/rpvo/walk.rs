@@ -40,6 +40,41 @@ pub fn collect_edges<'a, S: 'a>(
         .collect()
 }
 
+/// Collect the addresses of *all* roots of the logical vertex whose primary
+/// (or any co-equal) root is `root`: the root itself first, then its rhizome
+/// peers in link order. Single-root vertices yield just `[root]`.
+pub fn collect_roots<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>>,
+) -> Vec<Address> {
+    let obj = fetch(root).unwrap_or_else(|| panic!("dangling rhizome link to {root}"));
+    let mut out = Vec::with_capacity(1 + obj.peers.len());
+    out.push(root);
+    out.extend_from_slice(&obj.peers);
+    out
+}
+
+/// Collect every object of the *logical* vertex at `root`: all co-equal
+/// roots (via rhizome links) and each root's ghost subtree, in root order.
+pub fn collect_logical_objects<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>> + Copy,
+) -> Vec<Address> {
+    collect_roots(root, fetch).into_iter().flat_map(|r| collect_objects(r, fetch)).collect()
+}
+
+/// Collect every edge stored anywhere in the logical vertex at `root`,
+/// across all rhizome roots and their ghost subtrees.
+pub fn collect_logical_edges<'a, S: 'a>(
+    root: Address,
+    fetch: impl Fn(Address) -> Option<&'a VertexObj<S>> + Copy,
+) -> Vec<Edge> {
+    collect_logical_objects(root, fetch)
+        .into_iter()
+        .flat_map(|a| fetch(a).unwrap().edges.iter().copied())
+        .collect()
+}
+
 /// Depth of the RPVO: 1 for a root with no ghosts, 2 if ghosts exist, etc.
 pub fn depth<'a, S: 'a>(
     root: Address,
@@ -102,6 +137,48 @@ mod tests {
             collect_edges(root, |a| m.get(&a)).iter().map(|e| e.dst_id).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![6, 8, 9]);
+    }
+
+    #[test]
+    fn logical_walk_spans_all_rhizome_roots() {
+        // Two co-equal roots, each with its own ghost and edge slice.
+        let mut m = HashMap::new();
+        let a = |i| Address::new(0, i);
+        let mut r0: VertexObj<u64> = VertexObj::root(5, 0, 1);
+        r0.peers = vec![a(1)].into_boxed_slice();
+        r0.edges.push(Edge::new(a(10), 10, 1));
+        r0.ghosts[0].fulfill(a(2)).unwrap();
+        let mut r1: VertexObj<u64> = VertexObj::root(5, 0, 1);
+        r1.peers = vec![a(0)].into_boxed_slice();
+        r1.edges.push(Edge::new(a(11), 11, 1));
+        let mut g0: VertexObj<u64> = VertexObj::ghost(5, 0, 1);
+        g0.edges.push(Edge::new(a(12), 12, 1));
+        m.insert(a(0), r0);
+        m.insert(a(1), r1);
+        m.insert(a(2), g0);
+        // From either root, the logical walk covers everything exactly once.
+        for start in [a(0), a(1)] {
+            let roots = collect_roots(start, |x| m.get(&x));
+            assert_eq!(roots.len(), 2);
+            assert_eq!(roots[0], start, "queried root first");
+            let mut objs = collect_logical_objects(start, |x| m.get(&x));
+            objs.sort_unstable_by_key(|x| x.slot);
+            assert_eq!(objs, vec![a(0), a(1), a(2)]);
+            let mut ids: Vec<u32> =
+                collect_logical_edges(start, |x| m.get(&x)).iter().map(|e| e.dst_id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![10, 11, 12]);
+        }
+    }
+
+    #[test]
+    fn single_root_logical_walk_equals_plain_walk() {
+        let (m, root) = store();
+        assert_eq!(collect_roots(root, |a| m.get(&a)), vec![root]);
+        assert_eq!(
+            collect_logical_objects(root, |a| m.get(&a)),
+            collect_objects(root, |a| m.get(&a))
+        );
     }
 
     #[test]

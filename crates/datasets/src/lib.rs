@@ -6,15 +6,21 @@
 //! paper's scales and the two streaming schedules, Edge sampling (uniform,
 //! equal increments) and Snowball sampling (BFS-discovery order, growing
 //! increments). See DESIGN.md §3 for the substitution rationale.
+//!
+//! The [`powerlaw`] module adds skewed (heavy-tailed, RMAT-generated)
+//! workloads that the SBM graphs cannot express — the regime in which hub
+//! vertices bottleneck single-root vertex objects and rhizomes pay off.
 
 pub mod gc;
 pub mod loader;
+pub mod powerlaw;
 pub mod sampling;
 pub mod sbm;
 pub mod stream;
 
 pub use gc::{GcPreset, INCREMENTS};
 pub use loader::{load_edge_file, load_streaming_parts, parse_edges};
+pub use powerlaw::{degree_stats, generate_rmat, DegreeStats, RmatParams, SkewPreset};
 pub use sampling::{edge_sampling, snowball_sampling};
 pub use sbm::{generate_sbm, SbmParams};
 pub use stream::{Sampling, StreamEdge, StreamingDataset};

@@ -1,0 +1,251 @@
+//! Skewed (power-law) graph workloads: a seeded RMAT-style generator and
+//! degree-skew statistics.
+//!
+//! The SBM graphs of the source paper have near-uniform degrees, so the hub
+//! bottleneck that rhizomes remove (Chandio et al., arXiv:2402.06086) never
+//! appears in the original scenarios. The recursive-matrix (R-MAT, Chakrabarti
+//! et al. 2004) generator here produces the heavy-tailed degree distributions
+//! of real-world graphs: each edge picks its endpoints by descending a 2×2
+//! probability matrix `[[a, b], [c, d]]` one bit at a time, concentrating
+//! edges on low-id "celebrity" vertices. The default `(a, b, c) = (0.57,
+//! 0.19, 0.19)` matches the Graph500 reference parameters.
+//!
+//! Generation is deterministic per seed. Self-loops are rejected; repeated
+//! edges are kept, as in real edge streams — the streaming ingestion stores
+//! every streamed edge, and the monotone relax algorithms are insensitive to
+//! multiplicity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gc::INCREMENTS;
+use crate::sampling::edge_sampling;
+use crate::stream::{StreamEdge, StreamingDataset};
+
+/// R-MAT generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Vertex count (ids are drawn in `0..n_vertices`).
+    pub n_vertices: u32,
+    /// Exact number of directed edges to produce.
+    pub n_edges: usize,
+    /// Probability of the top-left quadrant (both ids keep their high bit 0).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant (`d = 1 - a - b - c`).
+    pub c: f64,
+    /// Edge weights are drawn uniformly from `1..=max_weight`.
+    pub max_weight: u32,
+    /// Generator seed (defines the graph deterministically).
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Graph500-flavoured defaults for `n` vertices and `m` edges.
+    pub fn scaled(n_vertices: u32, n_edges: usize, seed: u64) -> Self {
+        RmatParams { n_vertices, n_edges, a: 0.57, b: 0.19, c: 0.19, max_weight: 4, seed }
+    }
+}
+
+/// Generate a skewed directed graph by recursive-matrix sampling.
+/// Deterministic for a given parameter set; self-loops rejected, duplicate
+/// edges kept (a multigraph, like a real edge stream).
+pub fn generate_rmat(p: &RmatParams) -> Vec<StreamEdge> {
+    assert!(p.n_vertices >= 2, "need at least two vertices");
+    assert!(p.a + p.b + p.c <= 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    let levels = 32 - (p.n_vertices - 1).leading_zeros();
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x524D_4154); // "RMAT"
+    let mut out = Vec::with_capacity(p.n_edges);
+    while out.len() < p.n_edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..levels {
+            // Uniform f64 in [0, 1) from 53 random bits (the vendored rand
+            // stand-in has no float ranges).
+            let r = rng.gen_range(0u64..(1u64 << 53)) as f64 * (1.0 / (1u64 << 53) as f64);
+            let (ubit, vbit) = if r < p.a {
+                (0, 0)
+            } else if r < p.a + p.b {
+                (0, 1)
+            } else if r < p.a + p.b + p.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | ubit;
+            v = (v << 1) | vbit;
+        }
+        if u == v || u >= p.n_vertices || v >= p.n_vertices {
+            continue; // self-loop or out of range (n not a power of two)
+        }
+        out.push((u, v, rng.gen_range(1..=p.max_weight)));
+    }
+    out
+}
+
+/// Degree-skew summary of an edge list (over *total* degree, out + in — the
+/// same touch count that drives rhizome promotion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Largest total degree of any vertex.
+    pub max: u32,
+    /// Mean total degree (`2m / n`).
+    pub mean: f64,
+    /// Gini coefficient of the degree distribution (0 = uniform, →1 = all
+    /// edges on one hub).
+    pub gini: f64,
+    /// Fraction of all edge endpoints carried by the top 1 % of vertices.
+    pub top1_share: f64,
+}
+
+/// Compute [`DegreeStats`] for an edge list over `n_vertices` vertices.
+pub fn degree_stats(n_vertices: u32, edges: &[StreamEdge]) -> DegreeStats {
+    let mut deg = vec![0u64; n_vertices as usize];
+    for &(u, v, _) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let n = deg.len();
+    let total: u64 = deg.iter().sum();
+    let max = deg.iter().copied().max().unwrap_or(0) as u32;
+    let mean = if n == 0 { 0.0 } else { total as f64 / n as f64 };
+    let mut sorted = deg;
+    sorted.sort_unstable();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: u128 =
+            sorted.iter().enumerate().map(|(i, &x)| (i as u128 + 1) * x as u128).sum();
+        (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+    let k = n.div_ceil(100);
+    let top: u64 = sorted.iter().rev().take(k).sum();
+    let top1_share = if total == 0 { 0.0 } else { top as f64 / total as f64 };
+    DegreeStats { max, mean, gini, top1_share }
+}
+
+/// A skewed-graph workload preset: RMAT graph + Edge-sampling schedule, the
+/// skew counterpart of [`crate::GcPreset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewPreset {
+    /// Vertex count of the generated graph.
+    pub n_vertices: u32,
+    /// Total directed edges.
+    pub n_edges: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SkewPreset {
+    /// The default skew workload: 50 K vertices / 1.0 M edges (the scale of
+    /// the paper's smaller graph), heavy-tailed.
+    pub fn v50k() -> Self {
+        SkewPreset { n_vertices: 50_000, n_edges: 1_000_000, seed: 77 }
+    }
+
+    /// Shrink by `factor` on both axes (keeps density and schedule shape).
+    pub fn scaled_down(self, factor: u32) -> Self {
+        assert!(factor >= 1);
+        SkewPreset {
+            n_vertices: (self.n_vertices / factor).max(64),
+            n_edges: (self.n_edges / factor as usize).max(640),
+            ..self
+        }
+    }
+
+    /// Generate the RMAT graph and schedule it into the standard ten
+    /// Edge-sampling increments.
+    pub fn build(&self) -> StreamingDataset {
+        let edges = generate_rmat(&RmatParams::scaled(self.n_vertices, self.n_edges, self.seed));
+        edge_sampling(self.n_vertices, edges, INCREMENTS, self.seed)
+    }
+
+    /// Degree-skew statistics of the generated graph.
+    pub fn stats(&self) -> DegreeStats {
+        let edges = generate_rmat(&RmatParams::scaled(self.n_vertices, self.n_edges, self.seed));
+        degree_stats(self.n_vertices, &edges)
+    }
+
+    /// A short label like `50K/RMAT` for tables.
+    pub fn label(&self) -> String {
+        let v = if self.n_vertices >= 1000 {
+            format!("{}K", self.n_vertices / 1000)
+        } else {
+            format!("{}", self.n_vertices)
+        };
+        format!("{v}/RMAT")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_no_loops_in_range() {
+        let p = RmatParams::scaled(1000, 8000, 5);
+        let edges = generate_rmat(&p);
+        assert_eq!(edges.len(), 8000);
+        for &(u, v, w) in &edges {
+            assert_ne!(u, v, "no self loops");
+            assert!(u < 1000 && v < 1000);
+            assert!((1..=p.max_weight).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RmatParams::scaled(512, 4000, 9);
+        assert_eq!(generate_rmat(&p), generate_rmat(&p));
+        let p2 = RmatParams { seed: 10, ..p };
+        assert_ne!(generate_rmat(&p), generate_rmat(&p2));
+    }
+
+    #[test]
+    fn rmat_is_heavier_tailed_than_sbm() {
+        let n = 2000u32;
+        let m = 20_000usize;
+        let rmat = degree_stats(n, &generate_rmat(&RmatParams::scaled(n, m, 3)));
+        let sbm =
+            degree_stats(n, &crate::sbm::generate_sbm(&crate::sbm::SbmParams::scaled(n, m, 3)));
+        assert!(
+            rmat.gini > sbm.gini + 0.15,
+            "RMAT gini {} must clearly exceed SBM gini {}",
+            rmat.gini,
+            sbm.gini
+        );
+        assert!(rmat.max as f64 > 8.0 * rmat.mean, "hubs dominate: max {}", rmat.max);
+        assert!(rmat.top1_share > 2.0 * sbm.top1_share, "top-1% concentration");
+    }
+
+    #[test]
+    fn degree_stats_on_known_graph() {
+        // Star on 4 vertices: center degree 3, leaves 1.
+        let s = degree_stats(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert!(s.gini > 0.0);
+        let empty = degree_stats(4, &[]);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.gini, 0.0);
+    }
+
+    #[test]
+    fn skew_preset_builds_ten_increments() {
+        let d = SkewPreset::v50k().scaled_down(50).build();
+        assert_eq!(d.increments(), INCREMENTS);
+        assert_eq!(d.total_edges(), 20_000);
+        assert_eq!(d.n_vertices, 1000);
+        let s = SkewPreset::v50k().scaled_down(50).stats();
+        assert!(s.gini > 0.4, "small-scale preset keeps its skew: gini {}", s.gini);
+        assert_eq!(SkewPreset::v50k().label(), "50K/RMAT");
+    }
+
+    #[test]
+    fn non_power_of_two_vertex_counts_work() {
+        let p = RmatParams::scaled(700, 3000, 2);
+        let edges = generate_rmat(&p);
+        assert_eq!(edges.len(), 3000);
+        assert!(edges.iter().all(|&(u, v, _)| u < 700 && v < 700));
+    }
+}

@@ -12,6 +12,11 @@ pub const ACT_ALLOCATE: ActionId = 0;
 /// The continuation's return trigger: set a future LCO to a produced address
 /// and schedule the tasks that were waiting on it (paper Fig. 3 step 3).
 pub const ACT_SET_FUTURE: ActionId = 1;
+/// Cross-rhizome sync: one co-equal root of a multi-root (rhizome) vertex
+/// announces an improved application value to a peer root, so min-distance /
+/// component-label state converges across all roots (see
+/// [`crate::rhizome`]).
+pub const ACT_RHIZOME_SYNC: ActionId = 2;
 /// First id available to applications.
 pub const FIRST_USER_ACTION: ActionId = 8;
 
@@ -35,6 +40,7 @@ impl ActionRegistry {
             names: vec![
                 (ACT_ALLOCATE, "allocate".to_string()),
                 (ACT_SET_FUTURE, "set-future".to_string()),
+                (ACT_RHIZOME_SYNC, "rhizome-sync".to_string()),
             ],
             next: FIRST_USER_ACTION,
         }
@@ -95,6 +101,7 @@ mod tests {
         let r = ActionRegistry::new();
         assert_eq!(r.lookup("allocate"), Some(ACT_ALLOCATE));
         assert_eq!(r.lookup("set-future"), Some(ACT_SET_FUTURE));
+        assert_eq!(r.lookup("rhizome-sync"), Some(ACT_RHIZOME_SYNC));
     }
 
     #[test]
@@ -111,7 +118,7 @@ mod tests {
         let a = r.register("bfs-action");
         let b = r.register("bfs-action");
         assert_eq!(a, b);
-        assert_eq!(r.len(), 3);
+        assert_eq!(r.len(), 4, "three system actions plus the one registered");
     }
 
     #[test]

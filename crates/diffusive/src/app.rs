@@ -16,10 +16,11 @@
 use amcca_sim::{Address, SimError};
 use amcca_sim::{ExecCtx, Operon, Program};
 
-use crate::action::{ACT_ALLOCATE, ACT_SET_FUTURE};
+use crate::action::{ACT_ALLOCATE, ACT_RHIZOME_SYNC, ACT_SET_FUTURE};
 use crate::continuation::{
     allocate_operon, decode_allocate, decode_set_future, set_future_operon, MAX_ENCODABLE_RETRY,
 };
+use crate::rhizome::decode_sync;
 
 /// A diffusive application: object layout plus action handlers.
 ///
@@ -48,6 +49,16 @@ pub trait App: Send {
 
     /// Dispatch an application action.
     fn on_action(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon);
+
+    /// A peer root of a rhizome (multi-root vertex) announced `value` to the
+    /// object at `target` (which lives on the executing cell); fold it into
+    /// the local root's state and re-diffuse if it improved (see
+    /// [`crate::rhizome`]). The default rejects the message — only apps that
+    /// build rhizomes receive it.
+    fn rhizome_sync(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, value: u64) {
+        let _ = (ctx, value);
+        panic!("app received rhizome-sync for {target} but does not support rhizomes");
+    }
 
     /// Create an independent instance for one shard of a parallel run
     /// (configuration copied, accumulators empty).
@@ -127,6 +138,11 @@ impl<A: App> Program for Runtime<A> {
                 ctx.charge(ctx.cost().future_op);
                 let (slot, value) = decode_set_future(op);
                 self.app.fulfill(ctx, op.target, slot, value);
+            }
+            ACT_RHIZOME_SYNC => {
+                // Peer-root announcement of a rhizome vertex: fold the value
+                // into the local root (the app charges its own update cost).
+                self.app.rhizome_sync(ctx, op.target, decode_sync(op));
             }
             _ => self.app.on_action(ctx, op),
         }

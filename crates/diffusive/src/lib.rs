@@ -17,6 +17,8 @@
 //! * [`app`] — the [`App`] trait applications implement, and the [`Runtime`]
 //!   adapter that dispatches system actions.
 //! * [`device`] — the host-side [`Device`] façade mirroring Listing 1.
+//! * [`rhizome`] — the cross-rhizome sync action keeping the co-equal roots
+//!   of a multi-root (rhizome) vertex converged.
 //! * [`terminator`] — termination detection for diffusions.
 
 pub mod action;
@@ -24,9 +26,12 @@ pub mod app;
 pub mod continuation;
 pub mod device;
 pub mod future;
+pub mod rhizome;
 pub mod terminator;
 
-pub use action::{ActionRegistry, ACT_ALLOCATE, ACT_SET_FUTURE, FIRST_USER_ACTION};
+pub use action::{
+    ActionRegistry, ACT_ALLOCATE, ACT_RHIZOME_SYNC, ACT_SET_FUTURE, FIRST_USER_ACTION,
+};
 pub use app::{App, Runtime};
 pub use continuation::{
     allocate_operon, decode_allocate, decode_set_future, set_future_operon, AllocRequest,
@@ -34,4 +39,5 @@ pub use continuation::{
 };
 pub use device::Device;
 pub use future::{FutureError, FutureLco, PendingOperon};
+pub use rhizome::{decode_sync, sync_operon};
 pub use terminator::{RunReport, TerminationMode};

@@ -1,0 +1,47 @@
+//! Cross-rhizome synchronization.
+//!
+//! A *rhizome* (Chandio et al., "Rhizomes and Diffusions for Processing
+//! Highly Skewed Graphs on Fine-Grain Message-Driven Systems",
+//! arXiv:2402.06086) generalizes the single-root vertex object: a hub vertex
+//! is represented by K co-equal root objects, cross-linked so that any root
+//! can answer or forward actions for the logical vertex. Each root owns a
+//! disjoint slice of the edge list and its own ghost subtree, which breaks
+//! the serialization of all of a hub's traffic at one compute cell.
+//!
+//! Co-equality requires the roots' application state to converge: when one
+//! root improves its value (a BFS level, an SSSP distance, a component
+//! label), it announces the improvement to its peers with the
+//! [`crate::action::ACT_RHIZOME_SYNC`] system action defined here. The
+//! receiving root folds the value in through [`crate::App::rhizome_sync`] —
+//! monotone applications re-announce only on improvement, so the peer
+//! exchange terminates after at most K·(value-chain length) messages.
+
+use amcca_sim::{Address, Operon};
+
+use crate::action::ACT_RHIZOME_SYNC;
+
+/// Build a cross-rhizome sync operon carrying `value` to the peer root at
+/// `peer`.
+pub fn sync_operon(peer: Address, value: u64) -> Operon {
+    Operon::new(peer, ACT_RHIZOME_SYNC, [value, 0])
+}
+
+/// Decode a cross-rhizome sync operon back into its announced value.
+pub fn decode_sync(op: &Operon) -> u64 {
+    debug_assert_eq!(op.action, ACT_RHIZOME_SYNC);
+    op.payload[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_roundtrip() {
+        let peer = Address::new(77, 3);
+        let op = sync_operon(peer, 42);
+        assert_eq!(op.target, peer);
+        assert_eq!(op.action, ACT_RHIZOME_SYNC);
+        assert_eq!(decode_sync(&op), 42);
+    }
+}

@@ -48,10 +48,10 @@ pub use sdgp_core;
 pub mod prelude {
     pub use amcca_sim::{
         ActivityRecording, Address, ChipConfig, Dims, EnergyModel, GhostPlacement, Operon,
-        RootPlacement, SimError,
+        RhizomePlacement, RootPlacement, SimError,
     };
     pub use diffusive::{Device, FutureLco, RunReport, TerminationMode};
-    pub use gc_datasets::{GcPreset, Sampling, SbmParams, StreamingDataset};
+    pub use gc_datasets::{GcPreset, Sampling, SbmParams, SkewPreset, StreamingDataset};
     pub use sdgp_core::{
         apps::{BfsAlgo, CcAlgo, SsspAlgo, TriangleAlgo, MAX_LEVEL},
         graph::{symmetrize, StreamEdge, StreamingGraph},

@@ -11,7 +11,7 @@ fn run_with(placement: GhostPlacement) -> (Vec<u64>, f64, u64, f64) {
     let edges = generate_sbm(&SbmParams::scaled(n, 6000, 13));
     let mut g = StreamingGraph::new(
         cfg,
-        RpvoConfig { edge_cap: 4, ghost_fanout: 2 }, // plenty of ghosts
+        RpvoConfig::basic(4, 2), // plenty of ghosts
         BfsAlgo::new(0),
         n,
     )

@@ -53,7 +53,7 @@ fn heavy_hub_spills_deep_and_stays_correct() {
     // BFS traffic; tight capacity stresses the future queues.
     let n = 200u32;
     let cfg = ChipConfig::small_test();
-    let rcfg = RpvoConfig { edge_cap: 2, ghost_fanout: 2 };
+    let rcfg = RpvoConfig::basic(2, 2);
     let mut g = StreamingGraph::new(cfg, rcfg, BfsAlgo::new(0), n).unwrap();
     let mut edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
     // And a back-path so relaxes flow through the spilled structure.

@@ -12,9 +12,7 @@ fn out_of_memory_is_reported_not_hung() {
     // the first RPVO spill can never allocate a ghost anywhere.
     let cfg = ChipConfig { arena_capacity: 1, max_alloc_retries: 16, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g =
-        StreamingGraph::new(cfg, RpvoConfig { edge_cap: 1, ghost_fanout: 1 }, BfsAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(1, 1), BfsAlgo::new(0), n).unwrap();
     let edges: Vec<StreamEdge> = (1..5).map(|v| (0, v, 1)).collect();
     let err = g.stream_increment(&edges).unwrap_err();
     assert!(matches!(err, SimError::OutOfMemory { .. }), "got {err:?}");
@@ -70,9 +68,7 @@ fn allocation_retries_relocate_ghosts_under_pressure() {
     // eventually succeed, with retries recorded.
     let cfg = ChipConfig { arena_capacity: 2, max_alloc_retries: 256, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g =
-        StreamingGraph::new(cfg, RpvoConfig { edge_cap: 2, ghost_fanout: 1 }, BfsAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(2, 1), BfsAlgo::new(0), n).unwrap();
     // ~3 extra objects per vertex needed; chip has 64 spare slots total, so
     // keep the load just within capacity: 16 hub edges → 7 ghosts.
     let edges: Vec<StreamEdge> = (1..17).map(|v| (0, v, 1)).collect();
@@ -89,7 +85,7 @@ fn determinism_across_identical_runs() {
         let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(),
-            RpvoConfig { edge_cap: 4, ghost_fanout: 2 },
+            RpvoConfig::basic(4, 2),
             BfsAlgo::new(0),
             40,
         )
@@ -109,13 +105,7 @@ fn different_seed_changes_schedule_not_results() {
     let run = |seed: u64| {
         let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
         let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
-        let mut g = StreamingGraph::new(
-            cfg,
-            RpvoConfig { edge_cap: 2, ghost_fanout: 2 },
-            BfsAlgo::new(0),
-            40,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(2, 2), BfsAlgo::new(0), 40).unwrap();
         let r = g.stream_increment(&edges).unwrap();
         (r.cycles, g.states())
     };

@@ -85,7 +85,7 @@ fn run_triangle_count(n: u32, undirected: &[(u32, u32)]) -> u64 {
     let ncc = cfg.cell_count();
     let mut g = StreamingGraph::new(
         cfg,
-        RpvoConfig { edge_cap: 4, ghost_fanout: 2 }, // force spills
+        RpvoConfig::basic(4, 2), // force spills
         TriangleAlgo::new(ncc),
         n,
     )
@@ -155,7 +155,7 @@ fn jaccard_exact_on_known_graphs() {
     }
     // K4: every edge has J = 0.5; tight capacity forces ghost walks.
     let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
-    let j = run_jaccard(4, &k4, RpvoConfig { edge_cap: 1, ghost_fanout: 1 });
+    let j = run_jaccard(4, &k4, RpvoConfig::basic(1, 1));
     for &(_, _, v) in &j {
         assert!((v - 0.5).abs() < 1e-12, "K4 edge J = {v}");
     }
@@ -171,7 +171,7 @@ fn jaccard_matches_reference_on_sbm() {
     let mut und: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
     und.sort_unstable();
     und.dedup();
-    let got = run_jaccard(n, &und, RpvoConfig { edge_cap: 8, ghost_fanout: 2 });
+    let got = run_jaccard(n, &und, RpvoConfig::basic(8, 2));
     let want = jaccard_coefficients(n, und.iter().copied());
     assert_eq!(got.len(), want.len());
     for (g, w) in got.iter().zip(&want) {

@@ -23,7 +23,7 @@ fn arb_edges() -> impl Strategy<Value = Vec<StreamEdge>> {
 
 fn arb_rpvo() -> impl Strategy<Value = RpvoConfig> {
     (1usize..6, 1usize..4)
-        .prop_map(|(edge_cap, ghost_fanout)| RpvoConfig { edge_cap, ghost_fanout })
+        .prop_map(|(edge_cap, ghost_fanout)| RpvoConfig::basic(edge_cap, ghost_fanout))
 }
 
 proptest! {
@@ -119,7 +119,7 @@ proptest! {
     ) {
         // Tight capacity maximizes pending-future churn; conservation of
         // edges (checked here end-to-end) implies no waiter was dropped.
-        let rcfg = RpvoConfig { edge_cap: 1, ghost_fanout: 1 };
+        let rcfg = RpvoConfig::basic(1, 1);
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
         g.stream_increment(&edges).unwrap();
@@ -138,7 +138,7 @@ proptest! {
 #[test]
 fn walk_covers_all_allocated_objects() {
     let edges: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
-    let rcfg = RpvoConfig { edge_cap: 2, ghost_fanout: 2 };
+    let rcfg = RpvoConfig::basic(2, 2);
     let mut g = StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
     g.stream_increment(&edges).unwrap();
     let mut walked = 0usize;

@@ -1,0 +1,239 @@
+//! Property tests of the rhizome subsystem: splitting a hub vertex into K
+//! co-equal roots is a pure performance transformation —
+//!
+//! 1. **Algorithm equivalence** — BFS, SSSP, and connected components reach
+//!    the same fixpoint on the same edge stream whether hubs are promoted or
+//!    not, and both match the sequential reference oracles.
+//! 2. **Conservation** — every streamed edge is stored exactly once across
+//!    the union of all root slices and their ghost subtrees.
+//! 3. **Mirror convergence** — at quiescence every object of a logical
+//!    vertex (co-equal roots and ghosts alike) holds the same state.
+//! 4. **Determinism** — promotion, routing, and results are reproducible,
+//!    and independent of the chip's shard count.
+
+use amcca::prelude::*;
+use proptest::prelude::*;
+use refgraph::{bfs_levels, dijkstra, min_labels, DiGraph};
+
+const N: u32 = 24;
+
+fn arb_edges() -> impl Strategy<Value = Vec<StreamEdge>> {
+    prop::collection::vec((0..N, 0..N, 1u32..10), 1..120)
+        .prop_map(|es| es.into_iter().filter(|&(u, v, _)| u != v).collect())
+}
+
+/// A hub-heavy stream: half the edges touch vertex 0, so low thresholds
+/// reliably trigger promotion mid-stream.
+fn arb_skewed_edges() -> impl Strategy<Value = Vec<StreamEdge>> {
+    (arb_edges(), prop::collection::vec((1..N, 1u32..10), 8..60)).prop_map(|(mut es, hub)| {
+        for (i, (v, w)) in hub.into_iter().enumerate() {
+            if i % 2 == 0 {
+                es.push((0, v, w));
+            } else {
+                es.push((v, 0, w));
+            }
+        }
+        es
+    })
+}
+
+fn arb_rhizome_cfg() -> impl Strategy<Value = RpvoConfig> {
+    (1usize..6, 1usize..4, 2usize..12, 2usize..6).prop_map(|(cap, fanout, threshold, k)| {
+        RpvoConfig::basic(cap, fanout).with_rhizomes(threshold, k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Rhizome BFS reaches the exact single-root / oracle fixpoint on any
+    /// stream, and promotion actually happens on the skewed streams.
+    #[test]
+    fn rhizome_bfs_matches_single_root_and_oracle(
+        edges in arb_skewed_edges(),
+        rcfg in arb_rhizome_cfg(),
+        seed in 0u64..1000,
+    ) {
+        let chip = || ChipConfig { seed, ..ChipConfig::small_test() };
+        let mut rz = StreamingGraph::new(chip(), rcfg, BfsAlgo::new(0), N).unwrap();
+        rz.stream_increment(&edges).unwrap();
+        let single_cfg = RpvoConfig::basic(rcfg.edge_cap, rcfg.ghost_fanout);
+        let mut single = StreamingGraph::new(chip(), single_cfg, BfsAlgo::new(0), N).unwrap();
+        single.stream_increment(&edges).unwrap();
+        let oracle = bfs_levels(&DiGraph::from_edges(N, edges.iter().copied()), 0);
+        prop_assert_eq!(rz.states(), single.states());
+        prop_assert_eq!(rz.states(), oracle);
+        // The skewed stream hammers vertex 0 hard enough to promote it.
+        prop_assert!(rz.rhizome_stats().0 >= 1, "hub must have been promoted");
+        prop_assert_eq!(rz.roots_of(0).len(), rcfg.rhizome_roots);
+    }
+
+    /// Rhizome SSSP equals Dijkstra on the same stream.
+    #[test]
+    fn rhizome_sssp_matches_dijkstra(
+        edges in arb_skewed_edges(),
+        rcfg in arb_rhizome_cfg(),
+    ) {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
+        g.stream_increment(&edges).unwrap();
+        let oracle = dijkstra(&DiGraph::from_edges(N, edges.iter().copied()), 0);
+        prop_assert_eq!(g.states(), oracle);
+        g.check_mirror_consistency().unwrap();
+    }
+
+    /// Rhizome connected components equal the min-label oracle over the
+    /// symmetrized stream.
+    #[test]
+    fn rhizome_cc_matches_min_labels(
+        edges in arb_skewed_edges(),
+        rcfg in arb_rhizome_cfg(),
+    ) {
+        let sym = symmetrize(&edges);
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, CcAlgo, N).unwrap();
+        g.stream_increment(&sym).unwrap();
+        let oracle = min_labels(&DiGraph::from_edges(N, sym.iter().copied()));
+        prop_assert_eq!(g.states(), oracle);
+    }
+
+    /// Conservation and mirror convergence hold across the rhizome's
+    /// disjoint slices: every edge stored exactly once, every object of a
+    /// logical vertex (all roots + ghosts) agreeing at quiescence.
+    #[test]
+    fn rhizome_conserves_edges_and_converges_mirrors(
+        edges in arb_skewed_edges(),
+        rcfg in arb_rhizome_cfg(),
+    ) {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
+        g.stream_increment(&edges).unwrap();
+        prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
+        for u in 0..N {
+            let mut got = g.logical_edges(u);
+            got.sort_unstable();
+            let mut want: Vec<(u32, u32)> = edges.iter()
+                .filter(|&&(s, _, _)| s == u)
+                .map(|&(_, d, w)| (d, w))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "vertex {} edge multiset across root slices", u);
+            // Capacity respected in every object of every slice.
+            for a in g.rhizome_objects(u) {
+                let obj = g.device().object(a).unwrap();
+                prop_assert!(obj.edges.len() <= rcfg.edge_cap);
+                prop_assert_eq!(obj.vid, u);
+            }
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    /// Promotion and routing are deterministic, and the whole rhizome
+    /// workflow is shard-count-independent (the adaptive engine included).
+    #[test]
+    fn rhizome_streaming_is_deterministic_and_shard_independent(
+        edges in arb_skewed_edges(),
+        split in 0usize..120,
+    ) {
+        let rcfg = RpvoConfig::basic(3, 2).with_rhizomes(5, 3);
+        let cut = split.min(edges.len());
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards), rcfg, BfsAlgo::new(0), N).unwrap();
+            let mut cycles = 0u64;
+            for inc in [&edges[..cut], &edges[cut..]] {
+                cycles += g.stream_increment(inc).unwrap().cycles;
+            }
+            (g.states(), cycles, *g.device().chip().counters(), g.rhizome_stats())
+        };
+        let reference = run(1);
+        prop_assert_eq!(&reference, &run(1), "reproducible");
+        prop_assert_eq!(&reference, &run(3), "shard-count independent");
+    }
+}
+
+/// Triangle counting fans across the co-equal roots of a promoted hub
+/// (QUERY_FANNED_BIT protocol): the count on a simple wheel graph matches
+/// both the single-root run and the sequential reference.
+#[test]
+fn rhizome_triangle_count_matches_single_root_and_reference() {
+    use refgraph::count_triangles;
+    use sdgp_core::apps::{TriangleAlgo, ACT_TRI_GEN};
+
+    // Wheel: hub 0 joined to a rim cycle 1..=14 — every triangle passes
+    // through the hub, the worst case for a split adjacency.
+    let n = 15u32;
+    let mut und: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+    und.extend((1..n - 1).map(|v| (v, v + 1)));
+    und.push((n - 1, 1));
+
+    let run = |rcfg: RpvoConfig| -> (u64, u64) {
+        let cfg = ChipConfig::small_test();
+        let ncc = cfg.cell_count();
+        let mut g = StreamingGraph::new(cfg, rcfg, TriangleAlgo::new(ncc), n).unwrap();
+        let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
+        g.stream_increment(&symmetrize(&stream)).unwrap();
+        let gens: Vec<Operon> =
+            (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();
+        g.run_query(gens).unwrap();
+        (g.device().app().algo.total(), g.rhizome_stats().0)
+    };
+    let expect = count_triangles(n, und.iter().copied());
+    assert_eq!(expect, 14, "wheel on 14 rim vertices has 14 triangles");
+    let (single, promoted_single) = run(RpvoConfig::basic(2, 2));
+    let (rhizome, promoted_rz) = run(RpvoConfig::basic(2, 2).with_rhizomes(8, 3));
+    assert_eq!(promoted_single, 0);
+    assert!(promoted_rz >= 1, "the hub must have been promoted");
+    assert_eq!(single, expect);
+    assert_eq!(rhizome, expect, "triangle count invariant under rhizome promotion");
+}
+
+/// Jaccard intersection hits are likewise invariant under promotion.
+#[test]
+fn rhizome_jaccard_matches_single_root() {
+    use sdgp_core::apps::{JaccardAlgo, ACT_JC_GEN};
+
+    let n = 12u32;
+    let mut und: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+    und.extend((1..n - 1).map(|v| (v, v + 1)));
+
+    let run = |rcfg: RpvoConfig| -> (Vec<u64>, u64) {
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, JaccardAlgo::new(), n).unwrap();
+        let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
+        g.stream_increment(&symmetrize(&stream)).unwrap();
+        let wave: Vec<Operon> =
+            (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
+        g.run_query(wave).unwrap();
+        let hits: Vec<u64> = und
+            .iter()
+            .map(|&(a, b)| g.device().app().algo.intersection(a.min(b), a.max(b)))
+            .collect();
+        (hits, g.rhizome_stats().0)
+    };
+    let (single, _) = run(RpvoConfig::basic(2, 2));
+    let (rhizome, promoted) = run(RpvoConfig::basic(2, 2).with_rhizomes(8, 4));
+    assert!(promoted >= 1, "the hub must have been promoted");
+    assert_eq!(single, rhizome, "pairwise intersections invariant under rhizome promotion");
+    assert!(single.iter().any(|&h| h > 0), "wheel spokes share common neighbours");
+}
+
+/// Splitting the stream into increments does not change what gets promoted
+/// or the final fixpoint (promotion counters persist across increments).
+#[test]
+fn increment_split_does_not_change_promotion() {
+    let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 4);
+    let edges: Vec<StreamEdge> =
+        (1..20).map(|v| (0, v, 1)).chain((1..19).map(|v| (v, v + 1, 1))).collect();
+    let run = |chunks: usize| {
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
+        for c in edges.chunks(edges.len().div_ceil(chunks)) {
+            g.stream_increment(c).unwrap();
+        }
+        (g.states(), g.rhizome_stats())
+    };
+    let whole = run(1);
+    assert_eq!(whole, run(4));
+    assert_eq!(whole.1 .0, 1, "exactly the hub promoted");
+}
