@@ -430,6 +430,14 @@ impl<P: Program> Chip<P> {
         }
     }
 
+    /// Free an object without charging simulation time, returning its value.
+    /// Used by host-side restructuring between runs (e.g. collapsing the
+    /// extra roots of a demoted rhizome back into the primary); the slot is
+    /// recycled by later allocations. `None` if the address was not live.
+    pub fn host_free(&mut self, addr: Address) -> Option<P::Object> {
+        self.cells.get_mut(addr.cc as usize)?.memory.free(addr.slot)
+    }
+
     /// Host-side read of any object in the PGAS (for verification only).
     pub fn object(&self, addr: Address) -> Option<&P::Object> {
         self.cells.get(addr.cc as usize)?.memory.get(addr.slot)
@@ -445,6 +453,16 @@ impl<P: Program> Chip<P> {
     pub fn for_each_object(&self, mut f: impl FnMut(Address, &P::Object)) {
         for cell in &self.cells {
             for (slot, obj) in cell.memory.iter() {
+                f(Address::new(cell.id, slot), obj);
+            }
+        }
+    }
+
+    /// Visit every live object on the chip mutably (host-side, untimed; used
+    /// to patch stored addresses when host restructuring frees objects).
+    pub fn for_each_object_mut(&mut self, mut f: impl FnMut(Address, &mut P::Object)) {
+        for cell in &mut self.cells {
+            for (slot, obj) in cell.memory.iter_mut() {
                 f(Address::new(cell.id, slot), obj);
             }
         }

@@ -25,6 +25,12 @@ pub struct CostModel {
     pub scan_per_edge: u32,
     /// Minimum instructions for any action dispatch (decode + operand fetch).
     pub dispatch: u32,
+    /// Removing an edge from an object's local edge list after a successful
+    /// retraction scan (shift + bookkeeping write).
+    pub delete_edge: u32,
+    /// Resetting a per-vertex application value during a deletion-repair
+    /// invalidation (compare + write of the reset sentinel).
+    pub invalidate: u32,
 }
 
 impl Default for CostModel {
@@ -36,6 +42,8 @@ impl Default for CostModel {
             alloc: 4,
             scan_per_edge: 1,
             dispatch: 1,
+            delete_edge: 2,
+            invalidate: 1,
         }
     }
 }
@@ -53,5 +61,7 @@ mod tests {
         assert!(c.alloc > 0);
         assert!(c.scan_per_edge > 0);
         assert!(c.dispatch > 0);
+        assert!(c.delete_edge > 0);
+        assert!(c.invalidate > 0);
     }
 }

@@ -18,7 +18,7 @@ fn run(edges: &[StreamEdge], n: u32, with_bfs: bool) -> u64 {
         StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), n)
             .unwrap();
     g.set_algo_propagation(with_bfs);
-    let r = g.stream_increment(edges).unwrap();
+    let r = g.stream_edges(edges).unwrap();
     r.cycles
 }
 

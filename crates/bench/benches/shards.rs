@@ -18,7 +18,7 @@ fn run(edges: &[StreamEdge], n: u32, shards: usize) -> u64 {
     // default would hand warm-up and cold tails to the sequential engine).
     let cfg = ChipConfig { adaptive_shards: false, ..ChipConfig::default().with_shards(shards) };
     let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
-    g.stream_increment(edges).unwrap().cycles
+    g.stream_edges(edges).unwrap().cycles
 }
 
 fn bench_shards(c: &mut Criterion) {

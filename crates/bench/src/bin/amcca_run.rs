@@ -166,7 +166,7 @@ fn run_algo<G: VertexAlgo<State = u64>>(
         if args.symmetrize {
             inc = symmetrize(&inc);
         }
-        let r = g.stream_increment(&inc).unwrap_or_else(|e| die(&format!("increment {i}: {e}")));
+        let r = g.stream_edges(&inc).unwrap_or_else(|e| die(&format!("increment {i}: {e}")));
         total_cycles += r.cycles;
         total_energy += r.energy_uj;
         println!(

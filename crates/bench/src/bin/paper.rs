@@ -17,6 +17,8 @@
 //!   ablate-rhizomes  Rhizome root-count sweep (K ∈ 1,2,4,8) on the RMAT graph
 //!   loadmap          Per-cell load skew, Edge vs Snowball (§5 congestion)
 //!   skew             Power-law (RMAT) streaming with rhizome promotion
+//!   churn            Sliding-window mutation stream: deletions, repair
+//!                    diffusions, rhizome demotion (oracle-checked per batch)
 //!   verify           Check streamed BFS against the reference oracle (§4)
 //!   all              Everything above, in order
 //! ```
@@ -27,11 +29,12 @@
 //! `--out` (default `bench_out/`).
 
 use amcca_bench::{
-    chip_with_placement, format_table, human_count, out_dir, run_streaming_bfs, sparkline,
-    write_activity_csv, write_csv, ExperimentResult, RunOpts, Scale,
+    chip_with_placement, format_table, human_count, out_dir, run_streaming_bfs,
+    run_streaming_churn, sparkline, write_activity_csv, write_csv, ExperimentResult, RunOpts,
+    Scale,
 };
 use amcca_sim::{run_tasks, ChipConfig, GhostPlacement};
-use gc_datasets::{GcPreset, Sampling, SkewPreset, StreamingDataset};
+use gc_datasets::{ChurnPreset, GcPreset, Sampling, SkewPreset, StreamingDataset};
 use sdgp_core::rpvo::RpvoConfig;
 
 struct Args {
@@ -78,7 +81,7 @@ fn parse_args() -> Args {
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -124,6 +127,7 @@ fn main() {
         "ablate-rhizomes" => ablate_rhizomes(&args),
         "loadmap" => loadmap(&args),
         "skew" => skew(&args),
+        "churn" => churn(&args),
         "verify" => verify(&args),
         "all" => {
             table1(&args);
@@ -136,6 +140,7 @@ fn main() {
             ablate_rhizomes(&args);
             loadmap(&args);
             skew(&args);
+            churn(&args);
             verify(&args);
         }
         other => die(&format!("unknown command {other}")),
@@ -616,10 +621,10 @@ fn loadmap(args: &Args) {
         // Stream only the LAST increment after building the prefix, so the
         // measured loads reflect one increment's frontier behaviour.
         for i in 0..d.increments() - 1 {
-            g.stream_increment(d.increment(i)).unwrap();
+            g.stream_edges(d.increment(i)).unwrap();
         }
         g.device_mut().chip_mut().reset_cell_loads();
-        g.stream_increment(d.increment(d.increments() - 1)).unwrap();
+        g.stream_edges(d.increment(d.increments() - 1)).unwrap();
         let loads: Vec<u64> = g.device().chip().cell_loads().iter().map(|l| l.delivered).collect();
         let peaks: Vec<u32> = g.device().chip().cell_loads().iter().map(|l| l.peak_queue).collect();
         // Per-cell storage skew: how many vertex objects and stored edges
@@ -846,6 +851,109 @@ fn ablate_rhizomes(args: &Args) {
 }
 
 // ---------------------------------------------------------------------
+// Sliding-window churn: deletions, repair diffusions, rhizome demotion.
+// ---------------------------------------------------------------------
+
+fn churn(args: &Args) {
+    eprintln!("[churn] sliding-window mutation stream, scale {:?}...", args.scale);
+    let p = ChurnPreset::v50k().scaled_down(args.scale.factor());
+    let c = p.build();
+    // Thresholds are derived from the *peak window* (the live graph at its
+    // largest), so hubs promote while the window is full and demote as the
+    // drain cools them below the threshold.
+    let peak = c.live_after(p.batches - 1);
+    let stats = gc_datasets::degree_stats(c.n_vertices, &peak);
+    let threshold = skew_threshold(&stats);
+    let rcfg = RpvoConfig::default().with_rhizomes(threshold, 4);
+    let results: Vec<amcca_bench::ChurnExperiment> = run_tasks(
+        [false, true]
+            .iter()
+            .map(|&with_algo| {
+                let chip = chip_for(args);
+                let c = &c;
+                let label = p.label();
+                move || {
+                    let opts = RunOpts { with_algo, rcfg, chip, ..Default::default() };
+                    // The BFS run is oracle-checked against a from-scratch
+                    // rebuild over the surviving edge set after EVERY batch.
+                    run_streaming_churn(c, &opts, &label)
+                }
+            })
+            .collect(),
+        CHIP_SCENARIO_WORKERS,
+    );
+    let (ing, bfs) = (&results[0], &results[1]);
+    println!(
+        "\nSliding-window churn: {} ({} insert batches of {}, window {}, drained; \
+         peak-window degree max {}, mean {:.1})",
+        ing.label,
+        p.batches,
+        human_count(p.adds_per_batch as u64),
+        p.window,
+        stats.max,
+        stats.mean
+    );
+    println!(
+        "  rhizomes: threshold {} touches, K=4; BFS states re-verified against a \
+         from-scratch rebuild after every batch",
+        threshold
+    );
+    let header = [
+        "Batch",
+        "Adds",
+        "Dels",
+        "Live",
+        "Ingest cycles",
+        "Ingest+BFS cycles",
+        "Roots+",
+        "Demoted",
+    ];
+    let rows: Vec<Vec<String>> = (0..ing.rows.len())
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                ing.rows[i].adds.to_string(),
+                ing.rows[i].dels.to_string(),
+                ing.rows[i].live.to_string(),
+                ing.rows[i].cycles.to_string(),
+                bfs.rows[i].cycles.to_string(),
+                ing.rows[i].extra_roots.to_string(),
+                ing.rows[i].demoted.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    let last = ing.rows.last().unwrap();
+    println!(
+        "  end of stream: {} live edges, {} promotions, {} demotions, {} extra roots left",
+        last.live, last.promoted, last.demoted, last.extra_roots
+    );
+    let dir = out_dir(&args.out);
+    write_csv(
+        &dir.join("churn.csv"),
+        "batch,adds,dels,live,ingest_cycles,ingest_uj,bfs_cycles,bfs_uj,bfs_us,promoted,extra_roots,demoted",
+        (0..ing.rows.len()).map(|i| {
+            format!(
+                "{},{},{},{},{},{:.1},{},{:.1},{:.1},{},{},{}",
+                i + 1,
+                ing.rows[i].adds,
+                ing.rows[i].dels,
+                ing.rows[i].live,
+                ing.rows[i].cycles,
+                ing.rows[i].energy_uj,
+                bfs.rows[i].cycles,
+                bfs.rows[i].energy_uj,
+                bfs.rows[i].time_us,
+                ing.rows[i].promoted,
+                ing.rows[i].extra_roots,
+                ing.rows[i].demoted
+            )
+        }),
+    );
+    println!("  (csv: {}/churn.csv)", args.out);
+}
+
+// ---------------------------------------------------------------------
 // Verification (paper §4: results checked against NetworkX).
 // ---------------------------------------------------------------------
 
@@ -862,7 +970,7 @@ fn verify(args: &Args) {
             .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
-        g.stream_increment(d.increment(i)).unwrap();
+        g.stream_edges(d.increment(i)).unwrap();
         acc.extend_from_slice(d.increment(i));
         let reference = bfs_levels(&DiGraph::from_edges(d.n_vertices, acc.iter().copied()), 0);
         assert_eq!(g.states(), reference, "mismatch after increment {i}");

@@ -9,9 +9,9 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use amcca_sim::{ActivityRecording, ChipConfig, Counters, GhostPlacement};
-use gc_datasets::{GcPreset, StreamingDataset};
+use gc_datasets::{ChurnStream, GcPreset, StreamingDataset};
 use sdgp_core::apps::BfsAlgo;
-use sdgp_core::graph::StreamingGraph;
+use sdgp_core::graph::{GraphMutation, StreamingGraph};
 use sdgp_core::rpvo::RpvoConfig;
 
 /// Experiment scale: the paper's sizes or a proportional scale-down.
@@ -139,7 +139,7 @@ pub fn run_streaming_bfs(
     let mut activity = Vec::new();
     for i in 0..dataset.increments() {
         let inc = dataset.increment(i);
-        let report = g.stream_increment(inc).expect("increment run");
+        let report = g.stream_edges(inc).expect("increment run");
         rows.push(IncrementRow {
             edges: inc.len(),
             cycles: report.cycles,
@@ -167,6 +167,92 @@ pub fn run_streaming_bfs(
 /// Build the default chip with a specific ghost-placement policy.
 pub fn chip_with_placement(placement: GhostPlacement) -> ChipConfig {
     ChipConfig { ghost_placement: placement, ..ChipConfig::default() }
+}
+
+/// One churn-batch measurement (a row of the `paper churn` CSV).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnRow {
+    /// Edges inserted by this batch.
+    pub adds: usize,
+    /// Edges deleted by this batch.
+    pub dels: usize,
+    /// Live edges after the batch (window accounting).
+    pub live: usize,
+    /// Cycles consumed by the batch (all phases: structural, repair, merge).
+    pub cycles: u64,
+    /// Energy consumed, microjoules.
+    pub energy_uj: f64,
+    /// Wall-clock time at 1 GHz, microseconds.
+    pub time_us: f64,
+    /// Cumulative rhizome promotions as of this batch.
+    pub promoted: u64,
+    /// Extra co-equal roots currently allocated.
+    pub extra_roots: u64,
+    /// Cumulative rhizome demotions as of this batch.
+    pub demoted: u64,
+}
+
+/// A full sliding-window churn run (see [`run_streaming_churn`]).
+#[derive(Debug, Clone)]
+pub struct ChurnExperiment {
+    /// Workload label.
+    pub label: String,
+    /// Per-batch measurements.
+    pub rows: Vec<ChurnRow>,
+}
+
+/// Run streaming BFS over a sliding-window churn schedule: each batch
+/// applies its deletions and insertions as one mutation increment (deletes
+/// first — they retract edges settled in earlier batches). When the
+/// algorithm propagates (`opts.with_algo`), every batch's converged states
+/// are checked against a from-scratch BFS over exactly the surviving edge
+/// set, plus edge conservation and mirror consistency — the decremental
+/// analogue of `paper verify`.
+pub fn run_streaming_churn(churn: &ChurnStream, opts: &RunOpts, label: &str) -> ChurnExperiment {
+    use refgraph::{bfs_levels, DiGraph};
+
+    let mut g =
+        StreamingGraph::new(opts.chip.clone(), opts.rcfg, BfsAlgo::new(0), churn.n_vertices)
+            .expect("graph construction");
+    g.set_algo_propagation(opts.with_algo);
+    g.set_termination_mode(opts.termination);
+    let mut rows = Vec::with_capacity(churn.len());
+    for i in 0..churn.len() {
+        let b = churn.batch(i);
+        let mut muts: Vec<GraphMutation> = Vec::with_capacity(b.adds.len() + b.dels.len());
+        muts.extend(b.dels.iter().copied().map(GraphMutation::DelEdge));
+        muts.extend(b.adds.iter().copied().map(GraphMutation::AddEdge));
+        let report = g.stream_increment(&muts).expect("churn batch run");
+        let live = churn.live_after(i);
+        assert_eq!(
+            g.total_edges_stored(),
+            live.len() as u64,
+            "batch {i}: stored edges must equal the surviving window"
+        );
+        if opts.with_algo {
+            let reference =
+                bfs_levels(&DiGraph::from_edges(churn.n_vertices, live.iter().copied()), 0);
+            assert_eq!(g.states(), reference, "batch {i}: BFS mismatch vs rebuild oracle");
+        }
+        let (promoted, extra_roots) = g.rhizome_stats();
+        rows.push(ChurnRow {
+            adds: b.adds.len(),
+            dels: b.dels.len(),
+            live: live.len(),
+            cycles: report.cycles,
+            energy_uj: report.energy_uj,
+            time_us: report.time_us,
+            promoted,
+            extra_roots,
+            demoted: g.demotion_count(),
+        });
+    }
+    if opts.with_algo {
+        // Ingestion-only runs never sync mirrors (propagation is off), so
+        // the invariant only holds when the algorithm actually diffuses.
+        g.check_mirror_consistency().expect("mirrors consistent after churn");
+    }
+    ChurnExperiment { label: label.to_string(), rows }
 }
 
 // ---------------------------------------------------------------------
@@ -281,6 +367,21 @@ mod tests {
         assert!(r.total_cycles() > 0);
         assert_eq!(r.activity.len() as u64, r.total_cycles(), "activity spans all increments");
         assert!(r.total_energy_uj() > 0.0);
+    }
+
+    #[test]
+    fn churn_runs_verified_and_drains() {
+        let churn = gc_datasets::ChurnPreset::v50k().scaled_down(100).build();
+        let opts = RunOpts::default();
+        let r = run_streaming_churn(&churn, &opts, "churn-test");
+        assert_eq!(r.rows.len(), churn.len());
+        let last = r.rows.last().unwrap();
+        assert_eq!(last.live, 0, "drain tail empties the window");
+        assert!(r.rows.iter().all(|row| row.cycles > 0));
+        assert_eq!(
+            r.rows.iter().map(|row| row.adds).sum::<usize>(),
+            r.rows.iter().map(|row| row.dels).sum::<usize>(),
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   improve the object's state with the incoming value and, if improved,
 //!   diffuse a per-edge value along every local edge and forward the value to
 //!   the object's ghosts so mirrors converge.
+//! * **`delete-edge-action`**: the decremental counterpart of insert. The
+//!   retraction broadcast walks the logical vertex (co-equal rhizome roots
+//!   and ghost subtrees); the one object holding the tagged copy removes it
+//!   and, if the algorithm propagates, recalls the value it last announced
+//!   along that edge with the `retract` system diffusion
+//!   ([`diffusive::retract`]) — derived downstream state invalidates and is
+//!   later rebuilt by a **reseed** wave re-announcing all surviving state.
 //!
 //! Individual algorithms (BFS, SSSP, connected components, triangles) plug in
 //! through the [`VertexAlgo`] trait.
@@ -27,8 +34,16 @@ use crate::rpvo::{decode_edge, encode_edge, Edge, RpvoConfig, VertexObj};
 pub const ACT_INSERT: ActionId = diffusive::FIRST_USER_ACTION;
 /// Action id of the algorithm's relax/diffuse action (`bfs-action` & co).
 pub const ACT_RELAX: ActionId = diffusive::FIRST_USER_ACTION + 1;
+/// Action id of `delete-edge-action`: retract one tagged edge copy from the
+/// logical vertex's storage and start the deletion-repair diffusion.
+pub const ACT_DELETE: ActionId = diffusive::FIRST_USER_ACTION + 2;
+/// Action id of `reseed-action`: after a deletion batch's invalidation wave
+/// quiesced, every object with surviving announceable state re-announces it
+/// along its local edges so monotone relaxation rebuilds the exact fixpoint
+/// over the surviving edge set.
+pub const ACT_RESEED: ActionId = diffusive::FIRST_USER_ACTION + 3;
 /// First action id available to algorithm-specific extras (triangle probes).
-pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 2;
+pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 4;
 
 /// Bit 63 of a *query* operon's `payload[0]` (triangle / Jaccard probes and
 /// checks) marking that the operon was already fanned across a rhizome's
@@ -91,6 +106,17 @@ pub trait VertexAlgo: Send {
     /// if there is nothing to sync, e.g. an unreached BFS vertex).
     fn sync_value(&self, s: &Self::State) -> Option<u64>;
 
+    /// Deletion-repair suspicion test: could state `s` only have been
+    /// derived through a retracted announcement of `suspect`? Monotone
+    /// relaxation guarantees `s`'s wire value is at most as good as any
+    /// announcement it absorbed, so the conservative default — equality with
+    /// the *best* (latest) value the retracted source announced — never
+    /// under-invalidates: a strictly better state had independent support.
+    /// Over-invalidation is safe (the reseed wave restores it).
+    fn retract_match(&self, s: &Self::State, suspect: u64) -> bool {
+        self.sync_value(s) == Some(suspect)
+    }
+
     /// Handle algorithm-specific actions beyond insert/relax.
     fn on_other_action(
         &mut self,
@@ -129,6 +155,15 @@ pub struct GraphApp<G: VertexAlgo> {
     /// "disabling the subsequent propagation of bfs-action when an edge is
     /// inserted" used to isolate ingestion time (§5).
     pub propagate_algo: bool,
+    /// Internal phase gate: during the structural phase of a deletion batch
+    /// the host suppresses every improvement source — insert notifications
+    /// *and* ghost attach-syncs — because an improvement racing the
+    /// invalidation cascade can slip a stale value past the equality test
+    /// (the cascade recalls only the *latest* announced value). The phase
+    /// is then purely structural: edges move, states only reset. The
+    /// subsequent reseed wave re-announces all surviving state, which both
+    /// relaxes the new edges and restores mirrors.
+    pub(crate) notify_inserts: bool,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
     scratch_peers: Vec<Address>,
@@ -142,6 +177,7 @@ impl<G: VertexAlgo> GraphApp<G> {
             algo,
             rcfg,
             propagate_algo,
+            notify_inserts: true,
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
@@ -166,7 +202,7 @@ impl<G: VertexAlgo> GraphApp<G> {
             };
             if obj.has_room(self.rcfg.edge_cap) {
                 obj.edges.push(edge);
-                let notify = if self.propagate_algo {
+                let notify = if self.propagate_algo && self.notify_inserts {
                     self.algo.notify_on_insert(&obj.state, &edge)
                 } else {
                     None
@@ -276,6 +312,181 @@ impl<G: VertexAlgo> GraphApp<G> {
             }
         }
     }
+
+    /// `delete-edge-action`: retract one tagged edge copy. The broadcast
+    /// visits the logical vertex's objects — on first arrival at a rhizome
+    /// root a marked copy fans to every peer, and misses forward into the
+    /// ready ghost subtrees. Exactly one object holds the `(dst, w, tag)`
+    /// copy (tags are unique among live copies of an identity), so exactly
+    /// one removal happens; every other arrival dies silently. The remover
+    /// recalls the value it last announced along the edge, seeding the
+    /// invalidation cascade ([`diffusive::retract`]).
+    ///
+    /// Pending ghost slots are skipped: deletions only ever target edges
+    /// settled in a previous increment (same-batch adds are annihilated
+    /// host-side), and a Pending slot's subtree did not exist then.
+    fn retract_edge(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
+        let target = op.target;
+        let (tag, dst_id, w) = decode_delete(op.payload);
+        ctx.charge(ctx.cost().dispatch);
+        let (removed, scanned) = {
+            let Some(obj) = ctx.obj_mut(target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: target, action: ACT_DELETE });
+                return;
+            };
+            let scanned = obj.edges.len() as u32;
+            let removed = match obj
+                .edges
+                .iter()
+                .position(|e| e.dst_id == dst_id && e.w == w && e.tag == tag)
+            {
+                Some(i) => {
+                    // Order-preserving removal keeps the surviving edge list
+                    // deterministic for later scans and walks.
+                    let e = obj.edges.remove(i);
+                    let recall =
+                        if self.propagate_algo { self.algo.sync_value(&obj.state) } else { None };
+                    Some((e, recall))
+                }
+                None => {
+                    // Miss: snapshot the forwarding sets while borrowed.
+                    self.scratch_peers.clear();
+                    self.scratch_peers.extend_from_slice(&obj.peers);
+                    self.scratch_ghosts.clear();
+                    self.scratch_ghosts.extend(obj.ready_ghosts());
+                    None
+                }
+            };
+            (removed, scanned)
+        };
+        ctx.charge(ctx.cost().scan_per_edge * scanned);
+        match removed {
+            Some((e, recall)) => {
+                ctx.charge(ctx.cost().delete_edge);
+                if let Some(v) = recall {
+                    // Recall the best value this object ever announced along
+                    // the retracted edge; the destination invalidates iff
+                    // its state could only have come from it.
+                    ctx.propagate(diffusive::retract_operon(e.dst, self.algo.along_edge(v, &e)));
+                }
+            }
+            None => {
+                fan_query_to_peers(ctx, op, &self.scratch_peers);
+                for i in 0..self.scratch_ghosts.len() {
+                    let g = self.scratch_ghosts[i];
+                    ctx.propagate(Operon::new(g, ACT_DELETE, op.payload));
+                }
+            }
+        }
+    }
+
+    /// The deletion-repair invalidation ([`diffusive::ACT_RETRACT`]): if the
+    /// object's state could only have been derived through the recalled
+    /// value, reset it and cascade — along local edges with the value this
+    /// object would have announced, and to mirrors and peers with the old
+    /// value itself. States move to their reset value at most once per
+    /// repair round, so the cascade terminates.
+    fn invalidate(
+        &mut self,
+        ctx: &mut ExecCtx<'_, VertexObj<G::State>>,
+        target: Address,
+        suspect: u64,
+    ) {
+        ctx.charge(ctx.cost().invalidate);
+        let old_value = {
+            let Some(obj) = ctx.obj_mut(target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_RETRACT });
+                return;
+            };
+            if !self.algo.retract_match(&obj.state, suspect) {
+                return;
+            }
+            let old = obj.state;
+            let reset = self.algo.root_state(obj.vid);
+            if reset == old {
+                // Self-supported state (e.g. the BFS source, a CC vertex at
+                // its own label): nothing to invalidate.
+                return;
+            }
+            obj.state = reset;
+            // `old` passed retract_match, so it is announceable. Mirrors are
+            // recalled with the value THIS object announced (not the
+            // incoming `suspect`) — the two coincide for the default
+            // equality match but may differ under an overridden
+            // retract_match, and Pending ghosts must see the same recall as
+            // Ready ones.
+            let old_value = self.algo.sync_value(&old).expect("matched state announceable");
+            self.scratch_edges.clear();
+            self.scratch_edges.extend_from_slice(&obj.edges);
+            self.scratch_peers.clear();
+            self.scratch_peers.extend_from_slice(&obj.peers);
+            self.scratch_ghosts.clear();
+            for g in obj.ghosts.iter_mut() {
+                match g {
+                    FutureLco::Ready(a) => self.scratch_ghosts.push(*a),
+                    FutureLco::Pending(q) => q.push(PendingOperon {
+                        action: diffusive::ACT_RETRACT,
+                        payload: [old_value, 0],
+                    }),
+                    FutureLco::Null => {}
+                }
+            }
+            old_value
+        };
+        ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
+        for i in 0..self.scratch_edges.len() {
+            let e = self.scratch_edges[i];
+            let v = self.algo.along_edge(old_value, &e);
+            ctx.propagate(diffusive::retract_operon(e.dst, v));
+        }
+        for i in 0..self.scratch_ghosts.len() {
+            let g = self.scratch_ghosts[i];
+            ctx.propagate(diffusive::retract_operon(g, old_value));
+        }
+        for i in 0..self.scratch_peers.len() {
+            let p = self.scratch_peers[i];
+            ctx.propagate(diffusive::retract_operon(p, old_value));
+        }
+    }
+
+    /// `reseed-action`: after the invalidation quiesced, re-announce this
+    /// object's surviving state along its local edges, push it to mirrors
+    /// (restoring ghosts that were reset or freshly attached un-synced), and
+    /// walk the rest of the logical vertex — ghost subtrees re-announce
+    /// their own edge slices, and on first arrival at a rhizome root a
+    /// marked copy fans to every peer. Objects with nothing to announce stay
+    /// silent; ordinary monotone relaxation rebuilds the exact fixpoint.
+    fn reseed(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
+        ctx.charge(ctx.cost().dispatch);
+        let value = {
+            let Some(obj) = ctx.obj_mut(op.target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: op.target, action: ACT_RESEED });
+                return;
+            };
+            let Some(v) = self.algo.sync_value(&obj.state) else { return };
+            self.scratch_edges.clear();
+            self.scratch_edges.extend_from_slice(&obj.edges);
+            self.scratch_peers.clear();
+            self.scratch_peers.extend_from_slice(&obj.peers);
+            self.scratch_ghosts.clear();
+            self.scratch_ghosts.extend(obj.ready_ghosts());
+            v
+        };
+        fan_query_to_peers(ctx, op, &self.scratch_peers);
+        ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
+        for i in 0..self.scratch_edges.len() {
+            let e = self.scratch_edges[i];
+            let v = self.algo.along_edge(value, &e);
+            ctx.propagate(Operon::new(e.dst, ACT_RELAX, [v, 0]));
+        }
+        for i in 0..self.scratch_ghosts.len() {
+            let g = self.scratch_ghosts[i];
+            // Mirror sync first (relax the ghost to this object's value),
+            // then let the ghost re-announce its own slice.
+            ctx.propagate(Operon::new(g, ACT_RELAX, [value, 0]));
+            ctx.propagate(Operon::new(g, ACT_RESEED, op.payload));
+        }
+    }
 }
 
 impl<G: VertexAlgo> App for GraphApp<G> {
@@ -286,6 +497,7 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             algo: self.algo.fork(),
             rcfg: self.rcfg,
             propagate_algo: self.propagate_algo,
+            notify_inserts: self.notify_inserts,
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
@@ -326,8 +538,10 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             (waiters, self.algo.sync_value(&obj.state))
         };
         // Sync the fresh mirror with the parent's current state first, so a
-        // ghost created after the vertex was reached still diffuses.
-        if self.propagate_algo {
+        // ghost created after the vertex was reached still diffuses. (The
+        // structural phase of a deletion batch suppresses this too — see
+        // `notify_inserts`; the reseed wave restores the mirror instead.)
+        if self.propagate_algo && self.notify_inserts {
             if let Some(v) = sync {
                 ctx.propagate(Operon::new(value, ACT_RELAX, [v, 0]));
             }
@@ -341,10 +555,16 @@ impl<G: VertexAlgo> App for GraphApp<G> {
         self.relax_value(ctx, target, value, diffusive::ACT_RHIZOME_SYNC);
     }
 
+    fn retract(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, suspect: u64) {
+        self.invalidate(ctx, target, suspect);
+    }
+
     fn on_action(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon) {
         match op.action {
             ACT_INSERT => self.ingest(ctx, op),
             ACT_RELAX => self.relax_value(ctx, op.target, op.payload[0], ACT_RELAX),
+            ACT_DELETE => self.retract_edge(ctx, op),
+            ACT_RESEED => self.reseed(ctx, op),
             _ => {
                 // Split borrow: hand the algorithm the context plus config.
                 let rcfg = self.rcfg;
@@ -357,6 +577,20 @@ impl<G: VertexAlgo> App for GraphApp<G> {
 /// Build an insert-edge operon targeting `src_root` carrying `edge`.
 pub fn insert_operon(src_root: Address, edge: &Edge) -> Operon {
     Operon::new(src_root, ACT_INSERT, encode_edge(edge))
+}
+
+/// Build a delete-edge operon: retract the copy of `src → dst_id` with
+/// weight `w` and copy tag `tag` from the logical vertex whose (primary)
+/// root is `src_root`. `payload[0]` carries the tag (low 16 bits) and the
+/// rhizome fan marker ([`QUERY_FANNED_BIT`]); `payload[1]` = id ‖ weight,
+/// exactly like an insert.
+pub fn delete_operon(src_root: Address, dst_id: u32, w: u32, tag: u16) -> Operon {
+    Operon::new(src_root, ACT_DELETE, [tag as u64, ((dst_id as u64) << 32) | w as u64])
+}
+
+/// Decode a delete-edge operon payload into `(tag, dst_id, w)`.
+pub fn decode_delete(payload: [u64; 2]) -> (u16, u32, u32) {
+    (payload[0] as u16, (payload[1] >> 32) as u32, payload[1] as u32)
 }
 
 #[cfg(test)]

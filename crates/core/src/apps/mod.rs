@@ -7,7 +7,10 @@ pub mod jaccard;
 pub mod sssp;
 pub mod triangle;
 
-pub use algo::{insert_operon, GraphApp, VertexAlgo, ACT_ALGO_BASE, ACT_INSERT, ACT_RELAX};
+pub use algo::{
+    delete_operon, insert_operon, GraphApp, VertexAlgo, ACT_ALGO_BASE, ACT_DELETE, ACT_INSERT,
+    ACT_RELAX, ACT_RESEED,
+};
 pub use bfs::{BfsAlgo, MAX_LEVEL};
 pub use concomp::CcAlgo;
 pub use jaccard::{JaccardAlgo, ACT_JC_CHECK, ACT_JC_GEN, ACT_JC_PROBE};

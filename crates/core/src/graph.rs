@@ -2,19 +2,122 @@
 //!
 //! Wraps a [`diffusive::Device`] running a [`GraphApp`] and provides the
 //! workflow of the paper's experiments: allocate root RPVOs for all vertices
-//! (untimed construction, §4), then stream edge increments through the IO
-//! channels and run each to quiescence, collecting a [`RunReport`] per
-//! increment (the data behind Figures 8–9 and Table 2).
+//! (untimed construction, §4), then stream batches of **mutations** — edge
+//! insertions *and* deletions — through the IO channels and run each to
+//! quiescence, collecting a [`RunReport`] per increment (the data behind
+//! Figures 8–9 and Table 2, extended to the dynamic half of the workload
+//! space that Besta et al.'s streaming-framework taxonomy treats as the
+//! defining capability: deletions and sliding-window churn).
+//!
+//! # Mutation semantics
+//!
+//! A batch is an ordered multiset edit of the directed edge multiset. The
+//! host keeps a **mutation ledger** assigning each inserted copy of an
+//! `(src, dst, weight)` identity a small copy tag (unique among live
+//! copies), so a `DelEdge` retracts exactly one copy — the oldest live one —
+//! no matter how copies spread across rhizome root slices and ghost spills.
+//! A delete that matches an insert of the *same batch* annihilates it on the
+//! host before anything reaches the fabric.
+//!
+//! Batches containing on-fabric deletions run in two phases when the
+//! algorithm propagates: a **structural** phase (inserts and retractions
+//! apply, improvements are suppressed, invalidation cascades recall state
+//! derived through deleted edges — see [`diffusive::retract`]) and a
+//! **reseed** phase (every surviving valid state re-announces, and monotone
+//! relaxation rebuilds the exact fixpoint over the surviving edge set).
+//! Pure-insert batches take the original single-phase fast path.
+
+use std::collections::{HashMap, VecDeque};
 
 use amcca_sim::{Address, ChipConfig, Operon, SimError};
 use diffusive::{Device, RunReport};
 
-use crate::apps::algo::{insert_operon, GraphApp, VertexAlgo, ACT_INSERT, ACT_RELAX};
+use crate::apps::algo::{
+    delete_operon, insert_operon, GraphApp, VertexAlgo, ACT_DELETE, ACT_INSERT, ACT_RELAX,
+    ACT_RESEED,
+};
 use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
 use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
 
 /// A streamed edge: `(src, dst, weight)` with vertex ids.
 pub type StreamEdge = (u32, u32, u32);
+
+/// One element of a mutation stream: the typed unit the ingestion pipeline
+/// is built around. `AddEdge` grows the directed edge multiset; `DelEdge`
+/// removes one live copy of the named identity (the oldest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphMutation {
+    /// Insert one copy of the directed edge.
+    AddEdge(StreamEdge),
+    /// Delete one live copy of the directed edge (panics at stream time if
+    /// no copy is live — deleting a non-existent edge is a host bug).
+    DelEdge(StreamEdge),
+}
+
+impl GraphMutation {
+    /// The edge identity this mutation refers to.
+    pub fn edge(&self) -> StreamEdge {
+        match *self {
+            GraphMutation::AddEdge(e) | GraphMutation::DelEdge(e) => e,
+        }
+    }
+
+    /// Wrap a plain edge slice into an insert-only mutation batch.
+    pub fn adds(edges: &[StreamEdge]) -> Vec<GraphMutation> {
+        edges.iter().copied().map(GraphMutation::AddEdge).collect()
+    }
+}
+
+/// Per-identity live-copy bookkeeping of the mutation ledger.
+#[derive(Debug, Clone, Default)]
+struct LiveCopies {
+    /// Next tag to hand out (wrapping; tags need only be unique among the
+    /// identity's *live* copies).
+    next: u16,
+    /// Tags of live copies, oldest first.
+    live: VecDeque<u16>,
+}
+
+/// Host-side mutation ledger: which copies of each directed edge identity
+/// are live, by tag. Lookup-only (iteration never drives output), so the
+/// hash map cannot perturb determinism.
+#[derive(Debug, Clone, Default)]
+struct EdgeLedger {
+    copies: HashMap<(u32, u32, u32), LiveCopies>,
+}
+
+impl EdgeLedger {
+    /// Register a streamed copy of `(u, v, w)` and return its tag.
+    fn add(&mut self, u: u32, v: u32, w: u32) -> u16 {
+        let c = self.copies.entry((u, v, w)).or_default();
+        let tag = c.next;
+        c.next = c.next.wrapping_add(1);
+        c.live.push_back(tag);
+        tag
+    }
+
+    /// Unregister the oldest live copy of `(u, v, w)`, returning its tag.
+    /// The identity's entry (and its tag counter) survives a full drain
+    /// until the increment completes: a re-added copy must NOT reuse a tag
+    /// while a same-tag retraction may still be in flight in the same wave,
+    /// or a miss-fanned broadcast could match both copies.
+    fn remove(&mut self, u: u32, v: u32, w: u32) -> Option<u16> {
+        self.copies.get_mut(&(u, v, w))?.live.pop_front()
+    }
+
+    /// Drop fully drained identities. Safe only at increment boundaries:
+    /// the chip is quiescent, so no retraction that could collide with a
+    /// reused tag is in flight. Keeps ledger memory bounded by the live
+    /// edge set instead of the stream's history.
+    fn prune_drained(&mut self) {
+        self.copies.retain(|_, c| !c.live.is_empty());
+    }
+
+    /// Number of live copies across all identities.
+    fn live_count(&self) -> u64 {
+        self.copies.values().map(|c| c.live.len() as u64).sum()
+    }
+}
 
 /// StreamingGraph.
 pub struct StreamingGraph<G: VertexAlgo> {
@@ -22,6 +125,8 @@ pub struct StreamingGraph<G: VertexAlgo> {
     /// Per-vertex root sets, streamed-degree counters, and the deterministic
     /// per-edge root router (single-root vertices route to their primary).
     rz: RhizomeDirectory,
+    /// Live-copy tags per edge identity (deletion addressing).
+    ledger: EdgeLedger,
     rcfg: RpvoConfig,
 }
 
@@ -41,13 +146,20 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         let mut dev = Device::new(cfg, GraphApp::new(algo, rcfg, true));
         dev.register_action_at(ACT_INSERT, "insert-edge-action");
         dev.register_action_at(ACT_RELAX, G::NAME);
+        dev.register_action_at(ACT_DELETE, "delete-edge-action");
+        dev.register_action_at(ACT_RESEED, "reseed-action");
         let mut addrs = Vec::with_capacity(n_vertices as usize);
         for vid in 0..n_vertices {
             let cc = root_placement.cell_for(vid, dims, seed);
             let state = dev.app().algo.root_state(vid);
             addrs.push(dev.host_alloc(cc, VertexObj::root(vid, state, fanout))?);
         }
-        Ok(StreamingGraph { dev, rz: RhizomeDirectory::new(addrs), rcfg })
+        Ok(StreamingGraph {
+            dev,
+            rz: RhizomeDirectory::new(addrs),
+            ledger: EdgeLedger::default(),
+            rcfg,
+        })
     }
 
     /// Promote vertex `v` from a single root to a rhizome of
@@ -74,6 +186,55 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         }
         self.rz.install(v, roots[1..].to_vec());
         Ok(())
+    }
+
+    /// Demote every vertex in `due` back to a single root: collect the
+    /// edges stored across each extra root's ghost subtree, free those
+    /// objects (untimed, like promotion's allocation), clear the primary's
+    /// rhizome links, patch any stored edge that pointed at a freed root to
+    /// the vertex's primary, and return the re-ingest wave that merges the
+    /// collected edges into the primary (timed — demotion pays real insert
+    /// cycles in the increment that triggered it).
+    fn demote_collapse(&mut self, due: &[u32]) -> Vec<Operon> {
+        let mut merged: Vec<Edge> = Vec::new();
+        let mut merge_primary: Vec<Address> = Vec::new();
+        let mut remap: HashMap<Address, Address> = HashMap::new();
+        for &v in due {
+            let extras = self.rz.demote(v);
+            let primary = self.rz.primary(v);
+            for &r in &extras {
+                remap.insert(r, primary);
+                for a in walk::collect_objects(r, |x| self.dev.object(x)) {
+                    let obj = self.dev.host_free(a).expect("demoted object live");
+                    for e in obj.edges {
+                        merged.push(e);
+                        merge_primary.push(primary);
+                    }
+                }
+            }
+            self.dev.object_mut(primary).expect("primary live").peers = Box::new([]);
+        }
+        // Patch dangling destinations: stored edges (and the edges being
+        // merged) that pointed at a freed co-equal root now point at that
+        // vertex's primary. Only root addresses ever appear as edge
+        // destinations, so the remap over freed extras is complete.
+        self.dev.chip_mut().for_each_object_mut(|_, obj| {
+            for e in obj.edges.iter_mut() {
+                if let Some(&p) = remap.get(&e.dst) {
+                    e.dst = p;
+                }
+            }
+        });
+        merged
+            .iter_mut()
+            .zip(merge_primary)
+            .map(|(e, primary)| {
+                if let Some(&p) = remap.get(&e.dst) {
+                    e.dst = p;
+                }
+                insert_operon(primary, e)
+            })
+            .collect()
     }
 
     /// Enable/disable the algorithm's propagation on insert (the paper's
@@ -106,32 +267,105 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         self.rz.roots(vid)
     }
 
-    /// Stream one increment of edges through the IO channels and run the
+    /// Stream one increment of mutations through the IO channels and run the
     /// diffusion to quiescence.
     ///
-    /// While building the wave the host counts each edge endpoint toward its
-    /// vertex's streamed degree; a vertex crossing
+    /// While building the wave the host counts each mutation endpoint toward
+    /// its vertex's streamed degree; a vertex whose live degree crosses
     /// [`RpvoConfig::rhizome_threshold`] is promoted to a rhizome on the
     /// spot (untimed, like construction), and every edge is then routed to a
     /// deterministically chosen co-equal root of its source — with the
     /// destination address likewise picking one of the destination's roots —
     /// so a hub's ingest and frontier traffic fans out across cells.
-    pub fn stream_increment(&mut self, edges: &[StreamEdge]) -> Result<RunReport, SimError> {
+    ///
+    /// Deletions run the two-phase repair described in the module docs, and
+    /// after the batch quiesces, promoted vertices whose live degree fell
+    /// back below the threshold are demoted: their extra roots collapse into
+    /// the primary and the merged edges re-ingest (timed) within this call.
+    /// The returned report spans all phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`GraphMutation::DelEdge`] names an identity with no live
+    /// copy.
+    pub fn stream_increment(&mut self, muts: &[GraphMutation]) -> Result<RunReport, SimError> {
         let threshold = self.rcfg.rhizome_threshold;
-        let mut ops: Vec<Operon> = Vec::with_capacity(edges.len());
-        for &(u, v, w) in edges {
-            if self.rz.note_touch(u, threshold) {
-                self.promote(u)?;
+        let mut ops: Vec<Option<Operon>> = Vec::with_capacity(muts.len());
+        let mut batch_adds: HashMap<(u32, u32, u32, u16), usize> = HashMap::new();
+        let mut fabric_dels = false;
+        for m in muts {
+            match *m {
+                GraphMutation::AddEdge((u, v, w)) => {
+                    if self.rz.note_add(u, threshold) {
+                        self.promote(u)?;
+                    }
+                    if self.rz.note_add(v, threshold) {
+                        self.promote(v)?;
+                    }
+                    let tag = self.ledger.add(u, v, w);
+                    let src = self.rz.route(u);
+                    let dst = self.rz.route(v);
+                    batch_adds.insert((u, v, w, tag), ops.len());
+                    ops.push(Some(insert_operon(src, &Edge::tagged(dst, v, w, tag))));
+                }
+                GraphMutation::DelEdge((u, v, w)) => {
+                    let tag = self.ledger.remove(u, v, w).unwrap_or_else(|| {
+                        panic!("DelEdge({u} -> {v}, w {w}): no live copy to delete")
+                    });
+                    self.rz.note_del(u);
+                    self.rz.note_del(v);
+                    match batch_adds.remove(&(u, v, w, tag)) {
+                        // The deleted copy is still in this batch's wave:
+                        // annihilate the pair on the host.
+                        Some(i) => ops[i] = None,
+                        // The copy is settled on the fabric: retract it.
+                        None => {
+                            fabric_dels = true;
+                            ops.push(Some(delete_operon(self.rz.primary(u), v, w, tag)));
+                        }
+                    }
+                }
             }
-            if self.rz.note_touch(v, threshold) {
-                self.promote(v)?;
-            }
-            let src = self.rz.route(u);
-            let dst = self.rz.route(v);
-            ops.push(insert_operon(src, &Edge::new(dst, v, w)));
         }
-        self.dev.register_data_transfer(ops);
-        self.dev.run()
+        let wave: Vec<Operon> = ops.into_iter().flatten().collect();
+        let mut report = if fabric_dels && self.dev.app().propagate_algo {
+            // Phase A — structural: edges move, improvements are suppressed,
+            // invalidation cascades recall state derived through deletions.
+            self.dev.app_mut().notify_inserts = false;
+            self.dev.register_data_transfer(wave);
+            let structural = self.dev.run();
+            self.dev.app_mut().notify_inserts = true;
+            let mut report = structural?;
+            // Phase B — repair: every object with surviving announceable
+            // state re-announces it; relaxation rebuilds the fixpoint.
+            let n = self.n_vertices();
+            let reseeds = (0..n).map(|v| Operon::new(self.rz.primary(v), ACT_RESEED, [0, 0]));
+            self.dev.register_data_transfer(reseeds);
+            report.absorb(self.dev.run()?);
+            report
+        } else {
+            self.dev.register_data_transfer(wave);
+            self.dev.run()?
+        };
+        // Demotion sweep: collapse rhizomes whose live degree fell back
+        // below the threshold, then re-ingest their merged edge slices.
+        let due = self.rz.take_demotions(threshold);
+        if !due.is_empty() {
+            let merge = self.demote_collapse(&due);
+            if !merge.is_empty() {
+                self.dev.register_data_transfer(merge);
+                report.absorb(self.dev.run()?);
+            }
+        }
+        // Quiescent: no retraction in flight, drained identities can go.
+        self.ledger.prune_drained();
+        Ok(report)
+    }
+
+    /// Stream an insert-only increment (the source paper's workload shape):
+    /// sugar for [`Self::stream_increment`] over [`GraphMutation::AddEdge`]s.
+    pub fn stream_edges(&mut self, edges: &[StreamEdge]) -> Result<RunReport, SimError> {
+        self.stream_increment(&GraphMutation::adds(edges))
     }
 
     /// Inject an arbitrary operon wave through the IO channels and run it to
@@ -190,9 +424,26 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         walk::collect_logical_objects(self.rz.primary(vid), |a| self.dev.object(a))
     }
 
-    /// `(promoted vertices, extra roots allocated)` so far.
+    /// `(cumulative promotions, extra roots currently allocated)` so far.
     pub fn rhizome_stats(&self) -> (u64, u64) {
         (self.rz.promoted_count(), self.rz.extra_root_count())
+    }
+
+    /// Number of rhizome demotions performed so far.
+    pub fn demotion_count(&self) -> u64 {
+        self.rz.demoted_count()
+    }
+
+    /// Live streamed degree of a vertex (add-endpoint touches minus
+    /// del-endpoint touches) — the promotion/demotion decision quantity.
+    pub fn live_degree(&self, vid: u32) -> u32 {
+        self.rz.live_degree(vid)
+    }
+
+    /// Number of live edges according to the host's mutation ledger (equals
+    /// [`Self::total_edges_stored`] at quiescence).
+    pub fn live_edge_count(&self) -> u64 {
+        self.ledger.live_count()
     }
 
     /// Verify that every object of every vertex — co-equal roots and ghost
@@ -214,7 +465,7 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         Ok(())
     }
 
-    /// Total edges stored on the chip (each streamed edge stored once).
+    /// Total edges stored on the chip (each live streamed edge stored once).
     pub fn total_edges_stored(&self) -> u64 {
         let mut n = 0u64;
         self.dev.chip().for_each_object(|_, obj| n += obj.edges.len() as u64);
@@ -258,11 +509,35 @@ pub fn symmetrize(edges: &[StreamEdge]) -> Vec<StreamEdge> {
     out
 }
 
+/// Symmetrize a mutation batch: every `AddEdge` inserts both directions and
+/// — crucially for decremental correctness — every `DelEdge` retracts both
+/// directions, so an undirected workload never leaves a stale reverse edge
+/// behind after a delete.
+pub fn symmetrize_mutations(muts: &[GraphMutation]) -> Vec<GraphMutation> {
+    let mut out = Vec::with_capacity(muts.len() * 2);
+    for m in muts {
+        match *m {
+            GraphMutation::AddEdge((u, v, w)) => {
+                out.push(GraphMutation::AddEdge((u, v, w)));
+                out.push(GraphMutation::AddEdge((v, u, w)));
+            }
+            GraphMutation::DelEdge((u, v, w)) => {
+                out.push(GraphMutation::DelEdge((u, v, w)));
+                out.push(GraphMutation::DelEdge((v, u, w)));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::apps::bfs::{BfsAlgo, MAX_LEVEL};
+    use crate::apps::concomp::CcAlgo;
+    use crate::apps::sssp::{SsspAlgo, INF};
     use amcca_sim::ChipConfig;
+    use GraphMutation::{AddEdge, DelEdge};
 
     fn small() -> StreamingGraph<BfsAlgo> {
         StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), BfsAlgo::new(0), 16)
@@ -285,11 +560,12 @@ mod tests {
         let mut g = small();
         // 0 -> 1 -> 2 -> ... -> 15
         let edges: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         for v in 0..16 {
             assert_eq!(g.state_of(v), v as u64, "level along the path");
         }
         assert_eq!(g.total_edges_stored(), 15);
+        assert_eq!(g.live_edge_count(), 15);
     }
 
     #[test]
@@ -297,7 +573,7 @@ mod tests {
         let mut g = small();
         let mut edges: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
         edges.reverse();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         for v in 0..16 {
             assert_eq!(g.state_of(v), v as u64);
         }
@@ -308,14 +584,133 @@ mod tests {
         let mut g = small();
         // Increment 1: a long path 0->1->...->7.
         let edges: Vec<StreamEdge> = (0..7).map(|i| (i, i + 1, 1)).collect();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         assert_eq!(g.state_of(7), 7);
         // Increment 2: shortcut 0 -> 6 lowers downstream levels without
         // recomputation from scratch.
-        g.stream_increment(&[(0, 6, 1)]).unwrap();
+        g.stream_edges(&[(0, 6, 1)]).unwrap();
         assert_eq!(g.state_of(6), 1);
         assert_eq!(g.state_of(7), 2);
         assert_eq!(g.state_of(3), 3, "untouched prefix keeps its level");
+    }
+
+    #[test]
+    fn deleting_a_shortcut_restores_the_long_path() {
+        let mut g = small();
+        let path: Vec<StreamEdge> = (0..7).map(|i| (i, i + 1, 1)).collect();
+        g.stream_edges(&path).unwrap();
+        g.stream_edges(&[(0, 6, 1)]).unwrap();
+        assert_eq!(g.state_of(7), 2, "shortcut in effect");
+        // Retract the shortcut: invalidation recalls the derived levels and
+        // the reseed wave re-relaxes along the surviving path.
+        g.stream_increment(&[DelEdge((0, 6, 1))]).unwrap();
+        assert_eq!(g.state_of(6), 6, "level re-derived along the path");
+        assert_eq!(g.state_of(7), 7);
+        assert_eq!(g.total_edges_stored(), 7);
+        assert_eq!(g.live_edge_count(), 7);
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn deleting_the_only_reaching_edge_unreaches_downstream() {
+        let mut g = small();
+        g.stream_edges(&[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(g.state_of(3), 3);
+        g.stream_increment(&[DelEdge((0, 1, 1))]).unwrap();
+        for v in 1..4 {
+            assert_eq!(g.state_of(v), MAX_LEVEL, "vertex {v} unreachable after the cut");
+        }
+        assert_eq!(g.state_of(0), 0, "the source is self-supported");
+        assert_eq!(g.total_edges_stored(), 2);
+    }
+
+    #[test]
+    fn delete_one_of_two_parallel_edges_keeps_the_level() {
+        let mut g = small();
+        g.stream_edges(&[(0, 1, 1), (0, 1, 1)]).unwrap();
+        assert_eq!(g.state_of(1), 1);
+        assert_eq!(g.total_edges_stored(), 2);
+        g.stream_increment(&[DelEdge((0, 1, 1))]).unwrap();
+        assert_eq!(g.total_edges_stored(), 1, "exactly one copy retracted");
+        assert_eq!(g.state_of(1), 1, "the surviving copy re-supports the level");
+        g.stream_increment(&[DelEdge((0, 1, 1))]).unwrap();
+        assert_eq!(g.total_edges_stored(), 0);
+        assert_eq!(g.state_of(1), MAX_LEVEL);
+    }
+
+    #[test]
+    fn same_batch_add_delete_annihilates_on_host() {
+        let mut g = small();
+        let r = g
+            .stream_increment(&[AddEdge((0, 1, 1)), AddEdge((1, 2, 1)), DelEdge((1, 2, 1))])
+            .unwrap();
+        assert_eq!(g.total_edges_stored(), 1, "the add/delete pair never hit the fabric");
+        assert_eq!(g.state_of(1), 1);
+        assert_eq!(g.state_of(2), MAX_LEVEL);
+        // Annihilation means no deletion reached the fabric, so the batch
+        // takes the single-phase fast path: counters show one insert only.
+        assert_eq!(r.counters.msgs_delivered, 2, "one insert + its relax");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live copy to delete")]
+    fn deleting_a_nonexistent_edge_is_a_host_bug() {
+        let mut g = small();
+        g.stream_increment(&[DelEdge((0, 1, 1))]).unwrap();
+    }
+
+    #[test]
+    fn sssp_repair_after_deleting_the_cheap_road() {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            SsspAlgo::new(0),
+            8,
+        )
+        .unwrap();
+        g.stream_edges(&[(0, 1, 10), (1, 2, 10), (0, 2, 3)]).unwrap();
+        assert_eq!(g.state_of(2), 3);
+        g.stream_increment(&[DelEdge((0, 2, 3))]).unwrap();
+        assert_eq!(g.state_of(2), 20, "distance re-derived through the long road");
+        g.stream_increment(&[DelEdge((1, 2, 10))]).unwrap();
+        assert_eq!(g.state_of(2), INF);
+        assert_eq!(g.state_of(1), 10);
+    }
+
+    #[test]
+    fn cc_split_after_deleting_a_symmetrized_bridge() {
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), CcAlgo, 6)
+                .unwrap();
+        let und = [(0u32, 1u32, 1u32), (1, 2, 1), (3, 4, 1), (2, 3, 1)];
+        g.stream_increment(&symmetrize_mutations(&GraphMutation::adds(&und))).unwrap();
+        for v in 0..5 {
+            assert_eq!(g.state_of(v), 0, "single component");
+        }
+        // Cut the bridge 2–3 in both directions: the far side must fall back
+        // to its own minimum label. No stale reverse edge may keep label 0
+        // alive on the 3–4 side.
+        g.stream_increment(&symmetrize_mutations(&[DelEdge((2, 3, 1))])).unwrap();
+        assert_eq!(g.state_of(0), 0);
+        assert_eq!(g.state_of(2), 0);
+        assert_eq!(g.state_of(3), 3, "split component re-labels from its min id");
+        assert_eq!(g.state_of(4), 3);
+        assert_eq!(g.state_of(5), 5);
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn deletion_without_propagation_only_edits_structure() {
+        let mut g = small();
+        g.set_algo_propagation(false);
+        g.stream_edges(&[(0, 1, 1), (1, 2, 1)]).unwrap();
+        let r = g.stream_increment(&[DelEdge((0, 1, 1))]).unwrap();
+        assert_eq!(g.total_edges_stored(), 1);
+        // No relax, retract-repair, or reseed traffic: structural only.
+        assert_eq!(r.counters.msgs_delivered, 1, "just the delete operon");
+        for v in 1..16 {
+            assert_eq!(g.state_of(v), MAX_LEVEL);
+        }
     }
 
     #[test]
@@ -323,7 +718,7 @@ mod tests {
         let mut g = small();
         // A star around vertex 0 forces RPVO spills (cap 4).
         let edges: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         g.check_mirror_consistency().unwrap();
         assert!(g.rpvo_objects(0).len() > 1, "vertex 0 must have spilled");
         assert_eq!(g.total_edges_stored(), 15);
@@ -334,10 +729,27 @@ mod tests {
     }
 
     #[test]
+    fn deletion_reaches_edges_spilled_into_ghosts() {
+        let mut g = small();
+        let edges: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
+        g.stream_edges(&edges).unwrap();
+        assert!(g.rpvo_depth(0) >= 2, "cap 4 with 15 edges must spill");
+        // Delete edges that certainly live in ghost objects (only 4 fit in
+        // the root) — the retraction broadcast must find every one.
+        let dels: Vec<GraphMutation> = (1..16).map(|v| DelEdge((0, v, 1))).collect();
+        g.stream_increment(&dels).unwrap();
+        assert_eq!(g.total_edges_stored(), 0);
+        assert_eq!(g.degree(0), 0);
+        for v in 1..16 {
+            assert_eq!(g.state_of(v), MAX_LEVEL, "vertex {v} unreached after full cut");
+        }
+    }
+
+    #[test]
     fn degree_and_depth_track_spills() {
         let mut g = small();
         let edges: Vec<StreamEdge> = (1..13).map(|v| (0, v, 1)).collect();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         assert_eq!(g.degree(0), 12);
         assert_eq!(g.degree(1), 0);
         assert!(g.rpvo_depth(0) >= 2, "cap 4 with 12 edges must spill");
@@ -351,7 +763,7 @@ mod tests {
             StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 24).unwrap();
         // A star around vertex 0: crosses the threshold mid-increment.
         let edges: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         let (promoted, extra) = g.rhizome_stats();
         assert_eq!(promoted, 1, "only the hub crossed the threshold");
         assert_eq!(extra, 2, "K=3 adds two extra roots");
@@ -381,6 +793,99 @@ mod tests {
     }
 
     #[test]
+    fn cold_rhizome_demotes_to_a_single_root() {
+        let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 24).unwrap();
+        let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
+        g.stream_edges(&star).unwrap();
+        assert_eq!(g.roots_of(0).len(), 3, "hub promoted");
+        let objects_before = {
+            let mut n = 0;
+            g.device().chip().for_each_object(|_, _| n += 1);
+            n
+        };
+        // Cool the hub: delete all but two of its edges in one batch. The
+        // live degree falls far below the threshold, so the sweep at the end
+        // of the increment must collapse the rhizome.
+        let dels: Vec<GraphMutation> = (3..24).map(|v| DelEdge((0, v, 1))).collect();
+        g.stream_increment(&dels).unwrap();
+        assert_eq!(g.roots_of(0).len(), 1, "demoted vertex has exactly one root");
+        assert_eq!(g.demotion_count(), 1);
+        let primary = g.addr_of(0);
+        let obj = g.device().object(primary).unwrap();
+        assert!(!obj.is_rhizome(), "rhizome links cleared");
+        // The two surviving edges merged into the primary's subtree.
+        let mut ids: Vec<u32> = g.logical_edges(0).iter().map(|&(d, _)| d).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(g.total_edges_stored(), 2);
+        // The freed extra roots and their ghosts are genuinely gone.
+        let objects_after = {
+            let mut n = 0;
+            g.device().chip().for_each_object(|_, _| n += 1);
+            n
+        };
+        assert!(objects_after < objects_before, "extra roots were freed");
+        // BFS is still exact: 1 and 2 at level 1, the rest unreached.
+        assert_eq!(g.state_of(1), 1);
+        assert_eq!(g.state_of(2), 1);
+        for v in 3..24 {
+            assert_eq!(g.state_of(v), MAX_LEVEL);
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn demoted_hub_can_promote_again() {
+        let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 32).unwrap();
+        let star: Vec<StreamEdge> = (1..8).map(|v| (0, v, 1)).collect();
+        g.stream_edges(&star).unwrap();
+        assert!(g.rz.is_promoted(0));
+        let dels: Vec<GraphMutation> = (1..8).map(|v| DelEdge((0, v, 1))).collect();
+        g.stream_increment(&dels).unwrap();
+        assert_eq!(g.roots_of(0).len(), 1);
+        // Heat the hub back up: it must promote a second time.
+        let star2: Vec<StreamEdge> = (8..20).map(|v| (0, v, 1)).collect();
+        g.stream_edges(&star2).unwrap();
+        assert_eq!(g.roots_of(0).len(), 3, "re-promoted after re-heating");
+        assert_eq!(g.rhizome_stats().0, 2, "promotions accumulate");
+        assert_eq!(g.demotion_count(), 1);
+        for v in 8..20 {
+            assert_eq!(g.state_of(v), 1);
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn demotion_patches_edges_pointing_at_freed_roots() {
+        // Vertex 1 promotes; OTHER vertices' edges were routed to its extra
+        // roots. After demotion those destinations are freed, so every
+        // stored edge must have been re-pointed at the primary — a relax
+        // along such an edge must not fault and must still reach vertex 1.
+        let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(4, 3);
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 16).unwrap();
+        // Many in-edges to 1 from distinct sources: 1 promotes, and the
+        // sources' stored edges point at 1's various co-equal roots.
+        let ins: Vec<StreamEdge> = (2..12).map(|u| (u, 1, 1)).collect();
+        g.stream_edges(&ins).unwrap();
+        assert!(g.rz.is_promoted(1));
+        // Cool vertex 1 below the threshold.
+        let dels: Vec<GraphMutation> = (5..12).map(|u| DelEdge((u, 1, 1))).collect();
+        g.stream_increment(&dels).unwrap();
+        assert_eq!(g.roots_of(1).len(), 1, "demoted");
+        // Reach one of the surviving sources: the relax must traverse its
+        // stored edge to vertex 1 without hitting a freed address.
+        g.stream_edges(&[(0, 2, 1)]).unwrap();
+        assert_eq!(g.state_of(2), 1);
+        assert_eq!(g.state_of(1), 2, "edge into the demoted vertex still works");
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
     fn rhizome_states_match_single_root_reference() {
         // Same stream, with and without rhizomes: identical BFS fixpoints.
         let run = |rcfg: RpvoConfig| {
@@ -388,8 +893,8 @@ mod tests {
                 StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 16).unwrap();
             let star: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..15).map(|v| (v, v + 1, 1)).collect();
-            g.stream_increment(&star).unwrap();
-            g.stream_increment(&path).unwrap();
+            g.stream_edges(&star).unwrap();
+            g.stream_edges(&path).unwrap();
             g.check_mirror_consistency().unwrap();
             (g.states(), g.total_edges_stored())
         };
@@ -406,12 +911,12 @@ mod tests {
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(8, 2);
         let mut g =
             StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 32).unwrap();
-        g.stream_increment(&[(0, 5, 1)]).unwrap();
+        g.stream_edges(&[(0, 5, 1)]).unwrap();
         assert_eq!(g.state_of(5), 1);
         // Now hammer vertex 5 until it promotes, fanning edges to vertices
         // reached only through the post-promotion slices.
         let burst: Vec<StreamEdge> = (6..31).map(|v| (5, v, 1)).collect();
-        g.stream_increment(&burst).unwrap();
+        g.stream_edges(&burst).unwrap();
         assert!(g.rhizome_stats().0 >= 1, "vertex 5 promoted");
         for v in 6..31 {
             assert_eq!(g.state_of(v), 2, "leaf {v} reached through a rhizome slice");
@@ -433,7 +938,7 @@ mod tests {
             let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..23).map(|v| (v, v + 1, 1)).collect();
             for inc in [star, path] {
-                cycles += g.stream_increment(&inc).unwrap().cycles;
+                cycles += g.stream_edges(&inc).unwrap().cycles;
             }
             g.check_mirror_consistency().unwrap();
             (g.states(), cycles, *g.device().chip().counters(), g.rhizome_stats())
@@ -444,9 +949,51 @@ mod tests {
     }
 
     #[test]
+    fn sharded_churn_matches_sequential() {
+        // The full mutation pipeline — deletions, repair, demotion — is
+        // shard-count-independent like the insert-only path.
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards),
+                RpvoConfig::basic(3, 2).with_rhizomes(5, 3),
+                BfsAlgo::new(0),
+                24,
+            )
+            .unwrap();
+            let mut cycles = 0u64;
+            let star: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
+            let path: Vec<StreamEdge> = (0..19).map(|v| (v, v + 1, 1)).collect();
+            cycles += g.stream_edges(&star).unwrap().cycles;
+            cycles += g.stream_edges(&path).unwrap().cycles;
+            let dels: Vec<GraphMutation> = (4..20).map(|v| DelEdge((0, v, 1))).collect();
+            cycles += g.stream_increment(&dels).unwrap().cycles;
+            g.check_mirror_consistency().unwrap();
+            (
+                g.states(),
+                cycles,
+                *g.device().chip().counters(),
+                g.rhizome_stats(),
+                g.demotion_count(),
+            )
+        };
+        let sequential = run(1);
+        assert!(sequential.4 > 0, "workload must exercise demotion");
+        assert_eq!(sequential, run(3));
+    }
+
+    #[test]
     fn symmetrize_doubles_edges() {
         let s = symmetrize(&[(1, 2, 9), (3, 4, 1)]);
         assert_eq!(s, vec![(1, 2, 9), (2, 1, 9), (3, 4, 1), (4, 3, 1)]);
+    }
+
+    #[test]
+    fn symmetrize_mutations_mirrors_both_kinds() {
+        let s = symmetrize_mutations(&[AddEdge((1, 2, 9)), DelEdge((3, 4, 1))]);
+        assert_eq!(
+            s,
+            vec![AddEdge((1, 2, 9)), AddEdge((2, 1, 9)), DelEdge((3, 4, 1)), DelEdge((4, 3, 1)),]
+        );
     }
 
     #[test]
@@ -467,7 +1014,7 @@ mod tests {
             let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..23).map(|v| (v, v + 1, 1)).collect();
             for inc in [star, path] {
-                cycles += g.stream_increment(&inc).unwrap().cycles;
+                cycles += g.stream_edges(&inc).unwrap().cycles;
             }
             g.check_mirror_consistency().unwrap();
             (g.states(), cycles, *g.device().chip().counters())

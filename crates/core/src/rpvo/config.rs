@@ -6,12 +6,14 @@
 //! or more ghost vertices per RPVO to arbitrate", Listing 6 caption).
 //!
 //! The rhizome knobs extend the RPVO with multiple co-equal roots for hub
-//! vertices (Chandio et al., arXiv:2402.06086): once a vertex's streamed
-//! degree crosses [`RpvoConfig::rhizome_threshold`], the host promotes it to
-//! [`RpvoConfig::rhizome_roots`] cross-linked roots, each owning a disjoint
-//! slice of the edge list and its own ghost subtree. A threshold of 0 (the
-//! default) disables promotion, preserving the single-root RPVO of the
-//! source paper exactly.
+//! vertices (Chandio et al., arXiv:2402.06086): once a vertex's *live*
+//! streamed degree crosses [`RpvoConfig::rhizome_threshold`], the host
+//! promotes it to [`RpvoConfig::rhizome_roots`] cross-linked roots, each
+//! owning a disjoint slice of the edge list and its own ghost subtree. The
+//! threshold is symmetric: once streamed deletions drop a promoted vertex's
+//! live degree back below it, the vertex is **demoted** — collapsed to its
+//! primary root again. A threshold of 0 (the default) disables both,
+//! preserving the single-root RPVO of the source paper exactly.
 
 /// Shape of every vertex object (root and ghost alike).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,10 +22,13 @@ pub struct RpvoConfig {
     pub edge_cap: usize,
     /// Ghost slots per object (spills arbitrate round-robin among them).
     pub ghost_fanout: usize,
-    /// Streamed degree at which a vertex is promoted from a single root to
-    /// a rhizome: both endpoints of every streamed edge count one touch
-    /// (hubs are hot both as insert targets and as relax destinations).
-    /// On-chip relax traffic is *not* counted. `0` disables promotion.
+    /// Live streamed degree at which a vertex is promoted from a single
+    /// root to a rhizome: both endpoints of every streamed `AddEdge` count
+    /// one touch and every `DelEdge` removes one (hubs are hot both as
+    /// insert targets and as relax destinations). On-chip relax traffic is
+    /// *not* counted. A promoted vertex whose live degree falls back below
+    /// this value is demoted at the end of the increment. `0` disables
+    /// promotion and demotion.
     pub rhizome_threshold: usize,
     /// Number of co-equal roots a promoted vertex is split into (K ≥ 2).
     pub rhizome_roots: usize,

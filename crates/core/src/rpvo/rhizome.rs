@@ -10,13 +10,18 @@
 //! of the edge list and its own ghost subtree.
 //!
 //! This module holds the host-side bookkeeping: the [`RhizomeDirectory`]
-//! tracks every vertex's root set and streamed degree, decides *when* a
-//! vertex is promoted (its degree crosses the configured threshold during
-//! streaming ingestion), and answers *which* root an edge is routed to — a
-//! deterministic per-vertex round-robin, so results are reproducible and
-//! independent of host parallelism. The on-chip side (cross-linked
-//! [`super::VertexObj::peers`], the `rhizome-sync` diffusion) lives in the
-//! vertex object and the application layer.
+//! tracks every vertex's root set, lifetime touch count, and **live streamed
+//! degree** (touches from `AddEdge` minus touches from `DelEdge`), decides
+//! *when* a vertex is promoted (live degree crosses the configured threshold
+//! during streaming ingestion) or **demoted** (a promoted vertex's live
+//! degree falls back below the threshold once deletions land), and answers
+//! *which* root an edge is routed to — a deterministic per-vertex
+//! round-robin, so results are reproducible and independent of host
+//! parallelism. The on-chip side (cross-linked [`super::VertexObj::peers`],
+//! the `rhizome-sync` diffusion) lives in the vertex object and the
+//! application layer.
+
+use std::collections::BTreeSet;
 
 use amcca_sim::Address;
 
@@ -32,14 +37,24 @@ pub struct RhizomeDirectory {
     primary: Vec<Address>,
     /// Extra co-equal roots of promoted vertices (empty otherwise).
     extra: Vec<Vec<Address>>,
-    /// Streamed-degree counter per vertex: one touch per endpoint of every
-    /// streamed edge (hubs are hot both as insert targets and as relax
-    /// destinations, so both sides count toward promotion).
+    /// Lifetime streamed-activity counter per vertex: one touch per endpoint
+    /// of every streamed mutation, additions and deletions alike (hubs are
+    /// hot both as insert targets and as relax destinations).
     touches: Vec<u32>,
+    /// Live streamed degree per vertex: endpoint touches from additions
+    /// minus endpoint touches from deletions — the quantity promotion and
+    /// demotion decisions compare against the threshold.
+    live: Vec<u32>,
     /// Round-robin cursor per vertex, advanced on every routed pick.
     rr: Vec<u32>,
-    /// Number of vertices promoted so far.
+    /// Promoted vertices whose live degree dropped since the last demotion
+    /// sweep (BTreeSet for deterministic sweep order).
+    watch: BTreeSet<u32>,
+    /// Number of promotions performed so far (cumulative; a vertex demoted
+    /// and re-promoted counts twice).
     promoted: u64,
+    /// Number of demotions performed so far.
+    demoted: u64,
 }
 
 impl RhizomeDirectory {
@@ -50,8 +65,11 @@ impl RhizomeDirectory {
             primary,
             extra: vec![Vec::new(); n],
             touches: vec![0; n],
+            live: vec![0; n],
             rr: vec![0; n],
+            watch: BTreeSet::new(),
             promoted: 0,
+            demoted: 0,
         }
     }
 
@@ -84,18 +102,41 @@ impl RhizomeDirectory {
         1 + self.extra[v as usize].len()
     }
 
-    /// Record one streamed-degree touch on `v`; returns `true` exactly when
-    /// the touch crosses `threshold` on a not-yet-promoted vertex (i.e. the
-    /// caller must promote now). A `threshold` of 0 disables promotion.
-    pub fn note_touch(&mut self, v: u32, threshold: usize) -> bool {
-        let t = &mut self.touches[v as usize];
-        *t = t.saturating_add(1);
-        threshold > 0 && *t as usize == threshold && self.extra[v as usize].is_empty()
+    /// True if vertex `v` currently is a rhizome (more than one root).
+    pub fn is_promoted(&self, v: u32) -> bool {
+        !self.extra[v as usize].is_empty()
     }
 
-    /// Streamed-degree touches recorded for vertex `v`.
+    /// Record one `AddEdge` endpoint touch on `v`; returns `true` exactly
+    /// when the touch lifts the live degree onto `threshold` for a vertex
+    /// that is not currently promoted (i.e. the caller must promote now).
+    /// A `threshold` of 0 disables promotion.
+    pub fn note_add(&mut self, v: u32, threshold: usize) -> bool {
+        let i = v as usize;
+        self.touches[i] = self.touches[i].saturating_add(1);
+        self.live[i] = self.live[i].saturating_add(1);
+        threshold > 0 && self.live[i] as usize == threshold && self.extra[i].is_empty()
+    }
+
+    /// Record one `DelEdge` endpoint touch on `v`: the live degree drops and
+    /// a currently promoted vertex is queued for the next demotion sweep.
+    pub fn note_del(&mut self, v: u32) {
+        let i = v as usize;
+        self.touches[i] = self.touches[i].saturating_add(1);
+        self.live[i] = self.live[i].saturating_sub(1);
+        if !self.extra[i].is_empty() {
+            self.watch.insert(v);
+        }
+    }
+
+    /// Lifetime streamed-activity touches recorded for vertex `v`.
     pub fn touches(&self, v: u32) -> u32 {
         self.touches[v as usize]
+    }
+
+    /// Live streamed degree of vertex `v` (add touches minus del touches).
+    pub fn live_degree(&self, v: u32) -> u32 {
+        self.live[v as usize]
     }
 
     /// Install the extra roots of a freshly promoted vertex.
@@ -104,6 +145,34 @@ impl RhizomeDirectory {
         assert!(!extras.is_empty(), "a rhizome adds at least one root");
         self.extra[v as usize] = extras;
         self.promoted += 1;
+    }
+
+    /// Drain the vertices due for demotion: promoted vertices whose live
+    /// degree fell below `threshold` since the last sweep, in ascending
+    /// vertex order (deterministic). The caller performs the actual collapse
+    /// and must then call [`Self::demote`] per vertex.
+    pub fn take_demotions(&mut self, threshold: usize) -> Vec<u32> {
+        let due: Vec<u32> = self
+            .watch
+            .iter()
+            .copied()
+            .filter(|&v| {
+                !self.extra[v as usize].is_empty() && (self.live[v as usize] as usize) < threshold
+            })
+            .collect();
+        self.watch.clear();
+        due
+    }
+
+    /// Collapse vertex `v` back to a single root, returning the extra root
+    /// addresses the caller must merge and free. Routing falls back to the
+    /// primary; the vertex may be promoted again if its live degree rises.
+    pub fn demote(&mut self, v: u32) -> Vec<Address> {
+        let extras = std::mem::take(&mut self.extra[v as usize]);
+        assert!(!extras.is_empty(), "vertex {v} demoted while not promoted");
+        self.rr[v as usize] = 0;
+        self.demoted += 1;
+        extras
     }
 
     /// Pick the root that handles the next action routed to `v`
@@ -124,12 +193,17 @@ impl RhizomeDirectory {
         }
     }
 
-    /// Vertices promoted so far.
+    /// Promotions performed so far (cumulative over re-promotions).
     pub fn promoted_count(&self) -> u64 {
         self.promoted
     }
 
-    /// Total extra roots allocated across all promoted vertices.
+    /// Demotions performed so far.
+    pub fn demoted_count(&self) -> u64 {
+        self.demoted
+    }
+
+    /// Total extra roots currently allocated across all promoted vertices.
     pub fn extra_root_count(&self) -> u64 {
         self.extra.iter().map(|e| e.len() as u64).sum()
     }
@@ -171,18 +245,72 @@ mod tests {
             assert_eq!(d.roots(v), vec![Address::new(v as u16, 0)]);
         }
         assert_eq!(d.promoted_count(), 0);
+        assert_eq!(d.demoted_count(), 0);
     }
 
     #[test]
-    fn touch_crosses_threshold_exactly_once() {
+    fn add_touch_crosses_threshold_exactly_once() {
         let mut d = dir(2);
-        assert!(!d.note_touch(0, 3));
-        assert!(!d.note_touch(0, 3));
-        assert!(d.note_touch(0, 3), "third touch crosses the threshold");
+        assert!(!d.note_add(0, 3));
+        assert!(!d.note_add(0, 3));
+        assert!(d.note_add(0, 3), "third touch crosses the threshold");
         d.install(0, vec![Address::new(9, 0)]);
-        assert!(!d.note_touch(0, 3), "already promoted: never again");
+        assert!(!d.note_add(0, 3), "already promoted: never again");
         assert_eq!(d.touches(0), 4);
-        assert!(!d.note_touch(1, 0), "threshold 0 disables promotion");
+        assert_eq!(d.live_degree(0), 4);
+        assert!(!d.note_add(1, 0), "threshold 0 disables promotion");
+    }
+
+    #[test]
+    fn del_touches_lower_live_degree_but_not_lifetime_touches() {
+        let mut d = dir(1);
+        for _ in 0..3 {
+            d.note_add(0, 0);
+        }
+        d.note_del(0);
+        d.note_del(0);
+        assert_eq!(d.touches(0), 5, "every endpoint touch counts as activity");
+        assert_eq!(d.live_degree(0), 1, "live degree nets adds against dels");
+    }
+
+    #[test]
+    fn demotion_sweep_flags_cold_promoted_vertices_only() {
+        let mut d = dir(3);
+        for _ in 0..4 {
+            d.note_add(1, 4);
+            d.note_add(2, 4);
+        }
+        d.install(1, vec![Address::new(10, 0)]);
+        d.install(2, vec![Address::new(11, 0)]);
+        // Vertex 1 cools below the threshold; vertex 2 stays warm.
+        d.note_del(1);
+        d.note_del(2);
+        d.note_add(2, 4);
+        assert_eq!(d.take_demotions(4), vec![1]);
+        assert!(d.take_demotions(4).is_empty(), "sweep drains the watch set");
+        let freed = d.demote(1);
+        assert_eq!(freed, vec![Address::new(10, 0)]);
+        assert_eq!(d.root_count(1), 1);
+        assert!(!d.is_promoted(1));
+        assert_eq!(d.demoted_count(), 1);
+        assert_eq!(d.route(1), Address::new(1, 0), "routing falls back to the primary");
+    }
+
+    #[test]
+    fn demoted_vertex_can_promote_again() {
+        let mut d = dir(1);
+        for _ in 0..3 {
+            d.note_add(0, 3);
+        }
+        d.install(0, vec![Address::new(5, 0)]);
+        d.note_del(0);
+        assert_eq!(d.take_demotions(3), vec![0]);
+        d.demote(0);
+        // Live degree is 2; one more add re-crosses the threshold.
+        assert!(d.note_add(0, 3), "re-promotion fires on re-crossing");
+        d.install(0, vec![Address::new(6, 0)]);
+        assert_eq!(d.promoted_count(), 2, "promotions are cumulative");
+        assert_eq!(d.demoted_count(), 1);
     }
 
     #[test]
@@ -217,6 +345,13 @@ mod tests {
         let mut d = dir(1);
         d.install(0, vec![Address::new(5, 0)]);
         d.install(0, vec![Address::new(6, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "demoted while not promoted")]
+    fn demoting_a_single_root_vertex_is_a_bug() {
+        let mut d = dir(1);
+        d.demote(0);
     }
 
     #[test]

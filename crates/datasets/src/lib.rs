@@ -10,6 +10,9 @@
 //! The [`powerlaw`] module adds skewed (heavy-tailed, RMAT-generated)
 //! workloads that the SBM graphs cannot express — the regime in which hub
 //! vertices bottleneck single-root vertex objects and rhizomes pay off.
+//! The [`stream`] module's sliding-window churn generator adds the *dynamic*
+//! half of the workload space: batches that insert fresh edges and delete
+//! the ones that fell out of the window, draining to empty at the end.
 
 pub mod gc;
 pub mod loader;
@@ -23,4 +26,7 @@ pub use loader::{load_edge_file, load_streaming_parts, parse_edges};
 pub use powerlaw::{degree_stats, generate_rmat, DegreeStats, RmatParams, SkewPreset};
 pub use sampling::{edge_sampling, snowball_sampling};
 pub use sbm::{generate_sbm, SbmParams};
-pub use stream::{Sampling, StreamEdge, StreamingDataset};
+pub use stream::{
+    generate_churn, ChurnParams, ChurnPreset, ChurnStream, MutationBatch, Sampling, StreamEdge,
+    StreamingDataset,
+};

@@ -5,6 +5,14 @@
 //! is what the paper's experiments measure, so increments are first-class
 //! here: a [`StreamingDataset`] owns the edge array once and exposes
 //! increment slices by offset.
+//!
+//! Insert-only schedules cover the paper's original experiments; the
+//! **sliding-window churn** generator ([`generate_churn`]) adds the dynamic
+//! half of the workload space — batches that insert fresh edges *and*
+//! delete the edges that fell out of a window of `W` batches, the canonical
+//! streaming-framework stress pattern (Besta et al., arXiv:1912.12740).
+
+use crate::powerlaw::{generate_rmat, RmatParams};
 
 /// A streamed edge `(src, dst, weight)`.
 pub type StreamEdge = (u32, u32, u32);
@@ -84,6 +92,181 @@ impl StreamingDataset {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sliding-window churn.
+// ---------------------------------------------------------------------
+
+/// One batch of a mutation schedule: edges inserted this batch and edges
+/// (inserted exactly `window` batches ago) deleted this batch. The consumer
+/// applies the deletions and insertions of a batch as one increment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationBatch {
+    /// Edges inserted by this batch, in stream order.
+    pub adds: Vec<StreamEdge>,
+    /// Edges deleted by this batch (one live copy each), in stream order.
+    pub dels: Vec<StreamEdge>,
+}
+
+/// Parameters of the seeded sliding-window churn generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnParams {
+    /// Vertex count of the underlying (heavy-tailed RMAT) edge source.
+    pub n_vertices: u32,
+    /// Number of insert-bearing batches.
+    pub batches: usize,
+    /// Edges inserted per batch.
+    pub adds_per_batch: usize,
+    /// Window size in batches: batch `i` deletes the edges inserted by batch
+    /// `i - window`, so at most `window` batches of edges are ever live.
+    pub window: usize,
+    /// Append `window` delete-only batches at the end so the window drains
+    /// and the graph empties (cools every hub back below any promotion
+    /// threshold — the rhizome-demotion stress).
+    pub drain: bool,
+    /// Generator seed (defines the whole schedule deterministically).
+    pub seed: u64,
+}
+
+/// A generated churn schedule: per-batch mutations plus window accounting.
+#[derive(Debug, Clone)]
+pub struct ChurnStream {
+    /// Vertex count of the workload.
+    pub n_vertices: u32,
+    /// Window size in batches.
+    pub window: usize,
+    batches: Vec<MutationBatch>,
+}
+
+impl ChurnStream {
+    /// Number of batches (including any drain tail).
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True if the schedule has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The mutations of batch `i`.
+    pub fn batch(&self, i: usize) -> &MutationBatch {
+        &self.batches[i]
+    }
+
+    /// The edge multiset live after batch `i` completed: exactly the adds of
+    /// the trailing window of batches (deletes always expire whole batches).
+    pub fn live_after(&self, i: usize) -> Vec<StreamEdge> {
+        let first = (i + 1).saturating_sub(self.window);
+        (first..=i).flat_map(|b| self.batches[b].adds.iter().copied()).collect()
+    }
+
+    /// Total edges inserted across all batches.
+    pub fn total_adds(&self) -> usize {
+        self.batches.iter().map(|b| b.adds.len()).sum()
+    }
+
+    /// Total edges deleted across all batches.
+    pub fn total_dels(&self) -> usize {
+        self.batches.iter().map(|b| b.dels.len()).sum()
+    }
+}
+
+/// Generate a seeded sliding-window churn schedule over a heavy-tailed
+/// (RMAT) edge source: batch `i` inserts `adds_per_batch` fresh edges and
+/// deletes the edges inserted by batch `i - window` (in their insertion
+/// order). Deterministic per parameter set; every delete names an edge that
+/// is live at that point, each exactly once.
+pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
+    assert!(p.window >= 1, "window must span at least one batch");
+    assert!(p.batches >= 1, "need at least one insert batch");
+    let edges = generate_rmat(&RmatParams::scaled(
+        p.n_vertices,
+        p.batches * p.adds_per_batch,
+        p.seed ^ 0x4348_5552_4e00, // "CHURN"
+    ));
+    let total = if p.drain { p.batches + p.window } else { p.batches };
+    let mut batches = Vec::with_capacity(total);
+    for i in 0..total {
+        let adds = if i < p.batches {
+            edges[i * p.adds_per_batch..(i + 1) * p.adds_per_batch].to_vec()
+        } else {
+            Vec::new()
+        };
+        let dels = match i.checked_sub(p.window) {
+            Some(expired) if expired < p.batches => {
+                edges[expired * p.adds_per_batch..(expired + 1) * p.adds_per_batch].to_vec()
+            }
+            _ => Vec::new(),
+        };
+        batches.push(MutationBatch { adds, dels });
+    }
+    ChurnStream { n_vertices: p.n_vertices, window: p.window, batches }
+}
+
+/// A churn workload preset, the decremental counterpart of
+/// [`crate::SkewPreset`]: heavy-tailed inserts so hubs promote to rhizomes,
+/// a sliding window so settled edges retract, and a drain tail so cooled
+/// hubs demote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPreset {
+    /// Vertex count.
+    pub n_vertices: u32,
+    /// Edges inserted per batch.
+    pub adds_per_batch: usize,
+    /// Insert-bearing batches.
+    pub batches: usize,
+    /// Window size in batches.
+    pub window: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ChurnPreset {
+    /// The default churn workload: 50 K vertices, ten batches of 100 K edges
+    /// with a four-batch window (peak 400 K live edges), plus the drain.
+    pub fn v50k() -> Self {
+        ChurnPreset {
+            n_vertices: 50_000,
+            adds_per_batch: 100_000,
+            batches: 10,
+            window: 4,
+            seed: 91,
+        }
+    }
+
+    /// Shrink by `factor` on both axes (keeps schedule shape).
+    pub fn scaled_down(self, factor: u32) -> Self {
+        assert!(factor >= 1);
+        ChurnPreset {
+            n_vertices: (self.n_vertices / factor).max(64),
+            adds_per_batch: (self.adds_per_batch / factor as usize).max(64),
+            ..self
+        }
+    }
+
+    /// Generate the schedule (drain tail included).
+    pub fn build(&self) -> ChurnStream {
+        generate_churn(&ChurnParams {
+            n_vertices: self.n_vertices,
+            batches: self.batches,
+            adds_per_batch: self.adds_per_batch,
+            window: self.window,
+            drain: true,
+            seed: self.seed,
+        })
+    }
+
+    /// A short label like `50K/churn-W4` for tables.
+    pub fn label(&self) -> String {
+        let v = if self.n_vertices >= 1000 {
+            format!("{}K", self.n_vertices / 1000)
+        } else {
+            format!("{}", self.n_vertices)
+        };
+        format!("{v}/churn-W{}", self.window)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +296,105 @@ mod tests {
     #[should_panic]
     fn rejects_mismatched_offsets() {
         StreamingDataset::new(4, Sampling::Edge, vec![(0, 1, 1)], vec![0, 2]);
+    }
+
+    fn churn_params() -> ChurnParams {
+        ChurnParams {
+            n_vertices: 128,
+            batches: 6,
+            adds_per_batch: 200,
+            window: 3,
+            drain: true,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let p = churn_params();
+        let (a, b) = (generate_churn(&p), generate_churn(&p));
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.batch(i), b.batch(i));
+        }
+        let other = generate_churn(&ChurnParams { seed: 12, ..p });
+        assert_ne!(a.batch(0), other.batch(0), "different seed, different schedule");
+    }
+
+    #[test]
+    fn churn_window_invariant_holds_batch_by_batch() {
+        use std::collections::HashMap;
+        let c = generate_churn(&churn_params());
+        // Simulate a live-edge multiset; every delete must name a live edge.
+        let mut live: HashMap<StreamEdge, i64> = HashMap::new();
+        for i in 0..c.len() {
+            let b = c.batch(i);
+            for &e in &b.dels {
+                let n = live.get_mut(&e).expect("delete names a live edge");
+                *n -= 1;
+                assert!(*n >= 0, "deleted more copies than live: {e:?}");
+            }
+            for &e in &b.adds {
+                *live.entry(e).or_insert(0) += 1;
+            }
+            // The simulated multiset equals the window arithmetic.
+            let mut want: HashMap<StreamEdge, i64> = HashMap::new();
+            for e in c.live_after(i) {
+                *want.entry(e).or_insert(0) += 1;
+            }
+            live.retain(|_, n| *n > 0);
+            assert_eq!(live, want, "window invariant after batch {i}");
+        }
+    }
+
+    #[test]
+    fn churn_shape_and_drain() {
+        let p = churn_params();
+        let c = generate_churn(&p);
+        assert_eq!(c.len(), p.batches + p.window, "drain appends window batches");
+        assert_eq!(c.total_adds(), p.batches * p.adds_per_batch);
+        assert_eq!(c.total_dels(), c.total_adds(), "the drain deletes everything");
+        assert!(c.live_after(c.len() - 1).is_empty(), "fully drained");
+        // Peak live size equals a full window.
+        assert_eq!(c.live_after(p.batches - 1).len(), p.window * p.adds_per_batch);
+        // First batches delete nothing; drain batches insert nothing.
+        assert!(c.batch(0).dels.is_empty());
+        assert!(c.batch(p.window - 1).dels.is_empty());
+        assert!(!c.batch(p.window).dels.is_empty());
+        assert!(c.batch(c.len() - 1).adds.is_empty());
+        // Without the drain the window stays full at the end.
+        let nodrain = generate_churn(&ChurnParams { drain: false, ..p });
+        assert_eq!(nodrain.len(), p.batches);
+        assert_eq!(nodrain.live_after(p.batches - 1).len(), p.window * p.adds_per_batch);
+    }
+
+    #[test]
+    fn churn_deletes_in_insertion_order() {
+        let c = generate_churn(&churn_params());
+        let w = c.window;
+        for i in w..c.len() {
+            assert_eq!(
+                c.batch(i).dels,
+                c.batch(i - w).adds,
+                "batch {i} deletes batch {}'s adds verbatim",
+                i - w
+            );
+        }
+    }
+
+    #[test]
+    fn churn_preset_builds_and_scales() {
+        let p = ChurnPreset::v50k().scaled_down(50);
+        assert_eq!(p.n_vertices, 1000);
+        assert_eq!(p.adds_per_batch, 2000);
+        let c = p.build();
+        assert_eq!(c.len(), p.batches + p.window);
+        assert_eq!(c.total_adds(), 20_000);
+        assert_eq!(ChurnPreset::v50k().label(), "50K/churn-W4");
+        for i in 0..c.len() {
+            for &(u, v, _) in &c.batch(i).adds {
+                assert!(u < p.n_vertices && v < p.n_vertices && u != v);
+            }
+        }
     }
 }

@@ -17,6 +17,11 @@ pub const ACT_SET_FUTURE: ActionId = 1;
 /// component-label state converges across all roots (see
 /// [`crate::rhizome`]).
 pub const ACT_RHIZOME_SYNC: ActionId = 2;
+/// Deletion-repair invalidation: a value that previously flowed along a
+/// now-retracted edge (or out of a now-invalidated vertex) is recalled. The
+/// receiver checks whether its state was derived through that value and, if
+/// so, resets it and cascades the recall further (see [`crate::retract`]).
+pub const ACT_RETRACT: ActionId = 3;
 /// First id available to applications.
 pub const FIRST_USER_ACTION: ActionId = 8;
 
@@ -41,6 +46,7 @@ impl ActionRegistry {
                 (ACT_ALLOCATE, "allocate".to_string()),
                 (ACT_SET_FUTURE, "set-future".to_string()),
                 (ACT_RHIZOME_SYNC, "rhizome-sync".to_string()),
+                (ACT_RETRACT, "retract".to_string()),
             ],
             next: FIRST_USER_ACTION,
         }
@@ -102,6 +108,7 @@ mod tests {
         assert_eq!(r.lookup("allocate"), Some(ACT_ALLOCATE));
         assert_eq!(r.lookup("set-future"), Some(ACT_SET_FUTURE));
         assert_eq!(r.lookup("rhizome-sync"), Some(ACT_RHIZOME_SYNC));
+        assert_eq!(r.lookup("retract"), Some(ACT_RETRACT));
     }
 
     #[test]
@@ -118,7 +125,7 @@ mod tests {
         let a = r.register("bfs-action");
         let b = r.register("bfs-action");
         assert_eq!(a, b);
-        assert_eq!(r.len(), 4, "three system actions plus the one registered");
+        assert_eq!(r.len(), 5, "four system actions plus the one registered");
     }
 
     #[test]

@@ -16,10 +16,11 @@
 use amcca_sim::{Address, SimError};
 use amcca_sim::{ExecCtx, Operon, Program};
 
-use crate::action::{ACT_ALLOCATE, ACT_RHIZOME_SYNC, ACT_SET_FUTURE};
+use crate::action::{ACT_ALLOCATE, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE};
 use crate::continuation::{
     allocate_operon, decode_allocate, decode_set_future, set_future_operon, MAX_ENCODABLE_RETRY,
 };
+use crate::retract::decode_retract;
 use crate::rhizome::decode_sync;
 
 /// A diffusive application: object layout plus action handlers.
@@ -58,6 +59,17 @@ pub trait App: Send {
     fn rhizome_sync(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, value: u64) {
         let _ = (ctx, value);
         panic!("app received rhizome-sync for {target} but does not support rhizomes");
+    }
+
+    /// A deletion-repair recall reached the object at `target` (which lives
+    /// on the executing cell): `suspect` is a value that previously flowed to
+    /// it and is no longer supported by the surviving edge set. If the local
+    /// state was derived through it, reset the state and cascade the recall
+    /// (see [`crate::retract`]). The default rejects the message — only apps
+    /// that support edge deletion receive it.
+    fn retract(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, suspect: u64) {
+        let _ = (ctx, suspect);
+        panic!("app received retract for {target} but does not support deletions");
     }
 
     /// Create an independent instance for one shard of a parallel run
@@ -143,6 +155,11 @@ impl<A: App> Program for Runtime<A> {
                 // Peer-root announcement of a rhizome vertex: fold the value
                 // into the local root (the app charges its own update cost).
                 self.app.rhizome_sync(ctx, op.target, decode_sync(op));
+            }
+            ACT_RETRACT => {
+                // Deletion-repair recall: invalidate derived state and
+                // cascade (the app charges its own invalidation cost).
+                self.app.retract(ctx, op.target, decode_retract(op));
             }
             _ => self.app.on_action(ctx, op),
         }

@@ -73,6 +73,13 @@ impl<A: App> Device<A> {
         self.chip.host_alloc(cc, obj)
     }
 
+    /// Host-side object deallocation (untimed), returning the freed object.
+    /// Used when host restructuring collapses objects between runs, e.g.
+    /// merging a demoted rhizome's extra roots back into the primary.
+    pub fn host_free(&mut self, addr: Address) -> Option<A::Object> {
+        self.chip.host_free(addr)
+    }
+
     /// Queue a stream of operons on the IO channels (the paper's
     /// `register_data_transfer`; operand resolution to addresses is done by
     /// the caller, as `main()` does with its `vertices` map).

@@ -19,6 +19,8 @@
 //! * [`device`] — the host-side [`Device`] façade mirroring Listing 1.
 //! * [`rhizome`] — the cross-rhizome sync action keeping the co-equal roots
 //!   of a multi-root (rhizome) vertex converged.
+//! * [`retract`] — the deletion-repair invalidation action that recalls
+//!   values no longer supported after a streamed edge deletion.
 //! * [`terminator`] — termination detection for diffusions.
 
 pub mod action;
@@ -26,11 +28,12 @@ pub mod app;
 pub mod continuation;
 pub mod device;
 pub mod future;
+pub mod retract;
 pub mod rhizome;
 pub mod terminator;
 
 pub use action::{
-    ActionRegistry, ACT_ALLOCATE, ACT_RHIZOME_SYNC, ACT_SET_FUTURE, FIRST_USER_ACTION,
+    ActionRegistry, ACT_ALLOCATE, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE, FIRST_USER_ACTION,
 };
 pub use app::{App, Runtime};
 pub use continuation::{
@@ -39,5 +42,6 @@ pub use continuation::{
 };
 pub use device::Device;
 pub use future::{FutureError, FutureLco, PendingOperon};
+pub use retract::{decode_retract, retract_operon};
 pub use rhizome::{decode_sync, sync_operon};
 pub use terminator::{RunReport, TerminationMode};

@@ -1,0 +1,54 @@
+//! Deletion-repair invalidation diffusion.
+//!
+//! Streamed edge *deletions* break the monotone-relaxation contract the
+//! paper's dynamic algorithms rely on: a BFS level, SSSP distance, or
+//! component label can only ever improve, so retracting the edge that
+//! carried an improvement leaves stale, too-good state behind. The repair
+//! follows the classic decremental recipe — *invalidate, then re-relax*:
+//!
+//! 1. When an edge `u → v` is removed, the holding object recalls the value
+//!    it last announced along that edge with the
+//!    [`crate::action::ACT_RETRACT`] system action defined here.
+//! 2. The receiver folds the recall in through [`crate::App::retract`]: if
+//!    its state could only have been derived through the recalled value
+//!    (conservatively, if they are equal), it resets to its initial state
+//!    and cascades recalls along its own edges, mirrors, and rhizome peers —
+//!    over-invalidation is safe, under-invalidation is not.
+//! 3. Once the invalidation quiesces, surviving valid states re-announce
+//!    along their edges (the application layer's reseed wave) and ordinary
+//!    monotone relaxation rebuilds the exact fixpoint over the surviving
+//!    edge set.
+//!
+//! Termination mirrors the relax argument in reverse: an object resets at
+//! most once per repair round (reset state never matches a recalled value
+//! again), so the cascade is bounded by the invalidated region.
+
+use amcca_sim::{Address, Operon};
+
+use crate::action::ACT_RETRACT;
+
+/// Build an invalidation operon recalling `suspect` — the value that
+/// previously flowed to the object at `target` and is no longer supported.
+pub fn retract_operon(target: Address, suspect: u64) -> Operon {
+    Operon::new(target, ACT_RETRACT, [suspect, 0])
+}
+
+/// Decode an invalidation operon back into the recalled value.
+pub fn decode_retract(op: &Operon) -> u64 {
+    debug_assert_eq!(op.action, ACT_RETRACT);
+    op.payload[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retract_roundtrip() {
+        let t = Address::new(12, 7);
+        let op = retract_operon(t, 99);
+        assert_eq!(op.target, t);
+        assert_eq!(op.action, ACT_RETRACT);
+        assert_eq!(decode_retract(&op), 99);
+    }
+}

@@ -57,6 +57,23 @@ impl RunReport {
         let time_us = amcca_sim::cycles_to_us(cycles);
         RunReport { cycles, counters, energy_uj, time_us, activity }
     }
+
+    /// Fold a follow-up segment into this report. Used when one logical
+    /// streaming increment runs as several device segments (a deletion
+    /// batch's structural phase, its repair re-relaxation, a rhizome
+    /// demotion merge): cycles, counters, energy, and time accumulate and
+    /// the activity series are concatenated in run order.
+    pub fn absorb(&mut self, other: RunReport) {
+        self.cycles += other.cycles;
+        self.counters.merge(&other.counters);
+        self.energy_uj += other.energy_uj;
+        self.time_us += other.time_us;
+        self.activity.counts.extend_from_slice(&other.activity.counts);
+        self.activity.frames.extend(other.activity.frames);
+        if self.activity.frame_stride == 0 {
+            self.activity.frame_stride = other.activity.frame_stride;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +96,29 @@ mod tests {
     #[test]
     fn default_mode_is_quiescence() {
         assert_eq!(TerminationMode::default(), TerminationMode::Quiescence);
+    }
+
+    #[test]
+    fn absorb_accumulates_segments() {
+        let mk = |cycles: u64, counts: Vec<u16>| {
+            let mut r = RunReport::from_delta(
+                cycles,
+                Counters { msgs_delivered: cycles, ..Default::default() },
+                &EnergyModel::default(),
+                16,
+                ActivitySeries::default(),
+            );
+            r.activity.counts = counts;
+            r
+        };
+        let mut a = mk(100, vec![1, 2]);
+        let b = mk(40, vec![3]);
+        let (ea, eb) = (a.energy_uj, b.energy_uj);
+        a.absorb(b);
+        assert_eq!(a.cycles, 140);
+        assert_eq!(a.counters.msgs_delivered, 140);
+        assert_eq!(a.time_us, 0.14);
+        assert!((a.energy_uj - (ea + eb)).abs() < 1e-12);
+        assert_eq!(a.activity.counts, vec![1, 2, 3]);
     }
 }

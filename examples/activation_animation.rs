@@ -31,7 +31,7 @@ fn main() {
             .unwrap();
 
     // Stream the first increment only — enough to watch the wave spread.
-    let report = g.stream_increment(dataset.increment(0)).unwrap();
+    let report = g.stream_edges(dataset.increment(0)).unwrap();
     let activity = &report.activity;
     println!(
         "increment 1: {} edges, {} cycles, {} frames captured",

@@ -39,7 +39,7 @@ fn main() {
             }
         }
     }
-    let r = g.stream_increment(&streets).unwrap();
+    let r = g.stream_edges(&streets).unwrap();
     let corner = vid(SIDE - 1, SIDE - 1);
     println!("grid streamed: {} edges, {} cycles", streets.len(), r.cycles);
     println!("  distance to far corner: {}", g.state_of(corner)); // 38 * 10
@@ -47,7 +47,7 @@ fn main() {
     // Increment 2: a diagonal expressway with cheap segments.
     let highway: Vec<StreamEdge> =
         (0..SIDE - 1).map(|i| (vid(i, i), vid(i + 1, i + 1), 3)).collect();
-    let r = g.stream_increment(&highway).unwrap();
+    let r = g.stream_edges(&highway).unwrap();
     println!("highway streamed: {} edges, {} cycles", highway.len(), r.cycles);
     println!("  distance to far corner now: {}", g.state_of(corner)); // 19 * 3
 
@@ -59,7 +59,25 @@ fn main() {
     println!("distances verified against Dijkstra ✓");
 
     // Increment 3: close one more gap — only affected vertices update.
-    let r = g.stream_increment(&[(0, vid(SIDE - 1, 0), 5)]).unwrap();
+    let r = g.stream_edges(&[(0, vid(SIDE - 1, 0), 5)]).unwrap();
     println!("shortcut streamed: 1 edge, {} cycles (incremental update only)", r.cycles);
     println!("  distance to north-east corner: {}", g.state_of(vid(SIDE - 1, 0)));
+
+    // Increment 4: the expressway closes for maintenance — a *decremental*
+    // update. Every distance derived through the deleted segments is
+    // invalidated and re-relaxed from the surviving street grid.
+    let closure: Vec<GraphMutation> =
+        (0..SIDE - 1).map(|i| GraphMutation::DelEdge((vid(i, i), vid(i + 1, i + 1), 3))).collect();
+    let r = g.stream_increment(&closure).unwrap();
+    println!(
+        "expressway closed: {} edges deleted, {} cycles (repair diffusion)",
+        closure.len(),
+        r.cycles
+    );
+    println!("  distance to far corner after closure: {}", g.state_of(corner));
+    let mut survivors = streets.clone();
+    survivors.push((0, vid(SIDE - 1, 0), 5));
+    let reference = dijkstra(&DiGraph::from_edges(n, survivors.iter().copied()), 0);
+    assert_eq!(g.states(), reference);
+    println!("post-closure distances verified against Dijkstra ✓");
 }

@@ -22,7 +22,7 @@ fn main() {
 
     // Increment 1: a binary tree below the root.
     let tree: Vec<StreamEdge> = (1..n_vertices).map(|v| ((v - 1) / 2, v, 1)).collect();
-    let r1 = graph.stream_increment(&tree).expect("increment 1");
+    let r1 = graph.stream_edges(&tree).expect("increment 1");
     println!(
         "increment 1: {} edges in {} cycles ({:.1} µs @ 1 GHz, {:.1} µJ)",
         tree.len(),
@@ -35,7 +35,7 @@ fn main() {
     // Increment 2: a shortcut from the root straight into the deep subtree.
     // Dynamic BFS lowers every affected level without recomputing the rest.
     let shortcut: Vec<StreamEdge> = vec![(0, 998, 1)];
-    let r2 = graph.stream_increment(&shortcut).expect("increment 2");
+    let r2 = graph.stream_edges(&shortcut).expect("increment 2");
     println!(
         "increment 2: {} edge in {} cycles — levels updated incrementally",
         shortcut.len(),
@@ -44,9 +44,17 @@ fn main() {
     println!("  level of vertex 998 after shortcut: {}", graph.state_of(998));
     println!("  level of vertex 999 (unaffected branch): {}", graph.state_of(999));
 
-    // Every streamed edge is stored exactly once across the RPVO hierarchy.
+    // Increment 3: the stream is dynamic — retract the shortcut again. The
+    // deletion invalidates the levels derived through it and a repair
+    // diffusion re-relaxes them from the surviving tree.
+    let r3 = graph.stream_increment(&[GraphMutation::DelEdge((0, 998, 1))]).expect("increment 3");
+    println!("increment 3: shortcut deleted in {} cycles — levels repaired", r3.cycles);
+    println!("  level of vertex 998 after repair: {}", graph.state_of(998));
+
+    // Every live streamed edge is stored exactly once across the RPVO
+    // hierarchy (the deleted copy is gone).
     println!(
-        "stored edges: {} (streamed {}), ghost objects: {}",
+        "stored edges: {} (streamed {}, deleted 1), ghost objects: {}",
         graph.total_edges_stored(),
         tree.len() + shortcut.len(),
         graph.ghost_distance_stats().0

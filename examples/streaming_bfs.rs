@@ -34,7 +34,7 @@ fn run(sampling: Sampling) {
         print!("{mode:>26}: ");
         let mut total = 0u64;
         for i in 0..dataset.increments() {
-            let r = g.stream_increment(dataset.increment(i)).unwrap();
+            let r = g.stream_edges(dataset.increment(i)).unwrap();
             print!("{:6}", r.cycles);
             total += r.cycles;
         }

@@ -38,7 +38,7 @@ fn main() {
         let inc = dataset.increment(i);
         // Undirected storage: stream both directions of every edge.
         let sym = symmetrize(inc);
-        g.stream_increment(&sym).unwrap();
+        g.stream_edges(&sym).unwrap();
         accumulated.extend(inc.iter().map(|&(u, v, _)| (u, v)));
 
         // Snapshot query: a tri-gen wave over all vertices.

@@ -33,9 +33,17 @@
 //!
 //! // Stream a path 0→1→…→99 and run the diffusion to quiescence.
 //! let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();
-//! let report = g.stream_increment(&edges).unwrap();
+//! let report = g.stream_edges(&edges).unwrap();
 //! assert_eq!(g.state_of(99), 99);
 //! assert!(report.cycles > 0);
+//!
+//! // The stream is dynamic: add a shortcut, then retract it again. The
+//! // deletion invalidates the levels derived through it and the repair
+//! // diffusion re-relaxes them from the surviving path.
+//! g.stream_increment(&[GraphMutation::AddEdge((0, 50, 1))]).unwrap();
+//! assert_eq!(g.state_of(99), 50);
+//! g.stream_increment(&[GraphMutation::DelEdge((0, 50, 1))]).unwrap();
+//! assert_eq!(g.state_of(99), 99);
 //! ```
 
 pub use amcca_sim;
@@ -54,7 +62,7 @@ pub mod prelude {
     pub use gc_datasets::{GcPreset, Sampling, SbmParams, SkewPreset, StreamingDataset};
     pub use sdgp_core::{
         apps::{BfsAlgo, CcAlgo, SsspAlgo, TriangleAlgo, MAX_LEVEL},
-        graph::{symmetrize, StreamEdge, StreamingGraph},
+        graph::{symmetrize, symmetrize_mutations, GraphMutation, StreamEdge, StreamingGraph},
         rpvo::RpvoConfig,
     };
 }

@@ -16,7 +16,7 @@ fn run_with(placement: GhostPlacement) -> (Vec<u64>, f64, u64, f64) {
         n,
     )
     .unwrap();
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     let (count, avg) = g.ghost_distance_stats();
     assert!(count > 100, "this workload must create many ghosts, got {count}");
     (g.states(), avg, report.cycles, report.energy_uj)

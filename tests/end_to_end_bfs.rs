@@ -16,7 +16,7 @@ fn verify_schedule(dataset: &StreamingDataset, cfg: ChipConfig) {
     let mut accumulated: Vec<StreamEdge> = Vec::new();
     for i in 0..dataset.increments() {
         let inc = dataset.increment(i);
-        let report = g.stream_increment(inc).unwrap();
+        let report = g.stream_edges(inc).unwrap();
         assert!(report.cycles > 0, "increment {i} must consume cycles");
         accumulated.extend_from_slice(inc);
         let reference = bfs_levels(&DiGraph::from_edges(n, accumulated.iter().copied()), 0);
@@ -58,7 +58,7 @@ fn heavy_hub_spills_deep_and_stays_correct() {
     let mut edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
     // And a back-path so relaxes flow through the spilled structure.
     edges.extend((1..n - 1).map(|v| (v, v + 1, 1)));
-    g.stream_increment(&edges).unwrap();
+    g.stream_edges(&edges).unwrap();
     let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
     assert!(g.rpvo_objects(0).len() >= (n as usize - 1) / 2, "hub must have spilled");
@@ -72,12 +72,12 @@ fn edges_into_the_root_update_it_live() {
     let mut g =
         StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), 8)
             .unwrap();
-    g.stream_increment(&[(3, 0, 1), (3, 4, 1)]).unwrap();
+    g.stream_edges(&[(3, 0, 1), (3, 4, 1)]).unwrap();
     assert_eq!(g.state_of(0), 0);
     assert_eq!(g.state_of(3), MAX_LEVEL);
     assert_eq!(g.state_of(4), MAX_LEVEL);
     // Now reach 3: its previously inserted out-edges must fire.
-    g.stream_increment(&[(0, 3, 1)]).unwrap();
+    g.stream_edges(&[(0, 3, 1)]).unwrap();
     assert_eq!(g.state_of(3), 1);
     assert_eq!(g.state_of(4), 2);
 }
@@ -98,7 +98,7 @@ fn duplicate_and_cyclic_edges_converge() {
         (3, 2, 1),
         (3, 0, 1),
     ];
-    g.stream_increment(&edges).unwrap();
+    g.stream_edges(&edges).unwrap();
     let reference = bfs_levels(&DiGraph::from_edges(6, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
 }
@@ -110,7 +110,7 @@ fn ingestion_only_mode_inserts_without_bfs() {
         StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), 400)
             .unwrap();
     g.set_algo_propagation(false);
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), 4000);
     // No BFS action ever ran: every non-root level is still MAX.
     for v in 1..400 {
@@ -123,7 +123,7 @@ fn ingestion_only_mode_inserts_without_bfs() {
     g.set_algo_propagation(true);
     let root_edges: Vec<StreamEdge> = edges.iter().copied().filter(|&(u, _, _)| u == 0).collect();
     assert!(!root_edges.is_empty(), "SBM graph should give the root out-edges");
-    g.stream_increment(&root_edges).unwrap();
+    g.stream_edges(&root_edges).unwrap();
     let mut all: Vec<StreamEdge> = edges.clone();
     all.extend_from_slice(&root_edges); // duplicates do not change BFS levels
     let reference = bfs_levels(&DiGraph::from_edges(400, all.iter().copied()), 0);

@@ -14,7 +14,7 @@ fn out_of_memory_is_reported_not_hung() {
     let n = 64u32;
     let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(1, 1), BfsAlgo::new(0), n).unwrap();
     let edges: Vec<StreamEdge> = (1..5).map(|v| (0, v, 1)).collect();
-    let err = g.stream_increment(&edges).unwrap_err();
+    let err = g.stream_edges(&edges).unwrap_err();
     assert!(matches!(err, SimError::OutOfMemory { .. }), "got {err:?}");
 }
 
@@ -34,7 +34,7 @@ fn single_slot_link_buffers_still_converge() {
     let edges: Vec<StreamEdge> =
         (0..n - 1).map(|i| (i, i + 1, 1)).chain((1..n - 1).map(|i| (0, i, 1))).collect();
     let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
     assert!(report.counters.net_stalls > 0, "tiny buffers must cause backpressure");
@@ -47,7 +47,7 @@ fn tiny_task_queues_backpressure_without_loss() {
     // Hammer one vertex with inserts from everywhere.
     let edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
     let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), (n - 1) as u64);
     assert!(report.counters.deliver_stalls > 0, "ejection must have stalled");
 }
@@ -58,7 +58,7 @@ fn cycle_limit_guards_against_runaway() {
     let n = 200u32;
     let edges: Vec<StreamEdge> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
     let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
-    let err = g.stream_increment(&edges).unwrap_err();
+    let err = g.stream_edges(&edges).unwrap_err();
     assert!(matches!(err, SimError::CycleLimitExceeded { limit: 50 }));
 }
 
@@ -72,7 +72,7 @@ fn allocation_retries_relocate_ghosts_under_pressure() {
     // ~3 extra objects per vertex needed; chip has 64 spare slots total, so
     // keep the load just within capacity: 16 hub edges → 7 ghosts.
     let edges: Vec<StreamEdge> = (1..17).map(|v| (0, v, 1)).collect();
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), 16);
     let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
@@ -90,7 +90,7 @@ fn determinism_across_identical_runs() {
             40,
         )
         .unwrap();
-        let r = g.stream_increment(&edges).unwrap();
+        let r = g.stream_edges(&edges).unwrap();
         (r.cycles, r.counters, g.states())
     };
     let (c1, ct1, s1) = run();
@@ -106,7 +106,7 @@ fn different_seed_changes_schedule_not_results() {
         let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
         let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
         let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(2, 2), BfsAlgo::new(0), 40).unwrap();
-        let r = g.stream_increment(&edges).unwrap();
+        let r = g.stream_edges(&edges).unwrap();
         (r.cycles, g.states())
     };
     let (c1, s1) = run(1);

@@ -25,7 +25,7 @@ fn sssp_matches_dijkstra_every_increment() {
             .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
-        g.stream_increment(d.increment(i)).unwrap();
+        g.stream_edges(d.increment(i)).unwrap();
         acc.extend_from_slice(d.increment(i));
         let reference = dijkstra(&DiGraph::from_edges(n, acc.iter().copied()), 0);
         assert_eq!(g.states(), reference, "SSSP mismatch after increment {i}");
@@ -38,10 +38,10 @@ fn sssp_shortcut_lowers_downstream_distances() {
     let mut g =
         StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), SsspAlgo::new(0), 5)
             .unwrap();
-    g.stream_increment(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
+    g.stream_edges(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
     assert_eq!(g.state_of(3), 30);
     // A cheap shortcut 0→2 must incrementally improve 2 and 3.
-    g.stream_increment(&[(0, 2, 3)]).unwrap();
+    g.stream_edges(&[(0, 2, 3)]).unwrap();
     assert_eq!(g.state_of(2), 3);
     assert_eq!(g.state_of(3), 13);
     assert_eq!(g.state_of(4), INF, "untouched vertex stays unreached");
@@ -58,7 +58,7 @@ fn connected_components_match_union_find() {
     for i in 0..d.increments() {
         // CC requires undirected connectivity: stream both directions.
         let sym = symmetrize(d.increment(i));
-        g.stream_increment(&sym).unwrap();
+        g.stream_edges(&sym).unwrap();
         acc.extend_from_slice(&sym);
         let reference = min_labels(&DiGraph::from_edges(n, acc.iter().copied()));
         assert_eq!(g.states(), reference, "CC labels mismatch after increment {i}");
@@ -69,12 +69,12 @@ fn connected_components_match_union_find() {
 fn components_merge_when_bridge_streams() {
     let mut g =
         StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), CcAlgo, 6).unwrap();
-    g.stream_increment(&symmetrize(&[(0, 1, 1), (3, 4, 1)])).unwrap();
+    g.stream_edges(&symmetrize(&[(0, 1, 1), (3, 4, 1)])).unwrap();
     assert_eq!(g.state_of(1), 0);
     assert_eq!(g.state_of(4), 3);
     assert_eq!(g.state_of(5), 5);
     // Bridge the two components: the higher label must drain to 0.
-    g.stream_increment(&symmetrize(&[(1, 3, 1)])).unwrap();
+    g.stream_edges(&symmetrize(&[(1, 3, 1)])).unwrap();
     assert_eq!(g.state_of(3), 0);
     assert_eq!(g.state_of(4), 0);
     assert_eq!(g.state_of(5), 5, "isolated vertex keeps its own label");
@@ -91,7 +91,7 @@ fn run_triangle_count(n: u32, undirected: &[(u32, u32)]) -> u64 {
     )
     .unwrap();
     let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
-    g.stream_increment(&symmetrize(&stream)).unwrap();
+    g.stream_edges(&symmetrize(&stream)).unwrap();
     // Snapshot query: a tri-gen wave over every vertex.
     let gens: Vec<Operon> =
         (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();
@@ -127,7 +127,7 @@ fn triangle_count_matches_reference_on_sbm() {
 fn run_jaccard(n: u32, undirected: &[(u32, u32)], rcfg: RpvoConfig) -> Vec<(u32, u32, f64)> {
     let mut g = StreamingGraph::new(ChipConfig::default(), rcfg, JaccardAlgo::new(), n).unwrap();
     let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
-    g.stream_increment(&symmetrize(&stream)).unwrap();
+    g.stream_edges(&symmetrize(&stream)).unwrap();
     let wave: Vec<Operon> = (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
     g.device_mut().app_mut().algo.reset();
     g.run_query(wave).unwrap();
@@ -193,7 +193,7 @@ fn triangle_recount_per_increment_tracks_growth() {
         // Increment: connect vertex k to all previous vertices.
         let newe: Vec<(u32, u32)> = (0..k).map(|u| (u, k)).collect();
         let stream: Vec<StreamEdge> = newe.iter().map(|&(u, v)| (u, v, 1)).collect();
-        g.stream_increment(&symmetrize(&stream)).unwrap();
+        g.stream_edges(&symmetrize(&stream)).unwrap();
         acc.extend_from_slice(&newe);
         let gens: Vec<Operon> =
             (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();

@@ -1,0 +1,293 @@
+//! Property tests of the streaming mutation pipeline: after ANY sequence of
+//! edge insertions and deletions — any interleaving, any batch split, any
+//! RPVO shape, rhizomes on or off — the chip's converged vertex states are
+//! **identical to rebuilding the graph from scratch over the surviving edge
+//! set**. That is the acceptance bar for decremental correctness:
+//!
+//! 1. **Rebuild equivalence** — BFS, SSSP, and CC fixpoints equal the
+//!    sequential oracle on exactly the live edges (delete → invalidate →
+//!    re-relax leaves no stale state and loses no reachable state).
+//! 2. **Edge conservation** — every live copy is stored exactly once across
+//!    all root slices and ghost subtrees; deleted copies are gone.
+//! 3. **Mirror convergence** — at quiescence every object of a logical
+//!    vertex agrees with its primary root, through churn and demotion.
+//! 4. **Demotion** — a promoted vertex whose live degree fell below the
+//!    threshold is collapsed back to exactly one root by the end of the
+//!    increment that cooled it.
+//! 5. **Determinism** — the whole mutation pipeline is reproducible and
+//!    shard-count-independent.
+
+use amcca::prelude::*;
+use proptest::prelude::*;
+use refgraph::{bfs_levels, dijkstra, min_labels, DiGraph};
+
+const N: u32 = 24;
+
+/// A mutation script: raw tuples materialized into an add/delete sequence.
+/// `del` picks a live edge (by rotating index) when any exists, so every
+/// delete is valid by construction and deletes can hit edges inserted in
+/// the same batch (exercising host-side annihilation) or earlier batches
+/// (exercising on-fabric retraction).
+fn arb_script() -> impl Strategy<Value = Vec<(u32, u32, u32, bool, u8)>> {
+    prop::collection::vec((0..N, 0..N, 1u32..10, any::<bool>(), any::<u8>()), 1..160)
+}
+
+/// A hub-heavy script: a third of the steps touch vertex 0, so promotion
+/// (and, once deletes drain the hub, demotion) reliably triggers.
+fn arb_skewed_script() -> impl Strategy<Value = Vec<(u32, u32, u32, bool, u8)>> {
+    arb_script().prop_map(|mut s| {
+        let n = s.len();
+        for (i, step) in s.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                step.0 = 0;
+            }
+            // Bias the tail toward deletes so hot hubs cool again.
+            if i > 2 * n / 3 {
+                step.3 = true;
+            }
+        }
+        s
+    })
+}
+
+/// Materialize a script into mutations, tracking the live multiset so every
+/// `DelEdge` names a live edge. Returns `(mutations, survivors)`.
+fn materialize(script: &[(u32, u32, u32, bool, u8)]) -> (Vec<GraphMutation>, Vec<StreamEdge>) {
+    let mut muts = Vec::with_capacity(script.len());
+    let mut live: Vec<StreamEdge> = Vec::new();
+    for &(u, v, w, del, pick) in script {
+        if del && !live.is_empty() {
+            let e = live.remove(pick as usize % live.len());
+            muts.push(GraphMutation::DelEdge(e));
+        } else if u != v {
+            live.push((u, v, w));
+            muts.push(GraphMutation::AddEdge((u, v, w)));
+        }
+    }
+    (muts, live)
+}
+
+/// Split mutations into `chunks` batches (boundaries are arbitrary: batch
+/// splits must not change the fixpoint).
+fn stream_in_batches<G: sdgp_core::apps::VertexAlgo>(
+    g: &mut StreamingGraph<G>,
+    muts: &[GraphMutation],
+    chunks: usize,
+) {
+    for c in muts.chunks(muts.len().div_ceil(chunks.max(1)).max(1)) {
+        g.stream_increment(c).unwrap();
+    }
+}
+
+fn rhizome_cfg(k: usize) -> RpvoConfig {
+    RpvoConfig::basic(3, 2).with_rhizomes(6, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Post-churn BFS equals a from-scratch rebuild over the survivors, for
+    /// single-root and rhizome (K ∈ {2, 4}) configurations alike.
+    #[test]
+    fn churned_bfs_matches_rebuild_oracle(
+        script in arb_script(),
+        chunks in 1usize..5,
+        ki in 0usize..3,
+    ) {
+        let k = [1usize, 2, 4][ki];
+        let (muts, live) = materialize(&script);
+        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
+        stream_in_batches(&mut g, &muts, chunks);
+        let oracle = bfs_levels(&DiGraph::from_edges(N, live.iter().copied()), 0);
+        prop_assert_eq!(g.states(), oracle, "BFS vs rebuild over survivors");
+        g.check_mirror_consistency().unwrap();
+    }
+
+    /// Post-churn SSSP equals Dijkstra over the survivors.
+    #[test]
+    fn churned_sssp_matches_rebuild_oracle(
+        script in arb_script(),
+        chunks in 1usize..5,
+        ki in 0usize..3,
+    ) {
+        let k = [1usize, 2, 4][ki];
+        let (muts, live) = materialize(&script);
+        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
+        stream_in_batches(&mut g, &muts, chunks);
+        let oracle = dijkstra(&DiGraph::from_edges(N, live.iter().copied()), 0);
+        prop_assert_eq!(g.states(), oracle, "SSSP vs rebuild over survivors");
+        g.check_mirror_consistency().unwrap();
+    }
+
+    /// Post-churn CC over a *symmetrized* mutation stream equals min-labels
+    /// over the surviving symmetric edges — deleting an undirected edge
+    /// retracts both directions, so no stale reverse edge can hold a
+    /// component together (the `symmetrize_mutations` regression property).
+    #[test]
+    fn churned_cc_matches_rebuild_oracle(
+        script in arb_script(),
+        chunks in 1usize..5,
+        ki in 0usize..2,
+    ) {
+        let k = [1usize, 4][ki];
+        let (muts, live) = materialize(&script);
+        let sym_muts = symmetrize_mutations(&muts);
+        let sym_live = symmetrize(&live);
+        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rcfg, CcAlgo, N).unwrap();
+        stream_in_batches(&mut g, &sym_muts, chunks);
+        let oracle = min_labels(&DiGraph::from_edges(N, sym_live.iter().copied()));
+        prop_assert_eq!(g.states(), oracle, "CC vs rebuild over symmetric survivors");
+    }
+
+    /// Conservation and capacity through churn: exactly the surviving copies
+    /// are stored — per-vertex multisets match, nothing exceeds the edge
+    /// cap, and the host ledger agrees with the fabric.
+    #[test]
+    fn churn_conserves_surviving_edges(
+        script in arb_skewed_script(),
+        chunks in 1usize..5,
+    ) {
+        let (muts, live) = materialize(&script);
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rhizome_cfg(3), BfsAlgo::new(0), N).unwrap();
+        stream_in_batches(&mut g, &muts, chunks);
+        prop_assert_eq!(g.total_edges_stored(), live.len() as u64);
+        prop_assert_eq!(g.live_edge_count(), live.len() as u64, "ledger agrees with fabric");
+        for u in 0..N {
+            let mut got = g.logical_edges(u);
+            got.sort_unstable();
+            let mut want: Vec<(u32, u32)> = live.iter()
+                .filter(|&&(s, _, _)| s == u)
+                .map(|&(_, d, w)| (d, w))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "vertex {} surviving edge multiset", u);
+            for a in g.rhizome_objects(u) {
+                let obj = g.device().object(a).unwrap();
+                prop_assert!(obj.edges.len() <= 3, "capacity respected after churn");
+                prop_assert_eq!(obj.vid, u);
+            }
+        }
+        g.check_mirror_consistency().unwrap();
+    }
+
+    /// Demotion invariant: at the end of every increment, any vertex whose
+    /// live streamed degree sits below the threshold has exactly one root —
+    /// cold rhizomes never survive a sweep. (The converse direction,
+    /// promotion, is pinned by the skewed stream reliably heating vertex 0.)
+    #[test]
+    fn cold_vertices_end_single_rooted(
+        script in arb_skewed_script(),
+        chunks in 1usize..5,
+    ) {
+        let threshold = 6u32;
+        let (muts, live) = materialize(&script);
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(), rhizome_cfg(4), BfsAlgo::new(0), N).unwrap();
+        stream_in_batches(&mut g, &muts, chunks);
+        for v in 0..N {
+            if g.roots_of(v).len() > 1 {
+                prop_assert!(g.live_degree(v) >= threshold,
+                    "vertex {} keeps {} roots at live degree {}",
+                    v, g.roots_of(v).len(), g.live_degree(v));
+            }
+        }
+        // And the graph is still exact after any demotions that fired.
+        let oracle = bfs_levels(&DiGraph::from_edges(N, live.iter().copied()), 0);
+        prop_assert_eq!(g.states(), oracle);
+    }
+
+    /// The whole mutation pipeline — deletions, repair, demotion — is
+    /// reproducible and shard-count-independent, including cycle counts.
+    #[test]
+    fn churn_is_deterministic_and_shard_independent(
+        script in arb_skewed_script(),
+        chunks in 1usize..4,
+    ) {
+        let (muts, _) = materialize(&script);
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards),
+                rhizome_cfg(3), BfsAlgo::new(0), N).unwrap();
+            let mut cycles = 0u64;
+            for c in muts.chunks(muts.len().div_ceil(chunks).max(1)) {
+                cycles += g.stream_increment(c).unwrap().cycles;
+            }
+            (g.states(), cycles, *g.device().chip().counters(),
+             g.rhizome_stats(), g.demotion_count())
+        };
+        let reference = run(1);
+        prop_assert_eq!(&reference, &run(1), "reproducible");
+        prop_assert_eq!(&reference, &run(3), "shard-count independent");
+    }
+}
+
+/// Directed-delete regression for symmetrized workloads: a directed delete
+/// retracts exactly its own direction — the reverse edge stays stored (and
+/// keeps working: a later re-add reconnects through it) — while deleting
+/// via `symmetrize_mutations` retracts both directions, leaving no stale
+/// reverse edge behind. This pins the semantics that make CC-over-churn
+/// sound: label propagation is directed, so v2 falls back to its own label
+/// either way, but only the symmetrized delete cleans up storage.
+#[test]
+fn directed_delete_keeps_reverse_edge_symmetrized_delete_removes_it() {
+    let build = || {
+        let mut g =
+            StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), CcAlgo, 6)
+                .unwrap();
+        g.stream_increment(&symmetrize_mutations(&GraphMutation::adds(&[(0, 1, 1), (1, 2, 1)])))
+            .unwrap();
+        g
+    };
+    // One direction retracted: 1→2 gone, but the reverse edge 2→1 survives
+    // in storage. The inbound channel to 2 is cut, so its label reverts.
+    let mut g = build();
+    g.stream_increment(&[GraphMutation::DelEdge((1, 2, 1))]).unwrap();
+    assert_eq!(g.logical_edges(1), vec![(0, 1)], "1→2 retracted, 1→0 kept");
+    assert_eq!(g.logical_edges(2), vec![(1, 1)], "reverse edge 2→1 survives a directed delete");
+    assert_eq!(g.states()[..3], [0, 0, 2], "no inbound edge: v2 reverts to its own label");
+    // The surviving reverse edge is live, not stale: re-adding the forward
+    // direction reconnects and v2 rejoins component 0.
+    g.stream_increment(&[GraphMutation::AddEdge((1, 2, 1))]).unwrap();
+    assert_eq!(g.states()[..3], [0, 0, 0], "re-added forward edge reconnects");
+    // Both directions retracted: storage is clean, nothing stale remains.
+    let mut g = build();
+    g.stream_increment(&symmetrize_mutations(&[GraphMutation::DelEdge((1, 2, 1))])).unwrap();
+    assert!(g.logical_edges(2).is_empty(), "no stale reverse edge after the pair delete");
+    assert_eq!(g.logical_edges(1), vec![(0, 1)]);
+    assert_eq!(g.states()[..3], [0, 0, 2], "component split once both directions are gone");
+    g.check_mirror_consistency().unwrap();
+}
+
+/// Batch-split independence with mutations: applying the same mutation
+/// sequence in one batch or many yields the same fixpoint and survivors.
+#[test]
+fn batch_split_is_immaterial_for_mutations() {
+    let und: Vec<StreamEdge> = (0..12).map(|i| (i % 6, (i + 1) % 6, 1 + i % 3)).collect();
+    let mut muts = GraphMutation::adds(&und);
+    muts.push(GraphMutation::DelEdge(und[3]));
+    muts.push(GraphMutation::DelEdge(und[7]));
+    muts.push(GraphMutation::AddEdge((2, 4, 1)));
+    muts.push(GraphMutation::DelEdge((2, 4, 1)));
+    let run = |chunks: usize| {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(2, 2),
+            BfsAlgo::new(0),
+            6,
+        )
+        .unwrap();
+        stream_in_batches(&mut g, &muts, chunks);
+        (g.states(), g.total_edges_stored())
+    };
+    let whole = run(1);
+    assert_eq!(whole, run(3));
+    assert_eq!(whole, run(5));
+    assert_eq!(whole.1, 10, "12 adds, 2 settled deletes, 1 annihilated pair");
+}

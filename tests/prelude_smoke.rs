@@ -15,15 +15,26 @@ fn quickstart_path_through_prelude() {
 
     // Stream a path 0→1→…→99 and run the diffusion to quiescence.
     let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();
-    let report = g.stream_increment(&edges).unwrap();
+    let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.state_of(99), 99, "BFS level of the path's end");
     assert!(report.cycles > 0);
     assert!(report.energy_uj > 0.0, "energy model charged the run");
 
     // A second increment keeps the levels current (short-circuit the path).
-    let report2 = g.stream_increment(&[(0, 99, 1)]).unwrap();
+    let report2 = g.stream_edges(&[(0, 99, 1)]).unwrap();
     assert_eq!(g.state_of(99), 1, "shortcut edge lowers the level");
     assert!(report2.cycles > 0);
+
+    // The stream is dynamic: retract the shortcut and the repair diffusion
+    // re-derives the level along the surviving path.
+    let report3 = g.stream_increment(&[GraphMutation::DelEdge((0, 99, 1))]).unwrap();
+    assert_eq!(g.state_of(99), 99, "deletion repaired back to the path level");
+    assert!(report3.cycles > 0);
+    assert_eq!(g.live_edge_count(), 99);
+
+    // Mutation-aware symmetrize is reachable through the prelude too.
+    let sym = symmetrize_mutations(&[GraphMutation::AddEdge((1, 2, 1))]);
+    assert_eq!(sym.len(), 2);
 }
 
 #[test]
@@ -37,7 +48,7 @@ fn prelude_reaches_every_layer() {
     let cfg = ChipConfig::small_test();
     let mut g =
         StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), d.n_vertices).unwrap();
-    let report = g.stream_increment(d.increment(0)).unwrap();
+    let report = g.stream_edges(d.increment(0)).unwrap();
     assert!(report.cycles > 0);
 
     // refgraph (re-exported at the crate root): oracle agrees on level 0.

@@ -37,7 +37,7 @@ proptest! {
     ) {
         let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
         let mut g = StreamingGraph::new(cfg, rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         let reference = bfs_levels(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(g.states(), reference);
     }
@@ -50,11 +50,11 @@ proptest! {
         let cut = split.min(edges.len());
         let mut g1 = StreamingGraph::new(
             ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), N).unwrap();
-        g1.stream_increment(&edges).unwrap();
+        g1.stream_edges(&edges).unwrap();
         let mut g2 = StreamingGraph::new(
             ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), N).unwrap();
-        g2.stream_increment(&edges[..cut]).unwrap();
-        g2.stream_increment(&edges[cut..]).unwrap();
+        g2.stream_edges(&edges[..cut]).unwrap();
+        g2.stream_edges(&edges[cut..]).unwrap();
         prop_assert_eq!(g1.states(), g2.states());
     }
 
@@ -65,7 +65,7 @@ proptest! {
     ) {
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
         // Per-vertex multiset check.
         for u in 0..N {
@@ -87,7 +87,7 @@ proptest! {
     ) {
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         prop_assert!(g.check_mirror_consistency().is_ok());
         for v in 0..N {
             for (i, a) in g.rpvo_objects(v).into_iter().enumerate() {
@@ -108,7 +108,7 @@ proptest! {
     ) {
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         let reference = dijkstra(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(g.states(), reference);
     }
@@ -122,7 +122,7 @@ proptest! {
         let rcfg = RpvoConfig::basic(1, 1);
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
         // With fanout 1 and cap 1 the RPVO degenerates to a chain whose
         // length equals the vertex's degree: the worst case for futures.
@@ -140,7 +140,7 @@ fn walk_covers_all_allocated_objects() {
     let edges: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
     let rcfg = RpvoConfig::basic(2, 2);
     let mut g = StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
-    g.stream_increment(&edges).unwrap();
+    g.stream_edges(&edges).unwrap();
     let mut walked = 0usize;
     for v in 0..20 {
         walked += walk::collect_objects(g.addr_of(v), |a| g.device().object(a)).len();

@@ -56,10 +56,10 @@ proptest! {
     ) {
         let chip = || ChipConfig { seed, ..ChipConfig::small_test() };
         let mut rz = StreamingGraph::new(chip(), rcfg, BfsAlgo::new(0), N).unwrap();
-        rz.stream_increment(&edges).unwrap();
+        rz.stream_edges(&edges).unwrap();
         let single_cfg = RpvoConfig::basic(rcfg.edge_cap, rcfg.ghost_fanout);
         let mut single = StreamingGraph::new(chip(), single_cfg, BfsAlgo::new(0), N).unwrap();
-        single.stream_increment(&edges).unwrap();
+        single.stream_edges(&edges).unwrap();
         let oracle = bfs_levels(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(rz.states(), single.states());
         prop_assert_eq!(rz.states(), oracle);
@@ -76,7 +76,7 @@ proptest! {
     ) {
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         let oracle = dijkstra(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(g.states(), oracle);
         g.check_mirror_consistency().unwrap();
@@ -92,7 +92,7 @@ proptest! {
         let sym = symmetrize(&edges);
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, CcAlgo, N).unwrap();
-        g.stream_increment(&sym).unwrap();
+        g.stream_edges(&sym).unwrap();
         let oracle = min_labels(&DiGraph::from_edges(N, sym.iter().copied()));
         prop_assert_eq!(g.states(), oracle);
     }
@@ -107,7 +107,7 @@ proptest! {
     ) {
         let mut g = StreamingGraph::new(
             ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_increment(&edges).unwrap();
+        g.stream_edges(&edges).unwrap();
         prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
         for u in 0..N {
             let mut got = g.logical_edges(u);
@@ -142,7 +142,7 @@ proptest! {
                 ChipConfig::small_test().with_shards(shards), rcfg, BfsAlgo::new(0), N).unwrap();
             let mut cycles = 0u64;
             for inc in [&edges[..cut], &edges[cut..]] {
-                cycles += g.stream_increment(inc).unwrap().cycles;
+                cycles += g.stream_edges(inc).unwrap().cycles;
             }
             (g.states(), cycles, *g.device().chip().counters(), g.rhizome_stats())
         };
@@ -172,7 +172,7 @@ fn rhizome_triangle_count_matches_single_root_and_reference() {
         let ncc = cfg.cell_count();
         let mut g = StreamingGraph::new(cfg, rcfg, TriangleAlgo::new(ncc), n).unwrap();
         let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
-        g.stream_increment(&symmetrize(&stream)).unwrap();
+        g.stream_edges(&symmetrize(&stream)).unwrap();
         let gens: Vec<Operon> =
             (0..n).map(|v| Operon::new(g.addr_of(v), ACT_TRI_GEN, [0, 0])).collect();
         g.run_query(gens).unwrap();
@@ -201,7 +201,7 @@ fn rhizome_jaccard_matches_single_root() {
         let mut g =
             StreamingGraph::new(ChipConfig::small_test(), rcfg, JaccardAlgo::new(), n).unwrap();
         let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
-        g.stream_increment(&symmetrize(&stream)).unwrap();
+        g.stream_edges(&symmetrize(&stream)).unwrap();
         let wave: Vec<Operon> =
             (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
         g.run_query(wave).unwrap();
@@ -229,7 +229,7 @@ fn increment_split_does_not_change_promotion() {
         let mut g =
             StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
         for c in edges.chunks(edges.len().div_ceil(chunks)) {
-            g.stream_increment(c).unwrap();
+            g.stream_edges(c).unwrap();
         }
         (g.states(), g.rhizome_stats())
     };

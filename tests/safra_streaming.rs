@@ -18,7 +18,7 @@ fn stream_all(mode: TerminationMode) -> (Vec<u64>, u64) {
     g.set_termination_mode(mode);
     let mut cycles = 0;
     for i in 0..d.increments() {
-        cycles += g.stream_increment(d.increment(i)).unwrap().cycles;
+        cycles += g.stream_edges(d.increment(i)).unwrap().cycles;
     }
     (g.states(), cycles)
 }
