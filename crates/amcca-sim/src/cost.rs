@@ -31,6 +31,15 @@ pub struct CostModel {
     /// Resetting a per-vertex application value during a deletion-repair
     /// invalidation (compare + write of the reset sentinel).
     pub invalidate: u32,
+    /// Patching the weight of a stored edge copy in place after an
+    /// `UpdateWeight` mutation located it (compare + write).
+    pub update_weight: u32,
+    /// Dispatching one reseed trigger during the repair phase (decode +
+    /// announceability check before the per-edge scan).
+    pub reseed: u32,
+    /// Recording one vertex on the repair frontier during the invalidation
+    /// cascade (the bookkeeping the targeted reseed is paid for with).
+    pub frontier_mark: u32,
 }
 
 impl Default for CostModel {
@@ -44,6 +53,9 @@ impl Default for CostModel {
             dispatch: 1,
             delete_edge: 2,
             invalidate: 1,
+            update_weight: 2,
+            reseed: 1,
+            frontier_mark: 1,
         }
     }
 }
@@ -63,5 +75,8 @@ mod tests {
         assert!(c.dispatch > 0);
         assert!(c.delete_edge > 0);
         assert!(c.invalidate > 0);
+        assert!(c.update_weight > 0);
+        assert!(c.reseed > 0);
+        assert!(c.frontier_mark > 0);
     }
 }

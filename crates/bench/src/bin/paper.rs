@@ -18,10 +18,15 @@
 //!   loadmap          Per-cell load skew, Edge vs Snowball (§5 congestion)
 //!   skew             Power-law (RMAT) streaming with rhizome promotion
 //!   churn            Sliding-window mutation stream: deletions, repair
-//!                    diffusions, rhizome demotion (oracle-checked per batch)
+//!                    diffusions, rhizome demotion (oracle-checked per
+//!                    batch), plus the full-vs-targeted repair ablation
 //!   verify           Check streamed BFS against the reference oracle (§4)
 //!   all              Everything above, in order
 //! ```
+//!
+//! `churn` takes `--repair {full,targeted}` (default `targeted`) selecting
+//! the reseed scoping of the headline run; the ablation CSV
+//! (`churn_repair.csv`) always measures both.
 //!
 //! Default scale is `small` (1/50 of the paper, seconds). `--scale full`
 //! reproduces the paper's sizes (50K/1.0M and 500K/10.2M edges); expect
@@ -35,6 +40,7 @@ use amcca_bench::{
 };
 use amcca_sim::{run_tasks, ChipConfig, GhostPlacement};
 use gc_datasets::{ChurnPreset, GcPreset, Sampling, SkewPreset, StreamingDataset};
+use sdgp_core::graph::RepairMode;
 use sdgp_core::rpvo::RpvoConfig;
 
 struct Args {
@@ -48,6 +54,9 @@ struct Args {
     /// determinism gate diffs the CSVs), so `--jobs` only changes
     /// wall-clock time and peak memory.
     jobs: usize,
+    /// Reseed scoping of the headline `churn` run (the repair ablation
+    /// always measures both modes).
+    repair: RepairMode,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +65,7 @@ fn parse_args() -> Args {
     let mut scale = Scale::Small;
     let mut out = "bench_out".to_string();
     let mut jobs = 0usize;
+    let mut repair = RepairMode::Targeted;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -75,18 +85,26 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("invalid --jobs"));
             }
+            "--repair" => {
+                i += 1;
+                repair = match argv.get(i).map(String::as_str) {
+                    Some("full") => RepairMode::Full,
+                    Some("targeted") => RepairMode::Targeted,
+                    _ => die("invalid --repair (full|targeted)"),
+                };
+            }
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N] [--repair full|targeted]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     }
-    Args { command, scale, out, jobs }
+    Args { command, scale, out, jobs, repair }
 }
 
 fn die(msg: &str) -> ! {
@@ -855,7 +873,15 @@ fn ablate_rhizomes(args: &Args) {
 // ---------------------------------------------------------------------
 
 fn churn(args: &Args) {
-    eprintln!("[churn] sliding-window mutation stream, scale {:?}...", args.scale);
+    let mode_name = |m: RepairMode| match m {
+        RepairMode::Full => "full",
+        RepairMode::Targeted => "targeted",
+    };
+    eprintln!(
+        "[churn] sliding-window mutation stream ({} repair), scale {:?}...",
+        mode_name(args.repair),
+        args.scale
+    );
     let p = ChurnPreset::v50k().scaled_down(args.scale.factor());
     let c = p.build();
     // Thresholds are derived from the *peak window* (the live graph at its
@@ -872,8 +898,9 @@ fn churn(args: &Args) {
                 let chip = chip_for(args);
                 let c = &c;
                 let label = p.label();
+                let repair = args.repair;
                 move || {
-                    let opts = RunOpts { with_algo, rcfg, chip, ..Default::default() };
+                    let opts = RunOpts { with_algo, rcfg, chip, repair, ..Default::default() };
                     // The BFS run is oracle-checked against a from-scratch
                     // rebuild over the surviving edge set after EVERY batch.
                     run_streaming_churn(c, &opts, &label)
@@ -885,13 +912,14 @@ fn churn(args: &Args) {
     let (ing, bfs) = (&results[0], &results[1]);
     println!(
         "\nSliding-window churn: {} ({} insert batches of {}, window {}, drained; \
-         peak-window degree max {}, mean {:.1})",
+         peak-window degree max {}, mean {:.1}; {} repair)",
         ing.label,
         p.batches,
         human_count(p.adds_per_batch as u64),
         p.window,
         stats.max,
-        stats.mean
+        stats.mean,
+        mode_name(args.repair)
     );
     println!(
         "  rhizomes: threshold {} touches, K=4; BFS states re-verified against a \
@@ -905,6 +933,7 @@ fn churn(args: &Args) {
         "Live",
         "Ingest cycles",
         "Ingest+BFS cycles",
+        "Reseed trig",
         "Roots+",
         "Demoted",
     ];
@@ -917,6 +946,7 @@ fn churn(args: &Args) {
                 ing.rows[i].live.to_string(),
                 ing.rows[i].cycles.to_string(),
                 bfs.rows[i].cycles.to_string(),
+                bfs.rows[i].reseed_triggers.to_string(),
                 ing.rows[i].extra_roots.to_string(),
                 ing.rows[i].demoted.to_string(),
             ]
@@ -931,10 +961,10 @@ fn churn(args: &Args) {
     let dir = out_dir(&args.out);
     write_csv(
         &dir.join("churn.csv"),
-        "batch,adds,dels,live,ingest_cycles,ingest_uj,bfs_cycles,bfs_uj,bfs_us,promoted,extra_roots,demoted",
+        "batch,adds,dels,live,ingest_cycles,ingest_uj,bfs_cycles,bfs_uj,bfs_us,repair_cycles,reseed_triggers,promoted,extra_roots,demoted",
         (0..ing.rows.len()).map(|i| {
             format!(
-                "{},{},{},{},{},{:.1},{},{:.1},{:.1},{},{},{}",
+                "{},{},{},{},{},{:.1},{},{:.1},{:.1},{},{},{},{},{}",
                 i + 1,
                 ing.rows[i].adds,
                 ing.rows[i].dels,
@@ -944,6 +974,8 @@ fn churn(args: &Args) {
                 bfs.rows[i].cycles,
                 bfs.rows[i].energy_uj,
                 bfs.rows[i].time_us,
+                bfs.rows[i].repair_cycles,
+                bfs.rows[i].reseed_triggers,
                 ing.rows[i].promoted,
                 ing.rows[i].extra_roots,
                 ing.rows[i].demoted
@@ -951,6 +983,127 @@ fn churn(args: &Args) {
         }),
     );
     println!("  (csv: {}/churn.csv)", args.out);
+    // The headline BFS run already measured (window, args.repair) under the
+    // ablation's exact options — reuse it instead of re-simulating.
+    ablate_repair(args, &rcfg, &c, bfs);
+}
+
+/// Full-vs-targeted repair ablation: run the same churn schedule under both
+/// reseed scopings (bit-identical fixpoints — `run_streaming_churn`
+/// oracle-checks every batch), then a small-batch/large-graph schedule where
+/// the invalidated region is tiny relative to the graph. Shows targeted
+/// reseed trigger counts (and repair-phase work) tracking the batch size
+/// while the full wave pays O(n) per delete-bearing batch. `headline` is
+/// the window schedule's already-measured run under `args.repair` and the
+/// same options; only the three missing experiments are simulated.
+fn ablate_repair(
+    args: &Args,
+    rcfg: &RpvoConfig,
+    window: &gc_datasets::ChurnStream,
+    headline: &amcca_bench::ChurnExperiment,
+) {
+    eprintln!("[churn] full-vs-targeted repair ablation, scale {:?}...", args.scale);
+    // Small batches on the same graph size: 1/32 of the preset's batch
+    // volume, single-batch window, no drain — every batch deletes a sliver
+    // of a graph that stays large.
+    let p = ChurnPreset::v50k().scaled_down(args.scale.factor());
+    let small = gc_datasets::generate_churn(&gc_datasets::ChurnParams {
+        n_vertices: p.n_vertices,
+        batches: 6,
+        adds_per_batch: (p.adds_per_batch / 32).max(8),
+        window: 1,
+        drain: false,
+        updates_per_batch: 0,
+        order: Sampling::Edge,
+        seed: p.seed,
+    });
+    let other_mode = match args.repair {
+        RepairMode::Full => RepairMode::Targeted,
+        RepairMode::Targeted => RepairMode::Full,
+    };
+    let jobs: Vec<(&str, &gc_datasets::ChurnStream, RepairMode)> = vec![
+        ("window", window, other_mode),
+        ("smallbatch", &small, RepairMode::Full),
+        ("smallbatch", &small, RepairMode::Targeted),
+    ];
+    let runs: Vec<amcca_bench::ChurnExperiment> = run_tasks(
+        jobs.into_iter()
+            .map(|(name, c, repair)| {
+                let chip = chip_for(args);
+                let rcfg = *rcfg;
+                move || {
+                    let opts = RunOpts { rcfg, chip, repair, ..Default::default() };
+                    run_streaming_churn(c, &opts, name)
+                }
+            })
+            .collect(),
+        CHIP_SCENARIO_WORKERS,
+    );
+    let (window_full, window_targeted) = match args.repair {
+        RepairMode::Full => (headline, &runs[0]),
+        RepairMode::Targeted => (&runs[0], headline),
+    };
+    let schedules: [(&str, &gc_datasets::ChurnStream); 2] =
+        [("window", window), ("smallbatch", &small)];
+    let pairs: [(&amcca_bench::ChurnExperiment, &amcca_bench::ChurnExperiment); 2] =
+        [(window_full, window_targeted), (&runs[1], &runs[2])];
+    println!(
+        "\nAblation: repair scoping (reseed triggers / repair work, summed over batches;\n\
+         instrs measure the wave's work — cycles only its depth)"
+    );
+    let header = [
+        "Schedule",
+        "n",
+        "Full trig",
+        "Targeted trig",
+        "Full repair instrs",
+        "Targeted repair instrs",
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (si, &(name, c)) in schedules.iter().enumerate() {
+        let (full, targeted) = pairs[si];
+        let sum = |e: &amcca_bench::ChurnExperiment, f: fn(&amcca_bench::ChurnRow) -> u64| {
+            e.rows.iter().map(f).sum::<u64>()
+        };
+        rows.push(vec![
+            name.to_string(),
+            c.n_vertices.to_string(),
+            sum(full, |r| r.reseed_triggers).to_string(),
+            sum(targeted, |r| r.reseed_triggers).to_string(),
+            sum(full, |r| r.repair_instrs).to_string(),
+            sum(targeted, |r| r.repair_instrs).to_string(),
+        ]);
+        for i in 0..full.rows.len() {
+            csv.push(format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                name,
+                i + 1,
+                c.n_vertices,
+                full.rows[i].dels,
+                full.rows[i].live,
+                full.rows[i].reseed_triggers,
+                targeted.rows[i].reseed_triggers,
+                full.rows[i].repair_instrs,
+                targeted.rows[i].repair_instrs,
+                full.rows[i].repair_cycles,
+                targeted.rows[i].repair_cycles,
+                targeted.rows[i].cycles,
+            ));
+        }
+    }
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "  (both modes rebuild bit-identical fixpoints — every batch above was\n\
+         oracle-checked; targeted triggers track the invalidated region, full pays n)"
+    );
+    let dir = out_dir(&args.out);
+    write_csv(
+        &dir.join("churn_repair.csv"),
+        "schedule,batch,n,dels,live,full_triggers,targeted_triggers,full_repair_instrs,targeted_repair_instrs,full_repair_cycles,targeted_repair_cycles,targeted_total_cycles",
+        csv,
+    );
+    println!("  (csv: {}/churn_repair.csv)", args.out);
 }
 
 // ---------------------------------------------------------------------

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use amcca_sim::{ActivityRecording, ChipConfig, Counters, GhostPlacement};
 use gc_datasets::{ChurnStream, GcPreset, StreamingDataset};
 use sdgp_core::apps::BfsAlgo;
-use sdgp_core::graph::{GraphMutation, StreamingGraph};
+use sdgp_core::graph::{GraphMutation, RepairMode, StreamingGraph};
 use sdgp_core::rpvo::RpvoConfig;
 
 /// Experiment scale: the paper's sizes or a proportional scale-down.
@@ -105,6 +105,9 @@ pub struct RunOpts {
     pub chip: ChipConfig,
     pub rcfg: RpvoConfig,
     pub termination: diffusive::TerminationMode,
+    /// Reseed-wave scoping for delete-bearing batches (`Targeted` by
+    /// default; `Full` is the O(n) ablation baseline).
+    pub repair: RepairMode,
 }
 
 impl Default for RunOpts {
@@ -115,6 +118,7 @@ impl Default for RunOpts {
             chip: ChipConfig::default(),
             rcfg: RpvoConfig::default(),
             termination: diffusive::TerminationMode::Quiescence,
+            repair: RepairMode::default(),
         }
     }
 }
@@ -176,10 +180,20 @@ pub struct ChurnRow {
     pub adds: usize,
     /// Edges deleted by this batch.
     pub dels: usize,
+    /// Weight updates applied by this batch.
+    pub updates: usize,
     /// Live edges after the batch (window accounting).
     pub live: usize,
     /// Cycles consumed by the batch (all phases: structural, repair, merge).
     pub cycles: u64,
+    /// Cycles of the batch's reseed (repair) phase alone.
+    pub repair_cycles: u64,
+    /// Instructions retired by the reseed phase (its work, as opposed to
+    /// its depth).
+    pub repair_instrs: u64,
+    /// Reseed triggers the repair phase injected (`n` under full repair, the
+    /// frontier size under targeted; `0` when the batch needed no repair).
+    pub reseed_triggers: u64,
     /// Energy consumed, microjoules.
     pub energy_uj: f64,
     /// Wall-clock time at 1 GHz, microseconds.
@@ -202,8 +216,9 @@ pub struct ChurnExperiment {
 }
 
 /// Run streaming BFS over a sliding-window churn schedule: each batch
-/// applies its deletions and insertions as one mutation increment (deletes
-/// first — they retract edges settled in earlier batches). When the
+/// applies its deletions, insertions, and weight updates as one mutation
+/// increment (deletes first — they retract edges settled in earlier batches
+/// — then inserts, then updates, the generator's canonical order). When the
 /// algorithm propagates (`opts.with_algo`), every batch's converged states
 /// are checked against a from-scratch BFS over exactly the surviving edge
 /// set, plus edge conservation and mirror consistency — the decremental
@@ -216,12 +231,15 @@ pub fn run_streaming_churn(churn: &ChurnStream, opts: &RunOpts, label: &str) -> 
             .expect("graph construction");
     g.set_algo_propagation(opts.with_algo);
     g.set_termination_mode(opts.termination);
+    g.set_repair_mode(opts.repair);
     let mut rows = Vec::with_capacity(churn.len());
     for i in 0..churn.len() {
         let b = churn.batch(i);
-        let mut muts: Vec<GraphMutation> = Vec::with_capacity(b.adds.len() + b.dels.len());
+        let mut muts: Vec<GraphMutation> =
+            Vec::with_capacity(b.adds.len() + b.dels.len() + b.updates.len());
         muts.extend(b.dels.iter().copied().map(GraphMutation::DelEdge));
         muts.extend(b.adds.iter().copied().map(GraphMutation::AddEdge));
+        muts.extend(b.updates.iter().map(|&(u, v, w)| GraphMutation::UpdateWeight { u, v, w }));
         let report = g.stream_increment(&muts).expect("churn batch run");
         let live = churn.live_after(i);
         assert_eq!(
@@ -238,8 +256,12 @@ pub fn run_streaming_churn(churn: &ChurnStream, opts: &RunOpts, label: &str) -> 
         rows.push(ChurnRow {
             adds: b.adds.len(),
             dels: b.dels.len(),
+            updates: b.updates.len(),
             live: live.len(),
             cycles: report.cycles,
+            repair_cycles: report.repair_cycles,
+            repair_instrs: report.repair_instrs,
+            reseed_triggers: report.reseed_triggers,
             energy_uj: report.energy_uj,
             time_us: report.time_us,
             promoted,

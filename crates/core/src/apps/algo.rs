@@ -20,7 +20,14 @@
 //!   and, if the algorithm propagates, recalls the value it last announced
 //!   along that edge with the `retract` system diffusion
 //!   ([`diffusive::retract`]) — derived downstream state invalidates and is
-//!   later rebuilt by a **reseed** wave re-announcing all surviving state.
+//!   later rebuilt by a **reseed** wave re-announcing surviving state. The
+//!   cascade records the repair frontier on-fabric (reset objects plus
+//!   recall-rejecting survivors) so the host can scope the reseed to the
+//!   invalidated region instead of triggering every vertex.
+//! * **`update-weight-action`**: patch one tagged edge copy's weight in
+//!   place wherever it is stored. A decrease is announced as a plain relax;
+//!   an increase recalls the contribution made under the old weight, so only
+//!   paths through the now-costlier edge invalidate and repair.
 //!
 //! Individual algorithms (BFS, SSSP, connected components, triangles) plug in
 //! through the [`VertexAlgo`] trait.
@@ -38,12 +45,19 @@ pub const ACT_RELAX: ActionId = diffusive::FIRST_USER_ACTION + 1;
 /// logical vertex's storage and start the deletion-repair diffusion.
 pub const ACT_DELETE: ActionId = diffusive::FIRST_USER_ACTION + 2;
 /// Action id of `reseed-action`: after a deletion batch's invalidation wave
-/// quiesced, every object with surviving announceable state re-announces it
-/// along its local edges so monotone relaxation rebuilds the exact fixpoint
-/// over the surviving edge set.
+/// quiesced, objects with surviving announceable state re-announce it along
+/// their local edges so monotone relaxation rebuilds the exact fixpoint over
+/// the surviving edge set. The host triggers it either from every vertex
+/// (full wave) or only from the recorded repair frontier (targeted).
 pub const ACT_RESEED: ActionId = diffusive::FIRST_USER_ACTION + 3;
+/// Action id of `update-weight-action`: patch the weight of one tagged edge
+/// copy in place wherever it is stored (root slice, rhizome peer, or ghost
+/// spill). A weight decrease announces the improved contribution like an
+/// insert; an increase recalls the contribution announced under the old
+/// weight, seeding a scoped invalidate+reseed repair.
+pub const ACT_UPDATE: ActionId = diffusive::FIRST_USER_ACTION + 4;
 /// First action id available to algorithm-specific extras (triangle probes).
-pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 4;
+pub const ACT_ALGO_BASE: ActionId = diffusive::FIRST_USER_ACTION + 5;
 
 /// Bit 63 of a *query* operon's `payload[0]` (triangle / Jaccard probes and
 /// checks) marking that the operon was already fanned across a rhizome's
@@ -164,6 +178,18 @@ pub struct GraphApp<G: VertexAlgo> {
     /// subsequent reseed wave re-announces all surviving state, which both
     /// relaxes the new edges and restores mirrors.
     pub(crate) notify_inserts: bool,
+    /// Repair-frontier bookkeeping recorded on-fabric during a deletion
+    /// batch's invalidation cascade: vertex ids whose state was reset.
+    /// Drained by the host after the structural phase to scope the reseed
+    /// wave ([`Self::take_repair_sets`]). Per-shard instances accumulate
+    /// independently and fold back through [`App::merge`] like any other
+    /// commutative accumulator; the host sorts + dedups before use, so the
+    /// shard-dependent accumulation order never drives output.
+    invalidated: Vec<u32>,
+    /// Vertex ids that *rejected* a recall while holding announceable state —
+    /// survivors adjacent to the invalidated region, the other half of the
+    /// recorded repair frontier.
+    rejected: Vec<u32>,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
     scratch_peers: Vec<Address>,
@@ -178,10 +204,20 @@ impl<G: VertexAlgo> GraphApp<G> {
             rcfg,
             propagate_algo,
             notify_inserts: true,
+            invalidated: Vec::new(),
+            rejected: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
         }
+    }
+
+    /// Drain the repair frontier recorded since the last call:
+    /// `(invalidated vertex ids, recall-rejecting vertex ids)`, each possibly
+    /// containing duplicates (a vertex's root, peers, and ghosts record
+    /// independently). The host dedups.
+    pub fn take_repair_sets(&mut self) -> (Vec<u32>, Vec<u32>) {
+        (std::mem::take(&mut self.invalidated), std::mem::take(&mut self.rejected))
     }
 
     /// Listing 6: insert an edge, spilling through ghost futures on overflow.
@@ -316,10 +352,12 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// `delete-edge-action`: retract one tagged edge copy. The broadcast
     /// visits the logical vertex's objects — on first arrival at a rhizome
     /// root a marked copy fans to every peer, and misses forward into the
-    /// ready ghost subtrees. Exactly one object holds the `(dst, w, tag)`
-    /// copy (tags are unique among live copies of an identity), so exactly
-    /// one removal happens; every other arrival dies silently. The remover
-    /// recalls the value it last announced along the edge, seeding the
+    /// ready ghost subtrees. Exactly one object holds the `(dst, tag)` copy
+    /// (tags are unique among a pair's live copies — the payload weight is
+    /// advisory: a host-coalesced same-batch re-weight can leave the stored
+    /// weight behind the ledger's), so exactly one removal happens; every
+    /// other arrival dies silently. The remover recalls the value it last
+    /// announced along the edge — at the *stored* weight — seeding the
     /// invalidation cascade ([`diffusive::retract`]).
     ///
     /// Pending ghost slots are skipped: deletions only ever target edges
@@ -327,7 +365,7 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// host-side), and a Pending slot's subtree did not exist then.
     fn retract_edge(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
         let target = op.target;
-        let (tag, dst_id, w) = decode_delete(op.payload);
+        let (tag, dst_id, _w) = decode_delete(op.payload);
         ctx.charge(ctx.cost().dispatch);
         let (removed, scanned) = {
             let Some(obj) = ctx.obj_mut(target.slot) else {
@@ -335,11 +373,7 @@ impl<G: VertexAlgo> GraphApp<G> {
                 return;
             };
             let scanned = obj.edges.len() as u32;
-            let removed = match obj
-                .edges
-                .iter()
-                .position(|e| e.dst_id == dst_id && e.w == w && e.tag == tag)
-            {
+            let removed = match obj.edges.iter().position(|e| e.dst_id == dst_id && e.tag == tag) {
                 Some(i) => {
                     // Order-preserving removal keeps the surviving edge list
                     // deterministic for later scans and walks.
@@ -386,6 +420,12 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// object would have announced, and to mirrors and peers with the old
     /// value itself. States move to their reset value at most once per
     /// repair round, so the cascade terminates.
+    ///
+    /// Either way the cascade records the repair frontier on-fabric: a reset
+    /// object joins [`Self::take_repair_sets`]'s *invalidated* set, while an
+    /// object that rejects the recall with announceable state (independent
+    /// support, or a self-supported reset value) joins the *rejected* set —
+    /// together the survivors the targeted reseed wave re-announces from.
     fn invalidate(
         &mut self,
         ctx: &mut ExecCtx<'_, VertexObj<G::State>>,
@@ -393,45 +433,80 @@ impl<G: VertexAlgo> GraphApp<G> {
         suspect: u64,
     ) {
         ctx.charge(ctx.cost().invalidate);
-        let old_value = {
+        enum Verdict {
+            /// Recall rejected without announceable state: nothing to record.
+            Silent,
+            /// Recall rejected (or matched a self-supported reset value) with
+            /// announceable state: record on the frontier, no cascade.
+            Survivor,
+            /// State reset: record and cascade the given old value.
+            Reset(u64),
+        }
+        let verdict = {
             let Some(obj) = ctx.obj_mut(target.slot) else {
                 ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_RETRACT });
                 return;
             };
             if !self.algo.retract_match(&obj.state, suspect) {
-                return;
-            }
-            let old = obj.state;
-            let reset = self.algo.root_state(obj.vid);
-            if reset == old {
-                // Self-supported state (e.g. the BFS source, a CC vertex at
-                // its own label): nothing to invalidate.
-                return;
-            }
-            obj.state = reset;
-            // `old` passed retract_match, so it is announceable. Mirrors are
-            // recalled with the value THIS object announced (not the
-            // incoming `suspect`) — the two coincide for the default
-            // equality match but may differ under an overridden
-            // retract_match, and Pending ghosts must see the same recall as
-            // Ready ones.
-            let old_value = self.algo.sync_value(&old).expect("matched state announceable");
-            self.scratch_edges.clear();
-            self.scratch_edges.extend_from_slice(&obj.edges);
-            self.scratch_peers.clear();
-            self.scratch_peers.extend_from_slice(&obj.peers);
-            self.scratch_ghosts.clear();
-            for g in obj.ghosts.iter_mut() {
-                match g {
-                    FutureLco::Ready(a) => self.scratch_ghosts.push(*a),
-                    FutureLco::Pending(q) => q.push(PendingOperon {
-                        action: diffusive::ACT_RETRACT,
-                        payload: [old_value, 0],
-                    }),
-                    FutureLco::Null => {}
+                // Rejected recall: this object's state has independent
+                // support. If it is announceable, the object borders the
+                // invalidated region and its re-announcement can re-feed
+                // invalidated neighbours.
+                if self.algo.sync_value(&obj.state).is_some() {
+                    self.rejected.push(obj.vid);
+                    Verdict::Survivor
+                } else {
+                    Verdict::Silent
+                }
+            } else {
+                let old = obj.state;
+                let reset = self.algo.root_state(obj.vid);
+                if reset == old {
+                    // Self-supported state (e.g. the BFS source, a CC vertex
+                    // at its own label): nothing to invalidate, but the
+                    // survivor is announceable (it matched the recall) and
+                    // belongs on the frontier.
+                    self.rejected.push(obj.vid);
+                    Verdict::Survivor
+                } else {
+                    obj.state = reset;
+                    self.invalidated.push(obj.vid);
+                    // `old` passed retract_match, so it is announceable.
+                    // Mirrors are recalled with the value THIS object
+                    // announced (not the incoming `suspect`) — the two
+                    // coincide for the default equality match but may differ
+                    // under an overridden retract_match, and Pending ghosts
+                    // must see the same recall as Ready ones.
+                    let old_value = self.algo.sync_value(&old).expect("matched state announceable");
+                    self.scratch_edges.clear();
+                    self.scratch_edges.extend_from_slice(&obj.edges);
+                    self.scratch_peers.clear();
+                    self.scratch_peers.extend_from_slice(&obj.peers);
+                    self.scratch_ghosts.clear();
+                    for g in obj.ghosts.iter_mut() {
+                        match g {
+                            FutureLco::Ready(a) => self.scratch_ghosts.push(*a),
+                            FutureLco::Pending(q) => q.push(PendingOperon {
+                                action: diffusive::ACT_RETRACT,
+                                payload: [old_value, 0],
+                            }),
+                            FutureLco::Null => {}
+                        }
+                    }
+                    Verdict::Reset(old_value)
                 }
             }
-            old_value
+        };
+        let old_value = match verdict {
+            Verdict::Silent => return,
+            Verdict::Survivor => {
+                ctx.charge(ctx.cost().frontier_mark);
+                return;
+            }
+            Verdict::Reset(v) => {
+                ctx.charge(ctx.cost().frontier_mark);
+                v
+            }
         };
         ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
         for i in 0..self.scratch_edges.len() {
@@ -449,6 +524,90 @@ impl<G: VertexAlgo> GraphApp<G> {
         }
     }
 
+    /// `update-weight-action`: patch one tagged edge copy's weight in place.
+    /// The broadcast walks the logical vertex exactly like
+    /// [`Self::retract_edge`] — peers fanned once, misses forwarded into
+    /// ready ghost subtrees — and the one object holding the `(dst, tag)`
+    /// copy (tags are unique among a pair's live copies) rewrites its weight.
+    ///
+    /// If the algorithm propagates, a weight **decrease** in a single-phase
+    /// batch announces the improved contribution along the edge like an
+    /// insert would; an **increase** recalls the contribution this object
+    /// announced under the *old* weight, seeding the invalidation cascade
+    /// for exactly the paths that relied on the cheaper edge. During a
+    /// *structural* phase every patch — decrease included — recalls the old
+    /// contribution instead: the patch rewrites the weight any concurrent
+    /// invalidation cascade will scan, so downstream state derived under
+    /// the old weight would no longer match the cascade's recall values and
+    /// survive stale (under-invalidation). Recalling at patch time — while
+    /// this object still holds its settled state — invalidates it
+    /// conservatively; the reseed wave re-derives everything at the new
+    /// weight.
+    fn update_edge_weight(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
+        let target = op.target;
+        let (tag, dst_id, w_old, w_new, raised) = decode_update_weight(op.payload);
+        ctx.charge(ctx.cost().dispatch);
+        let (patched, scanned) = {
+            let Some(obj) = ctx.obj_mut(target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: target, action: ACT_UPDATE });
+                return;
+            };
+            let scanned = obj.edges.len() as u32;
+            let patched = match obj.edges.iter().position(|e| e.dst_id == dst_id && e.tag == tag) {
+                Some(i) => {
+                    debug_assert_eq!(obj.edges[i].w, w_old, "ledger and fabric agree on weight");
+                    obj.edges[i].w = w_new;
+                    let e = obj.edges[i];
+                    let value =
+                        if self.propagate_algo { self.algo.sync_value(&obj.state) } else { None };
+                    Some((e, value))
+                }
+                None => {
+                    self.scratch_peers.clear();
+                    self.scratch_peers.extend_from_slice(&obj.peers);
+                    self.scratch_ghosts.clear();
+                    self.scratch_ghosts.extend(obj.ready_ghosts());
+                    None
+                }
+            };
+            (patched, scanned)
+        };
+        ctx.charge(ctx.cost().scan_per_edge * scanned);
+        match patched {
+            Some((e, value)) => {
+                ctx.charge(ctx.cost().update_weight);
+                if let Some(v) = value {
+                    if raised || !self.notify_inserts {
+                        // Recall the best value announced under the old
+                        // weight; destinations that relied on it invalidate
+                        // (see the doc comment for why structural-phase
+                        // decreases must recall too).
+                        let old_e = Edge { w: w_old, ..e };
+                        ctx.propagate(diffusive::retract_operon(
+                            e.dst,
+                            self.algo.along_edge(v, &old_e),
+                        ));
+                    } else {
+                        // Cheaper edge, single-phase batch: a plain monotone
+                        // relax suffices.
+                        ctx.propagate(Operon::new(
+                            e.dst,
+                            ACT_RELAX,
+                            [self.algo.along_edge(v, &e), 0],
+                        ));
+                    }
+                }
+            }
+            None => {
+                fan_query_to_peers(ctx, op, &self.scratch_peers);
+                for i in 0..self.scratch_ghosts.len() {
+                    let g = self.scratch_ghosts[i];
+                    ctx.propagate(Operon::new(g, ACT_UPDATE, op.payload));
+                }
+            }
+        }
+    }
+
     /// `reseed-action`: after the invalidation quiesced, re-announce this
     /// object's surviving state along its local edges, push it to mirrors
     /// (restoring ghosts that were reset or freshly attached un-synced), and
@@ -457,7 +616,7 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// marked copy fans to every peer. Objects with nothing to announce stay
     /// silent; ordinary monotone relaxation rebuilds the exact fixpoint.
     fn reseed(&mut self, ctx: &mut ExecCtx<'_, VertexObj<G::State>>, op: &Operon) {
-        ctx.charge(ctx.cost().dispatch);
+        ctx.charge(ctx.cost().reseed);
         let value = {
             let Some(obj) = ctx.obj_mut(op.target.slot) else {
                 ctx.fail(SimError::BadAddress { addr: op.target, action: ACT_RESEED });
@@ -498,6 +657,8 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             rcfg: self.rcfg,
             propagate_algo: self.propagate_algo,
             notify_inserts: self.notify_inserts,
+            invalidated: Vec::new(),
+            rejected: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
@@ -506,6 +667,8 @@ impl<G: VertexAlgo> App for GraphApp<G> {
 
     fn merge(&mut self, worker: Self) {
         self.algo.merge(worker.algo);
+        self.invalidated.extend(worker.invalidated);
+        self.rejected.extend(worker.rejected);
     }
 
     fn construct(&mut self, req: &AllocRequest) -> Self::Object {
@@ -565,6 +728,7 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             ACT_RELAX => self.relax_value(ctx, op.target, op.payload[0], ACT_RELAX),
             ACT_DELETE => self.retract_edge(ctx, op),
             ACT_RESEED => self.reseed(ctx, op),
+            ACT_UPDATE => self.update_edge_weight(ctx, op),
             _ => {
                 // Split borrow: hand the algorithm the context plus config.
                 let rcfg = self.rcfg;
@@ -591,6 +755,45 @@ pub fn delete_operon(src_root: Address, dst_id: u32, w: u32, tag: u16) -> Operon
 /// Decode a delete-edge operon payload into `(tag, dst_id, w)`.
 pub fn decode_delete(payload: [u64; 2]) -> (u16, u32, u32) {
     (payload[0] as u16, (payload[1] >> 32) as u32, payload[1] as u32)
+}
+
+/// Bit 62 of an update-weight operon's `payload[0]`: set when the update is
+/// a weight *increase* (invalidate+reseed repair path) rather than a
+/// decrease (plain relax). Sits below the rhizome fan marker
+/// ([`QUERY_FANNED_BIT`], bit 63) and above the old weight (bits 16..48).
+const UPDATE_RAISED_BIT: u64 = 1 << 62;
+
+/// Build an update-weight operon: patch the copy of `src → dst_id` carrying
+/// copy tag `tag` from weight `w_old` to `w_new` on the logical vertex whose
+/// (primary) root is `src_root`. `payload[0]` carries the tag (low 16 bits),
+/// the old weight (bits 16..48), the increase flag (bit 62),
+/// and the rhizome fan marker; `payload[1]` = id ‖ new weight, exactly like
+/// an insert.
+pub fn update_weight_operon(
+    src_root: Address,
+    dst_id: u32,
+    w_old: u32,
+    w_new: u32,
+    tag: u16,
+) -> Operon {
+    let raised = if w_new > w_old { UPDATE_RAISED_BIT } else { 0 };
+    Operon::new(
+        src_root,
+        ACT_UPDATE,
+        [(tag as u64) | ((w_old as u64) << 16) | raised, ((dst_id as u64) << 32) | w_new as u64],
+    )
+}
+
+/// Decode an update-weight operon payload into
+/// `(tag, dst_id, w_old, w_new, raised)`.
+pub fn decode_update_weight(payload: [u64; 2]) -> (u16, u32, u32, u32, bool) {
+    (
+        payload[0] as u16,
+        (payload[1] >> 32) as u32,
+        (payload[0] >> 16) as u32,
+        payload[1] as u32,
+        payload[0] & UPDATE_RAISED_BIT != 0,
+    )
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@ pub mod sssp;
 pub mod triangle;
 
 pub use algo::{
-    delete_operon, insert_operon, GraphApp, VertexAlgo, ACT_ALGO_BASE, ACT_DELETE, ACT_INSERT,
-    ACT_RELAX, ACT_RESEED,
+    delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo, ACT_ALGO_BASE,
+    ACT_DELETE, ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
 };
 pub use bfs::{BfsAlgo, MAX_LEVEL};
 pub use concomp::CcAlgo;

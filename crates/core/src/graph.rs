@@ -12,20 +12,28 @@
 //! # Mutation semantics
 //!
 //! A batch is an ordered multiset edit of the directed edge multiset. The
-//! host keeps a **mutation ledger** assigning each inserted copy of an
-//! `(src, dst, weight)` identity a small copy tag (unique among live
-//! copies), so a `DelEdge` retracts exactly one copy — the oldest live one —
-//! no matter how copies spread across rhizome root slices and ghost spills.
-//! A delete that matches an insert of the *same batch* annihilates it on the
-//! host before anything reaches the fabric.
+//! host keeps a **mutation ledger** assigning each inserted copy of a
+//! directed pair `(src, dst)` a small copy tag (unique among the pair's live
+//! copies), so a `DelEdge` retracts exactly one copy — the oldest live one
+//! of the named weight — and an `UpdateWeight` re-weights exactly one copy —
+//! the pair's oldest — no matter how copies spread across rhizome root
+//! slices and ghost spills. A delete that matches an insert of the *same
+//! batch* annihilates it on the host before anything reaches the fabric, and
+//! same-batch updates of one copy coalesce into a single patch.
 //!
-//! Batches containing on-fabric deletions run in two phases when the
-//! algorithm propagates: a **structural** phase (inserts and retractions
-//! apply, improvements are suppressed, invalidation cascades recall state
-//! derived through deleted edges — see [`diffusive::retract`]) and a
-//! **reseed** phase (every surviving valid state re-announces, and monotone
-//! relaxation rebuilds the exact fixpoint over the surviving edge set).
-//! Pure-insert batches take the original single-phase fast path.
+//! Batches containing on-fabric deletions (or weight increases) run in two
+//! phases when the algorithm propagates: a **structural** phase (inserts,
+//! retractions, and weight patches apply, improvements are suppressed,
+//! invalidation cascades recall state derived through deleted or re-weighted
+//! edges — see [`diffusive::retract`]) and a **reseed** phase in which
+//! surviving valid state re-announces and monotone relaxation rebuilds the
+//! exact fixpoint over the surviving edge set. The reseed wave is scoped by
+//! [`RepairMode`]: `Targeted` (default) triggers only the repair frontier
+//! recorded during the cascade — invalidated vertices, recall-rejecting
+//! survivors, surviving in-neighbours of the invalidated set, and the
+//! batch's suppressed insert/update sources — while `Full` re-announces from
+//! every vertex (the O(n) ablation baseline). Both reach bit-identical
+//! fixpoints; pure-insert batches take the original single-phase fast path.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -33,18 +41,19 @@ use amcca_sim::{Address, ChipConfig, Operon, SimError};
 use diffusive::{Device, RunReport};
 
 use crate::apps::algo::{
-    delete_operon, insert_operon, GraphApp, VertexAlgo, ACT_DELETE, ACT_INSERT, ACT_RELAX,
-    ACT_RESEED,
+    decode_update_weight, delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo,
+    ACT_DELETE, ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
 };
 use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
-use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
+use crate::rpvo::{decode_edge, walk, Edge, RpvoConfig, VertexObj};
 
 /// A streamed edge: `(src, dst, weight)` with vertex ids.
 pub type StreamEdge = (u32, u32, u32);
 
 /// One element of a mutation stream: the typed unit the ingestion pipeline
 /// is built around. `AddEdge` grows the directed edge multiset; `DelEdge`
-/// removes one live copy of the named identity (the oldest).
+/// removes one live copy of the named identity (the oldest); `UpdateWeight`
+/// re-weights one live copy of a directed pair (the oldest).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphMutation {
     /// Insert one copy of the directed edge.
@@ -52,13 +61,27 @@ pub enum GraphMutation {
     /// Delete one live copy of the directed edge (panics at stream time if
     /// no copy is live — deleting a non-existent edge is a host bug).
     DelEdge(StreamEdge),
+    /// Re-weight the *oldest* live copy of the directed pair `u → v` to `w`
+    /// (panics at stream time if no copy is live). For monotone algorithms a
+    /// weight decrease is a plain relax along the edge; an increase runs a
+    /// scoped invalidate+reseed of exactly the paths through the edge.
+    UpdateWeight {
+        /// Source vertex of the re-weighted pair.
+        u: u32,
+        /// Destination vertex of the re-weighted pair.
+        v: u32,
+        /// New weight of the copy.
+        w: u32,
+    },
 }
 
 impl GraphMutation {
-    /// The edge identity this mutation refers to.
+    /// The `(src, dst, weight)` triple this mutation refers to (for
+    /// `UpdateWeight`, the weight is the *new* weight).
     pub fn edge(&self) -> StreamEdge {
         match *self {
             GraphMutation::AddEdge(e) | GraphMutation::DelEdge(e) => e,
+            GraphMutation::UpdateWeight { u, v, w } => (u, v, w),
         }
     }
 
@@ -68,52 +91,120 @@ impl GraphMutation {
     }
 }
 
-/// Per-identity live-copy bookkeeping of the mutation ledger.
+/// How the repair phase of a delete-bearing increment triggers its reseed
+/// wave (see the module docs; both modes reach bit-identical fixpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairMode {
+    /// Re-announce from every vertex: an O(n) trigger wave per repair batch,
+    /// kept as the ablation baseline (`paper churn --repair full`).
+    Full,
+    /// Re-announce only from the recorded repair frontier, so trigger work
+    /// is proportional to the invalidated region instead of the graph.
+    #[default]
+    Targeted,
+}
+
+/// Bookkeeping of the most recent increment's repair phase (all zero when no
+/// repair ran). Distinct-vertex counts; `triggers` is what the reseed wave
+/// actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Distinct vertices whose state the invalidation cascade reset.
+    pub invalidated: u64,
+    /// Distinct vertices that rejected a recall while holding announceable
+    /// state (survivors bordering the invalidated region).
+    pub rejected: u64,
+    /// Distinct surviving in-neighbours of the invalidated set (from the
+    /// host ledger's reverse index).
+    pub in_neighbors: u64,
+    /// Distinct sources of this batch's inserts and weight updates (their
+    /// announcements were suppressed during the structural phase).
+    pub touched: u64,
+    /// Reseed triggers injected: the deduped frontier union in `Targeted`
+    /// mode, `n` in `Full` mode.
+    pub triggers: u64,
+}
+
+/// Per-pair live-copy bookkeeping of the mutation ledger.
 #[derive(Debug, Clone, Default)]
 struct LiveCopies {
     /// Next tag to hand out (wrapping; tags need only be unique among the
-    /// identity's *live* copies).
+    /// pair's *live* copies).
     next: u16,
-    /// Tags of live copies, oldest first.
-    live: VecDeque<u16>,
+    /// `(current weight, tag)` of live copies, oldest first.
+    live: VecDeque<(u32, u16)>,
 }
 
-/// Host-side mutation ledger: which copies of each directed edge identity
-/// are live, by tag. Lookup-only (iteration never drives output), so the
-/// hash map cannot perturb determinism.
+/// Host-side mutation ledger, keyed by the directed pair `(src, dst)`: which
+/// copies are live, at which current weight, under which tag — plus a
+/// reverse index of surviving in-neighbours per destination vertex, the
+/// host-side half of the targeted-repair frontier (an invalidated vertex can
+/// only be re-fed through its surviving in-edges). Lookup-only except for
+/// [`EdgeLedger::sources_into`], whose consumers sort before driving output,
+/// so the hash maps cannot perturb determinism.
 #[derive(Debug, Clone, Default)]
 struct EdgeLedger {
-    copies: HashMap<(u32, u32, u32), LiveCopies>,
+    copies: HashMap<(u32, u32), LiveCopies>,
+    /// `dst → src → live copy count` over all weights of the pair.
+    sources: HashMap<u32, HashMap<u32, u32>>,
 }
 
 impl EdgeLedger {
     /// Register a streamed copy of `(u, v, w)` and return its tag.
     fn add(&mut self, u: u32, v: u32, w: u32) -> u16 {
-        let c = self.copies.entry((u, v, w)).or_default();
+        let c = self.copies.entry((u, v)).or_default();
         let tag = c.next;
         c.next = c.next.wrapping_add(1);
-        c.live.push_back(tag);
+        c.live.push_back((w, tag));
+        *self.sources.entry(v).or_default().entry(u).or_insert(0) += 1;
         tag
     }
 
-    /// Unregister the oldest live copy of `(u, v, w)`, returning its tag.
-    /// The identity's entry (and its tag counter) survives a full drain
-    /// until the increment completes: a re-added copy must NOT reuse a tag
-    /// while a same-tag retraction may still be in flight in the same wave,
-    /// or a miss-fanned broadcast could match both copies.
+    /// Unregister the oldest live copy of `(u, v)` currently weighing `w`,
+    /// returning its tag. The pair's entry (and its tag counter) survives a
+    /// full drain until the increment completes: a re-added copy must NOT
+    /// reuse a tag while a same-tag retraction may still be in flight in the
+    /// same wave, or a miss-fanned broadcast could match both copies.
     fn remove(&mut self, u: u32, v: u32, w: u32) -> Option<u16> {
-        self.copies.get_mut(&(u, v, w))?.live.pop_front()
+        let c = self.copies.get_mut(&(u, v))?;
+        let i = c.live.iter().position(|&(cw, _)| cw == w)?;
+        let (_, tag) = c.live.remove(i).expect("position is in range");
+        let srcs = self.sources.get_mut(&v).expect("reverse index tracks live copies");
+        let n = srcs.get_mut(&u).expect("reverse index tracks live copies");
+        *n -= 1;
+        if *n == 0 {
+            srcs.remove(&u);
+            if srcs.is_empty() {
+                self.sources.remove(&v);
+            }
+        }
+        Some(tag)
     }
 
-    /// Drop fully drained identities. Safe only at increment boundaries:
-    /// the chip is quiescent, so no retraction that could collide with a
-    /// reused tag is in flight. Keeps ledger memory bounded by the live
-    /// edge set instead of the stream's history.
+    /// Re-weight the *oldest* live copy of the pair `(u, v)` to `w_new`,
+    /// returning `(old weight, tag)`.
+    fn update_weight(&mut self, u: u32, v: u32, w_new: u32) -> Option<(u32, u16)> {
+        let front = self.copies.get_mut(&(u, v))?.live.front_mut()?;
+        let old = front.0;
+        front.0 = w_new;
+        Some((old, front.1))
+    }
+
+    /// Sources of the surviving in-edges of vertex `v`, in arbitrary hash
+    /// order — callers must sort before the result can drive output.
+    fn sources_into(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.sources.get(&v).into_iter().flat_map(|m| m.keys().copied())
+    }
+
+    /// Drop fully drained pairs. Safe only at increment boundaries: the chip
+    /// is quiescent, so no retraction that could collide with a reused tag
+    /// is in flight. Keeps ledger memory bounded by the live edge set
+    /// instead of the stream's history.
     fn prune_drained(&mut self) {
         self.copies.retain(|_, c| !c.live.is_empty());
     }
 
-    /// Number of live copies across all identities.
+    /// Number of live copies across all pairs.
     fn live_count(&self) -> u64 {
         self.copies.values().map(|c| c.live.len() as u64).sum()
     }
@@ -125,9 +216,14 @@ pub struct StreamingGraph<G: VertexAlgo> {
     /// Per-vertex root sets, streamed-degree counters, and the deterministic
     /// per-edge root router (single-root vertices route to their primary).
     rz: RhizomeDirectory,
-    /// Live-copy tags per edge identity (deletion addressing).
+    /// Live-copy tags per edge pair (deletion and re-weight addressing) plus
+    /// the surviving-in-neighbour reverse index for targeted repair.
     ledger: EdgeLedger,
     rcfg: RpvoConfig,
+    /// Reseed-wave scoping policy for delete-bearing batches.
+    repair: RepairMode,
+    /// Bookkeeping of the most recent increment's repair phase.
+    last_repair: RepairStats,
 }
 
 impl<G: VertexAlgo> StreamingGraph<G> {
@@ -148,6 +244,7 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         dev.register_action_at(ACT_RELAX, G::NAME);
         dev.register_action_at(ACT_DELETE, "delete-edge-action");
         dev.register_action_at(ACT_RESEED, "reseed-action");
+        dev.register_action_at(ACT_UPDATE, "update-weight-action");
         let mut addrs = Vec::with_capacity(n_vertices as usize);
         for vid in 0..n_vertices {
             let cc = root_placement.cell_for(vid, dims, seed);
@@ -159,6 +256,8 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             rz: RhizomeDirectory::new(addrs),
             ledger: EdgeLedger::default(),
             rcfg,
+            repair: RepairMode::default(),
+            last_repair: RepairStats::default(),
         })
     }
 
@@ -237,6 +336,52 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             .collect()
     }
 
+    /// Assemble phase B's reseed trigger set after a structural phase:
+    /// drain the frontier the invalidation cascade recorded on-fabric
+    /// (invalidated vertices + recall-rejecting survivors), join the
+    /// surviving in-neighbours of the invalidated set from the ledger's
+    /// reverse index and the batch's suppressed insert/update sources, and
+    /// dedup. Per-shard accumulation order and hash-map iteration order
+    /// never reach the output: every constituent is sorted first, so the
+    /// wave is deterministic and shard-count-independent. In
+    /// [`RepairMode::Full`] the stats are still recorded but the trigger set
+    /// is every vertex.
+    fn repair_frontier(&mut self, touched: &[u32]) -> Vec<u32> {
+        let (mut invalidated, mut rejected) = self.dev.app_mut().take_repair_sets();
+        invalidated.sort_unstable();
+        invalidated.dedup();
+        rejected.sort_unstable();
+        rejected.dedup();
+        let mut in_nbrs: Vec<u32> =
+            invalidated.iter().flat_map(|&v| self.ledger.sources_into(v)).collect();
+        in_nbrs.sort_unstable();
+        in_nbrs.dedup();
+        let mut touched = touched.to_vec();
+        touched.sort_unstable();
+        touched.dedup();
+        self.last_repair = RepairStats {
+            invalidated: invalidated.len() as u64,
+            rejected: rejected.len() as u64,
+            in_neighbors: in_nbrs.len() as u64,
+            touched: touched.len() as u64,
+            triggers: 0,
+        };
+        let frontier = match self.repair {
+            RepairMode::Full => (0..self.n_vertices()).collect::<Vec<u32>>(),
+            RepairMode::Targeted => {
+                let mut f = invalidated;
+                f.extend(rejected);
+                f.extend(in_nbrs);
+                f.extend(touched);
+                f.sort_unstable();
+                f.dedup();
+                f
+            }
+        };
+        self.last_repair.triggers = frontier.len() as u64;
+        frontier
+    }
+
     /// Enable/disable the algorithm's propagation on insert (the paper's
     /// ingestion-only experiments disable it).
     pub fn set_algo_propagation(&mut self, on: bool) {
@@ -248,6 +393,24 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// variant — see `paper ablate-terminator`).
     pub fn set_termination_mode(&mut self, mode: diffusive::TerminationMode) {
         self.dev.set_termination_mode(mode);
+    }
+
+    /// Select how subsequent delete-bearing increments scope their reseed
+    /// wave ([`RepairMode::Targeted`] by default; `Full` is the O(n)
+    /// ablation baseline — both reach bit-identical fixpoints).
+    pub fn set_repair_mode(&mut self, mode: RepairMode) {
+        self.repair = mode;
+    }
+
+    /// The currently selected repair mode.
+    pub fn repair_mode(&self) -> RepairMode {
+        self.repair
+    }
+
+    /// Bookkeeping of the most recent increment's repair phase (all zero if
+    /// the last increment ran no repair).
+    pub fn last_repair(&self) -> RepairStats {
+        self.last_repair
     }
 
     /// Number of vertices the graph was constructed with.
@@ -278,21 +441,32 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// destination address likewise picking one of the destination's roots —
     /// so a hub's ingest and frontier traffic fans out across cells.
     ///
-    /// Deletions run the two-phase repair described in the module docs, and
-    /// after the batch quiesces, promoted vertices whose live degree fell
-    /// back below the threshold are demoted: their extra roots collapse into
-    /// the primary and the merged edges re-ingest (timed) within this call.
-    /// The returned report spans all phases.
+    /// Deletions and weight increases run the two-phase repair described in
+    /// the module docs (with the reseed wave scoped per
+    /// [`Self::set_repair_mode`]), and after the batch quiesces, promoted
+    /// vertices whose live degree fell back below the threshold are demoted:
+    /// their extra roots collapse into the primary and the merged edges
+    /// re-ingest (timed) within this call. The returned report spans all
+    /// phases; its `reseed_triggers` / `repair_cycles` fields record the
+    /// repair wave's size and cost.
     ///
     /// # Panics
     ///
-    /// Panics if a [`GraphMutation::DelEdge`] names an identity with no live
-    /// copy.
+    /// Panics if a [`GraphMutation::DelEdge`] or
+    /// [`GraphMutation::UpdateWeight`] names an identity with no live copy.
     pub fn stream_increment(&mut self, muts: &[GraphMutation]) -> Result<RunReport, SimError> {
         let threshold = self.rcfg.rhizome_threshold;
         let mut ops: Vec<Option<Operon>> = Vec::with_capacity(muts.len());
-        let mut batch_adds: HashMap<(u32, u32, u32, u16), usize> = HashMap::new();
-        let mut fabric_dels = false;
+        // Pending insert / update operon per live `(u, v, tag)` copy, so
+        // same-batch mutations of one copy coalesce host-side instead of
+        // racing as broadcasts over the same wave (tags are unique among a
+        // pair's live copies, making the key exact).
+        let mut batch_adds: HashMap<(u32, u32, u16), usize> = HashMap::new();
+        let mut batch_updates: HashMap<(u32, u32, u16), usize> = HashMap::new();
+        // Sources whose announcements a structural phase would suppress;
+        // folded into the targeted repair frontier.
+        let mut touched: Vec<u32> = Vec::new();
+        let mut needs_repair = false;
         for m in muts {
             match *m {
                 GraphMutation::AddEdge((u, v, w)) => {
@@ -305,7 +479,8 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                     let tag = self.ledger.add(u, v, w);
                     let src = self.rz.route(u);
                     let dst = self.rz.route(v);
-                    batch_adds.insert((u, v, w, tag), ops.len());
+                    batch_adds.insert((u, v, tag), ops.len());
+                    touched.push(u);
                     ops.push(Some(insert_operon(src, &Edge::tagged(dst, v, w, tag))));
                 }
                 GraphMutation::DelEdge((u, v, w)) => {
@@ -314,34 +489,80 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                     });
                     self.rz.note_del(u);
                     self.rz.note_del(v);
-                    match batch_adds.remove(&(u, v, w, tag)) {
+                    // A same-batch weight update of this copy is moot now —
+                    // drop it rather than racing it against the retraction.
+                    if let Some(j) = batch_updates.remove(&(u, v, tag)) {
+                        ops[j] = None;
+                    }
+                    match batch_adds.remove(&(u, v, tag)) {
                         // The deleted copy is still in this batch's wave:
                         // annihilate the pair on the host.
                         Some(i) => ops[i] = None,
                         // The copy is settled on the fabric: retract it.
                         None => {
-                            fabric_dels = true;
+                            needs_repair = true;
                             ops.push(Some(delete_operon(self.rz.primary(u), v, w, tag)));
                         }
+                    }
+                }
+                GraphMutation::UpdateWeight { u, v, w } => {
+                    let (w_old, tag) = self.ledger.update_weight(u, v, w).unwrap_or_else(|| {
+                        panic!("UpdateWeight({u} -> {v}, w {w}): no live copy to update")
+                    });
+                    if let Some(&i) = batch_adds.get(&(u, v, tag)) {
+                        // The copy is still in this batch's wave: rewrite the
+                        // pending insert in place (nothing was ever announced
+                        // under the old weight, so no repair is needed).
+                        let op = ops[i].as_ref().expect("pending insert live");
+                        let mut e = decode_edge(op.payload);
+                        e.w = w;
+                        ops[i] = Some(insert_operon(op.target, &e));
+                    } else if let Some(&j) = batch_updates.get(&(u, v, tag)) {
+                        // Coalesce repeat updates of one copy: one patch
+                        // carrying the original old weight and the final new
+                        // weight (the intermediate weights were never
+                        // announced).
+                        let op = ops[j].as_ref().expect("pending update live");
+                        let (t, dst_id, w_orig, _, _) = decode_update_weight(op.payload);
+                        if w > w_orig {
+                            needs_repair = true;
+                        }
+                        ops[j] = Some(update_weight_operon(op.target, dst_id, w_orig, w, t));
+                    } else {
+                        if w > w_old {
+                            needs_repair = true;
+                        }
+                        batch_updates.insert((u, v, tag), ops.len());
+                        touched.push(u);
+                        ops.push(Some(update_weight_operon(self.rz.primary(u), v, w_old, w, tag)));
                     }
                 }
             }
         }
         let wave: Vec<Operon> = ops.into_iter().flatten().collect();
-        let mut report = if fabric_dels && self.dev.app().propagate_algo {
-            // Phase A — structural: edges move, improvements are suppressed,
-            // invalidation cascades recall state derived through deletions.
+        self.last_repair = RepairStats::default();
+        let mut report = if needs_repair && self.dev.app().propagate_algo {
+            // Phase A — structural: edges move and re-weigh, improvements
+            // are suppressed, invalidation cascades recall state derived
+            // through deletions and weight increases while recording the
+            // repair frontier on-fabric.
             self.dev.app_mut().notify_inserts = false;
             self.dev.register_data_transfer(wave);
             let structural = self.dev.run();
             self.dev.app_mut().notify_inserts = true;
             let mut report = structural?;
-            // Phase B — repair: every object with surviving announceable
-            // state re-announces it; relaxation rebuilds the fixpoint.
-            let n = self.n_vertices();
-            let reseeds = (0..n).map(|v| Operon::new(self.rz.primary(v), ACT_RESEED, [0, 0]));
+            // Phase B — repair: trigger the reseed wave (scoped per the
+            // repair mode); surviving announceable state re-announces and
+            // relaxation rebuilds the exact fixpoint.
+            let frontier = self.repair_frontier(&touched);
+            let reseeds =
+                frontier.iter().map(|&v| Operon::new(self.rz.primary(v), ACT_RESEED, [0, 0]));
             self.dev.register_data_transfer(reseeds);
-            report.absorb(self.dev.run()?);
+            let mut repair = self.dev.run()?;
+            repair.reseed_triggers = frontier.len() as u64;
+            repair.repair_cycles = repair.cycles;
+            repair.repair_instrs = repair.counters.instrs;
+            report.absorb(repair);
             report
         } else {
             self.dev.register_data_transfer(wave);
@@ -509,10 +730,11 @@ pub fn symmetrize(edges: &[StreamEdge]) -> Vec<StreamEdge> {
     out
 }
 
-/// Symmetrize a mutation batch: every `AddEdge` inserts both directions and
-/// — crucially for decremental correctness — every `DelEdge` retracts both
-/// directions, so an undirected workload never leaves a stale reverse edge
-/// behind after a delete.
+/// Symmetrize a mutation batch: every `AddEdge` inserts both directions,
+/// every `UpdateWeight` re-weights both directions, and — crucially for
+/// decremental correctness — every `DelEdge` retracts both directions, so an
+/// undirected workload never leaves a stale or mis-weighted reverse edge
+/// behind.
 pub fn symmetrize_mutations(muts: &[GraphMutation]) -> Vec<GraphMutation> {
     let mut out = Vec::with_capacity(muts.len() * 2);
     for m in muts {
@@ -524,6 +746,10 @@ pub fn symmetrize_mutations(muts: &[GraphMutation]) -> Vec<GraphMutation> {
             GraphMutation::DelEdge((u, v, w)) => {
                 out.push(GraphMutation::DelEdge((u, v, w)));
                 out.push(GraphMutation::DelEdge((v, u, w)));
+            }
+            GraphMutation::UpdateWeight { u, v, w } => {
+                out.push(GraphMutation::UpdateWeight { u, v, w });
+                out.push(GraphMutation::UpdateWeight { u: v, v: u, w });
             }
         }
     }
@@ -982,17 +1208,163 @@ mod tests {
     }
 
     #[test]
+    fn update_weight_decrease_is_a_single_phase_relax() {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            SsspAlgo::new(0),
+            8,
+        )
+        .unwrap();
+        g.stream_edges(&[(0, 1, 10), (1, 2, 10)]).unwrap();
+        assert_eq!(g.state_of(2), 20);
+        // Cheaper road: plain relax, no repair phase at all.
+        let r = g.stream_increment(&[GraphMutation::UpdateWeight { u: 1, v: 2, w: 3 }]).unwrap();
+        assert_eq!(g.state_of(2), 13, "decrease relaxes the downstream distance");
+        assert_eq!(r.reseed_triggers, 0, "no repair wave for a weight decrease");
+        assert_eq!(r.repair_cycles, 0);
+        assert_eq!(g.logical_edges(1), vec![(2, 3)], "weight patched in place");
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_weight_increase_repairs_paths_through_the_edge() {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            SsspAlgo::new(0),
+            8,
+        )
+        .unwrap();
+        g.stream_edges(&[(0, 1, 10), (1, 2, 10), (0, 2, 3)]).unwrap();
+        assert_eq!(g.state_of(2), 3, "shortcut in effect");
+        // Raise the shortcut above the long road: the distance derived
+        // through it must invalidate and re-derive.
+        let r = g.stream_increment(&[GraphMutation::UpdateWeight { u: 0, v: 2, w: 30 }]).unwrap();
+        assert_eq!(g.state_of(2), 20, "distance re-derived through the long road");
+        assert!(r.reseed_triggers > 0, "increase runs a repair wave");
+        assert!(r.repair_cycles > 0);
+        let stats = g.last_repair();
+        assert_eq!(stats.invalidated, 1, "only vertex 2 relied on the cheap shortcut");
+        assert!(stats.triggers < 8, "targeted reseed does not trigger every vertex");
+        // Raising it further, but still above the alternative: no change.
+        g.stream_increment(&[GraphMutation::UpdateWeight { u: 0, v: 2, w: 40 }]).unwrap();
+        assert_eq!(g.state_of(2), 20);
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_weight_same_batch_as_add_coalesces_on_host() {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            SsspAlgo::new(0),
+            8,
+        )
+        .unwrap();
+        // The add and its re-weight travel as ONE insert: no repair phase
+        // even though the weight "increased".
+        let r = g
+            .stream_increment(&[
+                AddEdge((0, 1, 2)),
+                GraphMutation::UpdateWeight { u: 0, v: 1, w: 9 },
+            ])
+            .unwrap();
+        assert_eq!(g.state_of(1), 9, "the coalesced insert carries the final weight");
+        assert_eq!(r.reseed_triggers, 0, "nothing was announced under the old weight");
+        assert_eq!(g.logical_edges(0), vec![(1, 9)]);
+    }
+
+    #[test]
+    fn update_weight_then_delete_in_one_batch_drops_the_patch() {
+        let mut g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            SsspAlgo::new(0),
+            8,
+        )
+        .unwrap();
+        g.stream_edges(&[(0, 1, 10), (0, 1, 5)]).unwrap();
+        assert_eq!(g.state_of(1), 5);
+        // Re-weight the oldest copy (w 10) then delete it (by its ledger
+        // weight, 7) in the same batch: the patch is moot and must not race
+        // the retraction.
+        g.stream_increment(&[GraphMutation::UpdateWeight { u: 0, v: 1, w: 7 }, DelEdge((0, 1, 7))])
+            .unwrap();
+        assert_eq!(g.logical_edges(0), vec![(1, 5)], "only the younger copy survives");
+        assert_eq!(g.state_of(1), 5);
+        assert_eq!(g.live_edge_count(), 1);
+        g.check_mirror_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_weight_picks_the_oldest_live_copy_of_the_pair() {
+        let mut g = small();
+        g.stream_edges(&[(0, 1, 5), (0, 1, 9)]).unwrap();
+        g.stream_increment(&[GraphMutation::UpdateWeight { u: 0, v: 1, w: 2 }]).unwrap();
+        let mut ws: Vec<u32> = g.logical_edges(0).iter().map(|&(_, w)| w).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![2, 9], "the oldest copy (w 5) was re-weighted");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live copy to update")]
+    fn updating_a_nonexistent_edge_is_a_host_bug() {
+        let mut g = small();
+        g.stream_increment(&[GraphMutation::UpdateWeight { u: 0, v: 1, w: 2 }]).unwrap();
+    }
+
+    #[test]
+    fn full_and_targeted_repair_reach_identical_fixpoints() {
+        let run = |mode: RepairMode| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test(),
+                RpvoConfig::basic(3, 2),
+                BfsAlgo::new(0),
+                16,
+            )
+            .unwrap();
+            g.set_repair_mode(mode);
+            let path: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
+            g.stream_edges(&path).unwrap();
+            g.stream_edges(&[(0, 6, 1)]).unwrap();
+            let r = g.stream_increment(&[DelEdge((0, 6, 1))]).unwrap();
+            g.check_mirror_consistency().unwrap();
+            (g.states(), g.total_edges_stored(), r.reseed_triggers)
+        };
+        let full = run(RepairMode::Full);
+        let targeted = run(RepairMode::Targeted);
+        assert_eq!(full.0, targeted.0, "bit-identical fixpoints");
+        assert_eq!(full.1, targeted.1);
+        assert_eq!(full.2, 16, "full wave triggers every vertex");
+        assert!(targeted.2 < 16, "targeted wave is scoped: {} triggers", targeted.2);
+        assert!(targeted.2 > 0);
+    }
+
+    #[test]
     fn symmetrize_doubles_edges() {
         let s = symmetrize(&[(1, 2, 9), (3, 4, 1)]);
         assert_eq!(s, vec![(1, 2, 9), (2, 1, 9), (3, 4, 1), (4, 3, 1)]);
     }
 
     #[test]
-    fn symmetrize_mutations_mirrors_both_kinds() {
-        let s = symmetrize_mutations(&[AddEdge((1, 2, 9)), DelEdge((3, 4, 1))]);
+    fn symmetrize_mutations_mirrors_all_kinds() {
+        use GraphMutation::UpdateWeight;
+        let s = symmetrize_mutations(&[
+            AddEdge((1, 2, 9)),
+            DelEdge((3, 4, 1)),
+            UpdateWeight { u: 5, v: 6, w: 2 },
+        ]);
         assert_eq!(
             s,
-            vec![AddEdge((1, 2, 9)), AddEdge((2, 1, 9)), DelEdge((3, 4, 1)), DelEdge((4, 3, 1)),]
+            vec![
+                AddEdge((1, 2, 9)),
+                AddEdge((2, 1, 9)),
+                DelEdge((3, 4, 1)),
+                DelEdge((4, 3, 1)),
+                UpdateWeight { u: 5, v: 6, w: 2 },
+                UpdateWeight { u: 6, v: 5, w: 2 },
+            ]
         );
     }
 

@@ -24,7 +24,7 @@ pub mod stream;
 pub use gc::{GcPreset, INCREMENTS};
 pub use loader::{load_edge_file, load_streaming_parts, parse_edges};
 pub use powerlaw::{degree_stats, generate_rmat, DegreeStats, RmatParams, SkewPreset};
-pub use sampling::{edge_sampling, snowball_sampling};
+pub use sampling::{edge_sampling, snowball_ranks, snowball_sampling};
 pub use sbm::{generate_sbm, SbmParams};
 pub use stream::{
     generate_churn, ChurnParams, ChurnPreset, ChurnStream, MutationBatch, Sampling, StreamEdge,

@@ -37,35 +37,33 @@ pub fn edge_sampling(
     StreamingDataset::new(n_vertices, Sampling::Edge, edges, offsets)
 }
 
-/// BFS-discovery order from `start`, `k` vertex waves of equal size.
-pub fn snowball_sampling(
-    n_vertices: u32,
-    edges: Vec<StreamEdge>,
-    k: usize,
-    start: u32,
-) -> StreamingDataset {
-    assert!(k >= 1);
+/// BFS-discovery ranks from `start` over the undirected view of `edges`:
+/// `rank[v]` is the position at which vertex `v` is discovered (disconnected
+/// remainders continue from the next unvisited id). The rank defines when an
+/// edge is *revealed* — once its later-ranked endpoint is discovered — which
+/// is what both the Snowball schedule and the Snowball-ordered churn
+/// generator sort by.
+pub fn snowball_ranks(n_vertices: u32, edges: &[StreamEdge], start: u32) -> Vec<u32> {
     assert!(start < n_vertices);
     // Undirected adjacency for the discovery walk.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_vertices as usize];
-    for &(u, v, _) in &edges {
+    for &(u, v, _) in edges {
         adj[u as usize].push(v);
         adj[v as usize].push(u);
     }
-    // BFS ranks; disconnected remainders continue from the next unvisited id.
     let mut rank = vec![u32::MAX; n_vertices as usize];
-    let mut order = Vec::with_capacity(n_vertices as usize);
+    let mut discovered = 0u32;
     let mut queue = std::collections::VecDeque::new();
     let mut next_seed = 0u32;
     queue.push_back(start);
     rank[start as usize] = 0;
-    order.push(start);
+    discovered += 1;
     loop {
         while let Some(u) = queue.pop_front() {
             for &v in &adj[u as usize] {
                 if rank[v as usize] == u32::MAX {
-                    rank[v as usize] = order.len() as u32;
-                    order.push(v);
+                    rank[v as usize] = discovered;
+                    discovered += 1;
                     queue.push_back(v);
                 }
             }
@@ -76,10 +74,22 @@ pub fn snowball_sampling(
         if next_seed >= n_vertices {
             break;
         }
-        rank[next_seed as usize] = order.len() as u32;
-        order.push(next_seed);
+        rank[next_seed as usize] = discovered;
+        discovered += 1;
         queue.push_back(next_seed);
     }
+    rank
+}
+
+/// BFS-discovery order from `start`, `k` vertex waves of equal size.
+pub fn snowball_sampling(
+    n_vertices: u32,
+    edges: Vec<StreamEdge>,
+    k: usize,
+    start: u32,
+) -> StreamingDataset {
+    assert!(k >= 1);
+    let rank = snowball_ranks(n_vertices, &edges, start);
     // An edge is revealed when its later endpoint is discovered.
     let reveal = |e: &StreamEdge| -> u32 { rank[e.0 as usize].max(rank[e.1 as usize]) };
     let mut edges = edges;

@@ -11,8 +11,18 @@
 //! half of the workload space — batches that insert fresh edges *and*
 //! delete the edges that fell out of a window of `W` batches, the canonical
 //! streaming-framework stress pattern (Besta et al., arXiv:1912.12740).
+//! Two knobs extend it: [`ChurnParams::order`] replays the edge source in
+//! Snowball discovery order, so deletes correlate with the BFS frontier
+//! instead of arriving uniformly, and [`ChurnParams::updates_per_batch`]
+//! mixes in weight re-assignments of live edges (the `UpdateWeight` mutation
+//! kind), exercising both the relax (decrease) and the scoped
+//! invalidate+reseed (increase) repair paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::powerlaw::{generate_rmat, RmatParams};
+use crate::sampling::snowball_ranks;
 
 /// A streamed edge `(src, dst, weight)`.
 pub type StreamEdge = (u32, u32, u32);
@@ -96,15 +106,23 @@ impl StreamingDataset {
 // Sliding-window churn.
 // ---------------------------------------------------------------------
 
-/// One batch of a mutation schedule: edges inserted this batch and edges
-/// (inserted exactly `window` batches ago) deleted this batch. The consumer
-/// applies the deletions and insertions of a batch as one increment.
+/// One batch of a mutation schedule: edges inserted this batch, edges
+/// (inserted exactly `window` batches ago) deleted this batch, and live
+/// edges re-weighted this batch. The consumer applies a batch as one
+/// increment, in the canonical order deletes → inserts → updates (the order
+/// the generator's window accounting assumes).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationBatch {
     /// Edges inserted by this batch, in stream order.
     pub adds: Vec<StreamEdge>,
-    /// Edges deleted by this batch (one live copy each), in stream order.
+    /// Edges deleted by this batch (one live copy each, named by its
+    /// *current* weight — a prior update may have re-weighted it), in stream
+    /// order.
     pub dels: Vec<StreamEdge>,
+    /// Weight updates applied by this batch: `(u, v, new_weight)` re-weights
+    /// the oldest live copy of the pair `u → v` (the `UpdateWeight` mutation
+    /// semantics), in stream order.
+    pub updates: Vec<StreamEdge>,
 }
 
 /// Parameters of the seeded sliding-window churn generator.
@@ -123,6 +141,16 @@ pub struct ChurnParams {
     /// and the graph empties (cools every hub back below any promotion
     /// threshold — the rhizome-demotion stress).
     pub drain: bool,
+    /// Weight updates per insert-bearing batch, each re-weighting the oldest
+    /// live copy of a uniformly chosen live pair to a fresh uniform weight
+    /// (`0` reproduces the pure add/delete schedule exactly).
+    pub updates_per_batch: usize,
+    /// How the edge source is ordered before batching:
+    /// [`Sampling::Edge`] keeps the RMAT arrival order (edges as formed);
+    /// [`Sampling::Snowball`] replays them in BFS discovery order from
+    /// vertex 0, so each batch's inserts — and, a window later, its deletes
+    /// — concentrate on the discovery frontier.
+    pub order: Sampling,
     /// Generator seed (defines the whole schedule deterministically).
     pub seed: u64,
 }
@@ -153,11 +181,48 @@ impl ChurnStream {
         &self.batches[i]
     }
 
-    /// The edge multiset live after batch `i` completed: exactly the adds of
-    /// the trailing window of batches (deletes always expire whole batches).
+    /// The edge multiset live after batch `i` completed, at current weights,
+    /// in insertion order: a replay of batches `0..=i` under the mutation
+    /// semantics — a delete removes the oldest live copy of its `(u, v, w)`
+    /// identity, an update re-weights the oldest live copy of its pair.
+    /// Without updates this is exactly the adds of the trailing window of
+    /// batches (deletes always expire whole batches).
     pub fn live_after(&self, i: usize) -> Vec<StreamEdge> {
-        let first = (i + 1).saturating_sub(self.window);
-        (first..=i).flat_map(|b| self.batches[b].adds.iter().copied()).collect()
+        if self.batches[..=i].iter().all(|b| b.updates.is_empty()) {
+            // No re-weights in play: the live set is exactly the adds of
+            // the trailing window, at their inserted weights — O(window)
+            // instead of replaying the whole history (per-batch callers
+            // like `run_streaming_churn` would otherwise go quadratic).
+            let first = (i + 1).saturating_sub(self.window);
+            return (first..=i).flat_map(|b| self.batches[b].adds.iter().copied()).collect();
+        }
+        // Insertion-ordered copies (`None` = deleted) plus a per-pair queue
+        // of live copy indices, mirroring the consumer's edge ledger.
+        let mut copies: Vec<Option<StreamEdge>> = Vec::new();
+        let mut by_pair: std::collections::HashMap<(u32, u32), std::collections::VecDeque<usize>> =
+            std::collections::HashMap::new();
+        for b in 0..=i {
+            let batch = &self.batches[b];
+            for &(u, v, w) in &batch.dels {
+                let q = by_pair.get_mut(&(u, v)).expect("delete names a live pair");
+                let at = q
+                    .iter()
+                    .position(|&idx| copies[idx].expect("queued copies are live").2 == w)
+                    .expect("delete names a live weight");
+                let idx = q.remove(at).expect("position is in range");
+                copies[idx] = None;
+            }
+            for &e in &batch.adds {
+                by_pair.entry((e.0, e.1)).or_default().push_back(copies.len());
+                copies.push(Some(e));
+            }
+            for &(u, v, w) in &batch.updates {
+                let q = by_pair.get_mut(&(u, v)).expect("update names a live pair");
+                let idx = *q.front().expect("update names a live pair");
+                copies[idx].as_mut().expect("queued copies are live").2 = w;
+            }
+        }
+        copies.into_iter().flatten().collect()
     }
 
     /// Total edges inserted across all batches.
@@ -169,36 +234,89 @@ impl ChurnStream {
     pub fn total_dels(&self) -> usize {
         self.batches.iter().map(|b| b.dels.len()).sum()
     }
+
+    /// Total weight updates across all batches.
+    pub fn total_updates(&self) -> usize {
+        self.batches.iter().map(|b| b.updates.len()).sum()
+    }
 }
 
 /// Generate a seeded sliding-window churn schedule over a heavy-tailed
-/// (RMAT) edge source: batch `i` inserts `adds_per_batch` fresh edges and
-/// deletes the edges inserted by batch `i - window` (in their insertion
-/// order). Deterministic per parameter set; every delete names an edge that
-/// is live at that point, each exactly once.
+/// (RMAT) edge source: batch `i` inserts `adds_per_batch` fresh edges —
+/// in arrival order, or in Snowball discovery order when
+/// [`ChurnParams::order`] asks for frontier-correlated churn — deletes the
+/// edges inserted by batch `i - window` (in their insertion order, at their
+/// *current* weights), and re-weights `updates_per_batch` uniformly chosen
+/// live edges. Deterministic per parameter set; every delete and update
+/// names an edge that is live at that point.
 pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
     assert!(p.window >= 1, "window must span at least one batch");
     assert!(p.batches >= 1, "need at least one insert batch");
-    let edges = generate_rmat(&RmatParams::scaled(
+    let rp = RmatParams::scaled(
         p.n_vertices,
         p.batches * p.adds_per_batch,
         p.seed ^ 0x4348_5552_4e00, // "CHURN"
-    ));
+    );
+    let mut edges = generate_rmat(&rp);
+    if p.order == Sampling::Snowball {
+        // Frontier-correlated schedule: replay the same edge multiset in
+        // BFS discovery order, so a batch's inserts cluster on the current
+        // frontier — and so, a window later, do its deletes.
+        let rank = snowball_ranks(p.n_vertices, &edges, 0);
+        edges.sort_by_key(|e| rank[e.0 as usize].max(rank[e.1 as usize]));
+    }
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x5550_4454_u64.rotate_left(13)); // "UPDT"
     let total = if p.drain { p.batches + p.window } else { p.batches };
     let mut batches = Vec::with_capacity(total);
+    // Live-window model mirroring the consumer's edge ledger: per-copy
+    // current weights (batch `b`'s adds occupy the index range
+    // `b*adds_per_batch..(b+1)*adds_per_batch`) plus per-pair queues of live
+    // copies, oldest first — updates hit the *oldest* copy of a pair.
+    let mut weights: Vec<u32> = Vec::with_capacity(edges.len());
+    let mut by_pair: std::collections::HashMap<(u32, u32), std::collections::VecDeque<usize>> =
+        std::collections::HashMap::new();
     for i in 0..total {
+        let dels = match i.checked_sub(p.window) {
+            Some(expired) if expired < p.batches => (expired * p.adds_per_batch
+                ..(expired + 1) * p.adds_per_batch)
+                .map(|idx| {
+                    let (u, v, _) = edges[idx];
+                    let q = by_pair.get_mut(&(u, v)).expect("expired copy is live");
+                    let front = q.pop_front().expect("expired copy is live");
+                    debug_assert_eq!(front, idx, "whole batches expire oldest-first");
+                    (u, v, weights[idx])
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         let adds = if i < p.batches {
-            edges[i * p.adds_per_batch..(i + 1) * p.adds_per_batch].to_vec()
+            let slice = &edges[i * p.adds_per_batch..(i + 1) * p.adds_per_batch];
+            for &(u, v, w) in slice {
+                by_pair.entry((u, v)).or_default().push_back(weights.len());
+                weights.push(w);
+            }
+            slice.to_vec()
         } else {
             Vec::new()
         };
-        let dels = match i.checked_sub(p.window) {
-            Some(expired) if expired < p.batches => {
-                edges[expired * p.adds_per_batch..(expired + 1) * p.adds_per_batch].to_vec()
-            }
-            _ => Vec::new(),
+        let live = (i.saturating_sub(p.window - 1).min(p.batches) * p.adds_per_batch)
+            ..((i + 1).min(p.batches) * p.adds_per_batch);
+        let updates = if i < p.batches && !live.is_empty() {
+            (0..p.updates_per_batch)
+                .map(|_| {
+                    // Pick a live copy uniformly; the update lands on the
+                    // oldest live copy of its pair (ledger semantics).
+                    let (u, v, _) = edges[rng.gen_range(live.clone())];
+                    let oldest = *by_pair[&(u, v)].front().expect("picked copy is live");
+                    let w = rng.gen_range(1..=rp.max_weight);
+                    weights[oldest] = w;
+                    (u, v, w)
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
-        batches.push(MutationBatch { adds, dels });
+        batches.push(MutationBatch { adds, dels, updates });
     }
     ChurnStream { n_vertices: p.n_vertices, window: p.window, batches }
 }
@@ -244,7 +362,8 @@ impl ChurnPreset {
         }
     }
 
-    /// Generate the schedule (drain tail included).
+    /// Generate the schedule (drain tail included, arrival order, no weight
+    /// updates — the pure add/delete workload `paper churn` measures).
     pub fn build(&self) -> ChurnStream {
         generate_churn(&ChurnParams {
             n_vertices: self.n_vertices,
@@ -252,6 +371,8 @@ impl ChurnPreset {
             adds_per_batch: self.adds_per_batch,
             window: self.window,
             drain: true,
+            updates_per_batch: 0,
+            order: Sampling::Edge,
             seed: self.seed,
         })
     }
@@ -305,6 +426,8 @@ mod tests {
             adds_per_batch: 200,
             window: 3,
             drain: true,
+            updates_per_batch: 0,
+            order: Sampling::Edge,
             seed: 11,
         }
     }
@@ -380,6 +503,147 @@ mod tests {
                 i - w
             );
         }
+    }
+
+    #[test]
+    fn snowball_churn_is_deterministic_and_preserves_the_multiset() {
+        let p = ChurnParams { order: Sampling::Snowball, ..churn_params() };
+        let (a, b) = (generate_churn(&p), generate_churn(&p));
+        for i in 0..a.len() {
+            assert_eq!(a.batch(i), b.batch(i), "deterministic per seed");
+        }
+        // Same edge multiset as the arrival-order schedule, reordered.
+        let arrival = generate_churn(&churn_params());
+        let collect = |c: &ChurnStream| {
+            let mut all: Vec<StreamEdge> =
+                (0..c.len()).flat_map(|i| c.batch(i).adds.iter().copied()).collect();
+            all.sort_unstable();
+            all
+        };
+        assert_eq!(collect(&a), collect(&arrival), "reordering preserves the multiset");
+        let flat_a: Vec<StreamEdge> =
+            (0..a.len()).flat_map(|i| a.batch(i).adds.iter().copied()).collect();
+        let flat_arrival: Vec<StreamEdge> =
+            (0..arrival.len()).flat_map(|i| arrival.batch(i).adds.iter().copied()).collect();
+        assert_ne!(flat_a, flat_arrival, "snowball genuinely reorders the stream");
+    }
+
+    #[test]
+    fn snowball_churn_window_invariant_and_discovery_order() {
+        let p = ChurnParams { order: Sampling::Snowball, ..churn_params() };
+        let c = generate_churn(&p);
+        // Window invariant: dels still expire whole batches in order.
+        for i in p.window..c.len() {
+            assert_eq!(c.batch(i).dels, c.batch(i - p.window).adds, "batch {i} expires i-W");
+        }
+        assert!(c.live_after(c.len() - 1).is_empty(), "fully drained");
+        // Discovery order: an insert never arrives before either endpoint is
+        // discoverable (vertex 0, a previously seen vertex, or the smallest
+        // undiscovered vertex with any edge — a new component's seed).
+        let mut has_edge = vec![false; p.n_vertices as usize];
+        for i in 0..c.len() {
+            for &(u, v, _) in &c.batch(i).adds {
+                has_edge[u as usize] = true;
+                has_edge[v as usize] = true;
+            }
+        }
+        let mut seen = vec![false; p.n_vertices as usize];
+        seen[0] = true;
+        for i in 0..c.len() {
+            for &(u, v, _) in &c.batch(i).adds {
+                if !(seen[u as usize] || seen[v as usize]) {
+                    let next_seed = (0..p.n_vertices)
+                        .find(|&x| !seen[x as usize] && has_edge[x as usize])
+                        .unwrap();
+                    assert!(
+                        u == next_seed || v == next_seed,
+                        "edge ({u},{v}) streamed before discovery (seed {next_seed})"
+                    );
+                }
+                seen[u as usize] = true;
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn snowball_churn_concentrates_early_batches_on_the_frontier() {
+        let p = churn_params();
+        let distinct_first = |c: &ChurnStream| {
+            let mut vs: Vec<u32> = c.batch(0).adds.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs.len()
+        };
+        let arrival = distinct_first(&generate_churn(&p));
+        let snowball =
+            distinct_first(&generate_churn(&ChurnParams { order: Sampling::Snowball, ..p }));
+        assert!(
+            snowball < arrival,
+            "snowball batch 0 touches fewer distinct vertices ({snowball} vs {arrival})"
+        );
+    }
+
+    #[test]
+    fn churn_with_updates_is_deterministic() {
+        let p = ChurnParams { updates_per_batch: 17, ..churn_params() };
+        let (a, b) = (generate_churn(&p), generate_churn(&p));
+        for i in 0..a.len() {
+            assert_eq!(a.batch(i), b.batch(i));
+        }
+        assert_eq!(a.total_updates(), p.batches * 17, "insert-bearing batches carry updates");
+        assert!(a.batch(a.len() - 1).updates.is_empty(), "drain batches are delete-only");
+        let other = generate_churn(&ChurnParams { seed: 12, ..p });
+        assert_ne!(a.batch(0).updates, other.batch(0).updates, "seed changes the updates");
+        // updates_per_batch = 0 reproduces the pure schedule exactly.
+        let pure = generate_churn(&churn_params());
+        let mixed = generate_churn(&p);
+        for i in 0..pure.len() {
+            assert_eq!(pure.batch(i).adds, mixed.batch(i).adds);
+        }
+    }
+
+    #[test]
+    fn churn_with_updates_window_invariant_holds_batch_by_batch() {
+        use std::collections::{HashMap, VecDeque};
+        let p = ChurnParams { updates_per_batch: 23, ..churn_params() };
+        let c = generate_churn(&p);
+        assert!(c.total_updates() > 0);
+        // Independent ledger model: per-pair queues of live copy weights,
+        // oldest first. Deletes must name a live weight, updates a live
+        // pair; the multiset must always match live_after.
+        let mut live: HashMap<(u32, u32), VecDeque<u32>> = HashMap::new();
+        let mut touched_weight = false;
+        for i in 0..c.len() {
+            let b = c.batch(i);
+            for &(u, v, w) in &b.dels {
+                let q = live.get_mut(&(u, v)).expect("delete names a live pair");
+                let at = q.iter().position(|&cw| cw == w).expect("delete names a live weight");
+                q.remove(at);
+                if q.is_empty() {
+                    live.remove(&(u, v));
+                }
+            }
+            for &(u, v, w) in &b.adds {
+                live.entry((u, v)).or_default().push_back(w);
+            }
+            for &(u, v, w) in &b.updates {
+                let q = live.get_mut(&(u, v)).expect("update names a live pair");
+                let front = q.front_mut().expect("update names a live pair");
+                if *front != w {
+                    touched_weight = true;
+                }
+                *front = w;
+            }
+            let mut want: Vec<StreamEdge> =
+                live.iter().flat_map(|(&(u, v), q)| q.iter().map(move |&w| (u, v, w))).collect();
+            want.sort_unstable();
+            let mut got = c.live_after(i);
+            got.sort_unstable();
+            assert_eq!(got, want, "live multiset (with current weights) after batch {i}");
+        }
+        assert!(touched_weight, "schedule must actually change some weight");
+        assert!(c.live_after(c.len() - 1).is_empty(), "updates never change liveness");
     }
 
     #[test]

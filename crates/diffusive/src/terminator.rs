@@ -42,6 +42,21 @@ pub struct RunReport {
     pub time_us: f64,
     /// Per-cycle activity recorded during this segment (if enabled).
     pub activity: ActivitySeries,
+    /// Number of reseed triggers the host injected for this report's repair
+    /// phase(s) — `n` for a full-wave reseed, the repair-frontier size for a
+    /// targeted one, `0` when no repair ran. Set by the application layer
+    /// (the chip does not know the trigger policy); accumulated by
+    /// [`RunReport::absorb`].
+    pub reseed_triggers: u64,
+    /// Cycles spent in the repair (phase-B reseed) segment(s) of this
+    /// report, out of [`RunReport::cycles`]. Set by the application layer;
+    /// accumulated by [`RunReport::absorb`].
+    pub repair_cycles: u64,
+    /// Instructions retired during the repair segment(s) — the *work* of the
+    /// reseed wave (cycles measure its depth; a wide wave hides its cost in
+    /// parallelism). Set by the application layer; accumulated by
+    /// [`RunReport::absorb`].
+    pub repair_instrs: u64,
 }
 
 impl RunReport {
@@ -55,7 +70,16 @@ impl RunReport {
     ) -> Self {
         let energy_uj = energy.total_uj(&counters, cells, cycles);
         let time_us = amcca_sim::cycles_to_us(cycles);
-        RunReport { cycles, counters, energy_uj, time_us, activity }
+        RunReport {
+            cycles,
+            counters,
+            energy_uj,
+            time_us,
+            activity,
+            reseed_triggers: 0,
+            repair_cycles: 0,
+            repair_instrs: 0,
+        }
     }
 
     /// Fold a follow-up segment into this report. Used when one logical
@@ -73,6 +97,9 @@ impl RunReport {
         if self.activity.frame_stride == 0 {
             self.activity.frame_stride = other.activity.frame_stride;
         }
+        self.reseed_triggers += other.reseed_triggers;
+        self.repair_cycles += other.repair_cycles;
+        self.repair_instrs += other.repair_instrs;
     }
 }
 
@@ -112,7 +139,9 @@ mod tests {
             r
         };
         let mut a = mk(100, vec![1, 2]);
-        let b = mk(40, vec![3]);
+        let mut b = mk(40, vec![3]);
+        b.reseed_triggers = 7;
+        b.repair_cycles = 40;
         let (ea, eb) = (a.energy_uj, b.energy_uj);
         a.absorb(b);
         assert_eq!(a.cycles, 140);
@@ -120,5 +149,7 @@ mod tests {
         assert_eq!(a.time_us, 0.14);
         assert!((a.energy_uj - (ea + eb)).abs() < 1e-12);
         assert_eq!(a.activity.counts, vec![1, 2, 3]);
+        assert_eq!(a.reseed_triggers, 7, "repair stats accumulate");
+        assert_eq!(a.repair_cycles, 40);
     }
 }

@@ -2,7 +2,9 @@
 //! future-work algorithms, running on the same diffusive machinery as BFS.
 //!
 //! Streams a weighted road-network-like grid, then drops in shortcut edges
-//! ("new roads") and shows distances updating without recomputation.
+//! ("new roads"), re-weights segments ("congestion"), and closes roads,
+//! showing distances updating without recomputation — repairs are scoped to
+//! the vertices an edit actually disturbs.
 //!
 //! ```sh
 //! cargo run --release --example incremental_sssp
@@ -63,7 +65,35 @@ fn main() {
     println!("shortcut streamed: 1 edge, {} cycles (incremental update only)", r.cycles);
     println!("  distance to north-east corner: {}", g.state_of(vid(SIDE - 1, 0)));
 
-    // Increment 4: the expressway closes for maintenance — a *decremental*
+    // Increment 4: rush hour — an expressway segment near the far corner
+    // triples in weight. A weight *increase* runs a scoped
+    // invalidate+reseed: only the distances that relied on the cheap
+    // segment repair, and the reseed wave triggers just the repair
+    // frontier around the far corner, not all 400 vertices.
+    let jam = GraphMutation::UpdateWeight { u: vid(15, 15), v: vid(16, 16), w: 9 };
+    let r = g.stream_increment(&[jam]).unwrap();
+    println!(
+        "congestion on 1 segment: {} cycles, {} reseed triggers (of {} vertices)",
+        r.cycles, r.reseed_triggers, n
+    );
+    assert!(r.reseed_triggers < n as u64);
+    let mut current = all.clone();
+    current.push((0, vid(SIDE - 1, 0), 5));
+    for e in current.iter_mut() {
+        if (e.0, e.1) == (vid(15, 15), vid(16, 16)) {
+            e.2 = 9;
+        }
+    }
+    let reference = dijkstra(&DiGraph::from_edges(n, current.iter().copied()), 0);
+    assert_eq!(g.states(), reference);
+    println!("congested distances verified against Dijkstra ✓");
+    // The jam clears: a weight *decrease* is just a relax, no repair wave.
+    let clear = GraphMutation::UpdateWeight { u: vid(15, 15), v: vid(16, 16), w: 3 };
+    let r = g.stream_increment(&[clear]).unwrap();
+    assert_eq!(r.reseed_triggers, 0, "decrease needs no repair wave");
+    println!("jam cleared: {} cycles (plain relax)", r.cycles);
+
+    // Increment 5: the expressway closes for maintenance — a *decremental*
     // update. Every distance derived through the deleted segments is
     // invalidated and re-relaxed from the surviving street grid.
     let closure: Vec<GraphMutation> =

@@ -62,7 +62,10 @@ pub mod prelude {
     pub use gc_datasets::{GcPreset, Sampling, SbmParams, SkewPreset, StreamingDataset};
     pub use sdgp_core::{
         apps::{BfsAlgo, CcAlgo, SsspAlgo, TriangleAlgo, MAX_LEVEL},
-        graph::{symmetrize, symmetrize_mutations, GraphMutation, StreamEdge, StreamingGraph},
+        graph::{
+            symmetrize, symmetrize_mutations, GraphMutation, RepairMode, RepairStats, StreamEdge,
+            StreamingGraph,
+        },
         rpvo::RpvoConfig,
     };
 }

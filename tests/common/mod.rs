@@ -1,0 +1,7 @@
+//! Shared helpers for the integration-test crates (not itself a test
+//! binary; each test file pulls this in with `mod common;`).
+
+// Each test crate compiles this module independently and uses a different
+// slice of the harness; the unused remainder is not dead code.
+#[allow(dead_code)]
+pub mod oracle;

@@ -1,27 +1,20 @@
-//! Property tests of the streaming mutation pipeline: after ANY sequence of
+//! Property tests of the streaming mutation pipeline, pinned to the shared
+//! differential harness (`tests/common/oracle.rs`): after ANY sequence of
 //! edge insertions and deletions — any interleaving, any batch split, any
 //! RPVO shape, rhizomes on or off — the chip's converged vertex states are
 //! **identical to rebuilding the graph from scratch over the surviving edge
-//! set**. That is the acceptance bar for decremental correctness:
-//!
-//! 1. **Rebuild equivalence** — BFS, SSSP, and CC fixpoints equal the
-//!    sequential oracle on exactly the live edges (delete → invalidate →
-//!    re-relax leaves no stale state and loses no reachable state).
-//! 2. **Edge conservation** — every live copy is stored exactly once across
-//!    all root slices and ghost subtrees; deleted copies are gone.
-//! 3. **Mirror convergence** — at quiescence every object of a logical
-//!    vertex agrees with its primary root, through churn and demotion.
-//! 4. **Demotion** — a promoted vertex whose live degree fell below the
-//!    threshold is collapsed back to exactly one root by the end of the
-//!    increment that cooled it.
-//! 5. **Determinism** — the whole mutation pipeline is reproducible and
-//!    shard-count-independent.
+//! set**, every live copy is stored exactly once, mirrors agree at
+//! quiescence, and cold rhizomes never survive a demotion sweep (all checked
+//! inside the harness). This file adds what the harness does not own:
+//! the mutation-script generators, determinism / shard-independence of the
+//! whole pipeline including cycle counts, and the directed-delete semantics
+//! regression. Weight-update interleavings live in `tests/update_weight.rs`.
+
+mod common;
 
 use amcca::prelude::*;
+use common::oracle::{Rebuild, ALL_ALGOS, N};
 use proptest::prelude::*;
-use refgraph::{bfs_levels, dijkstra, min_labels, DiGraph};
-
-const N: u32 = 24;
 
 /// A mutation script: raw tuples materialized into an add/delete sequence.
 /// `del` picks a live edge (by rotating index) when any exists, so every
@@ -51,8 +44,8 @@ fn arb_skewed_script() -> impl Strategy<Value = Vec<(u32, u32, u32, bool, u8)>> 
 }
 
 /// Materialize a script into mutations, tracking the live multiset so every
-/// `DelEdge` names a live edge. Returns `(mutations, survivors)`.
-fn materialize(script: &[(u32, u32, u32, bool, u8)]) -> (Vec<GraphMutation>, Vec<StreamEdge>) {
+/// `DelEdge` names a live edge.
+fn materialize(script: &[(u32, u32, u32, bool, u8)]) -> Vec<GraphMutation> {
     let mut muts = Vec::with_capacity(script.len());
     let mut live: Vec<StreamEdge> = Vec::new();
     for &(u, v, w, del, pick) in script {
@@ -64,143 +57,39 @@ fn materialize(script: &[(u32, u32, u32, bool, u8)]) -> (Vec<GraphMutation>, Vec
             muts.push(GraphMutation::AddEdge((u, v, w)));
         }
     }
-    (muts, live)
-}
-
-/// Split mutations into `chunks` batches (boundaries are arbitrary: batch
-/// splits must not change the fixpoint).
-fn stream_in_batches<G: sdgp_core::apps::VertexAlgo>(
-    g: &mut StreamingGraph<G>,
-    muts: &[GraphMutation],
-    chunks: usize,
-) {
-    for c in muts.chunks(muts.len().div_ceil(chunks.max(1)).max(1)) {
-        g.stream_increment(c).unwrap();
-    }
-}
-
-fn rhizome_cfg(k: usize) -> RpvoConfig {
-    RpvoConfig::basic(3, 2).with_rhizomes(6, k)
+    muts
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-    /// Post-churn BFS equals a from-scratch rebuild over the survivors, for
-    /// single-root and rhizome (K ∈ {2, 4}) configurations alike.
+    /// Post-churn BFS, SSSP, and CC equal a from-scratch rebuild over the
+    /// survivors (plus conservation, mirrors, and the demotion invariant —
+    /// the harness checks them on every call), for single-root and rhizome
+    /// (K ∈ {2, 4}) configurations and any batch split alike.
     #[test]
-    fn churned_bfs_matches_rebuild_oracle(
+    fn churned_fixpoints_match_rebuild_oracle(
         script in arb_script(),
         chunks in 1usize..5,
         ki in 0usize..3,
     ) {
         let k = [1usize, 2, 4][ki];
-        let (muts, live) = materialize(&script);
-        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        stream_in_batches(&mut g, &muts, chunks);
-        let oracle = bfs_levels(&DiGraph::from_edges(N, live.iter().copied()), 0);
-        prop_assert_eq!(g.states(), oracle, "BFS vs rebuild over survivors");
-        g.check_mirror_consistency().unwrap();
+        let muts = materialize(&script);
+        let harness = Rebuild::new(k, 1).chunks(chunks);
+        for algo in ALL_ALGOS {
+            harness.check(algo, &muts);
+        }
     }
 
-    /// Post-churn SSSP equals Dijkstra over the survivors.
+    /// Hub-heavy churn with promotion *and* demotion in play keeps every
+    /// invariant of the harness (rebuild equality, conservation through
+    /// rhizome slices, mirror convergence, cold vertices single-rooted).
     #[test]
-    fn churned_sssp_matches_rebuild_oracle(
-        script in arb_script(),
-        chunks in 1usize..5,
-        ki in 0usize..3,
-    ) {
-        let k = [1usize, 2, 4][ki];
-        let (muts, live) = materialize(&script);
-        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
-        stream_in_batches(&mut g, &muts, chunks);
-        let oracle = dijkstra(&DiGraph::from_edges(N, live.iter().copied()), 0);
-        prop_assert_eq!(g.states(), oracle, "SSSP vs rebuild over survivors");
-        g.check_mirror_consistency().unwrap();
-    }
-
-    /// Post-churn CC over a *symmetrized* mutation stream equals min-labels
-    /// over the surviving symmetric edges — deleting an undirected edge
-    /// retracts both directions, so no stale reverse edge can hold a
-    /// component together (the `symmetrize_mutations` regression property).
-    #[test]
-    fn churned_cc_matches_rebuild_oracle(
-        script in arb_script(),
-        chunks in 1usize..5,
-        ki in 0usize..2,
-    ) {
-        let k = [1usize, 4][ki];
-        let (muts, live) = materialize(&script);
-        let sym_muts = symmetrize_mutations(&muts);
-        let sym_live = symmetrize(&live);
-        let rcfg = if k == 1 { RpvoConfig::basic(3, 2) } else { rhizome_cfg(k) };
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, CcAlgo, N).unwrap();
-        stream_in_batches(&mut g, &sym_muts, chunks);
-        let oracle = min_labels(&DiGraph::from_edges(N, sym_live.iter().copied()));
-        prop_assert_eq!(g.states(), oracle, "CC vs rebuild over symmetric survivors");
-    }
-
-    /// Conservation and capacity through churn: exactly the surviving copies
-    /// are stored — per-vertex multisets match, nothing exceeds the edge
-    /// cap, and the host ledger agrees with the fabric.
-    #[test]
-    fn churn_conserves_surviving_edges(
+    fn skewed_churn_keeps_all_invariants(
         script in arb_skewed_script(),
         chunks in 1usize..5,
     ) {
-        let (muts, live) = materialize(&script);
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rhizome_cfg(3), BfsAlgo::new(0), N).unwrap();
-        stream_in_batches(&mut g, &muts, chunks);
-        prop_assert_eq!(g.total_edges_stored(), live.len() as u64);
-        prop_assert_eq!(g.live_edge_count(), live.len() as u64, "ledger agrees with fabric");
-        for u in 0..N {
-            let mut got = g.logical_edges(u);
-            got.sort_unstable();
-            let mut want: Vec<(u32, u32)> = live.iter()
-                .filter(|&&(s, _, _)| s == u)
-                .map(|&(_, d, w)| (d, w))
-                .collect();
-            want.sort_unstable();
-            prop_assert_eq!(got, want, "vertex {} surviving edge multiset", u);
-            for a in g.rhizome_objects(u) {
-                let obj = g.device().object(a).unwrap();
-                prop_assert!(obj.edges.len() <= 3, "capacity respected after churn");
-                prop_assert_eq!(obj.vid, u);
-            }
-        }
-        g.check_mirror_consistency().unwrap();
-    }
-
-    /// Demotion invariant: at the end of every increment, any vertex whose
-    /// live streamed degree sits below the threshold has exactly one root —
-    /// cold rhizomes never survive a sweep. (The converse direction,
-    /// promotion, is pinned by the skewed stream reliably heating vertex 0.)
-    #[test]
-    fn cold_vertices_end_single_rooted(
-        script in arb_skewed_script(),
-        chunks in 1usize..5,
-    ) {
-        let threshold = 6u32;
-        let (muts, live) = materialize(&script);
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rhizome_cfg(4), BfsAlgo::new(0), N).unwrap();
-        stream_in_batches(&mut g, &muts, chunks);
-        for v in 0..N {
-            if g.roots_of(v).len() > 1 {
-                prop_assert!(g.live_degree(v) >= threshold,
-                    "vertex {} keeps {} roots at live degree {}",
-                    v, g.roots_of(v).len(), g.live_degree(v));
-            }
-        }
-        // And the graph is still exact after any demotions that fired.
-        let oracle = bfs_levels(&DiGraph::from_edges(N, live.iter().copied()), 0);
-        prop_assert_eq!(g.states(), oracle);
+        Rebuild::new(3, 1).chunks(chunks).check_bfs(&materialize(&script));
     }
 
     /// The whole mutation pipeline — deletions, repair, demotion — is
@@ -210,16 +99,20 @@ proptest! {
         script in arb_skewed_script(),
         chunks in 1usize..4,
     ) {
-        let (muts, _) = materialize(&script);
+        let muts = materialize(&script);
         let run = |shards: usize| {
             let mut g = StreamingGraph::new(
                 ChipConfig::small_test().with_shards(shards),
-                rhizome_cfg(3), BfsAlgo::new(0), N).unwrap();
+                RpvoConfig::basic(3, 2).with_rhizomes(6, 3),
+                BfsAlgo::new(0), N).unwrap();
             let mut cycles = 0u64;
+            let mut triggers = 0u64;
             for c in muts.chunks(muts.len().div_ceil(chunks).max(1)) {
-                cycles += g.stream_increment(c).unwrap().cycles;
+                let r = g.stream_increment(c).unwrap();
+                cycles += r.cycles;
+                triggers += r.reseed_triggers;
             }
-            (g.states(), cycles, *g.device().chip().counters(),
+            (g.states(), cycles, triggers, *g.device().chip().counters(),
              g.rhizome_stats(), g.demotion_count())
         };
         let reference = run(1);
@@ -266,7 +159,8 @@ fn directed_delete_keeps_reverse_edge_symmetrized_delete_removes_it() {
 }
 
 /// Batch-split independence with mutations: applying the same mutation
-/// sequence in one batch or many yields the same fixpoint and survivors.
+/// sequence in one batch or many yields the same fixpoint and survivors
+/// (the harness re-verifies the full invariant set at each split).
 #[test]
 fn batch_split_is_immaterial_for_mutations() {
     let und: Vec<StreamEdge> = (0..12).map(|i| (i % 6, (i + 1) % 6, 1 + i % 3)).collect();
@@ -275,19 +169,9 @@ fn batch_split_is_immaterial_for_mutations() {
     muts.push(GraphMutation::DelEdge(und[7]));
     muts.push(GraphMutation::AddEdge((2, 4, 1)));
     muts.push(GraphMutation::DelEdge((2, 4, 1)));
-    let run = |chunks: usize| {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(2, 2),
-            BfsAlgo::new(0),
-            6,
-        )
-        .unwrap();
-        stream_in_batches(&mut g, &muts, chunks);
-        (g.states(), g.total_edges_stored())
-    };
-    let whole = run(1);
-    assert_eq!(whole, run(3));
-    assert_eq!(whole, run(5));
-    assert_eq!(whole.1, 10, "12 adds, 2 settled deletes, 1 annihilated pair");
+    assert_eq!(common::oracle::surviving_edges(&muts).len(), 10, "12 adds, 2 dels, 1 annihilated");
+    let harness = Rebuild::new(1, 1).rcfg(RpvoConfig::basic(2, 2));
+    let whole = harness.chunks(1).check_bfs(&muts).states();
+    assert_eq!(whole, harness.chunks(3).check_bfs(&muts).states());
+    assert_eq!(whole, harness.chunks(5).check_bfs(&muts).states());
 }

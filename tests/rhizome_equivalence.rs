@@ -1,21 +1,19 @@
-//! Property tests of the rhizome subsystem: splitting a hub vertex into K
-//! co-equal roots is a pure performance transformation —
-//!
-//! 1. **Algorithm equivalence** — BFS, SSSP, and connected components reach
-//!    the same fixpoint on the same edge stream whether hubs are promoted or
-//!    not, and both match the sequential reference oracles.
-//! 2. **Conservation** — every streamed edge is stored exactly once across
-//!    the union of all root slices and their ghost subtrees.
-//! 3. **Mirror convergence** — at quiescence every object of a logical
-//!    vertex (co-equal roots and ghosts alike) holds the same state.
-//! 4. **Determinism** — promotion, routing, and results are reproducible,
-//!    and independent of the chip's shard count.
+//! Property tests of the rhizome subsystem, pinned to the shared
+//! differential harness (`tests/common/oracle.rs`): splitting a hub vertex
+//! into K co-equal roots is a pure performance transformation. Every harness
+//! call checks algorithm equivalence against the sequential oracles (and so,
+//! transitively, against the single-root reference), edge conservation
+//! across the disjoint root slices, mirror convergence over all roots and
+//! ghosts, and the demotion invariant. This file adds the skewed-stream
+//! generators, the promotion assertions, determinism / shard-independence,
+//! and the query-fanning (triangle / Jaccard) regressions the harness does
+//! not own.
+
+mod common;
 
 use amcca::prelude::*;
+use common::oracle::{Rebuild, N};
 use proptest::prelude::*;
-use refgraph::{bfs_levels, dijkstra, min_labels, DiGraph};
-
-const N: u32 = 24;
 
 fn arb_edges() -> impl Strategy<Value = Vec<StreamEdge>> {
     prop::collection::vec((0..N, 0..N, 1u32..10), 1..120)
@@ -46,26 +44,21 @@ fn arb_rhizome_cfg() -> impl Strategy<Value = RpvoConfig> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-    /// Rhizome BFS reaches the exact single-root / oracle fixpoint on any
-    /// stream, and promotion actually happens on the skewed streams.
+    /// Rhizome BFS reaches the exact rebuild-oracle fixpoint on any skewed
+    /// stream, RPVO shape, and chip seed — with conservation and mirror
+    /// convergence across the root slices checked by the harness — and
+    /// promotion actually happens.
     #[test]
-    fn rhizome_bfs_matches_single_root_and_oracle(
+    fn rhizome_bfs_matches_oracle_and_promotes(
         edges in arb_skewed_edges(),
         rcfg in arb_rhizome_cfg(),
         seed in 0u64..1000,
     ) {
-        let chip = || ChipConfig { seed, ..ChipConfig::small_test() };
-        let mut rz = StreamingGraph::new(chip(), rcfg, BfsAlgo::new(0), N).unwrap();
-        rz.stream_edges(&edges).unwrap();
-        let single_cfg = RpvoConfig::basic(rcfg.edge_cap, rcfg.ghost_fanout);
-        let mut single = StreamingGraph::new(chip(), single_cfg, BfsAlgo::new(0), N).unwrap();
-        single.stream_edges(&edges).unwrap();
-        let oracle = bfs_levels(&DiGraph::from_edges(N, edges.iter().copied()), 0);
-        prop_assert_eq!(rz.states(), single.states());
-        prop_assert_eq!(rz.states(), oracle);
+        let g = Rebuild::new(1, 1).rcfg(rcfg).seed(seed)
+            .check_bfs(&GraphMutation::adds(&edges));
         // The skewed stream hammers vertex 0 hard enough to promote it.
-        prop_assert!(rz.rhizome_stats().0 >= 1, "hub must have been promoted");
-        prop_assert_eq!(rz.roots_of(0).len(), rcfg.rhizome_roots);
+        prop_assert!(g.rhizome_stats().0 >= 1, "hub must have been promoted");
+        prop_assert_eq!(g.roots_of(0).len(), rcfg.rhizome_roots);
     }
 
     /// Rhizome SSSP equals Dijkstra on the same stream.
@@ -74,58 +67,17 @@ proptest! {
         edges in arb_skewed_edges(),
         rcfg in arb_rhizome_cfg(),
     ) {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
-        g.stream_edges(&edges).unwrap();
-        let oracle = dijkstra(&DiGraph::from_edges(N, edges.iter().copied()), 0);
-        prop_assert_eq!(g.states(), oracle);
-        g.check_mirror_consistency().unwrap();
+        Rebuild::new(1, 1).rcfg(rcfg).check_sssp(&GraphMutation::adds(&edges));
     }
 
     /// Rhizome connected components equal the min-label oracle over the
-    /// symmetrized stream.
+    /// symmetrized stream (the harness symmetrizes).
     #[test]
     fn rhizome_cc_matches_min_labels(
         edges in arb_skewed_edges(),
         rcfg in arb_rhizome_cfg(),
     ) {
-        let sym = symmetrize(&edges);
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, CcAlgo, N).unwrap();
-        g.stream_edges(&sym).unwrap();
-        let oracle = min_labels(&DiGraph::from_edges(N, sym.iter().copied()));
-        prop_assert_eq!(g.states(), oracle);
-    }
-
-    /// Conservation and mirror convergence hold across the rhizome's
-    /// disjoint slices: every edge stored exactly once, every object of a
-    /// logical vertex (all roots + ghosts) agreeing at quiescence.
-    #[test]
-    fn rhizome_conserves_edges_and_converges_mirrors(
-        edges in arb_skewed_edges(),
-        rcfg in arb_rhizome_cfg(),
-    ) {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
-        g.stream_edges(&edges).unwrap();
-        prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
-        for u in 0..N {
-            let mut got = g.logical_edges(u);
-            got.sort_unstable();
-            let mut want: Vec<(u32, u32)> = edges.iter()
-                .filter(|&&(s, _, _)| s == u)
-                .map(|&(_, d, w)| (d, w))
-                .collect();
-            want.sort_unstable();
-            prop_assert_eq!(got, want, "vertex {} edge multiset across root slices", u);
-            // Capacity respected in every object of every slice.
-            for a in g.rhizome_objects(u) {
-                let obj = g.device().object(a).unwrap();
-                prop_assert!(obj.edges.len() <= rcfg.edge_cap);
-                prop_assert_eq!(obj.vid, u);
-            }
-        }
-        g.check_mirror_consistency().unwrap();
+        Rebuild::new(1, 1).rcfg(rcfg).check_cc(&GraphMutation::adds(&edges));
     }
 
     /// Promotion and routing are deterministic, and the whole rhizome
@@ -219,21 +171,18 @@ fn rhizome_jaccard_matches_single_root() {
 }
 
 /// Splitting the stream into increments does not change what gets promoted
-/// or the final fixpoint (promotion counters persist across increments).
+/// or the final fixpoint (promotion counters persist across increments; the
+/// harness re-verifies the full invariant set at every split).
 #[test]
 fn increment_split_does_not_change_promotion() {
     let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 4);
     let edges: Vec<StreamEdge> =
         (1..20).map(|v| (0, v, 1)).chain((1..19).map(|v| (v, v + 1, 1))).collect();
-    let run = |chunks: usize| {
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
-        for c in edges.chunks(edges.len().div_ceil(chunks)) {
-            g.stream_edges(c).unwrap();
-        }
-        (g.states(), g.rhizome_stats())
-    };
-    let whole = run(1);
-    assert_eq!(whole, run(4));
-    assert_eq!(whole.1 .0, 1, "exactly the hub promoted");
+    let muts = GraphMutation::adds(&edges);
+    let harness = Rebuild::new(1, 1).rcfg(rcfg).n(20);
+    let whole = harness.chunks(1).check_bfs(&muts);
+    let split = harness.chunks(4).check_bfs(&muts);
+    assert_eq!(whole.states(), split.states());
+    assert_eq!(whole.rhizome_stats(), split.rhizome_stats());
+    assert_eq!(whole.rhizome_stats().0, 1, "exactly the hub promoted");
 }

@@ -1,0 +1,258 @@
+//! Property tests of the `UpdateWeight` mutation, pinned to the shared
+//! differential harness (`tests/common/oracle.rs`): after ANY interleaving
+//! of `AddEdge` / `DelEdge` / `UpdateWeight` — weight increases and
+//! decreases alike, single-root or rhizome (K ∈ {1, 2, 4}), any batch split
+//! — BFS, SSSP, and CC fixpoints equal a from-scratch rebuild over the
+//! surviving edge set *at current weights*, conservation holds copy-exact,
+//! and mirrors agree. A weight decrease must behave as a plain relax; an
+//! increase must invalidate and repair exactly the paths that relied on the
+//! cheaper edge — the directed regression at the bottom pins that on the
+//! current SSSP shortest-path edge.
+
+mod common;
+
+use amcca::prelude::*;
+use common::oracle::{Algo, Rebuild, ALL_ALGOS, N};
+use proptest::prelude::*;
+
+/// A mutation script over adds, deletes, and weight updates. `op % 4`
+/// selects the kind (adds twice as likely); deletes pick a live edge and
+/// updates a live pair by rotating index, so every mutation is valid by
+/// construction.
+fn arb_update_script() -> impl Strategy<Value = Vec<(u32, u32, u32, u8, u8)>> {
+    prop::collection::vec((0..N, 0..N, 1u32..10, any::<u8>(), any::<u8>()), 1..160)
+}
+
+/// Bias the script toward vertex 0 so rhizome promotion (and demotion, as
+/// the delete-heavy tail cools it) interleaves with weight updates.
+fn arb_skewed_update_script() -> impl Strategy<Value = Vec<(u32, u32, u32, u8, u8)>> {
+    arb_update_script().prop_map(|mut s| {
+        let n = s.len();
+        for (i, step) in s.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                step.0 = 0;
+            }
+            if i > 2 * n / 3 && step.3 % 4 == 0 {
+                step.3 = 2; // turn half the tail's adds into deletes
+            }
+        }
+        s
+    })
+}
+
+/// Materialize a script, tracking the live multiset under ledger semantics
+/// so every delete names a live `(u, v, w)` and every update a live pair
+/// (updates re-weight the *oldest* live copy of the pair, like the ledger).
+fn materialize(script: &[(u32, u32, u32, u8, u8)]) -> Vec<GraphMutation> {
+    let mut muts = Vec::with_capacity(script.len());
+    let mut live: Vec<StreamEdge> = Vec::new();
+    for &(u, v, w, op, pick) in script {
+        match op % 4 {
+            2 if !live.is_empty() => {
+                // Name the picked copy's triple; the ledger (and this
+                // tracking) will retract the OLDEST live copy of it.
+                let e = live[pick as usize % live.len()];
+                let i = live.iter().position(|&x| x == e).expect("picked copy is live");
+                live.remove(i);
+                muts.push(GraphMutation::DelEdge(e));
+            }
+            3 if !live.is_empty() => {
+                let (pu, pv, _) = live[pick as usize % live.len()];
+                let oldest =
+                    live.iter_mut().find(|&&mut (a, b, _)| (a, b) == (pu, pv)).expect("pair live");
+                oldest.2 = w;
+                muts.push(GraphMutation::UpdateWeight { u: pu, v: pv, w });
+            }
+            _ if u != v => {
+                live.push((u, v, w));
+                muts.push(GraphMutation::AddEdge((u, v, w)));
+            }
+            _ => {}
+        }
+    }
+    muts
+}
+
+/// True if the script materialized at least one settled weight increase and
+/// one decrease (used to keep the proptests honest about coverage).
+fn update_mix(muts: &[GraphMutation]) -> (usize, usize) {
+    let mut live: Vec<StreamEdge> = Vec::new();
+    let (mut raises, mut drops) = (0, 0);
+    for m in muts {
+        match *m {
+            GraphMutation::AddEdge(e) => live.push(e),
+            GraphMutation::DelEdge(e) => {
+                let i = live.iter().position(|&x| x == e).unwrap();
+                live.remove(i);
+            }
+            GraphMutation::UpdateWeight { u, v, w } => {
+                let e = live.iter_mut().find(|&&mut (a, b, _)| (a, b) == (u, v)).unwrap();
+                match w.cmp(&e.2) {
+                    std::cmp::Ordering::Greater => raises += 1,
+                    std::cmp::Ordering::Less => drops += 1,
+                    std::cmp::Ordering::Equal => {}
+                }
+                e.2 = w;
+            }
+        }
+    }
+    (raises, drops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random add/delete/update interleavings match the rebuild oracle for
+    /// all three algorithms, across rhizome root counts and batch splits.
+    /// BFS and SSSP stream the raw directed script; CC gets a canonicalized
+    /// one (every pair ordered `u < v`) — symmetrizing is only
+    /// history-consistent when all of a pair's mutations share one
+    /// direction, because `UpdateWeight` addresses the pair's *oldest* copy
+    /// and the two directions' copy orders must stay isomorphic.
+    #[test]
+    fn updated_fixpoints_match_rebuild_oracle(
+        script in arb_update_script(),
+        chunks in 1usize..5,
+        ki in 0usize..3,
+    ) {
+        let k = [1usize, 2, 4][ki];
+        let harness = Rebuild::new(k, 1).chunks(chunks);
+        let muts = materialize(&script);
+        for algo in ALL_ALGOS {
+            if algo == Algo::Cc {
+                let canonical: Vec<(u32, u32, u32, u8, u8)> = script
+                    .iter()
+                    .map(|&(u, v, w, op, pick)| (u.min(v), u.max(v), w, op, pick))
+                    .collect();
+                harness.check(algo, &materialize(&canonical));
+            } else {
+                harness.check(algo, &muts);
+            }
+        }
+    }
+
+    /// Hub-heavy update churn (promotion, demotion, and re-weights of edges
+    /// spread across rhizome slices and ghost spills) keeps every harness
+    /// invariant — weight patches land on the right copy wherever it lives.
+    #[test]
+    fn skewed_update_churn_keeps_all_invariants(
+        script in arb_skewed_update_script(),
+        chunks in 1usize..5,
+    ) {
+        Rebuild::new(3, 1).chunks(chunks).check_sssp(&materialize(&script));
+    }
+
+    /// The pipeline with weight updates stays reproducible and
+    /// shard-count-independent, including cycles and reseed triggers.
+    #[test]
+    fn update_churn_is_deterministic_and_shard_independent(
+        script in arb_update_script(),
+        chunks in 1usize..4,
+    ) {
+        let muts = materialize(&script);
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::new(
+                ChipConfig::small_test().with_shards(shards),
+                RpvoConfig::basic(3, 2).with_rhizomes(6, 3),
+                SsspAlgo::new(0), N).unwrap();
+            let mut cycles = 0u64;
+            let mut triggers = 0u64;
+            for c in muts.chunks(muts.len().div_ceil(chunks).max(1)) {
+                let r = g.stream_increment(c).unwrap();
+                cycles += r.cycles;
+                triggers += r.reseed_triggers;
+            }
+            (g.states(), cycles, triggers, *g.device().chip().counters())
+        };
+        let reference = run(1);
+        prop_assert_eq!(&reference, &run(1), "reproducible");
+        prop_assert_eq!(&reference, &run(3), "shard-count independent");
+    }
+
+    /// Coverage guard: the script generator genuinely produces settled
+    /// increases AND decreases often enough to exercise both repair paths.
+    #[test]
+    fn scripts_exercise_both_directions(scripts in prop::collection::vec(arb_update_script(), 8)) {
+        let (mut raises, mut drops) = (0, 0);
+        for s in &scripts {
+            let (r, d) = update_mix(&materialize(s));
+            raises += r;
+            drops += d;
+        }
+        prop_assert!(raises > 0, "no weight increase generated across 8 scripts");
+        prop_assert!(drops > 0, "no weight decrease generated across 8 scripts");
+    }
+}
+
+/// Regression: a same-batch upstream deletion plus a downstream weight
+/// *decrease* must not under-invalidate. The decrease patches the edge
+/// before the deletion's cascade scans it, so the cascade's recall values
+/// are computed at the new weight and would no longer match state announced
+/// under the old one — the structural phase therefore recalls the old
+/// contribution at patch time even for decreases. Without that, d(2) below
+/// survives at 20 through a deleted path.
+#[test]
+fn same_batch_delete_and_decrease_invalidate_downstream() {
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), 4)
+            .unwrap();
+    g.stream_edges(&[(0, 1, 10), (1, 2, 10)]).unwrap();
+    assert_eq!(g.state_of(2), 20);
+    g.stream_increment(&[
+        GraphMutation::DelEdge((0, 1, 10)),
+        GraphMutation::UpdateWeight { u: 1, v: 2, w: 4 },
+    ])
+    .unwrap();
+    assert_eq!(g.state_of(1), amcca::sdgp_core::apps::INF, "vertex 1 unreachable");
+    assert_eq!(g.state_of(2), amcca::sdgp_core::apps::INF, "no stale distance through 1");
+    g.check_mirror_consistency().unwrap();
+    // And when vertex 1 stays supported, the decreased weight applies.
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), 4)
+            .unwrap();
+    g.stream_edges(&[(0, 1, 10), (0, 1, 30), (1, 2, 10)]).unwrap();
+    g.stream_increment(&[
+        GraphMutation::DelEdge((0, 1, 10)),
+        GraphMutation::UpdateWeight { u: 1, v: 2, w: 4 },
+    ])
+    .unwrap();
+    assert_eq!(g.state_of(1), 30, "re-derived through the surviving parallel edge");
+    assert_eq!(g.state_of(2), 34, "decreased weight applied during repair");
+}
+
+/// Directed regression: raising the weight of the edge on the CURRENT
+/// shortest path must invalidate exactly the distances derived through it
+/// and re-route them over the alternative, with a targeted (not O(n))
+/// repair wave; lowering it back must restore the old routing with a plain
+/// relax and no repair wave at all.
+#[test]
+fn sssp_weight_increase_on_the_shortest_path_edge_reroutes() {
+    let n = 16u32;
+    let mut g =
+        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), n)
+            .unwrap();
+    // Two roads from 0 to 3: cheap 0→1→3 (cost 4) and dear 0→2→3 (cost 10),
+    // plus a tail 3→4→...→15 whose distances all derive from d(3).
+    g.stream_edges(&[(0, 1, 2), (1, 3, 2), (0, 2, 5), (2, 3, 5)]).unwrap();
+    let tail: Vec<StreamEdge> = (3..n - 1).map(|v| (v, v + 1, 1)).collect();
+    g.stream_edges(&tail).unwrap();
+    assert_eq!(g.state_of(3), 4, "cheap road wins");
+    assert_eq!(g.state_of(15), 4 + 12);
+    // Raise the shortest-path edge 1→3 above the alternative: d(3) and the
+    // whole tail re-derive through 0→2→3.
+    let r = g.stream_increment(&[GraphMutation::UpdateWeight { u: 1, v: 3, w: 20 }]).unwrap();
+    assert_eq!(g.state_of(3), 10, "re-routed over the dear road");
+    assert_eq!(g.state_of(15), 10 + 12, "tail distances repaired transitively");
+    assert_eq!(g.state_of(1), 2, "upstream of the raised edge untouched");
+    assert!(r.reseed_triggers > 0, "increase runs a repair wave");
+    assert!(r.reseed_triggers < n as u64, "repair wave is targeted, not O(n)");
+    let stats = g.last_repair();
+    assert!(stats.invalidated >= 13, "d(3) and the tail invalidated: {stats:?}");
+    // Lower it again: plain relax, no repair wave, old routing restored.
+    let r = g.stream_increment(&[GraphMutation::UpdateWeight { u: 1, v: 3, w: 2 }]).unwrap();
+    assert_eq!(g.state_of(3), 4);
+    assert_eq!(g.state_of(15), 16);
+    assert_eq!(r.reseed_triggers, 0, "decrease needs no repair wave");
+    assert_eq!(r.repair_cycles, 0);
+    g.check_mirror_consistency().unwrap();
+}
