@@ -14,9 +14,12 @@ fn workload(n: u32, m: usize) -> Vec<StreamEdge> {
 }
 
 fn run(edges: &[StreamEdge], n: u32, with_bfs: bool) -> u64 {
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.set_algo_propagation(with_bfs);
     let r = g.stream_edges(edges).unwrap();
     r.cycles

@@ -17,7 +17,12 @@ fn run(edges: &[StreamEdge], n: u32, shards: usize) -> u64 {
     // so shards > 1 must run every cycle on the parallel path (the adaptive
     // default would hand warm-up and cold tails to the sequential engine).
     let cfg = ChipConfig { adaptive_shards: false, ..ChipConfig::default().with_shards(shards) };
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.stream_edges(edges).unwrap().cycles
 }
 

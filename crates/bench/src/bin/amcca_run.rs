@@ -156,7 +156,11 @@ fn run_algo<G: VertexAlgo<State = u64>>(
     algo: G,
 ) {
     let cells = chip.cell_count();
-    let mut g = StreamingGraph::new(chip, rcfg, algo, dataset.n_vertices)
+    let mut g = StreamingGraph::builder(algo)
+        .vertices(dataset.n_vertices)
+        .chip(chip)
+        .rpvo(rcfg)
+        .build()
         .unwrap_or_else(|e| die(&format!("constructing graph: {e}")));
     g.set_algo_propagation(!args.ingest_only);
     let mut total_cycles = 0u64;

@@ -20,6 +20,10 @@
 //!   churn            Sliding-window mutation stream: deletions, repair
 //!                    diffusions, rhizome demotion (oracle-checked per
 //!                    batch), plus the full-vs-targeted repair ablation
+//!   serve            Always-on ingestion server: concurrent clients over
+//!                    loopback TCP, admission control, checkpoint + WAL,
+//!                    then kill/recover with a bit-identical fixpoint check
+//!                    (emits BENCH_serve.json)
 //!   verify           Check streamed BFS against the reference oracle (§4)
 //!   all              Everything above, in order
 //! ```
@@ -99,7 +103,7 @@ fn parse_args() -> Args {
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N] [--repair full|targeted]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N] [--repair full|targeted]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -146,6 +150,7 @@ fn main() {
         "loadmap" => loadmap(&args),
         "skew" => skew(&args),
         "churn" => churn(&args),
+        "serve" => serve(&args),
         "verify" => verify(&args),
         "all" => {
             table1(&args);
@@ -159,6 +164,7 @@ fn main() {
             loadmap(&args);
             skew(&args);
             churn(&args);
+            serve(&args);
             verify(&args);
         }
         other => die(&format!("unknown command {other}")),
@@ -628,13 +634,12 @@ fn loadmap(args: &Args) {
     for sampling in [Sampling::Edge, Sampling::Snowball] {
         let p = args.scale.apply(GcPreset::v50k(sampling));
         let d = p.build();
-        let mut g = StreamingGraph::new(
-            chip_for(args),
-            RpvoConfig::default(),
-            BfsAlgo::new(0),
-            d.n_vertices,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(d.n_vertices)
+            .chip(chip_for(args))
+            .rpvo(RpvoConfig::default())
+            .build()
+            .unwrap();
         g.set_algo_propagation(false);
         // Stream only the LAST increment after building the prefix, so the
         // measured loads reflect one increment's frontier behaviour.
@@ -1107,6 +1112,205 @@ fn ablate_repair(
 }
 
 // ---------------------------------------------------------------------
+// Serving mode: always-on ingestion, admission control, crash recovery.
+// ---------------------------------------------------------------------
+
+/// The `paper serve` scenario: boot the ingestion server fresh, drive it
+/// with concurrent churn clients over disjoint vertex slices (disjoint
+/// pairs keep concurrent submissions commutative), checkpoint, push a
+/// short write-ahead tail, kill the server mid-flight, and time the
+/// recovery. Self-checking: the recovered fixpoint must be bit-identical
+/// to the pre-crash query answer *and* to an offline single-writer replay
+/// of the surviving edges, and recovery must replay only the WAL tail.
+/// Emits `BENCH_serve.json`.
+fn serve(args: &Args) {
+    use std::time::Instant;
+
+    use amcca_serve::server::{IngestCore, ServeConfig, Server};
+    use amcca_serve::{Client, Submission};
+    use gc_datasets::{generate_churn, ChurnParams};
+    use sdgp_core::apps::BfsAlgo;
+    use sdgp_core::graph::{StreamEdge, StreamingGraph};
+
+    const CLIENTS: u32 = 4;
+    const CHECKPOINT_EVERY: u64 = 5;
+    const TAIL_BATCHES: usize = 3;
+
+    eprintln!("[serve] {CLIENTS} churn clients over loopback TCP, scale {:?}...", args.scale);
+    let base = ChurnPreset::v50k().scaled_down(args.scale.factor());
+    let span = base.n_vertices;
+    // Reserve a small id range past the client slices for the post-
+    // checkpoint tail traffic.
+    let n_total = span * CLIENTS + 16;
+    let adds_per_batch = (base.adds_per_batch / CLIENTS as usize).max(64);
+    let schedules: Vec<gc_datasets::ChurnStream> = (0..CLIENTS)
+        .map(|c| {
+            generate_churn(&ChurnParams {
+                n_vertices: span,
+                batches: base.batches,
+                adds_per_batch,
+                window: base.window,
+                drain: false,
+                updates_per_batch: (adds_per_batch / 8).max(4),
+                order: Sampling::Edge,
+                seed: base.seed + c as u64,
+            })
+        })
+        .collect();
+
+    let builder = || {
+        StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(n_total)
+            .chip(chip_for(args))
+            .rpvo(RpvoConfig::default())
+            .repair(args.repair)
+    };
+    let dir = out_dir(&args.out);
+    let store = dir.join("serve_store");
+    let _ = std::fs::remove_dir_all(&store);
+    let (core, boot) =
+        IngestCore::boot(builder(), &store, CHECKPOINT_EVERY).expect("fresh server boot");
+    assert!(!boot.recovered, "store directory was just wiped");
+    let server = Server::start_loopback(core, ServeConfig::default()).expect("server start");
+    let addr = server.addr();
+
+    // Ingestion phase: each client streams its slice-shifted churn
+    // schedule, one blocking submission per batch, measuring the full
+    // round trip (admission + coalescing + the increment converging).
+    let ingest_start = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|cid| {
+                let schedule = &schedules[cid as usize];
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connect");
+                    let mut latencies_ms = Vec::new();
+                    let (mut muts, mut retries) = (0u64, 0u64);
+                    for i in 0..schedule.len() {
+                        let batch = schedule.batch(i).shifted(cid * span).to_mutations();
+                        loop {
+                            let t = Instant::now();
+                            match c.submit(&batch).expect("submit") {
+                                Submission::Applied => {
+                                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                                    muts += batch.len() as u64;
+                                    break;
+                                }
+                                Submission::RetryAfter(backoff) => {
+                                    retries += 1;
+                                    std::thread::sleep(backoff);
+                                }
+                            }
+                        }
+                    }
+                    (latencies_ms, muts, retries)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    let submitted_muts: u64 = per_client.iter().map(|r| r.1).sum();
+    let admission_retries: u64 = per_client.iter().map(|r| r.2).sum();
+    let mut latencies: Vec<f64> = per_client.into_iter().flat_map(|r| r.0).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+
+    // Checkpoint, then a short tail so the crash has something to replay.
+    let mut ctl = Client::connect(addr).expect("control client");
+    ctl.checkpoint().expect("checkpoint request");
+    let tail_base = span * CLIENTS;
+    for i in 0..TAIL_BATCHES as u32 {
+        ctl.submit_retrying(
+            &[sdgp_core::graph::GraphMutation::AddEdge((tail_base + i, tail_base + i + 1, 1))],
+            100,
+        )
+        .expect("tail submit");
+    }
+    let states_before = ctl.query().expect("pre-crash query");
+    let stats_before = ctl.stats().expect("pre-crash stats");
+    ctl.kill().expect("kill");
+    let report = server.join();
+    assert!(report.crashed, "kill must end the run as a crash");
+
+    // Timed recovery: checkpoint restore + tail-only WAL replay.
+    let recover_start = Instant::now();
+    let (recovered, reboot) =
+        IngestCore::boot(builder(), &store, CHECKPOINT_EVERY).expect("recovery boot");
+    let recovery_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+    assert!(reboot.recovered, "checkpoint found");
+    assert_eq!(reboot.tail_batches, TAIL_BATCHES, "replay exactly the post-checkpoint tail");
+    assert!(
+        (reboot.tail_batches as u64) < stats_before.batches,
+        "tail-only replay, not the whole history"
+    );
+    let states_after = recovered.sync_values();
+    assert_eq!(states_after, states_before, "recovered fixpoint is bit-identical");
+
+    // Offline oracle: a single-writer replay of every surviving edge must
+    // reach the same fixpoint (the live multiset determines it).
+    let mut surviving: Vec<StreamEdge> = Vec::new();
+    for (cid, schedule) in schedules.iter().enumerate() {
+        let b = cid as u32 * span;
+        surviving.extend(
+            schedule.live_after(schedule.len() - 1).iter().map(|&(u, v, w)| (u + b, v + b, w)),
+        );
+    }
+    surviving.extend((0..TAIL_BATCHES as u32).map(|i| (tail_base + i, tail_base + i + 1, 1)));
+    let mut offline = builder().build().expect("oracle graph");
+    offline.stream_edges(&surviving).expect("oracle replay");
+    assert_eq!(offline.sync_values(), states_before, "offline single-writer oracle agrees");
+
+    let total_batches: usize =
+        schedules.iter().map(gc_datasets::ChurnStream::len).sum::<usize>() + TAIL_BATCHES;
+    println!(
+        "\nServing mode: {CLIENTS} clients x {} batches + {TAIL_BATCHES} tail \
+         (slices of {span} vertices, {} live edges at kill)",
+        base.batches, stats_before.live_edges
+    );
+    let header = ["Metric", "Value"];
+    let rows = vec![
+        vec!["mutations submitted".into(), submitted_muts.to_string()],
+        vec!["mutations/sec".into(), format!("{:.0}", submitted_muts as f64 / ingest_secs)],
+        vec!["submit p50 (ms)".into(), format!("{:.2}", pct(0.50))],
+        vec!["submit p99 (ms)".into(), format!("{:.2}", pct(0.99))],
+        vec!["increments applied".into(), stats_before.batches.to_string()],
+        vec!["admission retries".into(), admission_retries.to_string()],
+        vec!["checkpoints".into(), stats_before.checkpoints.to_string()],
+        vec!["checkpoint bytes".into(), stats_before.last_checkpoint_bytes.to_string()],
+        vec!["WAL tail replayed".into(), reboot.tail_batches.to_string()],
+        vec!["recovery (ms)".into(), format!("{recovery_ms:.1}")],
+    ];
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "  recovered fixpoint bit-identical to pre-crash query and offline oracle \
+         ({} of {} batches replayed)",
+        reboot.tail_batches, total_batches
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"serve\",\n  \"scale\": \"{:?}\",\n  \"clients\": {CLIENTS},\n  \
+         \"batches_submitted\": {total_batches},\n  \"mutations_submitted\": {submitted_muts},\n  \
+         \"mutations_per_sec\": {:.1},\n  \"submit_latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},\n  \
+         \"increments_applied\": {},\n  \"admission_retries\": {admission_retries},\n  \
+         \"admission_rejected\": {},\n  \"checkpoints\": {},\n  \"checkpoint_bytes\": {},\n  \
+         \"wal_tail_batches_replayed\": {},\n  \"recovery_ms\": {recovery_ms:.2},\n  \
+         \"recovered_fixpoint_bit_identical\": true\n}}\n",
+        args.scale,
+        submitted_muts as f64 / ingest_secs,
+        pct(0.50),
+        pct(0.99),
+        stats_before.batches,
+        report.stats.rejected,
+        stats_before.checkpoints,
+        stats_before.last_checkpoint_bytes,
+        reboot.tail_batches,
+    );
+    std::fs::write(dir.join("BENCH_serve.json"), json).expect("write BENCH_serve.json");
+    println!("  (json: {}/BENCH_serve.json)", args.out);
+}
+
+// ---------------------------------------------------------------------
 // Verification (paper §4: results checked against NetworkX).
 // ---------------------------------------------------------------------
 
@@ -1118,9 +1322,12 @@ fn verify(args: &Args) {
     eprintln!("[verify] streamed BFS vs reference oracle...");
     let p = args.scale.apply(GcPreset::v50k(Sampling::Edge)).scaled_down(4);
     let d = p.build();
-    let mut g =
-        StreamingGraph::new(chip_for(args), RpvoConfig::default(), BfsAlgo::new(0), d.n_vertices)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(d.n_vertices)
+        .chip(chip_for(args))
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
         g.stream_edges(d.increment(i)).unwrap();

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use amcca_sim::{ActivityRecording, ChipConfig, Counters, GhostPlacement};
 use gc_datasets::{ChurnStream, GcPreset, StreamingDataset};
 use sdgp_core::apps::BfsAlgo;
-use sdgp_core::graph::{GraphMutation, RepairMode, StreamingGraph};
+use sdgp_core::graph::{RepairMode, StreamingGraph};
 use sdgp_core::rpvo::RpvoConfig;
 
 /// Experiment scale: the paper's sizes or a proportional scale-down.
@@ -135,7 +135,11 @@ pub fn run_streaming_bfs(
         chip.record_activity = ActivityRecording::Counts;
     }
     let cell_count = chip.cell_count();
-    let mut g = StreamingGraph::new(chip, opts.rcfg, BfsAlgo::new(0), dataset.n_vertices)
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(dataset.n_vertices)
+        .chip(chip)
+        .rpvo(opts.rcfg)
+        .build()
         .expect("graph construction");
     g.set_algo_propagation(opts.with_algo);
     g.set_termination_mode(opts.termination);
@@ -226,20 +230,19 @@ pub struct ChurnExperiment {
 pub fn run_streaming_churn(churn: &ChurnStream, opts: &RunOpts, label: &str) -> ChurnExperiment {
     use refgraph::{bfs_levels, DiGraph};
 
-    let mut g =
-        StreamingGraph::new(opts.chip.clone(), opts.rcfg, BfsAlgo::new(0), churn.n_vertices)
-            .expect("graph construction");
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(churn.n_vertices)
+        .chip(opts.chip.clone())
+        .rpvo(opts.rcfg)
+        .repair(opts.repair)
+        .build()
+        .expect("graph construction");
     g.set_algo_propagation(opts.with_algo);
     g.set_termination_mode(opts.termination);
-    g.set_repair_mode(opts.repair);
     let mut rows = Vec::with_capacity(churn.len());
     for i in 0..churn.len() {
         let b = churn.batch(i);
-        let mut muts: Vec<GraphMutation> =
-            Vec::with_capacity(b.adds.len() + b.dels.len() + b.updates.len());
-        muts.extend(b.dels.iter().copied().map(GraphMutation::DelEdge));
-        muts.extend(b.adds.iter().copied().map(GraphMutation::AddEdge));
-        muts.extend(b.updates.iter().map(|&(u, v, w)| GraphMutation::UpdateWeight { u, v, w }));
+        let muts = b.to_mutations();
         let report = g.stream_increment(&muts).expect("churn batch run");
         let live = churn.live_after(i);
         assert_eq!(

@@ -1,0 +1,376 @@
+//! Checkpoint serialization for the serving layer.
+//!
+//! A [`GraphCheckpoint`] captures everything the host needs to rebuild a
+//! [`StreamingGraph`]'s exact converged state from disk:
+//!
+//! * the **live edge multiset** in insertion order at current weights (from
+//!   the shared mutation log) — replaying it into a fresh graph reproduces
+//!   the per-pair oldest-first copy order, so a write-ahead mutation tail
+//!   replayed on top resolves deletes and re-weights to the same copies;
+//! * the **promoted (rhizome) vertex set** and the **converged per-vertex
+//!   sync values**, stored as integrity checks: restore re-converges from
+//!   the edge multiset and verifies both match bit-for-bit, so a corrupt or
+//!   stale snapshot is caught at load time instead of surfacing as a wrong
+//!   query answer later.
+//!
+//! The fixpoint itself is *recomputed*, not deserialized: converged states
+//! depend only on the live multiset (the property the differential test
+//! harness pins across batch splits and shard counts), which keeps the
+//! format algorithm-independent — one codec serves BFS, SSSP, and CC.
+//!
+//! The binary format is little-endian with a magic, a version, and a
+//! trailing FNV-1a checksum. [`encode_mutations`] / [`decode_mutations`]
+//! share the per-mutation wire encoding with the serve crate's write-ahead
+//! log and client protocol.
+
+use std::fmt;
+
+use amcca_sim::SimError;
+
+use crate::apps::VertexAlgo;
+use crate::graph::{GraphBuilder, GraphMutation, StreamEdge, StreamingGraph};
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"AMCK";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why checkpoint bytes (or a mutation record) failed to decode or a
+/// restored graph failed its integrity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer is shorter than the structure it claims to hold.
+    Truncated,
+    /// The magic bytes are not [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The version is newer than this build understands.
+    BadVersion(u32),
+    /// The trailing checksum does not match the payload.
+    BadChecksum,
+    /// An unknown mutation opcode.
+    BadOpcode(u8),
+    /// The restored graph's converged state disagrees with the snapshot.
+    StateMismatch(String),
+    /// Rebuilding the graph failed in the simulator.
+    Sim(SimError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::BadOpcode(op) => write!(f, "unknown mutation opcode {op}"),
+            CheckpointError::StateMismatch(what) => {
+                write!(f, "restored graph diverges from snapshot: {what}")
+            }
+            CheckpointError::Sim(e) => write!(f, "rebuild failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<SimError> for CheckpointError {
+    fn from(e: SimError) -> Self {
+        CheckpointError::Sim(e)
+    }
+}
+
+/// A point-in-time snapshot of a quiescent [`StreamingGraph`] (module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphCheckpoint {
+    /// Vertex count the graph was built with.
+    pub n_vertices: u32,
+    /// Live edge multiset at current weights, in insertion order.
+    pub edges: Vec<StreamEdge>,
+    /// Promoted (multi-root) vertices at capture time, ascending.
+    pub promoted: Vec<u32>,
+    /// Converged per-vertex sync values at capture time (the restore-time
+    /// fixpoint integrity check).
+    pub sync_states: Vec<Option<u64>>,
+}
+
+impl GraphCheckpoint {
+    /// Snapshot a quiescent graph: its ledger (live edges), rhizome
+    /// directory (promoted set), and converged vertex states.
+    pub fn capture<G: VertexAlgo>(g: &StreamingGraph<G>) -> GraphCheckpoint {
+        GraphCheckpoint {
+            n_vertices: g.n_vertices(),
+            edges: g.live_edges(),
+            promoted: g.promoted_vertices(),
+            sync_states: g.sync_values(),
+        }
+    }
+
+    /// Rebuild a graph from this snapshot: construct from the builder's
+    /// chip/RPVO/repair shape, stream the live multiset in one increment,
+    /// and verify the re-converged fixpoint and promoted set match the
+    /// captured ones bit-for-bit.
+    pub fn restore<G: VertexAlgo>(
+        &self,
+        builder: GraphBuilder<G>,
+    ) -> Result<StreamingGraph<G>, CheckpointError> {
+        let mut g = builder.vertices(self.n_vertices).build()?;
+        g.stream_edges(&self.edges)?;
+        if g.sync_values() != self.sync_states {
+            return Err(CheckpointError::StateMismatch("converged sync values".into()));
+        }
+        if g.promoted_vertices() != self.promoted {
+            return Err(CheckpointError::StateMismatch("promoted vertex set".into()));
+        }
+        Ok(g)
+    }
+
+    /// Serialize to the versioned, checksummed binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.edges.len() * 12);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut out, CHECKPOINT_VERSION);
+        put_u32(&mut out, self.n_vertices);
+        put_u64(&mut out, self.edges.len() as u64);
+        for &(u, v, w) in &self.edges {
+            put_u32(&mut out, u);
+            put_u32(&mut out, v);
+            put_u32(&mut out, w);
+        }
+        put_u32(&mut out, self.promoted.len() as u32);
+        for &v in &self.promoted {
+            put_u32(&mut out, v);
+        }
+        put_u32(&mut out, self.sync_states.len() as u32);
+        for s in &self.sync_states {
+            match s {
+                Some(v) => {
+                    out.push(1);
+                    put_u64(&mut out, *v);
+                }
+                None => out.push(0),
+            }
+        }
+        let sum = fnv1a(&out);
+        put_u64(&mut out, sum);
+        out
+    }
+
+    /// Deserialize, verifying magic, version, and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<GraphCheckpoint, CheckpointError> {
+        if bytes.len() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let want = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a(payload) != want {
+            return Err(CheckpointError::BadChecksum);
+        }
+        let mut r = Reader { buf: payload, pos: 0 };
+        if r.bytes(4)? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let n_vertices = r.u32()?;
+        let n_edges = r.u64()? as usize;
+        let mut edges = Vec::with_capacity(n_edges.min(1 << 20));
+        for _ in 0..n_edges {
+            edges.push((r.u32()?, r.u32()?, r.u32()?));
+        }
+        let n_promoted = r.u32()? as usize;
+        let mut promoted = Vec::with_capacity(n_promoted.min(1 << 20));
+        for _ in 0..n_promoted {
+            promoted.push(r.u32()?);
+        }
+        let n_states = r.u32()? as usize;
+        let mut sync_states = Vec::with_capacity(n_states.min(1 << 20));
+        for _ in 0..n_states {
+            sync_states.push(match r.u8()? {
+                0 => None,
+                _ => Some(r.u64()?),
+            });
+        }
+        Ok(GraphCheckpoint { n_vertices, edges, promoted, sync_states })
+    }
+}
+
+/// Append one mutation's wire encoding (opcode byte + three `u32`s) —
+/// shared by the serve crate's write-ahead log and client protocol.
+pub fn encode_mutation(m: &GraphMutation, out: &mut Vec<u8>) {
+    let (op, u, v, w) = match *m {
+        GraphMutation::AddEdge((u, v, w)) => (0u8, u, v, w),
+        GraphMutation::DelEdge((u, v, w)) => (1, u, v, w),
+        GraphMutation::UpdateWeight { u, v, w } => (2, u, v, w),
+    };
+    out.push(op);
+    put_u32(out, u);
+    put_u32(out, v);
+    put_u32(out, w);
+}
+
+/// Serialize a mutation batch (count-prefixed).
+pub fn encode_mutations(muts: &[GraphMutation]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + muts.len() * 13);
+    put_u32(&mut out, muts.len() as u32);
+    for m in muts {
+        encode_mutation(m, &mut out);
+    }
+    out
+}
+
+/// Deserialize a count-prefixed mutation batch.
+pub fn decode_mutations(bytes: &[u8]) -> Result<Vec<GraphMutation>, CheckpointError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let (op, u, v, w) = (r.u8()?, r.u32()?, r.u32()?, r.u32()?);
+        out.push(match op {
+            0 => GraphMutation::AddEdge((u, v, w)),
+            1 => GraphMutation::DelEdge((u, v, w)),
+            2 => GraphMutation::UpdateWeight { u, v, w },
+            other => return Err(CheckpointError::BadOpcode(other)),
+        });
+    }
+    Ok(out)
+}
+
+/// FNV-1a over a byte slice (the checkpoint and WAL record checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use amcca_sim::ChipConfig;
+
+    use super::*;
+    use crate::apps::BfsAlgo;
+    use crate::rpvo::RpvoConfig;
+
+    fn small() -> StreamingGraph<BfsAlgo> {
+        StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(16)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ck = GraphCheckpoint {
+            n_vertices: 9,
+            edges: vec![(0, 1, 5), (1, 2, 7), (0, 1, 5)],
+            promoted: vec![3, 7],
+            sync_states: vec![Some(0), None, Some(12)],
+        };
+        assert_eq!(GraphCheckpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ck = GraphCheckpoint {
+            n_vertices: 4,
+            edges: vec![(0, 1, 1)],
+            promoted: vec![],
+            sync_states: vec![Some(0), Some(1), None, None],
+        };
+        let mut bytes = ck.encode();
+        bytes[10] ^= 0xff;
+        assert_eq!(GraphCheckpoint::decode(&bytes), Err(CheckpointError::BadChecksum));
+        assert_eq!(GraphCheckpoint::decode(&bytes[..6]), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn capture_restore_reaches_the_same_fixpoint() {
+        let mut g = small();
+        g.stream_edges(&[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 1)]).unwrap();
+        g.stream_increment(&[GraphMutation::DelEdge((0, 3, 1))]).unwrap();
+        let ck = GraphCheckpoint::capture(&g);
+        let restored = ck
+            .restore(
+                StreamingGraph::builder(BfsAlgo::new(0))
+                    .chip(ChipConfig::small_test())
+                    .rpvo(RpvoConfig::basic(4, 2)),
+            )
+            .unwrap();
+        assert_eq!(restored.states(), g.states());
+        assert_eq!(restored.live_edges(), g.live_edges());
+    }
+
+    #[test]
+    fn restore_rejects_a_forged_fixpoint() {
+        let mut g = small();
+        g.stream_edges(&[(0, 1, 1)]).unwrap();
+        let mut ck = GraphCheckpoint::capture(&g);
+        ck.sync_states[1] = Some(99);
+        let err = match ck.restore(
+            StreamingGraph::builder(BfsAlgo::new(0))
+                .chip(ChipConfig::small_test())
+                .rpvo(RpvoConfig::basic(4, 2)),
+        ) {
+            Ok(_) => panic!("forged fixpoint accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, CheckpointError::StateMismatch(_)));
+    }
+
+    #[test]
+    fn mutation_wire_roundtrip() {
+        let muts = vec![
+            GraphMutation::AddEdge((1, 2, 3)),
+            GraphMutation::DelEdge((4, 5, 6)),
+            GraphMutation::UpdateWeight { u: 7, v: 8, w: 9 },
+        ];
+        assert_eq!(decode_mutations(&encode_mutations(&muts)).unwrap(), muts);
+        assert_eq!(decode_mutations(&encode_mutations(&[])).unwrap(), vec![]);
+        let mut bad = encode_mutations(&muts);
+        bad[4] = 77;
+        assert_eq!(decode_mutations(&bad), Err(CheckpointError::BadOpcode(77)));
+    }
+}

@@ -41,11 +41,15 @@ use amcca_sim::{Address, ChipConfig, Operon, SimError};
 use diffusive::{Device, RunReport};
 
 use crate::apps::algo::{
-    decode_update_weight, delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo,
-    ACT_DELETE, ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
+    delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo, ACT_DELETE,
+    ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
 };
 use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
-use crate::rpvo::{decode_edge, walk, Edge, RpvoConfig, VertexObj};
+use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
+
+mod mutlog;
+
+pub use mutlog::{CoalescedBatch, MutationError, MutationLog};
 
 /// A streamed edge: `(src, dst, weight)` with vertex ids.
 pub type StreamEdge = (u32, u32, u32);
@@ -219,6 +223,10 @@ pub struct StreamingGraph<G: VertexAlgo> {
     /// Live-copy tags per edge pair (deletion and re-weight addressing) plus
     /// the surviving-in-neighbour reverse index for targeted repair.
     ledger: EdgeLedger,
+    /// The shared coalescing stage: every increment's mutations pass through
+    /// here first, so same-batch merges happen in exactly one place (see
+    /// [`MutationLog`]) and the live multiset is queryable for checkpoints.
+    log: MutationLog,
     rcfg: RpvoConfig,
     /// Reseed-wave scoping policy for delete-bearing batches.
     repair: RepairMode,
@@ -226,15 +234,59 @@ pub struct StreamingGraph<G: VertexAlgo> {
     last_repair: RepairStats,
 }
 
-impl<G: VertexAlgo> StreamingGraph<G> {
+/// Builder for [`StreamingGraph`]: owns the chip shape, RPVO shape, and
+/// repair-mode defaults so construction reads as one fluent chain,
+///
+/// ```
+/// use sdgp_core::apps::BfsAlgo;
+/// use sdgp_core::graph::StreamingGraph;
+///
+/// let g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(8).build().unwrap();
+/// assert_eq!(g.n_vertices(), 8);
+/// ```
+///
+/// with every knob overridable before [`GraphBuilder::build`]:
+/// [`GraphBuilder::chip`] (default [`ChipConfig::default`]),
+/// [`GraphBuilder::rpvo`] (default [`RpvoConfig::default`]),
+/// [`GraphBuilder::repair`] (default [`RepairMode::Targeted`]).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder<G: VertexAlgo> {
+    algo: G,
+    n_vertices: u32,
+    chip: ChipConfig,
+    rpvo: RpvoConfig,
+    repair: RepairMode,
+}
+
+impl<G: VertexAlgo> GraphBuilder<G> {
+    /// Number of vertices to allocate root objects for (default 0).
+    pub fn vertices(mut self, n: u32) -> Self {
+        self.n_vertices = n;
+        self
+    }
+
+    /// Chip configuration (mesh dims, placement policies, shard count).
+    pub fn chip(mut self, cfg: ChipConfig) -> Self {
+        self.chip = cfg;
+        self
+    }
+
+    /// RPVO shape (edge cap, ghost fanout, rhizome knobs).
+    pub fn rpvo(mut self, rcfg: RpvoConfig) -> Self {
+        self.rpvo = rcfg;
+        self
+    }
+
+    /// Reseed-wave scoping of delete-bearing increments.
+    pub fn repair(mut self, mode: RepairMode) -> Self {
+        self.repair = mode;
+        self
+    }
+
     /// Create the device, register the actions (Listing 1), and allocate the
-    /// root vertex objects of `n_vertices` across the chip.
-    pub fn new(
-        cfg: ChipConfig,
-        rcfg: RpvoConfig,
-        algo: G,
-        n_vertices: u32,
-    ) -> Result<Self, SimError> {
+    /// root vertex objects across the chip.
+    pub fn build(self) -> Result<StreamingGraph<G>, SimError> {
+        let GraphBuilder { algo, n_vertices, chip: cfg, rpvo: rcfg, repair } = self;
         let dims = cfg.dims;
         let root_placement = cfg.root_placement;
         let seed = cfg.seed;
@@ -255,10 +307,41 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             dev,
             rz: RhizomeDirectory::new(addrs),
             ledger: EdgeLedger::default(),
+            log: MutationLog::new(),
             rcfg,
-            repair: RepairMode::default(),
+            repair,
             last_repair: RepairStats::default(),
         })
+    }
+}
+
+impl<G: VertexAlgo> StreamingGraph<G> {
+    /// Start a [`GraphBuilder`] chain for the given vertex algorithm (the
+    /// chip defaults to [`ChipConfig::default`], the RPVO shape to
+    /// [`RpvoConfig::default`], repair to [`RepairMode::Targeted`]).
+    pub fn builder(algo: G) -> GraphBuilder<G> {
+        GraphBuilder {
+            algo,
+            n_vertices: 0,
+            chip: ChipConfig::default(),
+            rpvo: RpvoConfig::default(),
+            repair: RepairMode::default(),
+        }
+    }
+
+    /// Create the device, register the actions, and allocate the root vertex
+    /// objects of `n_vertices` across the chip.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StreamingGraph::builder(algo).vertices(n).chip(cfg).rpvo(rcfg).build()"
+    )]
+    pub fn new(
+        cfg: ChipConfig,
+        rcfg: RpvoConfig,
+        algo: G,
+        n_vertices: u32,
+    ) -> Result<Self, SimError> {
+        Self::builder(algo).vertices(n_vertices).chip(cfg).rpvo(rcfg).build()
     }
 
     /// Promote vertex `v` from a single root to a rhizome of
@@ -456,18 +539,22 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// [`GraphMutation::UpdateWeight`] names an identity with no live copy.
     pub fn stream_increment(&mut self, muts: &[GraphMutation]) -> Result<RunReport, SimError> {
         let threshold = self.rcfg.rhizome_threshold;
-        let mut ops: Vec<Option<Operon>> = Vec::with_capacity(muts.len());
-        // Pending insert / update operon per live `(u, v, tag)` copy, so
-        // same-batch mutations of one copy coalesce host-side instead of
-        // racing as broadcasts over the same wave (tags are unique among a
-        // pair's live copies, making the key exact).
-        let mut batch_adds: HashMap<(u32, u32, u16), usize> = HashMap::new();
-        let mut batch_updates: HashMap<(u32, u32, u16), usize> = HashMap::new();
-        // Sources whose announcements a structural phase would suppress;
-        // folded into the targeted repair frontier.
-        let mut touched: Vec<u32> = Vec::new();
-        let mut needs_repair = false;
+        // Coalesce the batch through the shared mutation log: same-batch
+        // merges (annihilation, insert rewrites, patch folds, moot-patch
+        // drops) happen there, validation panics fire before any graph
+        // state mutates, and the drained batch is canonical — surviving
+        // mutations in arrival order whose replay below reproduces the
+        // exact live multiset the log tracks.
         for m in muts {
+            self.log.push(*m);
+        }
+        let batch = self.log.drain();
+        let needs_repair = batch.needs_repair;
+        // Build the operon wave from the canonical batch. Annihilated pairs
+        // never reach this loop, so they neither advance the rhizome router
+        // nor count toward streamed degrees.
+        let mut wave: Vec<Operon> = Vec::with_capacity(batch.muts.len());
+        for m in &batch.muts {
             match *m {
                 GraphMutation::AddEdge((u, v, w)) => {
                     if self.rz.note_add(u, threshold) {
@@ -479,67 +566,29 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                     let tag = self.ledger.add(u, v, w);
                     let src = self.rz.route(u);
                     let dst = self.rz.route(v);
-                    batch_adds.insert((u, v, tag), ops.len());
-                    touched.push(u);
-                    ops.push(Some(insert_operon(src, &Edge::tagged(dst, v, w, tag))));
+                    wave.push(insert_operon(src, &Edge::tagged(dst, v, w, tag)));
                 }
                 GraphMutation::DelEdge((u, v, w)) => {
-                    let tag = self.ledger.remove(u, v, w).unwrap_or_else(|| {
-                        panic!("DelEdge({u} -> {v}, w {w}): no live copy to delete")
-                    });
+                    // The canonical delete names the copy's ledger weight, so
+                    // the ledger resolves the same copy the log matched.
+                    let tag = self
+                        .ledger
+                        .remove(u, v, w)
+                        .expect("canonical delete targets a live ledger copy");
                     self.rz.note_del(u);
                     self.rz.note_del(v);
-                    // A same-batch weight update of this copy is moot now —
-                    // drop it rather than racing it against the retraction.
-                    if let Some(j) = batch_updates.remove(&(u, v, tag)) {
-                        ops[j] = None;
-                    }
-                    match batch_adds.remove(&(u, v, tag)) {
-                        // The deleted copy is still in this batch's wave:
-                        // annihilate the pair on the host.
-                        Some(i) => ops[i] = None,
-                        // The copy is settled on the fabric: retract it.
-                        None => {
-                            needs_repair = true;
-                            ops.push(Some(delete_operon(self.rz.primary(u), v, w, tag)));
-                        }
-                    }
+                    wave.push(delete_operon(self.rz.primary(u), v, w, tag));
                 }
                 GraphMutation::UpdateWeight { u, v, w } => {
-                    let (w_old, tag) = self.ledger.update_weight(u, v, w).unwrap_or_else(|| {
-                        panic!("UpdateWeight({u} -> {v}, w {w}): no live copy to update")
-                    });
-                    if let Some(&i) = batch_adds.get(&(u, v, tag)) {
-                        // The copy is still in this batch's wave: rewrite the
-                        // pending insert in place (nothing was ever announced
-                        // under the old weight, so no repair is needed).
-                        let op = ops[i].as_ref().expect("pending insert live");
-                        let mut e = decode_edge(op.payload);
-                        e.w = w;
-                        ops[i] = Some(insert_operon(op.target, &e));
-                    } else if let Some(&j) = batch_updates.get(&(u, v, tag)) {
-                        // Coalesce repeat updates of one copy: one patch
-                        // carrying the original old weight and the final new
-                        // weight (the intermediate weights were never
-                        // announced).
-                        let op = ops[j].as_ref().expect("pending update live");
-                        let (t, dst_id, w_orig, _, _) = decode_update_weight(op.payload);
-                        if w > w_orig {
-                            needs_repair = true;
-                        }
-                        ops[j] = Some(update_weight_operon(op.target, dst_id, w_orig, w, t));
-                    } else {
-                        if w > w_old {
-                            needs_repair = true;
-                        }
-                        batch_updates.insert((u, v, tag), ops.len());
-                        touched.push(u);
-                        ops.push(Some(update_weight_operon(self.rz.primary(u), v, w_old, w, tag)));
-                    }
+                    let (w_old, tag) = self
+                        .ledger
+                        .update_weight(u, v, w)
+                        .expect("canonical update targets a live ledger pair");
+                    wave.push(update_weight_operon(self.rz.primary(u), v, w_old, w, tag));
                 }
             }
         }
-        let wave: Vec<Operon> = ops.into_iter().flatten().collect();
+        let touched = batch.touched;
         self.last_repair = RepairStats::default();
         let mut report = if needs_repair && self.dev.app().propagate_algo {
             // Phase A — structural: edges move and re-weigh, improvements
@@ -667,6 +716,28 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         self.ledger.live_count()
     }
 
+    /// The live edge multiset at current weights, in insertion order — the
+    /// serialization hook checkpoints are built from: streaming this list
+    /// into a freshly built graph reproduces the same per-pair copy order
+    /// (oldest first), so a replayed mutation tail resolves deletes and
+    /// re-weights to the same copies.
+    pub fn live_edges(&self) -> Vec<StreamEdge> {
+        self.log.live_edges()
+    }
+
+    /// Per-vertex converged states as algorithm-defined wire values
+    /// ([`VertexAlgo::sync_value`]; `None` where the algorithm has no
+    /// announceable state, e.g. unreached BFS vertices). Checkpoints store
+    /// these for the restore-time fixpoint integrity check.
+    pub fn sync_values(&self) -> Vec<Option<u64>> {
+        (0..self.n_vertices()).map(|v| self.dev.app().algo.sync_value(&self.state_of(v))).collect()
+    }
+
+    /// Currently promoted (multi-root) vertices, in ascending id order.
+    pub fn promoted_vertices(&self) -> Vec<u32> {
+        (0..self.n_vertices()).filter(|&v| self.rz.is_promoted(v)).collect()
+    }
+
     /// Verify that every object of every vertex — co-equal roots and ghost
     /// mirrors alike — equals the primary root's state (must hold at
     /// quiescence). Returns the first violation.
@@ -766,8 +837,26 @@ mod tests {
     use GraphMutation::{AddEdge, DelEdge};
 
     fn small() -> StreamingGraph<BfsAlgo> {
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), BfsAlgo::new(0), 16)
+        StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(16)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
             .unwrap()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_builds_the_same_graph() {
+        let g = StreamingGraph::new(
+            ChipConfig::small_test(),
+            RpvoConfig::basic(4, 2),
+            BfsAlgo::new(0),
+            16,
+        )
+        .unwrap();
+        assert_eq!(g.n_vertices(), 16);
+        assert_eq!(g.repair_mode(), RepairMode::Targeted);
     }
 
     #[test]
@@ -887,13 +976,12 @@ mod tests {
 
     #[test]
     fn sssp_repair_after_deleting_the_cheap_road() {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            SsspAlgo::new(0),
-            8,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+            .vertices(8)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         g.stream_edges(&[(0, 1, 10), (1, 2, 10), (0, 2, 3)]).unwrap();
         assert_eq!(g.state_of(2), 3);
         g.stream_increment(&[DelEdge((0, 2, 3))]).unwrap();
@@ -905,9 +993,12 @@ mod tests {
 
     #[test]
     fn cc_split_after_deleting_a_symmetrized_bridge() {
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), CcAlgo, 6)
-                .unwrap();
+        let mut g = StreamingGraph::builder(CcAlgo)
+            .vertices(6)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         let und = [(0u32, 1u32, 1u32), (1, 2, 1), (3, 4, 1), (2, 3, 1)];
         g.stream_increment(&symmetrize_mutations(&GraphMutation::adds(&und))).unwrap();
         for v in 0..5 {
@@ -985,8 +1076,12 @@ mod tests {
     #[test]
     fn hub_promotes_to_rhizome_and_stays_correct() {
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 24).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(24)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         // A star around vertex 0: crosses the threshold mid-increment.
         let edges: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
         g.stream_edges(&edges).unwrap();
@@ -1021,8 +1116,12 @@ mod tests {
     #[test]
     fn cold_rhizome_demotes_to_a_single_root() {
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 24).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(24)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
         g.stream_edges(&star).unwrap();
         assert_eq!(g.roots_of(0).len(), 3, "hub promoted");
@@ -1065,8 +1164,12 @@ mod tests {
     #[test]
     fn demoted_hub_can_promote_again() {
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(6, 3);
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 32).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(32)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         let star: Vec<StreamEdge> = (1..8).map(|v| (0, v, 1)).collect();
         g.stream_edges(&star).unwrap();
         assert!(g.rz.is_promoted(0));
@@ -1092,8 +1195,12 @@ mod tests {
         // stored edge must have been re-pointed at the primary — a relax
         // along such an edge must not fault and must still reach vertex 1.
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(4, 3);
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 16).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(16)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         // Many in-edges to 1 from distinct sources: 1 promotes, and the
         // sources' stored edges point at 1's various co-equal roots.
         let ins: Vec<StreamEdge> = (2..12).map(|u| (u, 1, 1)).collect();
@@ -1115,8 +1222,12 @@ mod tests {
     fn rhizome_states_match_single_root_reference() {
         // Same stream, with and without rhizomes: identical BFS fixpoints.
         let run = |rcfg: RpvoConfig| {
-            let mut g =
-                StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 16).unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(16)
+                .chip(ChipConfig::small_test())
+                .rpvo(rcfg)
+                .build()
+                .unwrap();
             let star: Vec<StreamEdge> = (1..16).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..15).map(|v| (v, v + 1, 1)).collect();
             g.stream_edges(&star).unwrap();
@@ -1135,8 +1246,12 @@ mod tests {
         // extra roots must inherit the converged level so edges landing on
         // them still announce values.
         let rcfg = RpvoConfig::basic(4, 2).with_rhizomes(8, 2);
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 32).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(32)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         g.stream_edges(&[(0, 5, 1)]).unwrap();
         assert_eq!(g.state_of(5), 1);
         // Now hammer vertex 5 until it promotes, fanning edges to vertices
@@ -1153,13 +1268,12 @@ mod tests {
     #[test]
     fn sharded_rhizome_streaming_matches_sequential() {
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards),
-                RpvoConfig::basic(4, 2).with_rhizomes(5, 4),
-                BfsAlgo::new(0),
-                24,
-            )
-            .unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(24)
+                .chip(ChipConfig::small_test().with_shards(shards))
+                .rpvo(RpvoConfig::basic(4, 2).with_rhizomes(5, 4))
+                .build()
+                .unwrap();
             let mut cycles = 0u64;
             let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..23).map(|v| (v, v + 1, 1)).collect();
@@ -1179,13 +1293,12 @@ mod tests {
         // The full mutation pipeline — deletions, repair, demotion — is
         // shard-count-independent like the insert-only path.
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards),
-                RpvoConfig::basic(3, 2).with_rhizomes(5, 3),
-                BfsAlgo::new(0),
-                24,
-            )
-            .unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(24)
+                .chip(ChipConfig::small_test().with_shards(shards))
+                .rpvo(RpvoConfig::basic(3, 2).with_rhizomes(5, 3))
+                .build()
+                .unwrap();
             let mut cycles = 0u64;
             let star: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
             let path: Vec<StreamEdge> = (0..19).map(|v| (v, v + 1, 1)).collect();
@@ -1209,13 +1322,12 @@ mod tests {
 
     #[test]
     fn update_weight_decrease_is_a_single_phase_relax() {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            SsspAlgo::new(0),
-            8,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+            .vertices(8)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         g.stream_edges(&[(0, 1, 10), (1, 2, 10)]).unwrap();
         assert_eq!(g.state_of(2), 20);
         // Cheaper road: plain relax, no repair phase at all.
@@ -1229,13 +1341,12 @@ mod tests {
 
     #[test]
     fn update_weight_increase_repairs_paths_through_the_edge() {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            SsspAlgo::new(0),
-            8,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+            .vertices(8)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         g.stream_edges(&[(0, 1, 10), (1, 2, 10), (0, 2, 3)]).unwrap();
         assert_eq!(g.state_of(2), 3, "shortcut in effect");
         // Raise the shortcut above the long road: the distance derived
@@ -1255,13 +1366,12 @@ mod tests {
 
     #[test]
     fn update_weight_same_batch_as_add_coalesces_on_host() {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            SsspAlgo::new(0),
-            8,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+            .vertices(8)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         // The add and its re-weight travel as ONE insert: no repair phase
         // even though the weight "increased".
         let r = g
@@ -1277,13 +1387,12 @@ mod tests {
 
     #[test]
     fn update_weight_then_delete_in_one_batch_drops_the_patch() {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            SsspAlgo::new(0),
-            8,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+            .vertices(8)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         g.stream_edges(&[(0, 1, 10), (0, 1, 5)]).unwrap();
         assert_eq!(g.state_of(1), 5);
         // Re-weight the oldest copy (w 10) then delete it (by its ledger
@@ -1317,14 +1426,13 @@ mod tests {
     #[test]
     fn full_and_targeted_repair_reach_identical_fixpoints() {
         let run = |mode: RepairMode| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test(),
-                RpvoConfig::basic(3, 2),
-                BfsAlgo::new(0),
-                16,
-            )
-            .unwrap();
-            g.set_repair_mode(mode);
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(16)
+                .chip(ChipConfig::small_test())
+                .rpvo(RpvoConfig::basic(3, 2))
+                .repair(mode)
+                .build()
+                .unwrap();
             let path: Vec<StreamEdge> = (0..15).map(|i| (i, i + 1, 1)).collect();
             g.stream_edges(&path).unwrap();
             g.stream_edges(&[(0, 6, 1)]).unwrap();
@@ -1374,13 +1482,12 @@ mod tests {
         // allocation, relax diffusion) is shard-count-independent: identical
         // states, cycles, and counters on 1 vs 3 shards.
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards),
-                RpvoConfig::basic(4, 2),
-                BfsAlgo::new(0),
-                24,
-            )
-            .unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(24)
+                .chip(ChipConfig::small_test().with_shards(shards))
+                .rpvo(RpvoConfig::basic(4, 2))
+                .build()
+                .unwrap();
             let mut cycles = 0u64;
             // A star (forces RPVO spills) plus a path (multi-hop BFS).
             let star: Vec<StreamEdge> = (1..24).map(|v| (0, v, 1)).collect();

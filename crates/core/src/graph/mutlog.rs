@@ -1,0 +1,458 @@
+//! The shared host-side mutation log: one implementation of the batch
+//! coalescing semantics.
+//!
+//! [`MutationLog`] mirrors the live directed edge multiset (per-pair copy
+//! queues, oldest first, at current weights) and accepts a stream of
+//! [`GraphMutation`]s, coalescing the mutations of the **current epoch**
+//! exactly the way `StreamingGraph::stream_increment` merges a batch before
+//! anything reaches the fabric:
+//!
+//! * a delete that matches an insert of the same epoch **annihilates** it —
+//!   the pair never leaves the host;
+//! * a re-weight of a same-epoch insert **rewrites the insert in place**
+//!   (nothing was ever announced under the old weight, so no repair);
+//! * repeat re-weights of one copy **fold into a single patch** carrying the
+//!   final weight;
+//! * a delete of a re-weighted settled copy **drops the moot patch** and
+//!   emits the retraction under the copy's epoch-start weight (the weight
+//!   the fabric still stores).
+//!
+//! [`MutationLog::drain`] closes the epoch and returns the canonical
+//! coalesced batch — surviving mutations in arrival order — together with
+//! the repair bookkeeping the two-phase pipeline needs: whether anything
+//! structural survived (`needs_repair`) and which sources the structural
+//! phase would suppress (`touched`). Replaying the canonical batch against
+//! a fresh consumer reproduces the exact live multiset, which is what makes
+//! the log shareable: `StreamingGraph` drives its operon wave from it, the
+//! `amcca-serve` ingest loop batches concurrent client submissions through
+//! it, and `gc_datasets` replays churn schedules over it.
+//!
+//! Validation is part of the contract: deleting or re-weighting an identity
+//! with no live copy is a host bug ([`MutationLog::push`] panics with the
+//! streaming pipeline's exact message) or, for a server admitting untrusted
+//! batches, a recoverable [`MutationError`] ([`MutationLog::try_push`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use super::{GraphMutation, StreamEdge};
+
+/// Why a mutation cannot be applied to the live edge multiset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationError {
+    /// A `DelEdge` named an identity with no live copy at that weight.
+    NoLiveCopyToDelete {
+        /// Source vertex of the rejected delete.
+        u: u32,
+        /// Destination vertex of the rejected delete.
+        v: u32,
+        /// Weight the delete named.
+        w: u32,
+    },
+    /// An `UpdateWeight` named a pair with no live copy.
+    NoLiveCopyToUpdate {
+        /// Source vertex of the rejected update.
+        u: u32,
+        /// Destination vertex of the rejected update.
+        v: u32,
+        /// New weight the update carried.
+        w: u32,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MutationError::NoLiveCopyToDelete { u, v, w } => {
+                write!(f, "DelEdge({u} -> {v}, w {w}): no live copy to delete")
+            }
+            MutationError::NoLiveCopyToUpdate { u, v, w } => {
+                write!(f, "UpdateWeight({u} -> {v}, w {w}): no live copy to update")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Where a live copy stands relative to the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyKind {
+    /// Streamed in an earlier epoch: the fabric stores it.
+    Settled,
+    /// Inserted this epoch; `entry` indexes its pending `AddEdge`.
+    Fresh { entry: usize },
+    /// Settled copy re-weighted this epoch; `entry` indexes the pending
+    /// patch and `w_start` is the weight the fabric still stores.
+    Patched { w_start: u32, entry: usize },
+}
+
+/// One live copy of a directed pair.
+#[derive(Debug, Clone, Copy)]
+struct LogCopy {
+    /// Global arrival number (drives insertion-order iteration).
+    seq: u64,
+    /// Current weight.
+    w: u32,
+    kind: CopyKind,
+}
+
+/// The canonical coalesced batch an epoch drains to.
+#[derive(Debug, Clone, Default)]
+pub struct CoalescedBatch {
+    /// Surviving mutations in arrival order: annihilated pairs removed,
+    /// rewritten inserts and folded patches in place of their originals.
+    pub muts: Vec<GraphMutation>,
+    /// Sources of this epoch's inserts and first re-weights of settled
+    /// copies, in arrival order with repeats (the structural phase
+    /// suppresses their announcements; the repair frontier folds them in).
+    pub touched: Vec<u32>,
+    /// Whether anything in the epoch retracts or re-weighs announced state:
+    /// a delete of a settled copy, or a re-weight above a settled copy's
+    /// epoch-start weight — even when a later same-epoch delete dropped the
+    /// patch itself (the decision to repair is made at arrival time).
+    pub needs_repair: bool,
+}
+
+impl CoalescedBatch {
+    /// True when nothing survived the epoch.
+    pub fn is_empty(&self) -> bool {
+        self.muts.is_empty()
+    }
+
+    /// Number of mutations in the canonical batch.
+    pub fn len(&self) -> usize {
+        self.muts.len()
+    }
+}
+
+/// Host-side live-copy model plus current-epoch coalescing (module docs).
+#[derive(Debug, Clone, Default)]
+pub struct MutationLog {
+    /// Live copies per directed pair, oldest first.
+    pairs: HashMap<(u32, u32), VecDeque<LogCopy>>,
+    /// Current epoch's pending mutations in arrival order (`None` =
+    /// annihilated insert or dropped patch).
+    entries: Vec<Option<GraphMutation>>,
+    touched: Vec<u32>,
+    needs_repair: bool,
+    /// Live copies across all pairs.
+    live: u64,
+    /// Next arrival number.
+    seq: u64,
+}
+
+impl MutationLog {
+    /// An empty log: no live copies, empty epoch.
+    pub fn new() -> MutationLog {
+        MutationLog::default()
+    }
+
+    /// Push one mutation into the current epoch, coalescing it against the
+    /// epoch's pending mutations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delete or update names an identity with no live copy —
+    /// the same contract (and message) as `StreamingGraph::stream_increment`.
+    pub fn push(&mut self, m: GraphMutation) {
+        if let Err(e) = self.try_push(m) {
+            panic!("{e}");
+        }
+    }
+
+    /// Push one mutation, returning the validation error instead of
+    /// panicking (the admission path for server-submitted batches).
+    pub fn try_push(&mut self, m: GraphMutation) -> Result<(), MutationError> {
+        match m {
+            GraphMutation::AddEdge((u, v, w)) => {
+                let entry = self.entries.len();
+                self.entries.push(Some(GraphMutation::AddEdge((u, v, w))));
+                self.seq += 1;
+                let copy = LogCopy { seq: self.seq, w, kind: CopyKind::Fresh { entry } };
+                self.pairs.entry((u, v)).or_default().push_back(copy);
+                self.touched.push(u);
+                self.live += 1;
+                Ok(())
+            }
+            GraphMutation::DelEdge((u, v, w)) => {
+                let err = MutationError::NoLiveCopyToDelete { u, v, w };
+                let q = self.pairs.get_mut(&(u, v)).ok_or(err)?;
+                let i = q.iter().position(|c| c.w == w).ok_or(err)?;
+                let copy = q.remove(i).expect("position is in range");
+                if q.is_empty() {
+                    self.pairs.remove(&(u, v));
+                }
+                self.live -= 1;
+                match copy.kind {
+                    // The copy is still in this epoch's wave: annihilate the
+                    // pair on the host.
+                    CopyKind::Fresh { entry } => self.entries[entry] = None,
+                    // A same-epoch patch of this copy is moot now — drop it
+                    // and retract under the weight the fabric still stores.
+                    CopyKind::Patched { w_start, entry } => {
+                        self.entries[entry] = None;
+                        self.entries.push(Some(GraphMutation::DelEdge((u, v, w_start))));
+                        self.needs_repair = true;
+                    }
+                    CopyKind::Settled => {
+                        self.entries.push(Some(GraphMutation::DelEdge((u, v, w))));
+                        self.needs_repair = true;
+                    }
+                }
+                Ok(())
+            }
+            GraphMutation::UpdateWeight { u, v, w } => {
+                let err = MutationError::NoLiveCopyToUpdate { u, v, w };
+                let copy = self.pairs.get_mut(&(u, v)).and_then(|q| q.front_mut()).ok_or(err)?;
+                match copy.kind {
+                    // The copy is still in this epoch's wave: rewrite the
+                    // pending insert in place (nothing was ever announced
+                    // under the old weight, so no repair is needed).
+                    CopyKind::Fresh { entry } => {
+                        self.entries[entry] = Some(GraphMutation::AddEdge((u, v, w)));
+                    }
+                    // Coalesce repeat updates of one copy: one patch with the
+                    // final weight (intermediates were never announced);
+                    // repair compares against the epoch-start weight.
+                    CopyKind::Patched { w_start, entry } => {
+                        self.needs_repair |= w > w_start;
+                        self.entries[entry] = Some(GraphMutation::UpdateWeight { u, v, w });
+                    }
+                    CopyKind::Settled => {
+                        self.needs_repair |= w > copy.w;
+                        copy.kind =
+                            CopyKind::Patched { w_start: copy.w, entry: self.entries.len() };
+                        self.entries.push(Some(GraphMutation::UpdateWeight { u, v, w }));
+                        self.touched.push(u);
+                    }
+                }
+                copy.w = w;
+                Ok(())
+            }
+        }
+    }
+
+    /// Close the epoch: settle this epoch's surviving copies and return the
+    /// canonical coalesced batch (module docs). Replaying `muts` against any
+    /// consumer that honours the ledger semantics — delete the oldest live
+    /// copy at the named weight, re-weight the pair's oldest — reproduces
+    /// this log's live multiset exactly.
+    pub fn drain(&mut self) -> CoalescedBatch {
+        let muts = self.entries.drain(..).flatten().collect();
+        for q in self.pairs.values_mut() {
+            for c in q.iter_mut() {
+                c.kind = CopyKind::Settled;
+            }
+        }
+        CoalescedBatch {
+            muts,
+            touched: std::mem::take(&mut self.touched),
+            needs_repair: std::mem::replace(&mut self.needs_repair, false),
+        }
+    }
+
+    /// Number of pending mutations the current epoch would drain to.
+    pub fn pending_ops(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Live copies across all pairs (current epoch included).
+    pub fn live_count(&self) -> u64 {
+        self.live
+    }
+
+    /// The live edge multiset at current weights, in insertion order
+    /// (current epoch's fresh copies included — callers wanting the settled
+    /// state call this at an epoch boundary).
+    pub fn live_edges(&self) -> Vec<StreamEdge> {
+        let mut tagged: Vec<(u64, StreamEdge)> = self
+            .pairs
+            .iter()
+            .flat_map(|(&(u, v), q)| q.iter().map(move |c| (c.seq, (u, v, c.w))))
+            .collect();
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Live copies of the directed pair `(u, v)`, oldest first, at current
+    /// weights.
+    pub fn live_copies(&self, u: u32, v: u32) -> Vec<u32> {
+        self.pairs.get(&(u, v)).map(|q| q.iter().map(|c| c.w).collect()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use GraphMutation::{AddEdge, DelEdge, UpdateWeight};
+
+    fn drained(muts: &[GraphMutation]) -> CoalescedBatch {
+        let mut log = MutationLog::new();
+        for &m in muts {
+            log.push(m);
+        }
+        log.drain()
+    }
+
+    #[test]
+    fn same_epoch_add_delete_annihilates() {
+        let b = drained(&[AddEdge((0, 1, 5)), DelEdge((0, 1, 5))]);
+        assert!(b.muts.is_empty());
+        assert!(!b.needs_repair, "nothing announced, nothing to repair");
+        assert_eq!(b.touched, vec![0], "the add's source still counts as touched");
+    }
+
+    #[test]
+    fn update_of_fresh_copy_rewrites_the_insert() {
+        let b = drained(&[AddEdge((0, 1, 2)), UpdateWeight { u: 0, v: 1, w: 9 }]);
+        assert_eq!(b.muts, vec![AddEdge((0, 1, 9))]);
+        assert!(!b.needs_repair);
+    }
+
+    #[test]
+    fn repeat_updates_fold_and_repair_compares_epoch_start() {
+        let mut log = MutationLog::new();
+        log.push(AddEdge((0, 1, 3)));
+        let first = log.drain();
+        assert_eq!(first.muts, vec![AddEdge((0, 1, 3))]);
+        // Raise then lower below the start: the raise was observed at
+        // arrival time, so the epoch still repairs.
+        log.push(UpdateWeight { u: 0, v: 1, w: 7 });
+        log.push(UpdateWeight { u: 0, v: 1, w: 2 });
+        let b = log.drain();
+        assert_eq!(b.muts, vec![UpdateWeight { u: 0, v: 1, w: 2 }]);
+        assert!(b.needs_repair, "the intermediate raise forces a repair epoch");
+        assert_eq!(b.touched, vec![0], "one touched entry per patched copy");
+    }
+
+    #[test]
+    fn delete_of_patched_copy_drops_the_patch_and_names_the_start_weight() {
+        let mut log = MutationLog::new();
+        log.push(AddEdge((0, 1, 10)));
+        log.push(AddEdge((0, 1, 5)));
+        log.drain();
+        log.push(UpdateWeight { u: 0, v: 1, w: 7 });
+        log.push(DelEdge((0, 1, 7)));
+        let b = log.drain();
+        assert_eq!(
+            b.muts,
+            vec![DelEdge((0, 1, 10))],
+            "the retraction names the weight the fabric still stores"
+        );
+        assert!(b.needs_repair);
+        assert_eq!(log.live_edges(), vec![(0, 1, 5)], "the younger copy survives");
+    }
+
+    #[test]
+    fn delete_matches_the_oldest_live_copy_at_current_weight() {
+        let mut log = MutationLog::new();
+        log.push(AddEdge((0, 1, 3)));
+        log.drain();
+        // A fresh same-weight copy arrives, then a delete at that weight:
+        // the settled (older) copy is the match, so a real retraction is
+        // emitted and the fresh insert survives.
+        log.push(AddEdge((0, 1, 3)));
+        log.push(DelEdge((0, 1, 3)));
+        let b = log.drain();
+        assert_eq!(b.muts, vec![AddEdge((0, 1, 3)), DelEdge((0, 1, 3))]);
+        assert!(b.needs_repair);
+        assert_eq!(log.live_count(), 1);
+    }
+
+    #[test]
+    fn update_targets_the_pairs_oldest_live_copy() {
+        let mut log = MutationLog::new();
+        log.push(AddEdge((0, 1, 5)));
+        log.push(AddEdge((0, 1, 9)));
+        log.drain();
+        log.push(UpdateWeight { u: 0, v: 1, w: 2 });
+        let b = log.drain();
+        assert_eq!(b.muts, vec![UpdateWeight { u: 0, v: 1, w: 2 }]);
+        assert_eq!(log.live_copies(0, 1), vec![2, 9], "oldest copy re-weighted");
+    }
+
+    #[test]
+    fn canonical_order_preserves_arrival_positions() {
+        let b = drained(&[
+            AddEdge((0, 1, 1)),
+            AddEdge((2, 3, 1)),
+            DelEdge((2, 3, 1)), // annihilates the second add
+            AddEdge((4, 5, 1)),
+        ]);
+        assert_eq!(b.muts, vec![AddEdge((0, 1, 1)), AddEdge((4, 5, 1))]);
+    }
+
+    #[test]
+    fn invalid_delete_and_update_are_recoverable_errors() {
+        let mut log = MutationLog::new();
+        assert_eq!(
+            log.try_push(DelEdge((3, 4, 1))),
+            Err(MutationError::NoLiveCopyToDelete { u: 3, v: 4, w: 1 })
+        );
+        log.push(AddEdge((3, 4, 1)));
+        assert_eq!(
+            log.try_push(DelEdge((3, 4, 9))),
+            Err(MutationError::NoLiveCopyToDelete { u: 3, v: 4, w: 9 }),
+            "weight must match a live copy"
+        );
+        assert_eq!(
+            log.try_push(UpdateWeight { u: 9, v: 9, w: 1 }),
+            Err(MutationError::NoLiveCopyToUpdate { u: 9, v: 9, w: 1 })
+        );
+        // A rejected mutation leaves the log untouched.
+        assert_eq!(log.pending_ops(), 1);
+        assert_eq!(log.live_count(), 1);
+    }
+
+    #[test]
+    fn error_messages_match_the_streaming_pipeline() {
+        assert_eq!(
+            MutationError::NoLiveCopyToDelete { u: 1, v: 2, w: 3 }.to_string(),
+            "DelEdge(1 -> 2, w 3): no live copy to delete"
+        );
+        assert_eq!(
+            MutationError::NoLiveCopyToUpdate { u: 1, v: 2, w: 3 }.to_string(),
+            "UpdateWeight(1 -> 2, w 3): no live copy to update"
+        );
+    }
+
+    #[test]
+    fn live_edges_iterate_in_insertion_order_across_epochs() {
+        let mut log = MutationLog::new();
+        log.push(AddEdge((5, 6, 1)));
+        log.push(AddEdge((0, 1, 2)));
+        log.drain();
+        log.push(AddEdge((3, 4, 3)));
+        log.push(DelEdge((5, 6, 1)));
+        log.drain();
+        assert_eq!(log.live_edges(), vec![(0, 1, 2), (3, 4, 3)]);
+    }
+
+    #[test]
+    fn replaying_the_canonical_batch_reproduces_the_live_multiset() {
+        // Arbitrary interleaving with annihilations, folds, and drops.
+        let script = [
+            AddEdge((0, 1, 4)),
+            AddEdge((0, 1, 4)),
+            UpdateWeight { u: 0, v: 1, w: 6 },
+            DelEdge((0, 1, 4)),
+            AddEdge((2, 0, 1)),
+            DelEdge((2, 0, 1)),
+            UpdateWeight { u: 0, v: 1, w: 9 },
+            AddEdge((1, 2, 8)),
+        ];
+        let mut log = MutationLog::new();
+        for &m in &script {
+            log.push(m);
+        }
+        let canonical = log.drain();
+        let mut replay = MutationLog::new();
+        for &m in &canonical.muts {
+            replay.push(m);
+        }
+        replay.drain();
+        assert_eq!(replay.live_edges(), log.live_edges());
+        assert_eq!(replay.live_count(), log.live_count());
+    }
+}

@@ -13,11 +13,15 @@
 //!   here as extensions (SSSP, connected components, triangle counting).
 //! * [`graph`] — the host-side [`graph::StreamingGraph`] façade running the
 //!   paper's experiment workflow: construct roots, stream increments, verify.
+//! * [`checkpoint`] — serialization of the live edge multiset and converged
+//!   fixpoint for the serving layer's checkpoint/restore cycle.
 
 pub mod apps;
+pub mod checkpoint;
 pub mod graph;
 pub mod rpvo;
 
 pub use apps::{BfsAlgo, CcAlgo, GraphApp, SsspAlgo, TriangleAlgo, VertexAlgo};
-pub use graph::{symmetrize, StreamEdge, StreamingGraph};
+pub use checkpoint::GraphCheckpoint;
+pub use graph::{symmetrize, GraphBuilder, MutationLog, StreamEdge, StreamingGraph};
 pub use rpvo::{Edge, RpvoConfig, VertexObj};

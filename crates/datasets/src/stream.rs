@@ -18,8 +18,11 @@
 //! kind), exercising both the relax (decrease) and the scoped
 //! invalidate+reseed (increase) repair paths.
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sdgp_core::graph::{GraphMutation, MutationLog};
 
 use crate::powerlaw::{generate_rmat, RmatParams};
 use crate::sampling::snowball_ranks;
@@ -125,6 +128,35 @@ pub struct MutationBatch {
     pub updates: Vec<StreamEdge>,
 }
 
+impl MutationBatch {
+    /// The batch as a typed mutation list in the generator's canonical order
+    /// (deletes → inserts → updates), ready for
+    /// [`StreamingGraph::stream_increment`] or a server submission.
+    ///
+    /// [`StreamingGraph::stream_increment`]: sdgp_core::StreamingGraph::stream_increment
+    pub fn to_mutations(&self) -> Vec<GraphMutation> {
+        let mut muts = Vec::with_capacity(self.dels.len() + self.adds.len() + self.updates.len());
+        muts.extend(self.dels.iter().copied().map(GraphMutation::DelEdge));
+        muts.extend(self.adds.iter().copied().map(GraphMutation::AddEdge));
+        muts.extend(self.updates.iter().map(|&(u, v, w)| GraphMutation::UpdateWeight { u, v, w }));
+        muts
+    }
+
+    /// The batch with every vertex id shifted by `base`, mapping a schedule
+    /// generated over `0..n` onto the slice `base..base + n`. Serving-mode
+    /// drivers use this to hand each client a disjoint vertex slice so
+    /// concurrent submissions commute.
+    pub fn shifted(&self, base: u32) -> MutationBatch {
+        let shift =
+            |es: &[StreamEdge]| es.iter().map(|&(u, v, w)| (u + base, v + base, w)).collect();
+        MutationBatch {
+            adds: shift(&self.adds),
+            dels: shift(&self.dels),
+            updates: shift(&self.updates),
+        }
+    }
+}
+
 /// Parameters of the seeded sliding-window churn generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnParams {
@@ -155,14 +187,38 @@ pub struct ChurnParams {
     pub seed: u64,
 }
 
+/// Incremental replay cursor for [`ChurnStream::live_after`]: the coalescing
+/// ledger state after applying batches `0..next`. Kept behind a mutex so a
+/// shared `&ChurnStream` (scoped-thread workload drivers) can still advance
+/// it; the forward-scan callers the schedule is built for pay O(batch) per
+/// query instead of replaying the whole history.
+#[derive(Debug, Default)]
+struct LiveCursor {
+    log: MutationLog,
+    next: usize,
+}
+
 /// A generated churn schedule: per-batch mutations plus window accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ChurnStream {
     /// Vertex count of the workload.
     pub n_vertices: u32,
     /// Window size in batches.
     pub window: usize,
     batches: Vec<MutationBatch>,
+    cursor: Mutex<LiveCursor>,
+}
+
+impl Clone for ChurnStream {
+    fn clone(&self) -> Self {
+        // The replay cursor is a cache; a clone starts with a cold one.
+        ChurnStream {
+            n_vertices: self.n_vertices,
+            window: self.window,
+            batches: self.batches.clone(),
+            cursor: Mutex::new(LiveCursor::default()),
+        }
+    }
 }
 
 impl ChurnStream {
@@ -187,42 +243,37 @@ impl ChurnStream {
     /// identity, an update re-weights the oldest live copy of its pair.
     /// Without updates this is exactly the adds of the trailing window of
     /// batches (deletes always expire whole batches).
+    ///
+    /// Replay is incremental: a shared [`MutationLog`] cursor carries the
+    /// live multiset forward, so the batch-by-batch forward scans the
+    /// drivers run (`run_streaming_churn`, `paper serve`) cost O(batch) per
+    /// call instead of replaying the whole history — the old O(n²) nightly
+    /// bottleneck. Querying an earlier batch than the last call resets the
+    /// cursor and replays from the start.
     pub fn live_after(&self, i: usize) -> Vec<StreamEdge> {
         if self.batches[..=i].iter().all(|b| b.updates.is_empty()) {
             // No re-weights in play: the live set is exactly the adds of
             // the trailing window, at their inserted weights — O(window)
-            // instead of replaying the whole history (per-batch callers
-            // like `run_streaming_churn` would otherwise go quadratic).
+            // without touching the replay cursor at all.
             let first = (i + 1).saturating_sub(self.window);
             return (first..=i).flat_map(|b| self.batches[b].adds.iter().copied()).collect();
         }
-        // Insertion-ordered copies (`None` = deleted) plus a per-pair queue
-        // of live copy indices, mirroring the consumer's edge ledger.
-        let mut copies: Vec<Option<StreamEdge>> = Vec::new();
-        let mut by_pair: std::collections::HashMap<(u32, u32), std::collections::VecDeque<usize>> =
-            std::collections::HashMap::new();
-        for b in 0..=i {
-            let batch = &self.batches[b];
-            for &(u, v, w) in &batch.dels {
-                let q = by_pair.get_mut(&(u, v)).expect("delete names a live pair");
-                let at = q
-                    .iter()
-                    .position(|&idx| copies[idx].expect("queued copies are live").2 == w)
-                    .expect("delete names a live weight");
-                let idx = q.remove(at).expect("position is in range");
-                copies[idx] = None;
-            }
-            for &e in &batch.adds {
-                by_pair.entry((e.0, e.1)).or_default().push_back(copies.len());
-                copies.push(Some(e));
-            }
-            for &(u, v, w) in &batch.updates {
-                let q = by_pair.get_mut(&(u, v)).expect("update names a live pair");
-                let idx = *q.front().expect("update names a live pair");
-                copies[idx].as_mut().expect("queued copies are live").2 = w;
-            }
+        let mut cur = self.cursor.lock().expect("live_after cursor poisoned");
+        if cur.next > i + 1 {
+            // Rewind: the cursor only moves forward, so restart the replay.
+            *cur = LiveCursor::default();
         }
-        copies.into_iter().flatten().collect()
+        while cur.next <= i {
+            // Canonical batch order (deletes → inserts → updates), exactly
+            // as `to_mutations` hands the batch to a consumer; draining per
+            // batch settles the copies so later deletes see current weights.
+            for m in self.batches[cur.next].to_mutations() {
+                cur.log.push(m);
+            }
+            cur.log.drain();
+            cur.next += 1;
+        }
+        cur.log.live_edges()
     }
 
     /// Total edges inserted across all batches.
@@ -318,7 +369,12 @@ pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
         };
         batches.push(MutationBatch { adds, dels, updates });
     }
-    ChurnStream { n_vertices: p.n_vertices, window: p.window, batches }
+    ChurnStream {
+        n_vertices: p.n_vertices,
+        window: p.window,
+        batches,
+        cursor: Mutex::new(LiveCursor::default()),
+    }
 }
 
 /// A churn workload preset, the decremental counterpart of
@@ -644,6 +700,46 @@ mod tests {
         }
         assert!(touched_weight, "schedule must actually change some weight");
         assert!(c.live_after(c.len() - 1).is_empty(), "updates never change liveness");
+    }
+
+    #[test]
+    fn live_after_is_incremental_and_rewindable() {
+        let p = ChurnParams { updates_per_batch: 23, ..churn_params() };
+        let c = generate_churn(&p);
+        // A cold clone replays from scratch; comparing a forward scan on one
+        // stream against fresh-cursor queries on another pins the cursor's
+        // incremental answers to the full-replay answers.
+        for i in 0..c.len() {
+            assert_eq!(c.live_after(i), c.clone().live_after(i), "forward scan, batch {i}");
+        }
+        // Rewinding (asking for an earlier batch) resets and replays.
+        let mid = c.len() / 2;
+        assert_eq!(c.live_after(mid), c.clone().live_after(mid), "rewind to batch {mid}");
+        assert_eq!(c.live_after(c.len() - 1), Vec::new(), "re-advance after rewind");
+        // Repeated queries of the same batch are stable.
+        assert_eq!(c.live_after(mid), c.live_after(mid));
+    }
+
+    #[test]
+    fn batch_to_mutations_is_canonically_ordered() {
+        use sdgp_core::graph::GraphMutation;
+        let b = MutationBatch {
+            adds: vec![(0, 1, 5)],
+            dels: vec![(2, 3, 7)],
+            updates: vec![(4, 5, 9)],
+        };
+        assert_eq!(
+            b.to_mutations(),
+            vec![
+                GraphMutation::DelEdge((2, 3, 7)),
+                GraphMutation::AddEdge((0, 1, 5)),
+                GraphMutation::UpdateWeight { u: 4, v: 5, w: 9 },
+            ]
+        );
+        let s = b.shifted(100);
+        assert_eq!(s.adds, vec![(100, 101, 5)]);
+        assert_eq!(s.dels, vec![(102, 103, 7)]);
+        assert_eq!(s.updates, vec![(104, 105, 9)]);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Admission control: per-client token buckets plus a global queue-depth
+//! watermark.
+//!
+//! Every submission is either **admitted** into the single-writer ingest
+//! queue or **rejected with a retry-after hint** — the server never queues
+//! without bound. Two independent gates apply, cheapest first:
+//!
+//! 1. the global watermark: if the ingest queue already holds
+//!    [`AdmissionConfig::max_queue`] submissions, the client is told to
+//!    retry after a fixed backoff (the bucket is *not* charged, so a
+//!    backlogged server does not also burn the client's budget);
+//! 2. the per-client token bucket: each submitted mutation costs one token,
+//!    so sustained throughput per client converges to
+//!    [`AdmissionConfig::rate_per_client`] mutations per second with bursts
+//!    up to [`AdmissionConfig::burst_per_client`].
+
+use std::collections::HashMap;
+
+use crate::bucket::TokenBucket;
+
+/// Admission-control knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Sustained per-client budget, in mutations per second.
+    pub rate_per_client: u64,
+    /// Per-client burst allowance, in mutations.
+    pub burst_per_client: u64,
+    /// Global watermark: maximum submissions waiting in the ingest queue
+    /// before new ones are turned away.
+    pub max_queue: usize,
+    /// Retry hint (milliseconds) handed out when the watermark trips.
+    pub queue_retry_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_client: 200_000,
+            burst_per_client: 400_000,
+            max_queue: 64,
+            queue_retry_ms: 5,
+        }
+    }
+}
+
+/// The verdict on one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Enqueue it.
+    Admit,
+    /// Turn it away; the client should retry after this many milliseconds.
+    RetryAfter(u64),
+}
+
+/// Per-client bucket state behind the two admission gates (module docs).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    buckets: HashMap<u32, TokenBucket>,
+}
+
+impl Admission {
+    /// An admission controller with no clients yet.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission { cfg, buckets: HashMap::new() }
+    }
+
+    /// Decide one submission of `n_muts` mutations from `client` at
+    /// monotonic time `now_micros`, with `queue_depth` submissions already
+    /// waiting in the ingest queue.
+    pub fn decide(
+        &mut self,
+        client: u32,
+        n_muts: usize,
+        queue_depth: usize,
+        now_micros: u64,
+    ) -> Decision {
+        if queue_depth >= self.cfg.max_queue {
+            return Decision::RetryAfter(self.cfg.queue_retry_ms.max(1));
+        }
+        let bucket = self.buckets.entry(client).or_insert_with(|| {
+            TokenBucket::new(self.cfg.rate_per_client, self.cfg.burst_per_client)
+        });
+        match bucket.try_acquire(n_muts as u64, now_micros) {
+            Ok(()) => Decision::Admit,
+            Err(micros) => Decision::RetryAfter(micros.div_ceil(1000).max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_client: 1_000,
+            burst_per_client: 100,
+            max_queue: 2,
+            queue_retry_ms: 7,
+        }
+    }
+
+    #[test]
+    fn admits_within_budget_and_rejects_past_it() {
+        let mut a = Admission::new(cfg());
+        assert_eq!(a.decide(1, 100, 0, 0), Decision::Admit);
+        let Decision::RetryAfter(ms) = a.decide(1, 50, 0, 0) else {
+            panic!("over-budget submission admitted");
+        };
+        // 50 tokens at 1000/s = 50 ms.
+        assert_eq!(ms, 50);
+        assert_eq!(a.decide(1, 50, 0, 50_000), Decision::Admit);
+    }
+
+    #[test]
+    fn clients_have_independent_budgets() {
+        let mut a = Admission::new(cfg());
+        assert_eq!(a.decide(1, 100, 0, 0), Decision::Admit);
+        assert_eq!(a.decide(2, 100, 0, 0), Decision::Admit, "client 2 has its own bucket");
+        assert!(matches!(a.decide(1, 1, 0, 0), Decision::RetryAfter(_)));
+    }
+
+    #[test]
+    fn queue_watermark_rejects_without_charging_the_bucket() {
+        let mut a = Admission::new(cfg());
+        assert_eq!(a.decide(1, 10, 2, 0), Decision::RetryAfter(7), "queue full");
+        // The refused submission did not spend tokens: the full burst is
+        // still available once the queue drains.
+        assert_eq!(a.decide(1, 100, 0, 0), Decision::Admit);
+    }
+}

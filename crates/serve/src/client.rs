@@ -1,0 +1,124 @@
+//! A small blocking client for the ingestion server.
+//!
+//! Used by the workload drivers (`paper serve`) and the smoke tests. One
+//! request is in flight per client at a time — the protocol is strictly
+//! request/response per connection, and the interesting concurrency lives
+//! server-side (many clients, one writer).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+use sdgp_core::graph::GraphMutation;
+
+use crate::proto::{read_frame, write_frame, Request, Response, ServerStats};
+
+/// Outcome of a single submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// Applied: the increment containing the batch converged.
+    Applied,
+    /// Refused by admission control; retry after this long.
+    RetryAfter(Duration),
+}
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// The id the server tracks this session's rate budget under.
+    pub client_id: u32,
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected server response: {resp:?}"))
+}
+
+impl Client {
+    /// Connect and complete the hello handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut c = Client { stream, client_id: 0 };
+        match c.call(&Request::Hello)? {
+            Response::Hello { client_id } => {
+                c.client_id = client_id;
+                Ok(c)
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        Response::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// Submit one batch; a server-side refusal of the *content* (e.g. a
+    /// delete naming no live copy) is an error, an admission refusal is
+    /// [`Submission::RetryAfter`].
+    pub fn submit(&mut self, muts: &[GraphMutation]) -> io::Result<Submission> {
+        match self.call(&Request::Submit(muts.to_vec()))? {
+            Response::Submitted => Ok(Submission::Applied),
+            Response::RetryAfter { millis } => {
+                Ok(Submission::RetryAfter(Duration::from_millis(millis)))
+            }
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit, sleeping out admission backoffs, up to `max_attempts`.
+    pub fn submit_retrying(&mut self, muts: &[GraphMutation], max_attempts: u32) -> io::Result<()> {
+        for _ in 0..max_attempts {
+            match self.submit(muts)? {
+                Submission::Applied => return Ok(()),
+                Submission::RetryAfter(backoff) => thread::sleep(backoff),
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::TimedOut, "admission kept refusing the batch"))
+    }
+
+    /// Read the converged per-vertex sync values.
+    pub fn query(&mut self) -> io::Result<Vec<Option<u64>>> {
+        match self.call(&Request::Query)? {
+            Response::States(states) => Ok(states),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Force a checkpoint now.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Done => Ok(()),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the server counters.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Stop the server gracefully (flush, no checkpoint).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Done => Ok(()),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Stop the server as if it crashed (drop pending, no flush).
+    pub fn kill(&mut self) -> io::Result<()> {
+        match self.call(&Request::Kill)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The framed wire protocol between clients and the ingestion server.
+//!
+//! Every message is one **frame**: a little-endian `u32` byte length
+//! followed by that many payload bytes ([`write_frame`] / [`read_frame`]).
+//! Payloads are a one-byte opcode plus fixed-width little-endian fields;
+//! mutation batches reuse the count-prefixed encoding shared with the
+//! write-ahead log ([`sdgp_core::checkpoint::encode_mutations`]), so a
+//! submission's wire bytes are byte-identical to its WAL record payload.
+//! No external serialization crate is involved.
+
+use std::io::{self, Read, Write};
+
+use sdgp_core::checkpoint::{decode_mutations, encode_mutations};
+use sdgp_core::graph::GraphMutation;
+
+/// Upper bound on a single frame, protecting the server from a garbage
+/// length prefix.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed message: {what}"))
+}
+
+/// Cumulative server-side counters, queryable over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Increments applied (one per coalesced service round).
+    pub batches: u64,
+    /// Canonical mutations applied across all increments.
+    pub mutations: u64,
+    /// Live edges in the graph right now.
+    pub live_edges: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Batches in the write-ahead tail (replayed on a crash right now).
+    pub wal_tail_batches: u64,
+    /// Size of the most recent checkpoint, in bytes.
+    pub last_checkpoint_bytes: u64,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a session; the server answers with the assigned client id.
+    Hello,
+    /// Submit a mutation batch for ingestion.
+    Submit(Vec<GraphMutation>),
+    /// Read the converged per-vertex sync values.
+    Query,
+    /// Force a checkpoint now.
+    Checkpoint,
+    /// Read the server counters.
+    Stats,
+    /// Stop gracefully: flush pending work, then exit (no checkpoint — the
+    /// WAL tail carries the last batches, exercising recovery on restart).
+    Shutdown,
+    /// Stop *as if crashed*: drop everything not yet in the WAL and exit
+    /// without flushing or checkpointing. Test and fault-injection hook.
+    Kill,
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello => vec![0],
+            Request::Submit(muts) => {
+                let body = encode_mutations(muts);
+                let mut out = Vec::with_capacity(1 + body.len());
+                out.push(1);
+                out.extend_from_slice(&body);
+                out
+            }
+            Request::Query => vec![2],
+            Request::Checkpoint => vec![3],
+            Request::Stats => vec![4],
+            Request::Shutdown => vec![5],
+            Request::Kill => vec![6],
+        }
+    }
+
+    /// Deserialize a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        match payload.split_first() {
+            Some((0, [])) => Ok(Request::Hello),
+            Some((1, rest)) => {
+                decode_mutations(rest).map(Request::Submit).map_err(|e| malformed(&e.to_string()))
+            }
+            Some((2, [])) => Ok(Request::Query),
+            Some((3, [])) => Ok(Request::Checkpoint),
+            Some((4, [])) => Ok(Request::Stats),
+            Some((5, [])) => Ok(Request::Shutdown),
+            Some((6, [])) => Ok(Request::Kill),
+            _ => Err(malformed("unknown request")),
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session opened; the id admission control tracks this client under.
+    Hello {
+        /// Server-assigned client id.
+        client_id: u32,
+    },
+    /// The submission was applied: the increment containing it converged.
+    Submitted,
+    /// The submission was refused; retry after this many milliseconds.
+    RetryAfter {
+        /// Backoff hint in milliseconds.
+        millis: u64,
+    },
+    /// Converged per-vertex sync values (`None` = unreached).
+    States(Vec<Option<u64>>),
+    /// Server counters.
+    Stats(ServerStats),
+    /// The control request completed.
+    Done,
+    /// The request failed; the submission (if any) was not applied.
+    Err(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+impl Response {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Hello { client_id } => {
+                let mut out = vec![0];
+                out.extend_from_slice(&client_id.to_le_bytes());
+                out
+            }
+            Response::Submitted => vec![1],
+            Response::RetryAfter { millis } => {
+                let mut out = vec![2];
+                out.extend_from_slice(&millis.to_le_bytes());
+                out
+            }
+            Response::States(states) => {
+                let mut out = Vec::with_capacity(5 + states.len() * 9);
+                out.push(3);
+                out.extend_from_slice(&(states.len() as u32).to_le_bytes());
+                for s in states {
+                    match s {
+                        Some(v) => {
+                            out.push(1);
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                        None => out.push(0),
+                    }
+                }
+                out
+            }
+            Response::Stats(s) => {
+                let mut out = Vec::with_capacity(1 + 7 * 8);
+                out.push(4);
+                for field in [
+                    s.batches,
+                    s.mutations,
+                    s.live_edges,
+                    s.checkpoints,
+                    s.rejected,
+                    s.wal_tail_batches,
+                    s.last_checkpoint_bytes,
+                ] {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+                out
+            }
+            Response::Done => vec![5],
+            Response::Err(msg) => {
+                let mut out = Vec::with_capacity(1 + msg.len());
+                out.push(6);
+                out.extend_from_slice(msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Deserialize a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let u64_at = |rest: &[u8], at: usize| -> io::Result<u64> {
+            rest.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| malformed("short integer field"))
+        };
+        match payload.split_first() {
+            Some((0, rest)) if rest.len() == 4 => Ok(Response::Hello {
+                client_id: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
+            }),
+            Some((1, [])) => Ok(Response::Submitted),
+            Some((2, rest)) => Ok(Response::RetryAfter { millis: u64_at(rest, 0)? }),
+            Some((3, rest)) => {
+                let n = rest
+                    .get(..4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .ok_or_else(|| malformed("short state count"))?
+                    as usize;
+                let mut states = Vec::with_capacity(n.min(1 << 20));
+                let mut at = 4;
+                for _ in 0..n {
+                    match rest.get(at) {
+                        Some(0) => {
+                            states.push(None);
+                            at += 1;
+                        }
+                        Some(_) => {
+                            states.push(Some(u64_at(rest, at + 1)?));
+                            at += 9;
+                        }
+                        None => return Err(malformed("short state list")),
+                    }
+                }
+                Ok(Response::States(states))
+            }
+            Some((4, rest)) => Ok(Response::Stats(ServerStats {
+                batches: u64_at(rest, 0)?,
+                mutations: u64_at(rest, 8)?,
+                live_edges: u64_at(rest, 16)?,
+                checkpoints: u64_at(rest, 24)?,
+                rejected: u64_at(rest, 32)?,
+                wal_tail_batches: u64_at(rest, 40)?,
+                last_checkpoint_bytes: u64_at(rest, 48)?,
+            })),
+            Some((5, [])) => Ok(Response::Done),
+            Some((6, rest)) => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
+            _ => Err(malformed("unknown response")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Hello,
+            Request::Submit(vec![
+                GraphMutation::AddEdge((1, 2, 3)),
+                GraphMutation::DelEdge((4, 5, 6)),
+                GraphMutation::UpdateWeight { u: 7, v: 8, w: 9 },
+            ]),
+            Request::Submit(vec![]),
+            Request::Query,
+            Request::Checkpoint,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Kill,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Request::decode(&[2, 0]).is_err(), "trailing garbage rejected");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Hello { client_id: 7 },
+            Response::Submitted,
+            Response::RetryAfter { millis: 12 },
+            Response::States(vec![Some(0), None, Some(u64::MAX)]),
+            Response::States(vec![]),
+            Response::Stats(ServerStats {
+                batches: 1,
+                mutations: 2,
+                live_edges: 3,
+                checkpoints: 4,
+                rejected: 5,
+                wal_tail_batches: 6,
+                last_checkpoint_bytes: 7,
+            }),
+            Response::Done,
+            Response::Err("no live copy".into()),
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(Response::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "EOF surfaces as an error");
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+}

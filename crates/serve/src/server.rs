@@ -1,0 +1,538 @@
+//! The ingestion server: a single-writer ingest loop around one
+//! [`StreamingGraph`], fronted by a threaded TCP accept loop.
+//!
+//! ## Single-writer ingest
+//!
+//! [`IngestCore`] owns the graph, the durability [`Store`], and a
+//! [`MutationLog`] **coalescing stage**. Submissions are validated against
+//! the stage atomically (all-or-nothing per submission) and parked there;
+//! a [`IngestCore::flush`] drains the stage into one canonical batch,
+//! appends it to the write-ahead log, *then* applies it as one
+//! `stream_increment`. Because the stage mirrors the graph's own edge
+//! ledger, a submission that names a missing live copy is refused at
+//! submit time with the exact ledger error instead of poisoning the
+//! fabric mid-increment.
+//!
+//! ## Recovery
+//!
+//! [`IngestCore::boot`] restores the newest checkpoint (re-converging the
+//! fixpoint and verifying it bit-for-bit against the snapshot), then
+//! replays only the WAL tail — the canonical batches applied after that
+//! checkpoint — through the same coalesce-and-increment path. Replay of a
+//! canonical batch is deterministic, so the recovered fixpoint is
+//! bit-identical to the pre-crash one; the recovery proptests in the
+//! umbrella crate pin exactly this.
+//!
+//! ## Threading
+//!
+//! [`Server`] spawns one reader thread per connection and a single ingest
+//! thread. Readers run admission control ([`Admission`]) and either answer
+//! `RetryAfter` directly or enqueue the submission to the ingest thread,
+//! which coalesces every queued submission into the next increment and
+//! acknowledges each one only after that increment converged — a
+//! `Submitted` reply means the mutation is durable (WAL) *and* its
+//! fixpoint is queryable.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sdgp_core::apps::VertexAlgo;
+use sdgp_core::graph::{GraphBuilder, GraphMutation, MutationError, MutationLog, StreamingGraph};
+use sdgp_core::GraphCheckpoint;
+
+use crate::admission::{Admission, AdmissionConfig, Decision};
+use crate::proto::{read_frame, write_frame, Request, Response, ServerStats};
+use crate::wal::Store;
+use crate::ServeError;
+
+/// Configuration of the TCP serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Most submissions merged into a single increment per service round.
+    pub max_coalesce: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { admission: AdmissionConfig::default(), max_coalesce: 32 }
+    }
+}
+
+/// What [`IngestCore::boot`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootReport {
+    /// Whether a checkpoint was restored (false = fresh start).
+    pub recovered: bool,
+    /// Live edges inside the restored checkpoint.
+    pub checkpoint_edges: usize,
+    /// WAL batches replayed on top of the checkpoint.
+    pub tail_batches: usize,
+    /// Mutations across the replayed tail.
+    pub tail_mutations: usize,
+}
+
+/// The single-writer ingestion state machine (module docs).
+pub struct IngestCore<G: VertexAlgo> {
+    graph: StreamingGraph<G>,
+    store: Store,
+    /// The coalescing stage: validated-but-unapplied submissions, merged
+    /// under the shared [`MutationLog`] semantics.
+    stage: MutationLog,
+    /// Write a checkpoint after this many applied batches (0 = only on
+    /// explicit request).
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+    stats: ServerStats,
+}
+
+impl<G: VertexAlgo> IngestCore<G> {
+    /// Boot from the store in `dir`: restore the checkpoint if present
+    /// (else build fresh from `builder`), replay the WAL tail, and report
+    /// what happened. `builder`'s vertex count is overridden by the
+    /// checkpoint's when one is restored.
+    pub fn boot(
+        builder: GraphBuilder<G>,
+        dir: &Path,
+        checkpoint_every: u64,
+    ) -> Result<(IngestCore<G>, BootReport), ServeError> {
+        let store = Store::open(dir)?;
+        let (graph, recovered, checkpoint_edges) = match store.load_checkpoint()? {
+            Some(ck) => {
+                let g = ck.restore(builder)?;
+                (g, true, ck.edges.len())
+            }
+            None => (builder.build()?, false, 0),
+        };
+        // Seed the coalescing stage with the graph's live multiset so it
+        // mirrors the edge ledger from the first submission on.
+        let mut stage = MutationLog::new();
+        for (u, v, w) in graph.live_edges() {
+            stage.push(GraphMutation::AddEdge((u, v, w)));
+        }
+        stage.drain();
+        let mut core = IngestCore {
+            graph,
+            store,
+            stage,
+            checkpoint_every,
+            since_checkpoint: 0,
+            stats: ServerStats::default(),
+        };
+        let tail = core.store.load_tail()?;
+        let (tail_batches, tail_mutations) = (tail.len(), tail.iter().map(Vec::len).sum::<usize>());
+        for batch in &tail {
+            core.replay(batch)?;
+        }
+        // The replayed tail is still in the WAL: it counts against the
+        // checkpoint cadence so a crash loop cannot grow the tail forever.
+        core.since_checkpoint = tail_batches as u64;
+        core.stats.wal_tail_batches = tail_batches as u64;
+        core.stats.live_edges = core.graph.live_edge_count();
+        Ok((core, BootReport { recovered, checkpoint_edges, tail_batches, tail_mutations }))
+    }
+
+    /// Re-apply one WAL batch during boot (no WAL append — it is already
+    /// on disk).
+    fn replay(&mut self, batch: &[GraphMutation]) -> Result<(), ServeError> {
+        for &m in batch {
+            self.stage.try_push(m).map_err(|e| {
+                ServeError::WalReplay(format!("{e} (store {:?})", self.store.dir()))
+            })?;
+        }
+        let canonical = self.stage.drain();
+        // A WAL batch is already canonical for the state it was logged
+        // against, so re-coalescing it is the identity.
+        debug_assert_eq!(canonical.muts, batch, "WAL batch must replay verbatim");
+        self.graph.stream_increment(&canonical.muts)?;
+        self.stats.batches += 1;
+        self.stats.mutations += canonical.muts.len() as u64;
+        Ok(())
+    }
+
+    /// Validate and park one submission in the coalescing stage.
+    /// All-or-nothing: on error the stage is unchanged and nothing of the
+    /// submission survives.
+    pub fn submit(&mut self, muts: &[GraphMutation]) -> Result<(), MutationError> {
+        let mut probe = self.stage.clone();
+        for &m in muts {
+            probe.try_push(m)?;
+        }
+        self.stage = probe;
+        Ok(())
+    }
+
+    /// Mutations currently parked in the coalescing stage.
+    pub fn pending_ops(&self) -> usize {
+        self.stage.pending_ops()
+    }
+
+    /// Drain the stage and apply it as one increment: WAL first, then
+    /// `stream_increment`, then (on cadence) a checkpoint. Returns whether
+    /// an increment actually ran — a stage that coalesced to nothing (or
+    /// was empty) is skipped entirely, matching what the graph would do
+    /// with the same canonical batch.
+    pub fn flush(&mut self) -> Result<bool, ServeError> {
+        if self.stage.pending_ops() == 0 {
+            return Ok(false);
+        }
+        let batch = self.stage.drain();
+        if batch.muts.is_empty() {
+            // Fully annihilated (e.g. add+delete of the same copy in one
+            // round): no surviving op, no repair need, nothing to log.
+            return Ok(false);
+        }
+        self.store.append_batch(&batch.muts)?;
+        self.graph.stream_increment(&batch.muts)?;
+        self.since_checkpoint += 1;
+        self.stats.batches += 1;
+        self.stats.mutations += batch.muts.len() as u64;
+        self.stats.live_edges = self.graph.live_edge_count();
+        self.stats.wal_tail_batches = self.since_checkpoint;
+        if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(true)
+    }
+
+    /// Snapshot the quiescent graph to disk now, truncating the WAL.
+    /// Returns the checkpoint size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, ServeError> {
+        let ck = GraphCheckpoint::capture(&self.graph);
+        let bytes = self.store.write_checkpoint(&ck)?;
+        self.since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        self.stats.wal_tail_batches = 0;
+        self.stats.last_checkpoint_bytes = bytes;
+        Ok(bytes)
+    }
+
+    /// Converged per-vertex sync values (applied state only; parked
+    /// submissions are not visible until flushed).
+    pub fn sync_values(&self) -> Vec<Option<u64>> {
+        self.graph.sync_values()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The graph being served (read-only).
+    pub fn graph(&self) -> &StreamingGraph<G> {
+        &self.graph
+    }
+}
+
+/// How a serving run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Final counters.
+    pub stats: ServerStats,
+    /// True if the run ended via [`Request::Kill`] or an internal fault —
+    /// pending work was dropped and no final flush ran.
+    pub crashed: bool,
+}
+
+/// One queued unit of work for the ingest thread.
+enum Cmd {
+    Submit { muts: Vec<GraphMutation>, reply: mpsc::SyncSender<Response> },
+    Query { reply: mpsc::SyncSender<Response> },
+    Checkpoint { reply: mpsc::SyncSender<Response> },
+    Stats { reply: mpsc::SyncSender<Response> },
+    Shutdown { reply: mpsc::SyncSender<Response> },
+    Kill { reply: mpsc::SyncSender<Response> },
+}
+
+/// State shared between the reader threads and the ingest thread.
+struct Shared {
+    admission: Mutex<Admission>,
+    /// Submissions admitted but not yet dequeued by the ingest thread —
+    /// the global backpressure watermark input.
+    queue_depth: AtomicUsize,
+    rejected: AtomicU64,
+    next_client: AtomicU32,
+    stop: AtomicBool,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A running ingestion server (module docs). Dropping the handle does not
+/// stop it; send [`Request::Shutdown`] or [`Request::Kill`] and
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    ingest: JoinHandle<ServerReport>,
+    acceptor: JoinHandle<()>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Serve `core` on an OS-assigned loopback port.
+    pub fn start_loopback<G: VertexAlgo + 'static>(
+        core: IngestCore<G>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Server::start(core, cfg, TcpListener::bind("127.0.0.1:0")?)
+    }
+
+    /// Serve `core` on an already-bound listener.
+    pub fn start<G: VertexAlgo + 'static>(
+        mut core: IngestCore<G>,
+        cfg: ServeConfig,
+        listener: TcpListener,
+    ) -> io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            admission: Mutex::new(Admission::new(cfg.admission)),
+            queue_depth: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            next_client: AtomicU32::new(1),
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+        let (tx, rx) = mpsc::channel::<Cmd>();
+
+        let ingest_shared = Arc::clone(&shared);
+        let max_coalesce = cfg.max_coalesce.max(1);
+        let ingest = thread::spawn(move || {
+            let report = ingest_loop(&mut core, &rx, &ingest_shared, max_coalesce);
+            ingest_shared.stop.store(true, Ordering::SeqCst);
+            report
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        listener.set_nonblocking(true)?;
+        let acceptor = thread::spawn(move || {
+            while !accept_shared.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((sock, _)) => {
+                        let tx = tx.clone();
+                        let shared = Arc::clone(&accept_shared);
+                        thread::spawn(move || connection_loop(sock, &tx, &shared));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Server { addr, ingest, acceptor, shared })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the serving run to end (a client sent `Shutdown` or
+    /// `Kill`) and collect its report.
+    pub fn join(self) -> ServerReport {
+        let report = self.ingest.join().expect("ingest thread panicked");
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.acceptor.join().expect("acceptor thread panicked");
+        report
+    }
+}
+
+/// Whether the serving loop keeps going after a command.
+enum Flow {
+    Continue,
+    Stop { crashed: bool },
+}
+
+fn ingest_loop<G: VertexAlgo>(
+    core: &mut IngestCore<G>,
+    rx: &mpsc::Receiver<Cmd>,
+    shared: &Shared,
+    max_coalesce: usize,
+) -> ServerReport {
+    let mut crashed = false;
+    'serve: loop {
+        let cmd = match rx.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => break, // every sender gone: nothing can arrive anymore
+        };
+        let mut deferred = None;
+        let mut round = Vec::new();
+        match cmd {
+            Cmd::Submit { muts, reply } => {
+                round.push((muts, reply));
+                // Coalesce every submission already waiting into the same
+                // increment (one fabric run amortized over all of them).
+                while round.len() < max_coalesce {
+                    match rx.try_recv() {
+                        Ok(Cmd::Submit { muts, reply }) => round.push((muts, reply)),
+                        Ok(other) => {
+                            deferred = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            other => deferred = Some(other),
+        }
+
+        if !round.is_empty() {
+            let mut acks = Vec::with_capacity(round.len());
+            for (muts, reply) in round {
+                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                match core.submit(&muts) {
+                    Ok(()) => acks.push(reply),
+                    Err(e) => {
+                        let _ = reply.send(Response::Err(e.to_string()));
+                    }
+                }
+            }
+            match core.flush() {
+                Ok(_) => {
+                    for reply in acks {
+                        let _ = reply.send(Response::Submitted);
+                    }
+                }
+                Err(e) => {
+                    // Durability or fabric failure: the acknowledged state
+                    // on disk is still consistent, but this process must
+                    // not keep accepting work.
+                    let msg = format!("ingest failed: {e}");
+                    for reply in acks {
+                        let _ = reply.send(Response::Err(msg.clone()));
+                    }
+                    crashed = true;
+                    break 'serve;
+                }
+            }
+        }
+
+        if let Some(cmd) = deferred {
+            match control(core, shared, cmd) {
+                Flow::Continue => {}
+                Flow::Stop { crashed: c } => {
+                    crashed = c;
+                    break 'serve;
+                }
+            }
+        }
+    }
+    let mut stats = core.stats();
+    stats.rejected = shared.rejected.load(Ordering::SeqCst);
+    ServerReport { stats, crashed }
+}
+
+fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -> Flow {
+    match cmd {
+        Cmd::Submit { .. } => unreachable!("submissions are handled in the coalescing round"),
+        Cmd::Query { reply } => {
+            let _ = reply.send(Response::States(core.sync_values()));
+            Flow::Continue
+        }
+        Cmd::Checkpoint { reply } => {
+            let resp = match core.checkpoint() {
+                Ok(_) => Response::Done,
+                Err(e) => Response::Err(e.to_string()),
+            };
+            let _ = reply.send(resp);
+            Flow::Continue
+        }
+        Cmd::Stats { reply } => {
+            let mut stats = core.stats();
+            stats.rejected = shared.rejected.load(Ordering::SeqCst);
+            let _ = reply.send(Response::Stats(stats));
+            Flow::Continue
+        }
+        Cmd::Shutdown { reply } => {
+            // Graceful: apply what was acknowledged as parked, then stop.
+            // Deliberately no checkpoint — the WAL tail carries the last
+            // batches so restart exercises the recovery path.
+            let resp = match core.flush() {
+                Ok(_) => Response::Done,
+                Err(e) => Response::Err(e.to_string()),
+            };
+            let _ = reply.send(resp);
+            Flow::Stop { crashed: false }
+        }
+        Cmd::Kill { reply } => {
+            // Simulated crash: drop the stage, no flush, no checkpoint.
+            let _ = reply.send(Response::Done);
+            Flow::Stop { crashed: true }
+        }
+    }
+}
+
+fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared) {
+    let _ = sock.set_nodelay(true);
+    let client_id = shared.next_client.fetch_add(1, Ordering::SeqCst);
+    loop {
+        let frame = match read_frame(&mut sock) {
+            Ok(f) => f,
+            Err(_) => return, // disconnect
+        };
+        let resp = match Request::decode(&frame) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(Request::Hello) => Response::Hello { client_id },
+            Ok(Request::Submit(muts)) => {
+                let depth = shared.queue_depth.load(Ordering::SeqCst);
+                let decision = shared.admission.lock().expect("admission lock poisoned").decide(
+                    client_id,
+                    muts.len(),
+                    depth,
+                    shared.now_micros(),
+                );
+                match decision {
+                    Decision::RetryAfter(millis) => {
+                        shared.rejected.fetch_add(1, Ordering::SeqCst);
+                        Response::RetryAfter { millis }
+                    }
+                    Decision::Admit => {
+                        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        roundtrip(tx, |reply| Cmd::Submit { muts, reply }).unwrap_or_else(|| {
+                            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            Response::Err("server stopped".into())
+                        })
+                    }
+                }
+            }
+            Ok(Request::Query) => forward(tx, |reply| Cmd::Query { reply }),
+            Ok(Request::Checkpoint) => forward(tx, |reply| Cmd::Checkpoint { reply }),
+            Ok(Request::Stats) => forward(tx, |reply| Cmd::Stats { reply }),
+            Ok(Request::Shutdown) => forward(tx, |reply| Cmd::Shutdown { reply }),
+            Ok(Request::Kill) => forward(tx, |reply| Cmd::Kill { reply }),
+        };
+        if write_frame(&mut sock, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Send a command and wait for the ingest thread's reply; `None` if the
+/// server already stopped.
+fn roundtrip(
+    tx: &mpsc::Sender<Cmd>,
+    make: impl FnOnce(mpsc::SyncSender<Response>) -> Cmd,
+) -> Option<Response> {
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    tx.send(make(reply_tx)).ok()?;
+    reply_rx.recv().ok()
+}
+
+fn forward(
+    tx: &mpsc::Sender<Cmd>,
+    make: impl FnOnce(mpsc::SyncSender<Response>) -> Cmd,
+) -> Response {
+    roundtrip(tx, make).unwrap_or_else(|| Response::Err("server stopped".into()))
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the TCP serving loop: concurrent clients, admission
+//! backpressure, checkpoint/kill/restore, and acknowledgement semantics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use amcca_serve::server::{IngestCore, ServeConfig, Server};
+use amcca_serve::{AdmissionConfig, Client, Submission};
+use amcca_sim::ChipConfig;
+use sdgp_core::graph::GraphMutation;
+use sdgp_core::rpvo::RpvoConfig;
+use sdgp_core::{BfsAlgo, StreamingGraph};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "amcca-serve-e2e-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn builder(n: u32) -> sdgp_core::GraphBuilder<BfsAlgo> {
+    StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::basic(4, 2))
+}
+
+fn adds(edges: &[(u32, u32, u32)]) -> Vec<GraphMutation> {
+    edges.iter().copied().map(GraphMutation::AddEdge).collect()
+}
+
+/// Reference BFS fixpoint over the same edges, via a fresh offline graph.
+fn oracle(n: u32, edges: &[(u32, u32, u32)]) -> Vec<Option<u64>> {
+    let mut g = builder(n).build().unwrap();
+    g.stream_edges(edges).unwrap();
+    g.sync_values()
+}
+
+#[test]
+fn serves_concurrent_clients_and_acknowledges_after_convergence() {
+    let dir = tmp_dir("concurrent");
+    let (core, boot) = IngestCore::boot(builder(16), &dir, 0).unwrap();
+    assert!(!boot.recovered);
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Two clients over disjoint vertex slices submit concurrently; slices
+    // keep their mutations commutative, so any interleaving converges to
+    // the same fixpoint.
+    let lo = [(0, 1, 1), (1, 2, 1), (2, 3, 1)];
+    let hi = [(0, 8, 1), (8, 9, 1), (9, 10, 1)];
+    std::thread::scope(|s| {
+        for batch in [&lo[..], &hi[..]] {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for e in batch {
+                    c.submit_retrying(&adds(&[*e]), 100).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    let want: Vec<(u32, u32, u32)> = lo.iter().chain(hi.iter()).copied().collect();
+    assert_eq!(c.query().unwrap(), oracle(16, &want));
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.live_edges, 6);
+    assert!(stats.batches >= 1);
+    c.shutdown().unwrap();
+    let report = server.join();
+    assert!(!report.crashed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn admission_rejects_with_retry_after_and_retry_succeeds() {
+    let dir = tmp_dir("admission");
+    let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    // A budget of 2 mutations/sec with burst 3: the second 3-edge batch in
+    // the same instant must be refused with a retry hint.
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            rate_per_client: 2,
+            burst_per_client: 3,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start_loopback(core, cfg).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.submit(&adds(&[(0, 1, 1), (1, 2, 1), (2, 3, 1)])).unwrap(), Submission::Applied);
+    let refused = c.submit(&adds(&[(3, 4, 1), (4, 5, 1), (5, 6, 1)])).unwrap();
+    let Submission::RetryAfter(backoff) = refused else {
+        panic!("over-budget batch admitted: {refused:?}");
+    };
+    assert!(backoff.as_millis() > 0);
+    // Sleeping out the hint makes the same batch land.
+    c.submit_retrying(&adds(&[(3, 4, 1), (4, 5, 1), (5, 6, 1)]), 20).unwrap();
+    assert!(c.stats().unwrap().rejected >= 1);
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_submission_is_refused_without_poisoning_the_server() {
+    let dir = tmp_dir("refuse");
+    let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.submit_retrying(&adds(&[(0, 1, 1)]), 10).unwrap();
+    // Deleting a copy that does not exist is refused at validation...
+    let err = c.submit(&[GraphMutation::DelEdge((0, 1, 9))]).unwrap_err();
+    assert!(err.to_string().contains("no live copy"), "got: {err}");
+    // ...and the server keeps serving correct work afterwards.
+    c.submit_retrying(&[GraphMutation::DelEdge((0, 1, 1))], 10).unwrap();
+    assert_eq!(c.stats().unwrap().live_edges, 0);
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_then_boot_replays_only_the_tail_bit_identically() {
+    let dir = tmp_dir("recover");
+    let pre = [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)];
+    let tail = [(4, 5, 2), (0, 6, 1)];
+
+    // Serve: apply `pre`, checkpoint, apply `tail`, then crash.
+    let states_before = {
+        let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+        let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for e in pre {
+            c.submit_retrying(&adds(&[e]), 10).unwrap();
+        }
+        c.checkpoint().unwrap();
+        for e in tail {
+            c.submit_retrying(&adds(&[e]), 10).unwrap();
+        }
+        let states = c.query().unwrap();
+        c.kill().unwrap();
+        let report = server.join();
+        assert!(report.crashed);
+        states
+    };
+
+    // Recover: the checkpoint carries `pre`, the WAL tail exactly `tail`.
+    let (core, boot) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    assert!(boot.recovered);
+    assert_eq!(boot.checkpoint_edges, pre.len());
+    assert_eq!(boot.tail_batches, tail.len(), "replay only the tail");
+    assert_eq!(boot.tail_mutations, tail.len());
+    assert_eq!(core.sync_values(), states_before, "recovered fixpoint is bit-identical");
+
+    // The recovered server keeps ingesting.
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.submit_retrying(&adds(&[(6, 7, 1)]), 10).unwrap();
+    let want: Vec<(u32, u32, u32)> =
+        pre.iter().chain(tail.iter()).copied().chain([(6, 7, 1)]).collect();
+    assert_eq!(c.query().unwrap(), oracle(8, &want));
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_cadence_bounds_the_tail() {
+    let dir = tmp_dir("cadence");
+    // checkpoint_every = 2: after 5 applied batches at most 1 remains in
+    // the tail.
+    let (core, _) = IngestCore::boot(builder(16), &dir, 2).unwrap();
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in 0..5u32 {
+        c.submit_retrying(&adds(&[(i, i + 1, 1)]), 10).unwrap();
+    }
+    let stats = c.stats().unwrap();
+    assert!(stats.checkpoints >= 2, "cadence fired: {stats:?}");
+    assert!(stats.wal_tail_batches < 2, "tail bounded by cadence: {stats:?}");
+    assert!(stats.last_checkpoint_bytes > 0);
+    c.kill().unwrap();
+    server.join();
+    // Boot replays at most one batch — never the whole history.
+    let (_, boot) = IngestCore::boot(builder(16), &dir, 2).unwrap();
+    assert!(boot.recovered);
+    assert!(boot.tail_batches < 2, "{boot:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

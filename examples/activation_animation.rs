@@ -26,9 +26,12 @@ fn main() {
     let cells = chip.cell_count();
     let preset = GcPreset::v50k(Sampling::Edge).scaled_down(50);
     let dataset = preset.build();
-    let mut g =
-        StreamingGraph::new(chip, RpvoConfig::default(), BfsAlgo::new(0), dataset.n_vertices)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(dataset.n_vertices)
+        .chip(chip)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
 
     // Stream the first increment only — enough to watch the wave spread.
     let report = g.stream_edges(dataset.increment(0)).unwrap();

@@ -21,13 +21,12 @@ fn vid(x: u32, y: u32) -> u32 {
 
 fn main() {
     let n = SIDE * SIDE;
-    let mut g = StreamingGraph::new(
-        ChipConfig::default(),
-        RpvoConfig::default(),
-        SsspAlgo::new(0), // source = north-west corner
-        n,
-    )
-    .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0)) // source = north-west corner
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
 
     // Increment 1: the grid — east/south streets with weight 10.
     let mut streets: Vec<StreamEdge> = Vec::new();

@@ -12,13 +12,12 @@ fn main() {
     // default RPVO shape (16 inline edges, 2 ghost slots per object).
     let chip = ChipConfig::default();
     let n_vertices = 1_000;
-    let mut graph = StreamingGraph::new(
-        chip,
-        RpvoConfig::default(),
-        BfsAlgo::new(0), // BFS root = vertex 0
-        n_vertices,
-    )
-    .expect("graph construction");
+    let mut graph = StreamingGraph::builder(BfsAlgo::new(0)) // BFS root = vertex 0
+        .vertices(n_vertices)
+        .chip(chip)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .expect("graph construction");
 
     // Increment 1: a binary tree below the root.
     let tree: Vec<StreamEdge> = (1..n_vertices).map(|v| ((v - 1) / 2, v, 1)).collect();

@@ -22,13 +22,12 @@ fn run(sampling: Sampling) {
     );
 
     for with_bfs in [false, true] {
-        let mut g = StreamingGraph::new(
-            ChipConfig::default(),
-            RpvoConfig::default(),
-            BfsAlgo::new(0),
-            dataset.n_vertices,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(dataset.n_vertices)
+            .chip(ChipConfig::default())
+            .rpvo(RpvoConfig::default())
+            .build()
+            .unwrap();
         g.set_algo_propagation(with_bfs);
         let mode = if with_bfs { "streaming edges with BFS" } else { "streaming edges" };
         print!("{mode:>26}: ");

@@ -20,8 +20,12 @@ fn main() {
     let preset = GcPreset::v50k(Sampling::Edge).scaled_down(100); // 500 v, 10K e
     let dataset = preset.build();
     let n = dataset.n_vertices;
-    let mut g =
-        StreamingGraph::new(chip, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
+    let mut g = StreamingGraph::builder(TriangleAlgo::new(ncc))
+        .vertices(n)
+        .chip(chip)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
 
     println!(
         "streaming {} edges over {} increments, recounting triangles each time:\n",

@@ -24,12 +24,12 @@
 //! use amcca::prelude::*;
 //!
 //! // A 32×32 chip, default RPVO shape, BFS rooted at vertex 0.
-//! let mut g = StreamingGraph::new(
-//!     ChipConfig::default(),
-//!     RpvoConfig::default(),
-//!     BfsAlgo::new(0),
-//!     100,
-//! ).unwrap();
+//! let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+//!     .vertices(100)
+//!     .chip(ChipConfig::default())
+//!     .rpvo(RpvoConfig::default())
+//!     .build()
+//!     .unwrap();
 //!
 //! // Stream a path 0→1→…→99 and run the diffusion to quiescence.
 //! let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();

@@ -9,13 +9,12 @@ fn run_with(placement: GhostPlacement) -> (Vec<u64>, f64, u64, f64) {
     let cfg = ChipConfig { ghost_placement: placement, ..ChipConfig::default() };
     let n = 400u32;
     let edges = generate_sbm(&SbmParams::scaled(n, 6000, 13));
-    let mut g = StreamingGraph::new(
-        cfg,
-        RpvoConfig::basic(4, 2), // plenty of ghosts
-        BfsAlgo::new(0),
-        n,
-    )
-    .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::basic(4, 2)) // plenty of ghosts
+        .build()
+        .unwrap();
     let report = g.stream_edges(&edges).unwrap();
     let (count, avg) = g.ghost_distance_stats();
     assert!(count > 100, "this workload must create many ghosts, got {count}");

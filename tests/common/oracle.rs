@@ -182,8 +182,12 @@ impl Rebuild {
         oracle: &[G::State],
         what: &str,
     ) -> StreamingGraph<G> {
-        let mut g =
-            StreamingGraph::new(self.chip(), self.rcfg, algo, self.n).expect("graph construction");
+        let mut g = StreamingGraph::builder(algo)
+            .vertices(self.n)
+            .chip(self.chip())
+            .rpvo(self.rcfg)
+            .build()
+            .expect("graph construction");
         g.set_repair_mode(self.repair);
         for c in muts.chunks(muts.len().div_ceil(self.chunks).max(1)) {
             g.stream_increment(c).expect("increment runs to quiescence");

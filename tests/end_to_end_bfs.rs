@@ -12,7 +12,12 @@ use refgraph::{bfs_levels, DiGraph};
 
 fn verify_schedule(dataset: &StreamingDataset, cfg: ChipConfig) {
     let n = dataset.n_vertices;
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let mut accumulated: Vec<StreamEdge> = Vec::new();
     for i in 0..dataset.increments() {
         let inc = dataset.increment(i);
@@ -54,7 +59,8 @@ fn heavy_hub_spills_deep_and_stays_correct() {
     let n = 200u32;
     let cfg = ChipConfig::small_test();
     let rcfg = RpvoConfig::basic(2, 2);
-    let mut g = StreamingGraph::new(cfg, rcfg, BfsAlgo::new(0), n).unwrap();
+    let mut g =
+        StreamingGraph::builder(BfsAlgo::new(0)).vertices(n).chip(cfg).rpvo(rcfg).build().unwrap();
     let mut edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
     // And a back-path so relaxes flow through the spilled structure.
     edges.extend((1..n - 1).map(|v| (v, v + 1, 1)));
@@ -69,9 +75,12 @@ fn heavy_hub_spills_deep_and_stays_correct() {
 fn edges_into_the_root_update_it_live() {
     // Edges pointing AT the BFS root must never change its level; edges out
     // of unreached vertices stay silent until the vertex is reached.
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), 8)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(8)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.stream_edges(&[(3, 0, 1), (3, 4, 1)]).unwrap();
     assert_eq!(g.state_of(0), 0);
     assert_eq!(g.state_of(3), MAX_LEVEL);
@@ -84,9 +93,12 @@ fn edges_into_the_root_update_it_live() {
 
 #[test]
 fn duplicate_and_cyclic_edges_converge() {
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), 6)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(6)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     // Parallel edges, a 2-cycle, and a self-reinforcing triangle.
     let edges = vec![
         (0, 1, 1),
@@ -106,9 +118,12 @@ fn duplicate_and_cyclic_edges_converge() {
 #[test]
 fn ingestion_only_mode_inserts_without_bfs() {
     let edges = generate_sbm(&SbmParams::scaled(400, 4000, 9));
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), 400)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(400)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.set_algo_propagation(false);
     let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), 4000);

@@ -12,7 +12,12 @@ fn out_of_memory_is_reported_not_hung() {
     // the first RPVO spill can never allocate a ghost anywhere.
     let cfg = ChipConfig { arena_capacity: 1, max_alloc_retries: 16, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(1, 1), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::basic(1, 1))
+        .build()
+        .unwrap();
     let edges: Vec<StreamEdge> = (1..5).map(|v| (0, v, 1)).collect();
     let err = g.stream_edges(&edges).unwrap_err();
     assert!(matches!(err, SimError::OutOfMemory { .. }), "got {err:?}");
@@ -22,7 +27,11 @@ fn out_of_memory_is_reported_not_hung() {
 fn construction_fails_cleanly_when_roots_do_not_fit() {
     let cfg = ChipConfig { arena_capacity: 1, ..ChipConfig::small_test() };
     // 65 roots on a 64-cell chip with capacity 1: the 65th cannot fit.
-    let res = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), 65);
+    let res = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(65)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build();
     assert!(matches!(res.err(), Some(SimError::OutOfMemory { .. })));
 }
 
@@ -33,7 +42,12 @@ fn single_slot_link_buffers_still_converge() {
     let n = 100u32;
     let edges: Vec<StreamEdge> =
         (0..n - 1).map(|i| (i, i + 1, 1)).chain((1..n - 1).map(|i| (0, i, 1))).collect();
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let report = g.stream_edges(&edges).unwrap();
     let reference = bfs_levels(&DiGraph::from_edges(n, edges.iter().copied()), 0);
     assert_eq!(g.states(), reference);
@@ -46,7 +60,12 @@ fn tiny_task_queues_backpressure_without_loss() {
     let n = 50u32;
     // Hammer one vertex with inserts from everywhere.
     let edges: Vec<StreamEdge> = (1..n).map(|v| (0, v, 1)).collect();
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let report = g.stream_edges(&edges).unwrap();
     assert_eq!(g.total_edges_stored(), (n - 1) as u64);
     assert!(report.counters.deliver_stalls > 0, "ejection must have stalled");
@@ -57,7 +76,12 @@ fn cycle_limit_guards_against_runaway() {
     let cfg = ChipConfig { max_cycles: 50, ..ChipConfig::small_test() };
     let n = 200u32;
     let edges: Vec<StreamEdge> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let err = g.stream_edges(&edges).unwrap_err();
     assert!(matches!(err, SimError::CycleLimitExceeded { limit: 50 }));
 }
@@ -68,7 +92,12 @@ fn allocation_retries_relocate_ghosts_under_pressure() {
     // eventually succeed, with retries recorded.
     let cfg = ChipConfig { arena_capacity: 2, max_alloc_retries: 256, ..ChipConfig::small_test() };
     let n = 64u32;
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(2, 1), BfsAlgo::new(0), n).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::basic(2, 1))
+        .build()
+        .unwrap();
     // ~3 extra objects per vertex needed; chip has 64 spare slots total, so
     // keep the load just within capacity: 16 hub edges → 7 ghosts.
     let edges: Vec<StreamEdge> = (1..17).map(|v| (0, v, 1)).collect();
@@ -83,13 +112,12 @@ fn allocation_retries_relocate_ghosts_under_pressure() {
 fn determinism_across_identical_runs() {
     let run = || {
         let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(),
-            RpvoConfig::basic(4, 2),
-            BfsAlgo::new(0),
-            40,
-        )
-        .unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(40)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         let r = g.stream_edges(&edges).unwrap();
         (r.cycles, r.counters, g.states())
     };
@@ -105,7 +133,12 @@ fn different_seed_changes_schedule_not_results() {
     let run = |seed: u64| {
         let edges: Vec<StreamEdge> = (1..40).map(|v| (0, v, 1)).collect();
         let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
-        let mut g = StreamingGraph::new(cfg, RpvoConfig::basic(2, 2), BfsAlgo::new(0), 40).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(40)
+            .chip(cfg)
+            .rpvo(RpvoConfig::basic(2, 2))
+            .build()
+            .unwrap();
         let r = g.stream_edges(&edges).unwrap();
         (r.cycles, g.states())
     };

@@ -20,9 +20,12 @@ fn sssp_matches_dijkstra_every_increment() {
         seed: 31,
     });
     let d = edge_sampling(n, edges, 5, 4);
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), SsspAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
         g.stream_edges(d.increment(i)).unwrap();
@@ -35,9 +38,12 @@ fn sssp_matches_dijkstra_every_increment() {
 
 #[test]
 fn sssp_shortcut_lowers_downstream_distances() {
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), SsspAlgo::new(0), 5)
-            .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+        .vertices(5)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.stream_edges(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
     assert_eq!(g.state_of(3), 30);
     // A cheap shortcut 0→2 must incrementally improve 2 and 3.
@@ -52,8 +58,12 @@ fn connected_components_match_union_find() {
     let n = 500u32;
     let base = generate_sbm(&SbmParams::scaled(n, 2000, 17));
     let d = edge_sampling(n, base, 4, 9);
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), CcAlgo, n).unwrap();
+    let mut g = StreamingGraph::builder(CcAlgo)
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let mut acc: Vec<StreamEdge> = Vec::new();
     for i in 0..d.increments() {
         // CC requires undirected connectivity: stream both directions.
@@ -67,8 +77,12 @@ fn connected_components_match_union_find() {
 
 #[test]
 fn components_merge_when_bridge_streams() {
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::default(), CcAlgo, 6).unwrap();
+    let mut g = StreamingGraph::builder(CcAlgo)
+        .vertices(6)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     g.stream_edges(&symmetrize(&[(0, 1, 1), (3, 4, 1)])).unwrap();
     assert_eq!(g.state_of(1), 0);
     assert_eq!(g.state_of(4), 3);
@@ -83,13 +97,12 @@ fn components_merge_when_bridge_streams() {
 fn run_triangle_count(n: u32, undirected: &[(u32, u32)]) -> u64 {
     let cfg = ChipConfig::default();
     let ncc = cfg.cell_count();
-    let mut g = StreamingGraph::new(
-        cfg,
-        RpvoConfig::basic(4, 2), // force spills
-        TriangleAlgo::new(ncc),
-        n,
-    )
-    .unwrap();
+    let mut g = StreamingGraph::builder(TriangleAlgo::new(ncc))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::basic(4, 2)) // force spills
+        .build()
+        .unwrap();
     let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
     g.stream_edges(&symmetrize(&stream)).unwrap();
     // Snapshot query: a tri-gen wave over every vertex.
@@ -125,7 +138,12 @@ fn triangle_count_matches_reference_on_sbm() {
 
 /// Run a Jaccard query wave and return `(u, v, J)` per canonical edge.
 fn run_jaccard(n: u32, undirected: &[(u32, u32)], rcfg: RpvoConfig) -> Vec<(u32, u32, f64)> {
-    let mut g = StreamingGraph::new(ChipConfig::default(), rcfg, JaccardAlgo::new(), n).unwrap();
+    let mut g = StreamingGraph::builder(JaccardAlgo::new())
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(rcfg)
+        .build()
+        .unwrap();
     let stream: Vec<StreamEdge> = undirected.iter().map(|&(u, v)| (u, v, 1)).collect();
     g.stream_edges(&symmetrize(&stream)).unwrap();
     let wave: Vec<Operon> = (0..n).map(|v| Operon::new(g.addr_of(v), ACT_JC_GEN, [0, 0])).collect();
@@ -187,7 +205,12 @@ fn triangle_recount_per_increment_tracks_growth() {
     let n = 10u32;
     let cfg = ChipConfig::small_test();
     let ncc = cfg.cell_count();
-    let mut g = StreamingGraph::new(cfg, RpvoConfig::default(), TriangleAlgo::new(ncc), n).unwrap();
+    let mut g = StreamingGraph::builder(TriangleAlgo::new(ncc))
+        .vertices(n)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let mut acc: Vec<(u32, u32)> = Vec::new();
     for k in 2..n {
         // Increment: connect vertex k to all previous vertices.

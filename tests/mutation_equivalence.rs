@@ -101,10 +101,7 @@ proptest! {
     ) {
         let muts = materialize(&script);
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards),
-                RpvoConfig::basic(3, 2).with_rhizomes(6, 3),
-                BfsAlgo::new(0), N).unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test().with_shards(shards)).rpvo(RpvoConfig::basic(3, 2).with_rhizomes(6, 3)).build().unwrap();
             let mut cycles = 0u64;
             let mut triggers = 0u64;
             for c in muts.chunks(muts.len().div_ceil(chunks).max(1)) {
@@ -131,9 +128,12 @@ proptest! {
 #[test]
 fn directed_delete_keeps_reverse_edge_symmetrized_delete_removes_it() {
     let build = || {
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), CcAlgo, 6)
-                .unwrap();
+        let mut g = StreamingGraph::builder(CcAlgo)
+            .vertices(6)
+            .chip(ChipConfig::small_test())
+            .rpvo(RpvoConfig::basic(4, 2))
+            .build()
+            .unwrap();
         g.stream_increment(&symmetrize_mutations(&GraphMutation::adds(&[(0, 1, 1), (1, 2, 1)])))
             .unwrap();
         g

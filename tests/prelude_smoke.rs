@@ -9,9 +9,12 @@ use amcca::prelude::*;
 #[test]
 fn quickstart_path_through_prelude() {
     // A 32×32 chip, default RPVO shape, BFS rooted at vertex 0.
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::default(), BfsAlgo::new(0), 100)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(100)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
 
     // Stream a path 0→1→…→99 and run the diffusion to quiescence.
     let edges: Vec<StreamEdge> = (0..99).map(|i| (i, i + 1, 1)).collect();
@@ -46,8 +49,12 @@ fn prelude_reaches_every_layer() {
 
     // amcca-sim + sdgp_core: run the first increment on a small chip.
     let cfg = ChipConfig::small_test();
-    let mut g =
-        StreamingGraph::new(cfg, RpvoConfig::default(), BfsAlgo::new(0), d.n_vertices).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(d.n_vertices)
+        .chip(cfg)
+        .rpvo(RpvoConfig::default())
+        .build()
+        .unwrap();
     let report = g.stream_edges(d.increment(0)).unwrap();
     assert!(report.cycles > 0);
 

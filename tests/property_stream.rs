@@ -36,7 +36,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let cfg = ChipConfig { seed, ..ChipConfig::small_test() };
-        let mut g = StreamingGraph::new(cfg, rcfg, BfsAlgo::new(0), N).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(cfg).rpvo(rcfg).build().unwrap();
         g.stream_edges(&edges).unwrap();
         let reference = bfs_levels(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(g.states(), reference);
@@ -48,11 +48,9 @@ proptest! {
         split in 0usize..120,
     ) {
         let cut = split.min(edges.len());
-        let mut g1 = StreamingGraph::new(
-            ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), N).unwrap();
+        let mut g1 = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(RpvoConfig::default()).build().unwrap();
         g1.stream_edges(&edges).unwrap();
-        let mut g2 = StreamingGraph::new(
-            ChipConfig::small_test(), RpvoConfig::default(), BfsAlgo::new(0), N).unwrap();
+        let mut g2 = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(RpvoConfig::default()).build().unwrap();
         g2.stream_edges(&edges[..cut]).unwrap();
         g2.stream_edges(&edges[cut..]).unwrap();
         prop_assert_eq!(g1.states(), g2.states());
@@ -63,8 +61,7 @@ proptest! {
         edges in arb_edges(),
         rcfg in arb_rpvo(),
     ) {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(rcfg).build().unwrap();
         g.stream_edges(&edges).unwrap();
         prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
         // Per-vertex multiset check.
@@ -85,8 +82,7 @@ proptest! {
         edges in arb_edges(),
         rcfg in arb_rpvo(),
     ) {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(rcfg).build().unwrap();
         g.stream_edges(&edges).unwrap();
         prop_assert!(g.check_mirror_consistency().is_ok());
         for v in 0..N {
@@ -106,8 +102,7 @@ proptest! {
         edges in arb_edges(),
         rcfg in arb_rpvo(),
     ) {
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, SsspAlgo::new(0), N).unwrap();
+        let mut g = StreamingGraph::builder(SsspAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(rcfg).build().unwrap();
         g.stream_edges(&edges).unwrap();
         let reference = dijkstra(&DiGraph::from_edges(N, edges.iter().copied()), 0);
         prop_assert_eq!(g.states(), reference);
@@ -120,8 +115,7 @@ proptest! {
         // Tight capacity maximizes pending-future churn; conservation of
         // edges (checked here end-to-end) implies no waiter was dropped.
         let rcfg = RpvoConfig::basic(1, 1);
-        let mut g = StreamingGraph::new(
-            ChipConfig::small_test(), rcfg, BfsAlgo::new(0), N).unwrap();
+        let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test()).rpvo(rcfg).build().unwrap();
         g.stream_edges(&edges).unwrap();
         prop_assert_eq!(g.total_edges_stored(), edges.len() as u64);
         // With fanout 1 and cap 1 the RPVO degenerates to a chain whose
@@ -139,7 +133,12 @@ proptest! {
 fn walk_covers_all_allocated_objects() {
     let edges: Vec<StreamEdge> = (1..20).map(|v| (0, v, 1)).collect();
     let rcfg = RpvoConfig::basic(2, 2);
-    let mut g = StreamingGraph::new(ChipConfig::small_test(), rcfg, BfsAlgo::new(0), 20).unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(20)
+        .chip(ChipConfig::small_test())
+        .rpvo(rcfg)
+        .build()
+        .unwrap();
     g.stream_edges(&edges).unwrap();
     let mut walked = 0usize;
     for v in 0..20 {

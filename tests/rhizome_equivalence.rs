@@ -90,8 +90,7 @@ proptest! {
         let rcfg = RpvoConfig::basic(3, 2).with_rhizomes(5, 3);
         let cut = split.min(edges.len());
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards), rcfg, BfsAlgo::new(0), N).unwrap();
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0)).vertices(N).chip(ChipConfig::small_test().with_shards(shards)).rpvo(rcfg).build().unwrap();
             let mut cycles = 0u64;
             for inc in [&edges[..cut], &edges[cut..]] {
                 cycles += g.stream_edges(inc).unwrap().cycles;
@@ -122,7 +121,12 @@ fn rhizome_triangle_count_matches_single_root_and_reference() {
     let run = |rcfg: RpvoConfig| -> (u64, u64) {
         let cfg = ChipConfig::small_test();
         let ncc = cfg.cell_count();
-        let mut g = StreamingGraph::new(cfg, rcfg, TriangleAlgo::new(ncc), n).unwrap();
+        let mut g = StreamingGraph::builder(TriangleAlgo::new(ncc))
+            .vertices(n)
+            .chip(cfg)
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
         g.stream_edges(&symmetrize(&stream)).unwrap();
         let gens: Vec<Operon> =
@@ -150,8 +154,12 @@ fn rhizome_jaccard_matches_single_root() {
     und.extend((1..n - 1).map(|v| (v, v + 1)));
 
     let run = |rcfg: RpvoConfig| -> (Vec<u64>, u64) {
-        let mut g =
-            StreamingGraph::new(ChipConfig::small_test(), rcfg, JaccardAlgo::new(), n).unwrap();
+        let mut g = StreamingGraph::builder(JaccardAlgo::new())
+            .vertices(n)
+            .chip(ChipConfig::small_test())
+            .rpvo(rcfg)
+            .build()
+            .unwrap();
         let stream: Vec<StreamEdge> = und.iter().map(|&(u, v)| (u, v, 1)).collect();
         g.stream_edges(&symmetrize(&stream)).unwrap();
         let wave: Vec<Operon> =

@@ -12,9 +12,12 @@ fn stream_all(mode: TerminationMode) -> (Vec<u64>, u64) {
     let n = 300u32;
     let edges = generate_sbm(&SbmParams::scaled(n, 3000, 64));
     let d = edge_sampling(n, edges, 5, 2);
-    let mut g =
-        StreamingGraph::new(ChipConfig::default(), RpvoConfig::basic(8, 2), BfsAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::default())
+        .rpvo(RpvoConfig::basic(8, 2))
+        .build()
+        .unwrap();
     g.set_termination_mode(mode);
     let mut cycles = 0;
     for i in 0..d.increments() {

@@ -31,13 +31,12 @@ fn batch_muts(b: &amcca::gc_datasets::MutationBatch) -> Vec<GraphMutation> {
 }
 
 fn graph(n: u32, mode: RepairMode) -> StreamingGraph<BfsAlgo> {
-    let mut g = StreamingGraph::new(
-        ChipConfig::small_test(),
-        RpvoConfig::basic(3, 2).with_rhizomes(8, 3),
-        BfsAlgo::new(0),
-        n,
-    )
-    .unwrap();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::basic(3, 2).with_rhizomes(8, 3))
+        .build()
+        .unwrap();
     g.set_repair_mode(mode);
     g
 }

@@ -151,10 +151,7 @@ proptest! {
     ) {
         let muts = materialize(&script);
         let run = |shards: usize| {
-            let mut g = StreamingGraph::new(
-                ChipConfig::small_test().with_shards(shards),
-                RpvoConfig::basic(3, 2).with_rhizomes(6, 3),
-                SsspAlgo::new(0), N).unwrap();
+            let mut g = StreamingGraph::builder(SsspAlgo::new(0)).vertices(N).chip(ChipConfig::small_test().with_shards(shards)).rpvo(RpvoConfig::basic(3, 2).with_rhizomes(6, 3)).build().unwrap();
             let mut cycles = 0u64;
             let mut triggers = 0u64;
             for c in muts.chunks(muts.len().div_ceil(chunks).max(1)) {
@@ -193,9 +190,12 @@ proptest! {
 /// survives at 20 through a deleted path.
 #[test]
 fn same_batch_delete_and_decrease_invalidate_downstream() {
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), 4)
-            .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+        .vertices(4)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::basic(4, 2))
+        .build()
+        .unwrap();
     g.stream_edges(&[(0, 1, 10), (1, 2, 10)]).unwrap();
     assert_eq!(g.state_of(2), 20);
     g.stream_increment(&[
@@ -207,9 +207,12 @@ fn same_batch_delete_and_decrease_invalidate_downstream() {
     assert_eq!(g.state_of(2), amcca::sdgp_core::apps::INF, "no stale distance through 1");
     g.check_mirror_consistency().unwrap();
     // And when vertex 1 stays supported, the decreased weight applies.
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), 4)
-            .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+        .vertices(4)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::basic(4, 2))
+        .build()
+        .unwrap();
     g.stream_edges(&[(0, 1, 10), (0, 1, 30), (1, 2, 10)]).unwrap();
     g.stream_increment(&[
         GraphMutation::DelEdge((0, 1, 10)),
@@ -228,9 +231,12 @@ fn same_batch_delete_and_decrease_invalidate_downstream() {
 #[test]
 fn sssp_weight_increase_on_the_shortest_path_edge_reroutes() {
     let n = 16u32;
-    let mut g =
-        StreamingGraph::new(ChipConfig::small_test(), RpvoConfig::basic(4, 2), SsspAlgo::new(0), n)
-            .unwrap();
+    let mut g = StreamingGraph::builder(SsspAlgo::new(0))
+        .vertices(n)
+        .chip(ChipConfig::small_test())
+        .rpvo(RpvoConfig::basic(4, 2))
+        .build()
+        .unwrap();
     // Two roads from 0 to 3: cheap 0→1→3 (cost 4) and dear 0→2→3 (cost 10),
     // plus a tail 3→4→...→15 whose distances all derive from d(3).
     g.stream_edges(&[(0, 1, 2), (1, 3, 2), (0, 2, 5), (2, 3, 5)]).unwrap();
