@@ -28,13 +28,21 @@
 //!   place wherever it is stored. A decrease is announced as a plain relax;
 //!   an increase recalls the contribution made under the old weight, so only
 //!   paths through the now-costlier edge invalidate and repair.
+//! * **the query system action** ([`diffusive::query`]): maintain per-object
+//!   automaton-state bitsets of registered standing label-constrained path
+//!   queries — a monotone OR-and-step diffusion on inserts plus a reseed
+//!   walk re-announcing surviving states during deletion repair.
 //!
 //! Individual algorithms (BFS, SSSP, connected components, triangles) plug in
 //! through the [`VertexAlgo`] trait.
 
 use amcca_sim::{ActionId, Address, ExecCtx, Operon, SimError};
-use diffusive::{allocate_operon, AllocRequest, App, Continuation, FutureLco, PendingOperon};
+use diffusive::{
+    allocate_operon, query_operon, query_reseed_operon, AllocRequest, App, Continuation, FutureLco,
+    PendingOperon, QUERY_ALL, QUERY_RESEED_FANNED,
+};
 
+use crate::query::QueryDfa;
 use crate::rpvo::{decode_edge, encode_edge, Edge, RpvoConfig, VertexObj};
 
 /// Action id of `insert-edge-action`.
@@ -190,9 +198,15 @@ pub struct GraphApp<G: VertexAlgo> {
     /// survivors adjacent to the invalidated region, the other half of the
     /// recorded repair frontier.
     rejected: Vec<u32>,
+    /// Compiled automata of the registered standing queries, indexed by
+    /// query id. Registration happens host-side between increments (the
+    /// registry lives on the master app; per-shard forks clone it), so the
+    /// vector is read-only during a run.
+    pub(crate) queries: Vec<QueryDfa>,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
     scratch_peers: Vec<Address>,
+    scratch_queries: Vec<(u32, u32)>,
 }
 
 impl<G: VertexAlgo> GraphApp<G> {
@@ -206,9 +220,11 @@ impl<G: VertexAlgo> GraphApp<G> {
             notify_inserts: true,
             invalidated: Vec::new(),
             rejected: Vec::new(),
+            queries: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
+            scratch_queries: Vec::new(),
         }
     }
 
@@ -243,6 +259,22 @@ impl<G: VertexAlgo> GraphApp<G> {
                 } else {
                     None
                 };
+                // Standing queries: the new edge may extend result paths, so
+                // announce this object's stepped automaton states along it
+                // (suppressed during structural phases — the query repair
+                // pass re-announces from the batch's touched sources).
+                self.scratch_queries.clear();
+                if self.notify_inserts {
+                    for (qid, dfa) in self.queries.iter().enumerate() {
+                        let bits = obj.qbits_get(qid as u32);
+                        if bits != 0 {
+                            let stepped = dfa.step(bits, edge.label);
+                            if stepped != 0 {
+                                self.scratch_queries.push((qid as u32, stepped));
+                            }
+                        }
+                    }
+                }
                 Outcome::Inserted(notify)
             } else {
                 // Edge list full: send the edge to a ghost (Listing 6 else-branch).
@@ -270,10 +302,16 @@ impl<G: VertexAlgo> GraphApp<G> {
             }
         };
         match outcome {
-            Outcome::Inserted(Some(v)) => {
-                ctx.propagate(Operon::new(edge.dst, ACT_RELAX, [v, 0]));
+            Outcome::Inserted(notify) => {
+                if let Some(v) = notify {
+                    ctx.propagate(Operon::new(edge.dst, ACT_RELAX, [v, 0]));
+                }
+                for i in 0..self.scratch_queries.len() {
+                    let (qid, stepped) = self.scratch_queries[i];
+                    ctx.propagate(query_operon(edge.dst, qid, stepped));
+                }
             }
-            Outcome::Inserted(None) | Outcome::Deferred => {}
+            Outcome::Deferred => {}
             Outcome::Forward(a) => {
                 ctx.propagate(Operon::new(a, ACT_INSERT, op.payload));
             }
@@ -646,6 +684,128 @@ impl<G: VertexAlgo> GraphApp<G> {
             ctx.propagate(Operon::new(g, ACT_RESEED, op.payload));
         }
     }
+
+    /// Monotone leg of the standing-query diffusion ([`diffusive::ACT_QUERY`]):
+    /// OR the delivered automaton states into the object's bitset and, if any
+    /// are genuinely new, step them through the query's automaton along every
+    /// local edge's label, forward them *unstepped* to mirrors (ghosts are
+    /// part of the same logical vertex) and co-equal peer roots, and enqueue
+    /// them on pending ghost futures. States only ever accumulate, so the
+    /// diffusion reaches the reachability fixpoint and quiesces.
+    fn absorb_query_bits(
+        &mut self,
+        ctx: &mut ExecCtx<'_, VertexObj<G::State>>,
+        target: Address,
+        qid: u32,
+        bits: u32,
+    ) {
+        ctx.charge(ctx.cost().state_update);
+        let new = {
+            let Some(obj) = ctx.obj_mut(target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_QUERY });
+                return;
+            };
+            let new = obj.qbits_or(qid, bits);
+            if new != 0 {
+                self.scratch_edges.clear();
+                self.scratch_edges.extend_from_slice(&obj.edges);
+                self.scratch_peers.clear();
+                self.scratch_peers.extend_from_slice(&obj.peers);
+                self.scratch_ghosts.clear();
+                for g in obj.ghosts.iter_mut() {
+                    match g {
+                        FutureLco::Ready(a) => self.scratch_ghosts.push(*a),
+                        FutureLco::Pending(q) => q.push(PendingOperon {
+                            action: diffusive::ACT_QUERY,
+                            payload: [qid as u64, new as u64],
+                        }),
+                        FutureLco::Null => {}
+                    }
+                }
+            }
+            new
+        };
+        if new == 0 {
+            return;
+        }
+        let Some(dfa) = self.queries.get(qid as usize) else { return };
+        ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
+        for i in 0..self.scratch_edges.len() {
+            let e = self.scratch_edges[i];
+            let stepped = dfa.step(new, e.label);
+            if stepped != 0 {
+                ctx.propagate(query_operon(e.dst, qid, stepped));
+            }
+        }
+        for i in 0..self.scratch_ghosts.len() {
+            ctx.propagate(query_operon(self.scratch_ghosts[i], qid, new));
+        }
+        for i in 0..self.scratch_peers.len() {
+            ctx.propagate(query_operon(self.scratch_peers[i], qid, new));
+        }
+    }
+
+    /// Reseed leg of the standing-query diffusion: re-announce this object's
+    /// *current* automaton states along its local edges regardless of
+    /// novelty — the deletion-repair counterpart of [`Self::reseed`] for
+    /// query state. `qid` selects one query, or every registered query when
+    /// it is [`diffusive::QUERY_ALL`]. The walk covers the logical vertex:
+    /// ghost subtrees re-announce their own edge slices (forwarding is a
+    /// tree, so it terminates) and the first root reached fans one marked
+    /// copy to each co-equal peer.
+    fn reseed_queries(
+        &mut self,
+        ctx: &mut ExecCtx<'_, VertexObj<G::State>>,
+        target: Address,
+        qid: u32,
+        fanned: bool,
+    ) {
+        ctx.charge(ctx.cost().reseed);
+        {
+            let Some(obj) = ctx.obj_mut(target.slot) else {
+                ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_QUERY });
+                return;
+            };
+            self.scratch_edges.clear();
+            self.scratch_edges.extend_from_slice(&obj.edges);
+            self.scratch_peers.clear();
+            self.scratch_peers.extend_from_slice(&obj.peers);
+            self.scratch_ghosts.clear();
+            self.scratch_ghosts.extend(obj.ready_ghosts());
+            self.scratch_queries.clear();
+            for q in 0..self.queries.len() as u32 {
+                if qid != QUERY_ALL && q != qid {
+                    continue;
+                }
+                let bits = obj.qbits_get(q);
+                if bits != 0 {
+                    self.scratch_queries.push((q, bits));
+                }
+            }
+        }
+        if !fanned {
+            for i in 0..self.scratch_peers.len() {
+                let mut fan = query_reseed_operon(self.scratch_peers[i], qid);
+                fan.payload[0] |= QUERY_RESEED_FANNED;
+                ctx.propagate(fan);
+            }
+        }
+        for i in 0..self.scratch_ghosts.len() {
+            ctx.propagate(query_reseed_operon(self.scratch_ghosts[i], qid));
+        }
+        ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
+        for i in 0..self.scratch_queries.len() {
+            let (q, bits) = self.scratch_queries[i];
+            let dfa = &self.queries[q as usize];
+            for j in 0..self.scratch_edges.len() {
+                let e = self.scratch_edges[j];
+                let stepped = dfa.step(bits, e.label);
+                if stepped != 0 {
+                    ctx.propagate(query_operon(e.dst, q, stepped));
+                }
+            }
+        }
+    }
 }
 
 impl<G: VertexAlgo> App for GraphApp<G> {
@@ -659,9 +819,11 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             notify_inserts: self.notify_inserts,
             invalidated: Vec::new(),
             rejected: Vec::new(),
+            queries: self.queries.clone(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
+            scratch_queries: Vec::new(),
         }
     }
 
@@ -698,8 +860,25 @@ impl<G: VertexAlgo> App for GraphApp<G> {
                     return;
                 }
             };
+            // Replicate standing-query state to the fresh mirror. Unlike the
+            // algorithm sync below this is *not* phase-gated: query bits have
+            // no racing invalidation cascade (deletion repair clears and
+            // re-derives them host-orchestrated after the structural phase,
+            // wiping every object of an affected vertex uniformly), so plain
+            // replication is always safe.
+            self.scratch_queries.clear();
+            for qid in 0..self.queries.len() as u32 {
+                let bits = obj.qbits_get(qid);
+                if bits != 0 {
+                    self.scratch_queries.push((qid, bits));
+                }
+            }
             (waiters, self.algo.sync_value(&obj.state))
         };
+        for i in 0..self.scratch_queries.len() {
+            let (qid, bits) = self.scratch_queries[i];
+            ctx.propagate(query_operon(value, qid, bits));
+        }
         // Sync the fresh mirror with the parent's current state first, so a
         // ghost created after the vertex was reached still diffuses. (The
         // structural phase of a deletion batch suppresses this too — see
@@ -720,6 +899,22 @@ impl<G: VertexAlgo> App for GraphApp<G> {
 
     fn retract(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, suspect: u64) {
         self.invalidate(ctx, target, suspect);
+    }
+
+    fn query(
+        &mut self,
+        ctx: &mut ExecCtx<'_, Self::Object>,
+        target: Address,
+        qid: u32,
+        bits: u32,
+        reseed: bool,
+        fanned: bool,
+    ) {
+        if reseed {
+            self.reseed_queries(ctx, target, qid, fanned);
+        } else {
+            self.absorb_query_bits(ctx, target, qid, bits);
+        }
     }
 
     fn on_action(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, op: &Operon) {
@@ -745,16 +940,16 @@ pub fn insert_operon(src_root: Address, edge: &Edge) -> Operon {
 
 /// Build a delete-edge operon: retract the copy of `src → dst_id` with
 /// weight `w` and copy tag `tag` from the logical vertex whose (primary)
-/// root is `src_root`. `payload[0]` carries the tag (low 16 bits) and the
+/// root is `src_root`. `payload[0]` carries the tag (low byte) and the
 /// rhizome fan marker ([`QUERY_FANNED_BIT`]); `payload[1]` = id ‖ weight,
 /// exactly like an insert.
-pub fn delete_operon(src_root: Address, dst_id: u32, w: u32, tag: u16) -> Operon {
+pub fn delete_operon(src_root: Address, dst_id: u32, w: u32, tag: u8) -> Operon {
     Operon::new(src_root, ACT_DELETE, [tag as u64, ((dst_id as u64) << 32) | w as u64])
 }
 
 /// Decode a delete-edge operon payload into `(tag, dst_id, w)`.
-pub fn decode_delete(payload: [u64; 2]) -> (u16, u32, u32) {
-    (payload[0] as u16, (payload[1] >> 32) as u32, payload[1] as u32)
+pub fn decode_delete(payload: [u64; 2]) -> (u8, u32, u32) {
+    (payload[0] as u8, (payload[1] >> 32) as u32, payload[1] as u32)
 }
 
 /// Bit 62 of an update-weight operon's `payload[0]`: set when the update is
@@ -765,7 +960,7 @@ const UPDATE_RAISED_BIT: u64 = 1 << 62;
 
 /// Build an update-weight operon: patch the copy of `src → dst_id` carrying
 /// copy tag `tag` from weight `w_old` to `w_new` on the logical vertex whose
-/// (primary) root is `src_root`. `payload[0]` carries the tag (low 16 bits),
+/// (primary) root is `src_root`. `payload[0]` carries the tag (low byte),
 /// the old weight (bits 16..48), the increase flag (bit 62),
 /// and the rhizome fan marker; `payload[1]` = id ‖ new weight, exactly like
 /// an insert.
@@ -774,7 +969,7 @@ pub fn update_weight_operon(
     dst_id: u32,
     w_old: u32,
     w_new: u32,
-    tag: u16,
+    tag: u8,
 ) -> Operon {
     let raised = if w_new > w_old { UPDATE_RAISED_BIT } else { 0 };
     Operon::new(
@@ -786,9 +981,9 @@ pub fn update_weight_operon(
 
 /// Decode an update-weight operon payload into
 /// `(tag, dst_id, w_old, w_new, raised)`.
-pub fn decode_update_weight(payload: [u64; 2]) -> (u16, u32, u32, u32, bool) {
+pub fn decode_update_weight(payload: [u64; 2]) -> (u8, u32, u32, u32, bool) {
     (
-        payload[0] as u16,
+        payload[0] as u8,
         (payload[1] >> 32) as u32,
         (payload[0] >> 16) as u32,
         payload[1] as u32,

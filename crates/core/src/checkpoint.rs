@@ -32,8 +32,10 @@ use crate::graph::{GraphBuilder, GraphMutation, StreamEdge, StreamingGraph};
 
 /// Magic bytes opening every checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"AMCK";
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added a per-edge label byte
+/// and the registered standing-query list; version 1 files still decode
+/// (labels default to 0, no queries).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Why checkpoint bytes (or a mutation record) failed to decode or a
 /// restored graph failed its integrity check.
@@ -49,6 +51,8 @@ pub enum CheckpointError {
     BadChecksum,
     /// An unknown mutation opcode.
     BadOpcode(u8),
+    /// A checkpointed standing query failed to re-register on restore.
+    BadQuery(String),
     /// The restored graph's converged state disagrees with the snapshot.
     StateMismatch(String),
     /// Rebuilding the graph failed in the simulator.
@@ -63,6 +67,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
             CheckpointError::BadOpcode(op) => write!(f, "unknown mutation opcode {op}"),
+            CheckpointError::BadQuery(what) => {
+                write!(f, "checkpointed query failed to re-register: {what}")
+            }
             CheckpointError::StateMismatch(what) => {
                 write!(f, "restored graph diverges from snapshot: {what}")
             }
@@ -86,22 +93,32 @@ pub struct GraphCheckpoint {
     pub n_vertices: u32,
     /// Live edge multiset at current weights, in insertion order.
     pub edges: Vec<StreamEdge>,
+    /// Per-edge labels, parallel to `edges` (version 1 files decode to all
+    /// zeros). Missing trailing entries encode as label 0.
+    pub labels: Vec<u8>,
     /// Promoted (multi-root) vertices at capture time, ascending.
     pub promoted: Vec<u32>,
     /// Converged per-vertex sync values at capture time (the restore-time
     /// fixpoint integrity check).
     pub sync_states: Vec<Option<u64>>,
+    /// Registered standing queries as `(pattern, source)` pairs, in
+    /// registration (query-id) order. Restore re-registers them, which
+    /// recomputes their result sets from the rebuilt graph.
+    pub queries: Vec<(String, u32)>,
 }
 
 impl GraphCheckpoint {
     /// Snapshot a quiescent graph: its ledger (live edges), rhizome
     /// directory (promoted set), and converged vertex states.
     pub fn capture<G: VertexAlgo>(g: &StreamingGraph<G>) -> GraphCheckpoint {
+        let labeled = g.live_labeled_edges();
         GraphCheckpoint {
             n_vertices: g.n_vertices(),
-            edges: g.live_edges(),
+            edges: labeled.iter().map(|&(e, _)| e).collect(),
+            labels: labeled.iter().map(|&(_, l)| l).collect(),
             promoted: g.promoted_vertices(),
             sync_states: g.sync_values(),
+            queries: g.registered_queries().iter().map(|q| (q.pattern.clone(), q.source)).collect(),
         }
     }
 
@@ -114,27 +131,42 @@ impl GraphCheckpoint {
         builder: GraphBuilder<G>,
     ) -> Result<StreamingGraph<G>, CheckpointError> {
         let mut g = builder.vertices(self.n_vertices).build()?;
-        g.stream_edges(&self.edges)?;
+        let muts: Vec<GraphMutation> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| match self.labels.get(i).copied().unwrap_or(0) {
+                0 => GraphMutation::AddEdge(e),
+                l => GraphMutation::AddLabeledEdge(e, l),
+            })
+            .collect();
+        g.stream_increment(&muts)?;
         if g.sync_values() != self.sync_states {
             return Err(CheckpointError::StateMismatch("converged sync values".into()));
         }
         if g.promoted_vertices() != self.promoted {
             return Err(CheckpointError::StateMismatch("promoted vertex set".into()));
         }
+        for (pattern, source) in &self.queries {
+            g.register_query(pattern, *source)
+                .map_err(|e| CheckpointError::BadQuery(e.to_string()))?;
+        }
         Ok(g)
     }
 
-    /// Serialize to the versioned, checksummed binary format.
+    /// Serialize to the versioned, checksummed binary format (always the
+    /// current version).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.edges.len() * 12);
+        let mut out = Vec::with_capacity(32 + self.edges.len() * 13);
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         put_u32(&mut out, CHECKPOINT_VERSION);
         put_u32(&mut out, self.n_vertices);
         put_u64(&mut out, self.edges.len() as u64);
-        for &(u, v, w) in &self.edges {
+        for (i, &(u, v, w)) in self.edges.iter().enumerate() {
             put_u32(&mut out, u);
             put_u32(&mut out, v);
             put_u32(&mut out, w);
+            out.push(self.labels.get(i).copied().unwrap_or(0));
         }
         put_u32(&mut out, self.promoted.len() as u32);
         for &v in &self.promoted {
@@ -149,6 +181,12 @@ impl GraphCheckpoint {
                 }
                 None => out.push(0),
             }
+        }
+        put_u32(&mut out, self.queries.len() as u32);
+        for (pattern, source) in &self.queries {
+            put_u32(&mut out, *source);
+            put_u32(&mut out, pattern.len() as u32);
+            out.extend_from_slice(pattern.as_bytes());
         }
         let sum = fnv1a(&out);
         put_u64(&mut out, sum);
@@ -170,14 +208,16 @@ impl GraphCheckpoint {
             return Err(CheckpointError::BadMagic);
         }
         let version = r.u32()?;
-        if version != CHECKPOINT_VERSION {
+        if version == 0 || version > CHECKPOINT_VERSION {
             return Err(CheckpointError::BadVersion(version));
         }
         let n_vertices = r.u32()?;
         let n_edges = r.u64()? as usize;
         let mut edges = Vec::with_capacity(n_edges.min(1 << 20));
+        let mut labels = Vec::with_capacity(n_edges.min(1 << 20));
         for _ in 0..n_edges {
             edges.push((r.u32()?, r.u32()?, r.u32()?));
+            labels.push(if version >= 2 { r.u8()? } else { 0 });
         }
         let n_promoted = r.u32()? as usize;
         let mut promoted = Vec::with_capacity(n_promoted.min(1 << 20));
@@ -192,22 +232,40 @@ impl GraphCheckpoint {
                 _ => Some(r.u64()?),
             });
         }
-        Ok(GraphCheckpoint { n_vertices, edges, promoted, sync_states })
+        let mut queries = Vec::new();
+        if version >= 2 {
+            let n_queries = r.u32()? as usize;
+            queries.reserve(n_queries.min(1 << 16));
+            for _ in 0..n_queries {
+                let source = r.u32()?;
+                let len = r.u32()? as usize;
+                let pattern = std::str::from_utf8(r.bytes(len)?)
+                    .map_err(|_| CheckpointError::BadQuery("pattern is not UTF-8".into()))?
+                    .to_string();
+                queries.push((pattern, source));
+            }
+        }
+        Ok(GraphCheckpoint { n_vertices, edges, labels, promoted, sync_states, queries })
     }
 }
 
-/// Append one mutation's wire encoding (opcode byte + three `u32`s) —
-/// shared by the serve crate's write-ahead log and client protocol.
+/// Append one mutation's wire encoding (opcode byte + three `u32`s; opcode 3
+/// — a labeled insert — carries one trailing label byte) — shared by the
+/// serve crate's write-ahead log and client protocol.
 pub fn encode_mutation(m: &GraphMutation, out: &mut Vec<u8>) {
-    let (op, u, v, w) = match *m {
-        GraphMutation::AddEdge((u, v, w)) => (0u8, u, v, w),
-        GraphMutation::DelEdge((u, v, w)) => (1, u, v, w),
-        GraphMutation::UpdateWeight { u, v, w } => (2, u, v, w),
+    let (op, u, v, w, label) = match *m {
+        GraphMutation::AddEdge((u, v, w)) => (0u8, u, v, w, None),
+        GraphMutation::DelEdge((u, v, w)) => (1, u, v, w, None),
+        GraphMutation::UpdateWeight { u, v, w } => (2, u, v, w, None),
+        GraphMutation::AddLabeledEdge((u, v, w), l) => (3, u, v, w, Some(l)),
     };
     out.push(op);
     put_u32(out, u);
     put_u32(out, v);
     put_u32(out, w);
+    if let Some(l) = label {
+        out.push(l);
+    }
 }
 
 /// Serialize a mutation batch (count-prefixed).
@@ -231,6 +289,7 @@ pub fn decode_mutations(bytes: &[u8]) -> Result<Vec<GraphMutation>, CheckpointEr
             0 => GraphMutation::AddEdge((u, v, w)),
             1 => GraphMutation::DelEdge((u, v, w)),
             2 => GraphMutation::UpdateWeight { u, v, w },
+            3 => GraphMutation::AddLabeledEdge((u, v, w), r.u8()?),
             other => return Err(CheckpointError::BadOpcode(other)),
         });
     }
@@ -306,10 +365,41 @@ mod tests {
         let ck = GraphCheckpoint {
             n_vertices: 9,
             edges: vec![(0, 1, 5), (1, 2, 7), (0, 1, 5)],
+            labels: vec![0, 2, 26],
             promoted: vec![3, 7],
             sync_states: vec![Some(0), None, Some(12)],
+            queries: vec![("a.b*.c".into(), 0), ("z+".into(), 4)],
         };
         assert_eq!(GraphCheckpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn version_1_bytes_still_decode() {
+        // Hand-build a v1 image: no label bytes, no query section.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut bytes, 1); // version
+        put_u32(&mut bytes, 4); // n_vertices
+        put_u64(&mut bytes, 2); // edge count
+        for &(u, v, w) in &[(0u32, 1u32, 5u32), (1, 2, 7)] {
+            put_u32(&mut bytes, u);
+            put_u32(&mut bytes, v);
+            put_u32(&mut bytes, w);
+        }
+        put_u32(&mut bytes, 1); // promoted count
+        put_u32(&mut bytes, 2);
+        put_u32(&mut bytes, 2); // sync count
+        bytes.push(1);
+        put_u64(&mut bytes, 9);
+        bytes.push(0);
+        let sum = fnv1a(&bytes);
+        put_u64(&mut bytes, sum);
+        let ck = GraphCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(ck.edges, vec![(0, 1, 5), (1, 2, 7)]);
+        assert_eq!(ck.labels, vec![0, 0]);
+        assert_eq!(ck.promoted, vec![2]);
+        assert_eq!(ck.sync_states, vec![Some(9), None]);
+        assert!(ck.queries.is_empty());
     }
 
     #[test]
@@ -317,8 +407,10 @@ mod tests {
         let ck = GraphCheckpoint {
             n_vertices: 4,
             edges: vec![(0, 1, 1)],
+            labels: vec![0],
             promoted: vec![],
             sync_states: vec![Some(0), Some(1), None, None],
+            queries: vec![],
         };
         let mut bytes = ck.encode();
         bytes[10] ^= 0xff;
@@ -361,10 +453,36 @@ mod tests {
     }
 
     #[test]
+    fn capture_restore_preserves_labels_and_queries() {
+        let mut g = small();
+        g.stream_increment(&[
+            GraphMutation::AddLabeledEdge((0, 1, 1), 1),
+            GraphMutation::AddLabeledEdge((1, 2, 1), 2),
+            GraphMutation::AddLabeledEdge((2, 3, 1), 3),
+        ])
+        .unwrap();
+        g.register_query("a.b.c", 0).unwrap();
+        assert_eq!(g.query_results(0), vec![3]);
+        let ck = GraphCheckpoint::capture(&g);
+        assert_eq!(ck.labels, vec![1, 2, 3]);
+        assert_eq!(ck.queries, vec![("a.b.c".to_string(), 0)]);
+        let restored = ck
+            .restore(
+                StreamingGraph::builder(BfsAlgo::new(0))
+                    .chip(ChipConfig::small_test())
+                    .rpvo(RpvoConfig::basic(4, 2)),
+            )
+            .unwrap();
+        assert_eq!(restored.live_labeled_edges(), g.live_labeled_edges());
+        assert_eq!(restored.query_results(0), vec![3]);
+    }
+
+    #[test]
     fn mutation_wire_roundtrip() {
         let muts = vec![
             GraphMutation::AddEdge((1, 2, 3)),
             GraphMutation::DelEdge((4, 5, 6)),
+            GraphMutation::AddLabeledEdge((2, 6, 1), 7),
             GraphMutation::UpdateWeight { u: 7, v: 8, w: 9 },
         ];
         assert_eq!(decode_mutations(&encode_mutations(&muts)).unwrap(), muts);

@@ -44,8 +44,10 @@ use crate::apps::algo::{
     delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo, ACT_DELETE,
     ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
 };
+use crate::query::{compile, QueryError, StandingQuery};
 use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
 use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
+use diffusive::{query_operon, query_reseed_operon, QUERY_ALL};
 
 mod mutlog;
 
@@ -62,6 +64,12 @@ pub type StreamEdge = (u32, u32, u32);
 pub enum GraphMutation {
     /// Insert one copy of the directed edge.
     AddEdge(StreamEdge),
+    /// Insert one copy of the directed edge carrying an edge label (1–26 in
+    /// practice — the `a`–`z` atoms of [`crate::query`] patterns). Label 0
+    /// canonicalizes to a plain [`GraphMutation::AddEdge`]. Labels are
+    /// immutable for a copy's lifetime and are not part of the
+    /// delete/update addressing identity.
+    AddLabeledEdge(StreamEdge, u8),
     /// Delete one live copy of the directed edge (panics at stream time if
     /// no copy is live — deleting a non-existent edge is a host bug).
     DelEdge(StreamEdge),
@@ -84,8 +92,20 @@ impl GraphMutation {
     /// `UpdateWeight`, the weight is the *new* weight).
     pub fn edge(&self) -> StreamEdge {
         match *self {
-            GraphMutation::AddEdge(e) | GraphMutation::DelEdge(e) => e,
+            GraphMutation::AddEdge(e)
+            | GraphMutation::AddLabeledEdge(e, _)
+            | GraphMutation::DelEdge(e) => e,
             GraphMutation::UpdateWeight { u, v, w } => (u, v, w),
+        }
+    }
+
+    /// The edge plus label of an insert (`AddEdge` inserts carry label 0);
+    /// `None` for deletes and re-weights.
+    pub fn as_add(&self) -> Option<(StreamEdge, u8)> {
+        match *self {
+            GraphMutation::AddEdge(e) => Some((e, 0)),
+            GraphMutation::AddLabeledEdge(e, label) => Some((e, label)),
+            _ => None,
         }
     }
 
@@ -134,9 +154,9 @@ pub struct RepairStats {
 struct LiveCopies {
     /// Next tag to hand out (wrapping; tags need only be unique among the
     /// pair's *live* copies).
-    next: u16,
+    next: u8,
     /// `(current weight, tag)` of live copies, oldest first.
-    live: VecDeque<(u32, u16)>,
+    live: VecDeque<(u32, u8)>,
 }
 
 /// Host-side mutation ledger, keyed by the directed pair `(src, dst)`: which
@@ -155,7 +175,7 @@ struct EdgeLedger {
 
 impl EdgeLedger {
     /// Register a streamed copy of `(u, v, w)` and return its tag.
-    fn add(&mut self, u: u32, v: u32, w: u32) -> u16 {
+    fn add(&mut self, u: u32, v: u32, w: u32) -> u8 {
         let c = self.copies.entry((u, v)).or_default();
         let tag = c.next;
         c.next = c.next.wrapping_add(1);
@@ -169,7 +189,7 @@ impl EdgeLedger {
     /// full drain until the increment completes: a re-added copy must NOT
     /// reuse a tag while a same-tag retraction may still be in flight in the
     /// same wave, or a miss-fanned broadcast could match both copies.
-    fn remove(&mut self, u: u32, v: u32, w: u32) -> Option<u16> {
+    fn remove(&mut self, u: u32, v: u32, w: u32) -> Option<u8> {
         let c = self.copies.get_mut(&(u, v))?;
         let i = c.live.iter().position(|&(cw, _)| cw == w)?;
         let (_, tag) = c.live.remove(i).expect("position is in range");
@@ -187,7 +207,7 @@ impl EdgeLedger {
 
     /// Re-weight the *oldest* live copy of the pair `(u, v)` to `w_new`,
     /// returning `(old weight, tag)`.
-    fn update_weight(&mut self, u: u32, v: u32, w_new: u32) -> Option<(u32, u16)> {
+    fn update_weight(&mut self, u: u32, v: u32, w_new: u32) -> Option<(u32, u8)> {
         let front = self.copies.get_mut(&(u, v))?.live.front_mut()?;
         let old = front.0;
         front.0 = w_new;
@@ -232,6 +252,11 @@ pub struct StreamingGraph<G: VertexAlgo> {
     repair: RepairMode,
     /// Bookkeeping of the most recent increment's repair phase.
     last_repair: RepairStats,
+    /// Registered standing queries, indexed by query id: the host-side half
+    /// of the query registry (pattern text, source, compiled automaton) —
+    /// checkpointed and re-registered on restore. The automata are mirrored
+    /// into the fabric app, which maintains the per-object state bitsets.
+    queries: Vec<StandingQuery>,
 }
 
 /// Builder for [`StreamingGraph`]: owns the chip shape, RPVO shape, and
@@ -311,6 +336,7 @@ impl<G: VertexAlgo> GraphBuilder<G> {
             rcfg,
             repair,
             last_repair: RepairStats::default(),
+            queries: Vec::new(),
         })
     }
 }
@@ -329,8 +355,29 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         }
     }
 
-    /// Create the device, register the actions, and allocate the root vertex
-    /// objects of `n_vertices` across the chip.
+    /// Pre-builder constructor, kept so existing callers compile. It is a
+    /// thin shim over the [`GraphBuilder`] chain and cannot express the
+    /// newer knobs (e.g. [`GraphBuilder::repair`]) — migrate by mapping the
+    /// positional arguments onto the named builder steps:
+    ///
+    /// ```
+    /// use sdgp_core::apps::BfsAlgo;
+    /// use sdgp_core::graph::StreamingGraph;
+    /// use sdgp_core::rpvo::RpvoConfig;
+    /// use amcca_sim::ChipConfig;
+    ///
+    /// let (cfg, rcfg) = (ChipConfig::small_test(), RpvoConfig::basic(3, 2));
+    /// # #[allow(deprecated)]
+    /// let old = StreamingGraph::new(cfg.clone(), rcfg, BfsAlgo::new(0), 8).unwrap();
+    /// let new = StreamingGraph::builder(BfsAlgo::new(0))
+    ///     .vertices(8)
+    ///     .chip(cfg)
+    ///     .rpvo(rcfg)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(old.n_vertices(), new.n_vertices());
+    /// assert_eq!(old.states(), new.states());
+    /// ```
     #[deprecated(
         since = "0.1.0",
         note = "use StreamingGraph::builder(algo).vertices(n).chip(cfg).rpvo(rcfg).build()"
@@ -356,12 +403,19 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         let cfg = self.dev.chip().cfg();
         let (dims, seed, policy) = (cfg.dims, cfg.seed, cfg.rhizome_placement);
         let cells = policy.cells_for(primary.cc, k, dims, seed ^ ((v as u64) << 1 | 1));
-        let state = self.dev.object(primary).expect("primary root live").state;
+        let (state, qbits) = {
+            let obj = self.dev.object(primary).expect("primary root live");
+            (obj.state, obj.qbits.clone())
+        };
         let fanout = self.rcfg.ghost_fanout;
         let mut roots = Vec::with_capacity(k);
         roots.push(primary);
         for cc in cells {
-            roots.push(self.dev.host_alloc(cc, VertexObj::root(v, state, fanout))?);
+            let mut root = VertexObj::root(v, state, fanout);
+            // Co-equal roots mirror the primary's converged standing-query
+            // state exactly like its algorithm state.
+            root.qbits = qbits.clone();
+            roots.push(self.dev.host_alloc(cc, root)?);
         }
         for (addr, peers) in roots.iter().zip(peer_sets(&roots)) {
             self.dev.object_mut(*addr).expect("root live").peers = peers;
@@ -555,18 +609,22 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         // nor count toward streamed degrees.
         let mut wave: Vec<Operon> = Vec::with_capacity(batch.muts.len());
         for m in &batch.muts {
+            if let Some(((u, v, w), label)) = m.as_add() {
+                if self.rz.note_add(u, threshold) {
+                    self.promote(u)?;
+                }
+                if self.rz.note_add(v, threshold) {
+                    self.promote(v)?;
+                }
+                let tag = self.ledger.add(u, v, w);
+                let src = self.rz.route(u);
+                let dst = self.rz.route(v);
+                wave.push(insert_operon(src, &Edge::labeled(dst, v, w, tag, label)));
+                continue;
+            }
             match *m {
-                GraphMutation::AddEdge((u, v, w)) => {
-                    if self.rz.note_add(u, threshold) {
-                        self.promote(u)?;
-                    }
-                    if self.rz.note_add(v, threshold) {
-                        self.promote(v)?;
-                    }
-                    let tag = self.ledger.add(u, v, w);
-                    let src = self.rz.route(u);
-                    let dst = self.rz.route(v);
-                    wave.push(insert_operon(src, &Edge::tagged(dst, v, w, tag)));
+                GraphMutation::AddEdge(..) | GraphMutation::AddLabeledEdge(..) => {
+                    unreachable!("inserts handled above")
                 }
                 GraphMutation::DelEdge((u, v, w)) => {
                     // The canonical delete names the copy's ledger weight, so
@@ -627,9 +685,96 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                 report.absorb(self.dev.run()?);
             }
         }
+        // Standing-query maintenance: a deletion may have stranded automaton
+        // states whose every derivation ran through the removed edge, and a
+        // structural phase suppressed the insert-time query announcements.
+        // Either way the repair is independent of the algorithm's repair mode
+        // and of `propagate_algo` — query state must stay exact even when
+        // the algorithm's own propagation is disabled.
+        if !self.queries.is_empty() {
+            let del_heads: Vec<u32> = batch
+                .muts
+                .iter()
+                .filter_map(|m| match *m {
+                    GraphMutation::DelEdge((_, v, _)) => Some(v),
+                    _ => None,
+                })
+                .collect();
+            let suppressed = needs_repair && self.dev.app().propagate_algo;
+            if !del_heads.is_empty() || suppressed {
+                report.absorb(self.repair_queries(&del_heads, &touched)?);
+            }
+        }
         // Quiescent: no retraction in flight, drained identities can go.
         self.ledger.prune_drained();
         Ok(report)
+    }
+
+    /// Host-orchestrated deletion repair for standing-query state, the
+    /// query-layer analogue of the invalidate+reseed cascade: compute the
+    /// coarse invalidation region — the forward closure over the *surviving*
+    /// directed adjacency (any label) from the heads of this batch's deleted
+    /// edges — clear every automaton-state bitset stored anywhere in it
+    /// (host-side, untimed, like promotion bookkeeping), and inject a timed
+    /// repair wave that re-derives exactly the surviving states: each query
+    /// re-seeds its closed start set at its source, and each frontier vertex
+    /// (surviving in-neighbours of the region, the region itself, and the
+    /// batch's touched sources) re-announces all its surviving states along
+    /// its out-edges.
+    ///
+    /// Soundness: a state that survives the clearing has a derivation whose
+    /// suffix after any deleted edge is intact, because every vertex forward
+    /// of a deleted edge's head was cleared. Completeness: the first missing
+    /// state on any surviving derivation path is re-fed either by its
+    /// query's source seed or by a frontier in-neighbour's re-announcement,
+    /// and monotone propagation rebuilds everything downstream.
+    fn repair_queries(
+        &mut self,
+        del_heads: &[u32],
+        touched: &[u32],
+    ) -> Result<RunReport, SimError> {
+        // Forward closure over surviving out-edges (the closure is a set, so
+        // hash-order traversal cannot perturb the sorted result).
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (&(u, v), c) in &self.ledger.copies {
+            if !c.live.is_empty() {
+                adj.entry(u).or_default().push(v);
+            }
+        }
+        let mut seen: std::collections::HashSet<u32> = del_heads.iter().copied().collect();
+        let mut work: Vec<u32> = seen.iter().copied().collect();
+        let mut region: Vec<u32> = Vec::new();
+        while let Some(v) = work.pop() {
+            region.push(v);
+            if let Some(ns) = adj.get(&v) {
+                for &n in ns {
+                    if seen.insert(n) {
+                        work.push(n);
+                    }
+                }
+            }
+        }
+        region.sort_unstable();
+        for &v in &region {
+            for a in walk::collect_logical_objects(self.rz.primary(v), |x| self.dev.object(x)) {
+                self.dev.object_mut(a).expect("object live").qbits.clear();
+            }
+        }
+        let mut frontier: Vec<u32> =
+            region.iter().flat_map(|&v| self.ledger.sources_into(v)).collect();
+        frontier.extend_from_slice(&region);
+        frontier.extend_from_slice(touched);
+        frontier.sort_unstable();
+        frontier.dedup();
+        let mut wave: Vec<Operon> = Vec::with_capacity(self.queries.len() + frontier.len());
+        for (qid, q) in self.queries.iter().enumerate() {
+            wave.push(query_operon(self.rz.primary(q.source), qid as u32, q.dfa.start_bits()));
+        }
+        for &v in &frontier {
+            wave.push(query_reseed_operon(self.rz.primary(v), QUERY_ALL));
+        }
+        self.dev.register_data_transfer(wave);
+        self.dev.run()
     }
 
     /// Stream an insert-only increment (the source paper's workload shape):
@@ -646,6 +791,49 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     ) -> Result<RunReport, SimError> {
         self.dev.register_data_transfer(ops);
         self.dev.run()
+    }
+
+    /// Register a standing label-constrained path query: compile `pattern`
+    /// (see [`crate::query::compile`] for the grammar), assign the next
+    /// query id, mirror the automaton into the fabric app, and seed the
+    /// closed start-state set at `source`'s primary root — a timed diffusion
+    /// run to quiescence that computes the query's current result set over
+    /// the live graph. From then on every [`Self::stream_increment`]
+    /// maintains the result incrementally.
+    pub fn register_query(&mut self, pattern: &str, source: u32) -> Result<u32, QueryError> {
+        let dfa = compile(pattern)?;
+        if source >= self.n_vertices() {
+            return Err(QueryError::SourceOutOfRange { source, n: self.n_vertices() });
+        }
+        let qid = self.queries.len() as u32;
+        self.dev.app_mut().queries.push(dfa.clone());
+        self.queries.push(StandingQuery { pattern: pattern.to_string(), source, dfa });
+        let seed =
+            query_operon(self.rz.primary(source), qid, self.queries[qid as usize].dfa.start_bits());
+        self.dev.register_data_transfer([seed]);
+        self.dev.run().expect("query registration diffusion");
+        Ok(qid)
+    }
+
+    /// Current result set of registered query `qid`: the sorted vertex ids
+    /// whose automaton-state bitset contains an accepting state — i.e. the
+    /// vertices reachable from the query's source along a path whose label
+    /// word matches the pattern. Empty for an unknown id.
+    pub fn query_results(&self, qid: u32) -> Vec<u32> {
+        let Some(q) = self.queries.get(qid as usize) else { return Vec::new() };
+        let accepting = q.dfa.accepting_bits();
+        (0..self.n_vertices())
+            .filter(|&v| {
+                let obj = self.dev.object(self.rz.primary(v)).expect("root object live");
+                obj.qbits_get(qid) & accepting != 0
+            })
+            .collect()
+    }
+
+    /// The registered standing queries, indexed by query id (checkpoints
+    /// persist this list so restore re-registers and re-derives each one).
+    pub fn registered_queries(&self) -> &[StandingQuery] {
+        &self.queries
     }
 
     /// The algorithm state stored at a vertex's primary root object (all
@@ -723,6 +911,12 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// re-weights to the same copies.
     pub fn live_edges(&self) -> Vec<StreamEdge> {
         self.log.live_edges()
+    }
+
+    /// [`Self::live_edges`] with each copy's label — the edge set standing
+    /// queries run over, and what label-aware checkpoints serialize.
+    pub fn live_labeled_edges(&self) -> Vec<(StreamEdge, u8)> {
+        self.log.live_labeled_edges()
     }
 
     /// Per-vertex converged states as algorithm-defined wire values
@@ -813,6 +1007,10 @@ pub fn symmetrize_mutations(muts: &[GraphMutation]) -> Vec<GraphMutation> {
             GraphMutation::AddEdge((u, v, w)) => {
                 out.push(GraphMutation::AddEdge((u, v, w)));
                 out.push(GraphMutation::AddEdge((v, u, w)));
+            }
+            GraphMutation::AddLabeledEdge((u, v, w), l) => {
+                out.push(GraphMutation::AddLabeledEdge((u, v, w), l));
+                out.push(GraphMutation::AddLabeledEdge((v, u, w), l));
             }
             GraphMutation::DelEdge((u, v, w)) => {
                 out.push(GraphMutation::DelEdge((u, v, w)));
@@ -1500,5 +1698,136 @@ mod tests {
         };
         let sequential = run(1);
         assert_eq!(sequential, run(3));
+    }
+
+    /// The from-scratch reference: run the query DFA over the live labeled
+    /// edge set and compare with the incrementally maintained result.
+    fn assert_query_matches_oracle(g: &StreamingGraph<BfsAlgo>, qid: u32) {
+        let q = &g.registered_queries()[qid as usize];
+        let edges: Vec<(u32, u32, u8)> =
+            g.live_labeled_edges().iter().map(|&((u, v, _), l)| (u, v, l)).collect();
+        let want = crate::query::oracle_results(g.n_vertices(), &edges, &q.dfa, q.source);
+        assert_eq!(g.query_results(qid), want, "query {qid} ({})", q.pattern);
+    }
+
+    #[test]
+    fn standing_query_tracks_inserts() {
+        use GraphMutation::AddLabeledEdge;
+        let mut g = small();
+        let q = g.register_query("a.b*.c", 0).unwrap();
+        assert_eq!(g.query_results(q), Vec::<u32>::new());
+        // 0 -a-> 1 -b-> 2 -b-> 3 -c-> 4, plus a distractor edge.
+        g.stream_increment(&[
+            AddLabeledEdge((0, 1, 1), 1),
+            AddLabeledEdge((1, 2, 1), 2),
+            AddLabeledEdge((5, 6, 1), 3),
+        ])
+        .unwrap();
+        assert_query_matches_oracle(&g, q);
+        g.stream_increment(&[AddLabeledEdge((2, 3, 1), 2), AddLabeledEdge((3, 4, 1), 3)]).unwrap();
+        assert_eq!(g.query_results(q), vec![4], "a.b.b.c reaches vertex 4");
+        // A shortcut c-edge straight off the a-frontier matches too (b*).
+        g.stream_increment(&[AddLabeledEdge((1, 7, 1), 3)]).unwrap();
+        assert_eq!(g.query_results(q), vec![4, 7]);
+        assert_query_matches_oracle(&g, q);
+    }
+
+    #[test]
+    fn standing_query_repairs_after_deletions() {
+        use GraphMutation::AddLabeledEdge;
+        let mut g = small();
+        // Two disjoint witnesses for vertex 4: through 2 and through 3.
+        g.stream_increment(&[
+            AddLabeledEdge((0, 1, 1), 1),
+            AddLabeledEdge((1, 2, 1), 2),
+            AddLabeledEdge((1, 3, 1), 2),
+            AddLabeledEdge((2, 4, 1), 3),
+            AddLabeledEdge((3, 4, 1), 3),
+        ])
+        .unwrap();
+        let q = g.register_query("a.b.c", 0).unwrap();
+        assert_eq!(g.query_results(q), vec![4]);
+        // Killing one witness keeps the match alive through the other.
+        g.stream_increment(&[GraphMutation::DelEdge((2, 4, 1))]).unwrap();
+        assert_eq!(g.query_results(q), vec![4]);
+        assert_query_matches_oracle(&g, q);
+        // Killing the last witness retracts the match.
+        g.stream_increment(&[GraphMutation::DelEdge((1, 3, 1))]).unwrap();
+        assert_eq!(g.query_results(q), Vec::<u32>::new());
+        assert_query_matches_oracle(&g, q);
+        // Re-inserting restores it through the monotone path.
+        g.stream_increment(&[AddLabeledEdge((1, 3, 1), 2)]).unwrap();
+        assert_eq!(g.query_results(q), vec![4]);
+    }
+
+    #[test]
+    fn standing_query_full_and_targeted_repair_agree() {
+        use GraphMutation::{AddLabeledEdge, DelEdge};
+        let run = |mode: RepairMode| {
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(16)
+                .chip(ChipConfig::small_test())
+                .rpvo(RpvoConfig::basic(4, 2))
+                .repair(mode)
+                .build()
+                .unwrap();
+            let q = g.register_query("a.b+.c", 0).unwrap();
+            g.stream_increment(&[
+                AddLabeledEdge((0, 1, 1), 1),
+                AddLabeledEdge((1, 2, 1), 2),
+                AddLabeledEdge((2, 3, 1), 2),
+                AddLabeledEdge((3, 4, 1), 3),
+                AddLabeledEdge((2, 5, 1), 3),
+            ])
+            .unwrap();
+            g.stream_increment(&[DelEdge((1, 2, 1)), AddLabeledEdge((0, 2, 1), 1)]).unwrap();
+            g.stream_increment(&[DelEdge((2, 3, 1))]).unwrap();
+            assert_query_matches_oracle(&g, q);
+            g.query_results(q)
+        };
+        assert_eq!(run(RepairMode::Full), run(RepairMode::Targeted));
+    }
+
+    #[test]
+    fn standing_queries_are_shard_count_independent() {
+        use GraphMutation::{AddLabeledEdge, DelEdge};
+        let run = |shards: usize| {
+            let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+                .vertices(24)
+                .chip(ChipConfig::small_test().with_shards(shards))
+                .rpvo(RpvoConfig::basic(4, 2).with_rhizomes(5, 4))
+                .build()
+                .unwrap();
+            let qa = g.register_query("a.b*.c", 0).unwrap();
+            let qb = g.register_query("c+", 2).unwrap();
+            // A labeled star off 0 (forces promotion under the query), then a
+            // labeled path, then churn.
+            let star: Vec<GraphMutation> =
+                (1..20).map(|v| AddLabeledEdge((0, v, 1), (v % 3 + 1) as u8)).collect();
+            let path: Vec<GraphMutation> =
+                (0..19).map(|v| AddLabeledEdge((v, v + 1, 1), (v % 3 + 1) as u8)).collect();
+            g.stream_increment(&star).unwrap();
+            g.stream_increment(&path).unwrap();
+            g.stream_increment(&[DelEdge((0, 4, 1)), DelEdge((4, 5, 1))]).unwrap();
+            assert_query_matches_oracle(&g, qa);
+            assert_query_matches_oracle(&g, qb);
+            (g.query_results(qa), g.query_results(qb), g.states())
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn query_registration_rejects_bad_input() {
+        let mut g = small();
+        assert!(g.register_query("", 0).is_err(), "empty pattern");
+        assert!(g.register_query("a.!", 0).is_err(), "bad atom");
+        assert!(
+            matches!(
+                g.register_query("a", 99),
+                Err(crate::query::QueryError::SourceOutOfRange { source: 99, n: 16 })
+            ),
+            "source beyond vertex range"
+        );
+        assert!(g.registered_queries().is_empty(), "failed registrations leave no residue");
     }
 }

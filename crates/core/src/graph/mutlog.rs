@@ -94,6 +94,10 @@ struct LogCopy {
     seq: u64,
     /// Current weight.
     w: u32,
+    /// Edge label carried by the copy's insert (0 = unlabelled). Labels are
+    /// immutable for a copy's lifetime and are not part of the delete/update
+    /// addressing identity — they only drive standing-query automata.
+    label: u8,
     kind: CopyKind,
 }
 
@@ -165,16 +169,11 @@ impl MutationLog {
     /// panicking (the admission path for server-submitted batches).
     pub fn try_push(&mut self, m: GraphMutation) -> Result<(), MutationError> {
         match m {
-            GraphMutation::AddEdge((u, v, w)) => {
-                let entry = self.entries.len();
-                self.entries.push(Some(GraphMutation::AddEdge((u, v, w))));
-                self.seq += 1;
-                let copy = LogCopy { seq: self.seq, w, kind: CopyKind::Fresh { entry } };
-                self.pairs.entry((u, v)).or_default().push_back(copy);
-                self.touched.push(u);
-                self.live += 1;
-                Ok(())
-            }
+            GraphMutation::AddEdge(e) => self.push_add(e, 0),
+            // Label 0 canonicalizes to a plain `AddEdge` at push time, so a
+            // canonical batch never contains a labelled insert that a replay
+            // would canonicalize differently.
+            GraphMutation::AddLabeledEdge(e, label) => self.push_add(e, label),
             GraphMutation::DelEdge((u, v, w)) => {
                 let err = MutationError::NoLiveCopyToDelete { u, v, w };
                 let q = self.pairs.get_mut(&(u, v)).ok_or(err)?;
@@ -208,9 +207,14 @@ impl MutationLog {
                 match copy.kind {
                     // The copy is still in this epoch's wave: rewrite the
                     // pending insert in place (nothing was ever announced
-                    // under the old weight, so no repair is needed).
+                    // under the old weight, so no repair is needed). The
+                    // rewrite keeps the insert's label.
                     CopyKind::Fresh { entry } => {
-                        self.entries[entry] = Some(GraphMutation::AddEdge((u, v, w)));
+                        self.entries[entry] = Some(if copy.label == 0 {
+                            GraphMutation::AddEdge((u, v, w))
+                        } else {
+                            GraphMutation::AddLabeledEdge((u, v, w), copy.label)
+                        });
                     }
                     // Coalesce repeat updates of one copy: one patch with the
                     // final weight (intermediates were never announced);
@@ -231,6 +235,23 @@ impl MutationLog {
                 Ok(())
             }
         }
+    }
+
+    /// Insert one copy of `(u, v, w)` carrying `label` (the shared body of
+    /// the `AddEdge` / `AddLabeledEdge` push arms).
+    fn push_add(&mut self, (u, v, w): StreamEdge, label: u8) -> Result<(), MutationError> {
+        let entry = self.entries.len();
+        self.entries.push(Some(if label == 0 {
+            GraphMutation::AddEdge((u, v, w))
+        } else {
+            GraphMutation::AddLabeledEdge((u, v, w), label)
+        }));
+        self.seq += 1;
+        let copy = LogCopy { seq: self.seq, w, label, kind: CopyKind::Fresh { entry } };
+        self.pairs.entry((u, v)).or_default().push_back(copy);
+        self.touched.push(u);
+        self.live += 1;
+        Ok(())
     }
 
     /// Close the epoch: settle this epoch's surviving copies and return the
@@ -279,6 +300,19 @@ impl MutationLog {
     /// weights.
     pub fn live_copies(&self, u: u32, v: u32) -> Vec<u32> {
         self.pairs.get(&(u, v)).map(|q| q.iter().map(|c| c.w).collect()).unwrap_or_default()
+    }
+
+    /// [`Self::live_edges`] with each copy's label: the serialization hook
+    /// label-aware checkpoints are built from, and the edge set standing
+    /// queries are recomputed over.
+    pub fn live_labeled_edges(&self) -> Vec<(StreamEdge, u8)> {
+        let mut tagged: Vec<(u64, (StreamEdge, u8))> = self
+            .pairs
+            .iter()
+            .flat_map(|(&(u, v), q)| q.iter().map(move |c| (c.seq, ((u, v, c.w), c.label))))
+            .collect();
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, e)| e).collect()
     }
 }
 
@@ -454,5 +488,31 @@ mod tests {
         replay.drain();
         assert_eq!(replay.live_edges(), log.live_edges());
         assert_eq!(replay.live_count(), log.live_count());
+    }
+
+    #[test]
+    fn labels_survive_weight_updates_and_ignore_delete_identity() {
+        use GraphMutation::AddLabeledEdge;
+        let mut log = MutationLog::new();
+        log.push(AddLabeledEdge((0, 1, 4), 3));
+        log.push(AddEdge((0, 1, 7)));
+        log.drain();
+        // Weight patch rewrites the oldest copy but keeps its label.
+        log.push(UpdateWeight { u: 0, v: 1, w: 9 });
+        log.drain();
+        assert_eq!(log.live_labeled_edges(), vec![((0, 1, 9), 3), ((0, 1, 7), 0)]);
+        // Deletes target the oldest copy regardless of its label.
+        log.push(DelEdge((0, 1, 9)));
+        log.drain();
+        assert_eq!(log.live_labeled_edges(), vec![((0, 1, 7), 0)]);
+    }
+
+    #[test]
+    fn label_zero_inserts_canonicalize_to_plain_adds() {
+        let mut log = MutationLog::new();
+        log.push(GraphMutation::AddLabeledEdge((2, 3, 1), 0));
+        let batch = log.drain();
+        assert_eq!(batch.muts, vec![AddEdge((2, 3, 1))], "label 0 is the unlabeled default");
+        assert_eq!(log.live_labeled_edges(), vec![((2, 3, 1), 0)]);
     }
 }

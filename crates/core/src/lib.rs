@@ -13,15 +13,22 @@
 //!   here as extensions (SSSP, connected components, triangle counting).
 //! * [`graph`] — the host-side [`graph::StreamingGraph`] façade running the
 //!   paper's experiment workflow: construct roots, stream increments, verify.
-//! * [`checkpoint`] — serialization of the live edge multiset and converged
-//!   fixpoint for the serving layer's checkpoint/restore cycle.
+//! * [`query`] — standing label-constrained path queries: pattern
+//!   compilation to small automata whose per-vertex state bitsets are
+//!   maintained incrementally as mutations stream, plus the from-scratch
+//!   recompute oracle they are pinned against.
+//! * [`checkpoint`] — serialization of the live edge multiset, converged
+//!   fixpoint, and registered queries for the serving layer's
+//!   checkpoint/restore cycle.
 
 pub mod apps;
 pub mod checkpoint;
 pub mod graph;
+pub mod query;
 pub mod rpvo;
 
 pub use apps::{BfsAlgo, CcAlgo, GraphApp, SsspAlgo, TriangleAlgo, VertexAlgo};
 pub use checkpoint::GraphCheckpoint;
 pub use graph::{symmetrize, GraphBuilder, MutationLog, StreamEdge, StreamingGraph};
+pub use query::{oracle_results, QueryDfa, QueryError, StandingQuery};
 pub use rpvo::{Edge, RpvoConfig, VertexObj};

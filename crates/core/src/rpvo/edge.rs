@@ -1,17 +1,19 @@
 //! The edge type (paper Listing 3): destination address plus weight. We also
 //! carry the destination's numeric vertex id so algorithms that compare ids
-//! (triangle counting's canonical orientation) need no reverse lookup, and a
+//! (triangle counting's canonical orientation) need no reverse lookup, a
 //! small host-assigned **copy tag** so streamed deletions can retract exactly
-//! one copy of a duplicated edge.
+//! one copy of a duplicated edge, and an edge **label** driving standing
+//! label-constrained path queries (see [`crate::query`]).
 //!
 //! The tag disambiguates copies of the *same* `(src, dst, weight)` identity:
-//! the host's mutation ledger hands the k-th live copy tag `k mod 2¹⁶` and a
+//! the host's mutation ledger hands the k-th live copy tag `k mod 2⁸` and a
 //! `DelEdge` retracts the oldest live copy by its tag, so an on-fabric
 //! retraction broadcast over a vertex's objects removes exactly one edge no
 //! matter how the copies were spread across rhizome root slices and ghost
 //! spills. Tags only need to be unique among *live* copies of one identity —
-//! a bound of 65 536 simultaneously live duplicates of a single directed
-//! edge, far beyond any real stream.
+//! a bound of 256 simultaneously live duplicates of a single directed edge,
+//! far beyond any real stream. (The tag narrowed from 16 to 8 bits when the
+//! label claimed the payload's top byte.)
 
 use amcca_sim::Address;
 
@@ -25,26 +27,36 @@ pub struct Edge {
     /// Edge weight (ignored by BFS, used by SSSP).
     pub w: u32,
     /// Host-assigned copy tag (see module docs). 0 for untagged edges.
-    pub tag: u16,
+    pub tag: u8,
+    /// Edge label (0 = unlabelled) stepping standing-query automata.
+    pub label: u8,
 }
 
 impl Edge {
-    /// Create an edge record with copy tag 0.
+    /// Create an edge record with copy tag 0 and label 0.
     pub fn new(dst: Address, dst_id: u32, w: u32) -> Self {
-        Edge { dst, dst_id, w, tag: 0 }
+        Edge { dst, dst_id, w, tag: 0, label: 0 }
     }
 
-    /// Create an edge record carrying an explicit copy tag.
-    pub fn tagged(dst: Address, dst_id: u32, w: u32, tag: u16) -> Self {
-        Edge { dst, dst_id, w, tag }
+    /// Create an edge record carrying an explicit copy tag (label 0).
+    pub fn tagged(dst: Address, dst_id: u32, w: u32, tag: u8) -> Self {
+        Edge { dst, dst_id, w, tag, label: 0 }
+    }
+
+    /// Create an edge record carrying an explicit copy tag and label.
+    pub fn labeled(dst: Address, dst_id: u32, w: u32, tag: u8, label: u8) -> Self {
+        Edge { dst, dst_id, w, tag, label }
     }
 }
 
 /// Encode an edge into an insert-operon payload: `payload[0]` = packed
-/// destination address (48 bits) with the copy tag in the top 16 bits,
-/// `payload[1]` = id ‖ weight.
+/// destination address (48 bits) with the copy tag in bits 48–55 and the
+/// label in the top byte, `payload[1]` = id ‖ weight.
 pub fn encode_edge(e: &Edge) -> [u64; 2] {
-    [e.dst.pack() | ((e.tag as u64) << 48), ((e.dst_id as u64) << 32) | e.w as u64]
+    [
+        e.dst.pack() | ((e.tag as u64) << 48) | ((e.label as u64) << 56),
+        ((e.dst_id as u64) << 32) | e.w as u64,
+    ]
 }
 
 /// Decode an insert-operon payload back into an edge.
@@ -53,7 +65,8 @@ pub fn decode_edge(payload: [u64; 2]) -> Edge {
         dst: Address::unpack(payload[0] & 0x0000_FFFF_FFFF_FFFF),
         dst_id: (payload[1] >> 32) as u32,
         w: payload[1] as u32,
-        tag: (payload[0] >> 48) as u16,
+        tag: (payload[0] >> 48) as u8,
+        label: (payload[0] >> 56) as u8,
     }
 }
 
@@ -69,14 +82,23 @@ mod tests {
 
     #[test]
     fn tagged_payload_roundtrip() {
-        let e = Edge::tagged(Address::new(99, 3), 7, 2, 0xBEEF);
+        let e = Edge::tagged(Address::new(99, 3), 7, 2, 0xBE);
         assert_eq!(decode_edge(encode_edge(&e)), e);
-        assert_eq!(e.tag, 0xBEEF);
+        assert_eq!(e.tag, 0xBE);
+        assert_eq!(e.label, 0);
+    }
+
+    #[test]
+    fn labeled_payload_roundtrip() {
+        let e = Edge::labeled(Address::new(14, 9), 11, 5, 3, 26);
+        assert_eq!(decode_edge(encode_edge(&e)), e);
+        assert_eq!(e.label, 26);
     }
 
     #[test]
     fn extreme_values_roundtrip() {
-        let e = Edge::tagged(Address::new(u16::MAX, u32::MAX), u32::MAX, u32::MAX, u16::MAX);
+        let e =
+            Edge::labeled(Address::new(u16::MAX, u32::MAX), u32::MAX, u32::MAX, u8::MAX, u8::MAX);
         assert_eq!(decode_edge(encode_edge(&e)), e);
         let z = Edge::new(Address::new(0, 0), 0, 0);
         assert_eq!(decode_edge(encode_edge(&z)), z);

@@ -46,6 +46,12 @@ pub struct VertexObj<S> {
     /// logical vertex, and improvements diffuse to peers via the
     /// `rhizome-sync` system action.
     pub peers: Box<[Address]>,
+    /// Standing-query automaton states: `qbits[qid]` is the bitset of DFA
+    /// states of registered query `qid` reachable at this vertex along some
+    /// labelled path from the query's source (empty = no states, lazily
+    /// grown as queries register). Mirrored across ghosts and peers by the
+    /// `query` system action (see [`crate::query`]).
+    pub qbits: Vec<u32>,
 }
 
 impl<S> VertexObj<S> {
@@ -61,7 +67,33 @@ impl<S> VertexObj<S> {
 
     fn with_kind(vid: u32, state: S, ghost_fanout: usize, kind: ObjKind) -> Self {
         let ghosts = (0..ghost_fanout).map(|_| FutureLco::Null).collect();
-        VertexObj { vid, kind, state, edges: Vec::new(), ghosts, ghost_rr: 0, peers: Box::new([]) }
+        VertexObj {
+            vid,
+            kind,
+            state,
+            edges: Vec::new(),
+            ghosts,
+            ghost_rr: 0,
+            peers: Box::new([]),
+            qbits: Vec::new(),
+        }
+    }
+
+    /// Current automaton-state bitset of query `qid` (0 if never reached).
+    pub fn qbits_get(&self, qid: u32) -> u32 {
+        self.qbits.get(qid as usize).copied().unwrap_or(0)
+    }
+
+    /// OR `bits` into query `qid`'s bitset, returning the genuinely new
+    /// states (`bits & !previous`) — 0 means the delivery was redundant.
+    pub fn qbits_or(&mut self, qid: u32, bits: u32) -> u32 {
+        let i = qid as usize;
+        if self.qbits.len() <= i {
+            self.qbits.resize(i + 1, 0);
+        }
+        let new = bits & !self.qbits[i];
+        self.qbits[i] |= new;
+        new
     }
 
     /// Does the inline edge list still have room (paper's `vertex-has-room`)?
@@ -138,6 +170,17 @@ mod tests {
         let mut v: VertexObj<u64> = VertexObj::root(0, 0, 1);
         assert_eq!(v.pick_ghost_slot(), 0);
         assert_eq!(v.pick_ghost_slot(), 0);
+    }
+
+    #[test]
+    fn qbits_track_new_states_per_query() {
+        let mut v: VertexObj<u64> = VertexObj::root(0, 0, 1);
+        assert_eq!(v.qbits_get(3), 0, "unregistered queries read as empty");
+        assert_eq!(v.qbits_or(3, 0b0110), 0b0110, "all states new on first delivery");
+        assert_eq!(v.qbits_or(3, 0b0010), 0, "redundant delivery yields no new states");
+        assert_eq!(v.qbits_or(3, 0b1010), 0b1000, "only the genuinely new state survives");
+        assert_eq!(v.qbits_get(3), 0b1110);
+        assert_eq!(v.qbits_get(0), 0, "other slots untouched");
     }
 
     #[test]

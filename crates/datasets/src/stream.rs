@@ -118,6 +118,9 @@ impl StreamingDataset {
 pub struct MutationBatch {
     /// Edges inserted by this batch, in stream order.
     pub adds: Vec<StreamEdge>,
+    /// Edge labels parallel to `adds` (empty for an unlabeled schedule —
+    /// every insert then carries label 0, the unlabeled default).
+    pub add_labels: Vec<u8>,
     /// Edges deleted by this batch (one live copy each, named by its
     /// *current* weight — a prior update may have re-weighted it), in stream
     /// order.
@@ -137,7 +140,12 @@ impl MutationBatch {
     pub fn to_mutations(&self) -> Vec<GraphMutation> {
         let mut muts = Vec::with_capacity(self.dels.len() + self.adds.len() + self.updates.len());
         muts.extend(self.dels.iter().copied().map(GraphMutation::DelEdge));
-        muts.extend(self.adds.iter().copied().map(GraphMutation::AddEdge));
+        muts.extend(self.adds.iter().enumerate().map(|(i, &e)| {
+            match self.add_labels.get(i).copied().unwrap_or(0) {
+                0 => GraphMutation::AddEdge(e),
+                l => GraphMutation::AddLabeledEdge(e, l),
+            }
+        }));
         muts.extend(self.updates.iter().map(|&(u, v, w)| GraphMutation::UpdateWeight { u, v, w }));
         muts
     }
@@ -151,6 +159,7 @@ impl MutationBatch {
             |es: &[StreamEdge]| es.iter().map(|&(u, v, w)| (u + base, v + base, w)).collect();
         MutationBatch {
             adds: shift(&self.adds),
+            add_labels: self.add_labels.clone(),
             dels: shift(&self.dels),
             updates: shift(&self.updates),
         }
@@ -183,6 +192,13 @@ pub struct ChurnParams {
     /// vertex 0, so each batch's inserts — and, a window later, its deletes
     /// — concentrate on the discovery frontier.
     pub order: Sampling,
+    /// Distinct edge labels for standing path queries: `0` or `1` leaves the
+    /// schedule unlabeled (bit-identical to the pre-label generator — labels
+    /// are hash-derived, not drawn from the RNG stream), `k > 1` assigns each
+    /// insert a deterministic label in `1..=k` hashed from its endpoints, so
+    /// every copy of a pair carries the same label and deletes (which name
+    /// edges by `(u, v, w)` only) stay label-agnostic.
+    pub labels: u8,
     /// Generator seed (defines the whole schedule deterministically).
     pub seed: u64,
 }
@@ -248,8 +264,15 @@ impl ChurnStream {
     /// live multiset forward, so the batch-by-batch forward scans the
     /// drivers run (`run_streaming_churn`, `paper serve`) cost O(batch) per
     /// call instead of replaying the whole history — the old O(n²) nightly
-    /// bottleneck. Querying an earlier batch than the last call resets the
-    /// cursor and replays from the start.
+    /// bottleneck.
+    ///
+    /// **Rewind safety.** The cursor is an optimization, never an answer
+    /// oracle: querying an *earlier* batch than the previous call resets it
+    /// and replays from batch 0, so any interleaving of non-monotonic calls
+    /// — `live_after(7)` then `live_after(2)` then `live_after(5)` — returns
+    /// exactly what a cold replay of `0..=i` would, at the cost of the extra
+    /// replays. Concurrent callers through a shared reference serialize on
+    /// the cursor mutex and see the same per-call answers.
     pub fn live_after(&self, i: usize) -> Vec<StreamEdge> {
         if self.batches[..=i].iter().all(|b| b.updates.is_empty()) {
             // No re-weights in play: the live set is exactly the adds of
@@ -276,6 +299,32 @@ impl ChurnStream {
         cur.log.live_edges()
     }
 
+    /// The live multiset after batch `i` with per-copy labels, in insertion
+    /// order — the ground truth a standing-query oracle runs over. Same
+    /// semantics and rewind safety as [`Self::live_after`]; on an unlabeled
+    /// schedule every label is 0.
+    pub fn live_labeled_after(&self, i: usize) -> Vec<(StreamEdge, u8)> {
+        let unlabeled = self.batches[..=i].iter().all(|b| b.add_labels.is_empty());
+        if unlabeled && self.batches[..=i].iter().all(|b| b.updates.is_empty()) {
+            let first = (i + 1).saturating_sub(self.window);
+            return (first..=i)
+                .flat_map(|b| self.batches[b].adds.iter().map(|&e| (e, 0)))
+                .collect();
+        }
+        let mut cur = self.cursor.lock().expect("live_after cursor poisoned");
+        if cur.next > i + 1 {
+            *cur = LiveCursor::default();
+        }
+        while cur.next <= i {
+            for m in self.batches[cur.next].to_mutations() {
+                cur.log.push(m);
+            }
+            cur.log.drain();
+            cur.next += 1;
+        }
+        cur.log.live_labeled_edges()
+    }
+
     /// Total edges inserted across all batches.
     pub fn total_adds(&self) -> usize {
         self.batches.iter().map(|b| b.adds.len()).sum()
@@ -292,17 +341,30 @@ impl ChurnStream {
     }
 }
 
+/// Deterministic label in `1..=k` for the pair `u → v` (splitmix-style
+/// endpoint hash — independent of the RNG stream, so turning labels on never
+/// perturbs the edge/weight/update schedule).
+fn edge_label(u: u32, v: u32, k: u8) -> u8 {
+    let mut x = ((u as u64) << 32 | v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) as u8 % k + 1
+}
+
 /// Generate a seeded sliding-window churn schedule over a heavy-tailed
 /// (RMAT) edge source: batch `i` inserts `adds_per_batch` fresh edges —
 /// in arrival order, or in Snowball discovery order when
 /// [`ChurnParams::order`] asks for frontier-correlated churn — deletes the
 /// edges inserted by batch `i - window` (in their insertion order, at their
 /// *current* weights), and re-weights `updates_per_batch` uniformly chosen
-/// live edges. Deterministic per parameter set; every delete and update
-/// names an edge that is live at that point.
+/// live edges. [`ChurnParams::labels`] optionally stamps every insert with a
+/// deterministic endpoint-hashed label for standing path queries.
+/// Deterministic per parameter set; every delete and update names an edge
+/// that is live at that point.
 pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
     assert!(p.window >= 1, "window must span at least one batch");
     assert!(p.batches >= 1, "need at least one insert batch");
+    assert!(p.labels <= 26, "labels map to query atoms a-z (max 26)");
     let rp = RmatParams::scaled(
         p.n_vertices,
         p.batches * p.adds_per_batch,
@@ -350,6 +412,11 @@ pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
         } else {
             Vec::new()
         };
+        let add_labels = if p.labels > 1 {
+            adds.iter().map(|&(u, v, _)| edge_label(u, v, p.labels)).collect()
+        } else {
+            Vec::new()
+        };
         let live = (i.saturating_sub(p.window - 1).min(p.batches) * p.adds_per_batch)
             ..((i + 1).min(p.batches) * p.adds_per_batch);
         let updates = if i < p.batches && !live.is_empty() {
@@ -367,7 +434,7 @@ pub fn generate_churn(p: &ChurnParams) -> ChurnStream {
         } else {
             Vec::new()
         };
-        batches.push(MutationBatch { adds, dels, updates });
+        batches.push(MutationBatch { adds, add_labels, dels, updates });
     }
     ChurnStream {
         n_vertices: p.n_vertices,
@@ -429,6 +496,7 @@ impl ChurnPreset {
             drain: true,
             updates_per_batch: 0,
             order: Sampling::Edge,
+            labels: 0,
             seed: self.seed,
         })
     }
@@ -484,6 +552,7 @@ mod tests {
             drain: true,
             updates_per_batch: 0,
             order: Sampling::Edge,
+            labels: 0,
             seed: 11,
         }
     }
@@ -721,10 +790,77 @@ mod tests {
     }
 
     #[test]
+    fn labels_never_perturb_the_schedule() {
+        let plain = generate_churn(&churn_params());
+        let labeled = generate_churn(&ChurnParams { labels: 4, ..churn_params() });
+        assert_eq!(plain.len(), labeled.len());
+        for i in 0..plain.len() {
+            let (p, l) = (plain.batch(i), labeled.batch(i));
+            assert_eq!(p.adds, l.adds, "labels are a pure annotation (batch {i})");
+            assert_eq!(p.dels, l.dels);
+            assert_eq!(p.updates, l.updates);
+            assert!(p.add_labels.is_empty(), "labels=0 leaves batches unlabeled");
+            assert_eq!(l.add_labels.len(), l.adds.len());
+            assert!(l.add_labels.iter().all(|&x| (1..=4).contains(&x)));
+        }
+        // Same pair, same label — everywhere in the schedule.
+        use std::collections::HashMap;
+        let mut seen: HashMap<(u32, u32), u8> = HashMap::new();
+        for i in 0..labeled.len() {
+            let b = labeled.batch(i);
+            for (&(u, v, _), &l) in b.adds.iter().zip(&b.add_labels) {
+                assert_eq!(*seen.entry((u, v)).or_insert(l), l, "pair ({u},{v}) relabeled");
+            }
+        }
+    }
+
+    #[test]
+    fn live_labeled_after_tracks_the_labeled_multiset() {
+        let p = ChurnParams { labels: 3, updates_per_batch: 9, ..churn_params() };
+        let c = generate_churn(&p);
+        for i in 0..c.len() {
+            let labeled = c.live_labeled_after(i);
+            let plain: Vec<StreamEdge> = labeled.iter().map(|&(e, _)| e).collect();
+            assert_eq!(plain, c.live_after(i), "labeled view projects to the plain view");
+            for &((u, v, _), l) in &labeled {
+                assert_eq!(l, super::edge_label(u, v, 3), "label is the endpoint hash");
+            }
+        }
+        // Unlabeled schedules report label 0 everywhere.
+        let plain = generate_churn(&churn_params());
+        let mid = plain.len() / 2;
+        assert!(plain.live_labeled_after(mid).iter().all(|&(_, l)| l == 0));
+        assert_eq!(
+            plain.live_labeled_after(mid).len(),
+            plain.live_after(mid).len(),
+            "fast paths agree on the multiset size"
+        );
+    }
+
+    #[test]
+    fn live_after_is_rewind_safe_under_non_monotonic_interleaving() {
+        // The cursor only moves forward; any earlier query resets and
+        // replays. Pin an adversarial interleaving (forward jumps, rewinds,
+        // repeats, alternating plain/labeled views) against cold replays.
+        let p = ChurnParams { labels: 3, updates_per_batch: 9, ..churn_params() };
+        let c = generate_churn(&p);
+        let last = c.len() - 1;
+        for &i in &[5, 2, 7, 0, 7, 3, 3, last, 1, last] {
+            assert_eq!(c.live_after(i), c.clone().live_after(i), "plain view at batch {i}");
+            assert_eq!(
+                c.live_labeled_after(i),
+                c.clone().live_labeled_after(i),
+                "labeled view at batch {i} (shares the same cursor)"
+            );
+        }
+    }
+
+    #[test]
     fn batch_to_mutations_is_canonically_ordered() {
         use sdgp_core::graph::GraphMutation;
         let b = MutationBatch {
             adds: vec![(0, 1, 5)],
+            add_labels: vec![4],
             dels: vec![(2, 3, 7)],
             updates: vec![(4, 5, 9)],
         };
@@ -732,14 +868,18 @@ mod tests {
             b.to_mutations(),
             vec![
                 GraphMutation::DelEdge((2, 3, 7)),
-                GraphMutation::AddEdge((0, 1, 5)),
+                GraphMutation::AddLabeledEdge((0, 1, 5), 4),
                 GraphMutation::UpdateWeight { u: 4, v: 5, w: 9 },
             ]
         );
         let s = b.shifted(100);
         assert_eq!(s.adds, vec![(100, 101, 5)]);
+        assert_eq!(s.add_labels, vec![4], "labels ride the shift unchanged");
         assert_eq!(s.dels, vec![(102, 103, 7)]);
         assert_eq!(s.updates, vec![(104, 105, 9)]);
+        // An unlabeled batch (empty add_labels) emits plain adds.
+        let plain = MutationBatch { add_labels: vec![], ..b };
+        assert_eq!(plain.to_mutations()[1], GraphMutation::AddEdge((0, 1, 5)));
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub const ACT_RHIZOME_SYNC: ActionId = 2;
 /// receiver checks whether its state was derived through that value and, if
 /// so, resets it and cascades the recall further (see [`crate::retract`]).
 pub const ACT_RETRACT: ActionId = 3;
+/// Standing-query state diffusion: a set of automaton states (a small
+/// bitset) flows along an edge to extend — or, flagged as a reseed, to
+/// re-announce — the product-state frontier of a registered standing query
+/// (see [`crate::query`]).
+pub const ACT_QUERY: ActionId = 4;
 /// First id available to applications.
 pub const FIRST_USER_ACTION: ActionId = 8;
 
@@ -47,6 +52,7 @@ impl ActionRegistry {
                 (ACT_SET_FUTURE, "set-future".to_string()),
                 (ACT_RHIZOME_SYNC, "rhizome-sync".to_string()),
                 (ACT_RETRACT, "retract".to_string()),
+                (ACT_QUERY, "query".to_string()),
             ],
             next: FIRST_USER_ACTION,
         }
@@ -109,6 +115,7 @@ mod tests {
         assert_eq!(r.lookup("set-future"), Some(ACT_SET_FUTURE));
         assert_eq!(r.lookup("rhizome-sync"), Some(ACT_RHIZOME_SYNC));
         assert_eq!(r.lookup("retract"), Some(ACT_RETRACT));
+        assert_eq!(r.lookup("query"), Some(ACT_QUERY));
     }
 
     #[test]
@@ -125,7 +132,7 @@ mod tests {
         let a = r.register("bfs-action");
         let b = r.register("bfs-action");
         assert_eq!(a, b);
-        assert_eq!(r.len(), 5, "four system actions plus the one registered");
+        assert_eq!(r.len(), 6, "five system actions plus the one registered");
     }
 
     #[test]

@@ -16,10 +16,11 @@
 use amcca_sim::{Address, SimError};
 use amcca_sim::{ExecCtx, Operon, Program};
 
-use crate::action::{ACT_ALLOCATE, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE};
+use crate::action::{ACT_ALLOCATE, ACT_QUERY, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE};
 use crate::continuation::{
     allocate_operon, decode_allocate, decode_set_future, set_future_operon, MAX_ENCODABLE_RETRY,
 };
+use crate::query::decode_query;
 use crate::retract::decode_retract;
 use crate::rhizome::decode_sync;
 
@@ -70,6 +71,26 @@ pub trait App: Send {
     fn retract(&mut self, ctx: &mut ExecCtx<'_, Self::Object>, target: Address, suspect: u64) {
         let _ = (ctx, suspect);
         panic!("app received retract for {target} but does not support deletions");
+    }
+
+    /// Standing-query state reached the object at `target` (which lives on
+    /// the executing cell): fold the automaton-state bitset `bits` of query
+    /// `qid` into the local object and diffuse genuinely new states along the
+    /// stored edges; a `reseed` (with `fanned` marking an already peer-fanned
+    /// copy) instead re-announces current states during deletion repair (see
+    /// [`crate::query`]). The default rejects the message — only apps that
+    /// register standing queries receive it.
+    fn query(
+        &mut self,
+        ctx: &mut ExecCtx<'_, Self::Object>,
+        target: Address,
+        qid: u32,
+        bits: u32,
+        reseed: bool,
+        fanned: bool,
+    ) {
+        let _ = (ctx, qid, bits, reseed, fanned);
+        panic!("app received query-state for {target} but does not support standing queries");
     }
 
     /// Create an independent instance for one shard of a parallel run
@@ -160,6 +181,12 @@ impl<A: App> Program for Runtime<A> {
                 // Deletion-repair recall: invalidate derived state and
                 // cascade (the app charges its own invalidation cost).
                 self.app.retract(ctx, op.target, decode_retract(op));
+            }
+            ACT_QUERY => {
+                // Standing-query state diffusion: monotone extension or
+                // repair reseed (the app charges its own stepping cost).
+                let (qid, bits, reseed, fanned) = decode_query(op);
+                self.app.query(ctx, op.target, qid, bits, reseed, fanned);
             }
             _ => self.app.on_action(ctx, op),
         }

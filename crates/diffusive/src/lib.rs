@@ -21,6 +21,8 @@
 //!   of a multi-root (rhizome) vertex converged.
 //! * [`retract`] — the deletion-repair invalidation action that recalls
 //!   values no longer supported after a streamed edge deletion.
+//! * [`query`] — the standing-query state diffusion maintaining automaton
+//!   state bitsets of registered label-constrained path queries.
 //! * [`terminator`] — termination detection for diffusions.
 
 pub mod action;
@@ -28,12 +30,14 @@ pub mod app;
 pub mod continuation;
 pub mod device;
 pub mod future;
+pub mod query;
 pub mod retract;
 pub mod rhizome;
 pub mod terminator;
 
 pub use action::{
-    ActionRegistry, ACT_ALLOCATE, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE, FIRST_USER_ACTION,
+    ActionRegistry, ACT_ALLOCATE, ACT_QUERY, ACT_RETRACT, ACT_RHIZOME_SYNC, ACT_SET_FUTURE,
+    FIRST_USER_ACTION,
 };
 pub use app::{App, Runtime};
 pub use continuation::{
@@ -42,6 +46,9 @@ pub use continuation::{
 };
 pub use device::Device;
 pub use future::{FutureError, FutureLco, PendingOperon};
+pub use query::{
+    decode_query, query_operon, query_reseed_operon, QUERY_ALL, QUERY_RESEED, QUERY_RESEED_FANNED,
+};
 pub use retract::{decode_retract, retract_operon};
 pub use rhizome::{decode_sync, sync_operon};
 pub use terminator::{RunReport, TerminationMode};

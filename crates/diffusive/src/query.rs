@@ -1,0 +1,89 @@
+//! Standing-query state diffusion.
+//!
+//! A standing label-constrained path query is compiled (by the application
+//! layer) to a small deterministic automaton; each vertex object then keeps,
+//! per registered query, a bitset of the automaton states reachable at that
+//! vertex along some labelled path from the query's source. Maintaining
+//! those bitsets under edge insertions is a *monotone* diffusion carried by
+//! the [`crate::action::ACT_QUERY`] system action defined here:
+//!
+//! 1. When new states `bits` arrive for query `qid`, the receiver keeps only
+//!    the genuinely new ones (`bits & !current`); if none are new the wave
+//!    dies — monotonicity is the termination argument, exactly as for the
+//!    relax diffusions.
+//! 2. New states are folded in and stepped through the automaton's
+//!    transition function along every stored out-edge's label, producing
+//!    follow-on `ACT_QUERY` operons; mirrors (ghosts, rhizome peers) receive
+//!    the new states unstepped so every copy of the vertex can announce.
+//!
+//! Deletion repair inverts the flow: the host clears the affected region's
+//! bitsets and injects **reseed**-flagged query operons at the repair
+//! frontier. A reseed does not carry states — it instructs the receiver to
+//! re-announce its *current* bitsets along its stored edges (fanning once
+//! across rhizome peers via [`QUERY_RESEED_FANNED`]), after which plain
+//! monotone propagation rebuilds the exact product-state fixpoint over the
+//! surviving labelled edge set.
+
+use amcca_sim::{Address, Operon};
+
+use crate::action::ACT_QUERY;
+
+/// Sentinel query id addressing *all* registered queries at once (used by
+/// reseed waves so one operon per frontier vertex suffices).
+pub const QUERY_ALL: u32 = u32::MAX;
+
+/// Flag bit in `payload[0]`: this operon is a repair-phase reseed trigger
+/// (re-announce current states) rather than a monotone state delivery.
+pub const QUERY_RESEED: u64 = 1 << 32;
+
+/// Flag bit in `payload[0]`: this reseed was already fanned across the
+/// receiving vertex's rhizome peers — do not fan it again.
+pub const QUERY_RESEED_FANNED: u64 = 1 << 33;
+
+/// Build a monotone query-state delivery: automaton states `bits` of query
+/// `qid` flow to the vertex object at `target`.
+pub fn query_operon(target: Address, qid: u32, bits: u32) -> Operon {
+    Operon::new(target, ACT_QUERY, [qid as u64, bits as u64])
+}
+
+/// Build a repair-phase reseed trigger for the vertex object at `target`:
+/// re-announce current states of `qid` (or of every query, with
+/// [`QUERY_ALL`]) along all stored edges.
+pub fn query_reseed_operon(target: Address, qid: u32) -> Operon {
+    Operon::new(target, ACT_QUERY, [qid as u64 | QUERY_RESEED, 0])
+}
+
+/// Decode a query operon into `(qid, bits, reseed, fanned)`.
+pub fn decode_query(op: &Operon) -> (u32, u32, bool, bool) {
+    debug_assert_eq!(op.action, ACT_QUERY);
+    (
+        op.payload[0] as u32,
+        op.payload[1] as u32,
+        op.payload[0] & QUERY_RESEED != 0,
+        op.payload[0] & QUERY_RESEED_FANNED != 0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let t = Address::new(3, 1);
+        let op = query_operon(t, 7, 0b1010);
+        assert_eq!(op.target, t);
+        assert_eq!(op.action, ACT_QUERY);
+        assert_eq!(decode_query(&op), (7, 0b1010, false, false));
+    }
+
+    #[test]
+    fn reseed_roundtrip() {
+        let t = Address::new(0, 0);
+        let op = query_reseed_operon(t, QUERY_ALL);
+        assert_eq!(decode_query(&op), (QUERY_ALL, 0, true, false));
+        let mut fanned = op;
+        fanned.payload[0] |= QUERY_RESEED_FANNED;
+        assert_eq!(decode_query(&fanned), (QUERY_ALL, 0, true, true));
+    }
+}

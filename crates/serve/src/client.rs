@@ -88,6 +88,26 @@ impl Client {
         }
     }
 
+    /// Register a standing label-constrained path query; returns the query
+    /// id its results are read under. The registration is durable before
+    /// the reply arrives — it survives a server crash and restart.
+    pub fn register_query(&mut self, pattern: &str, source: u32) -> io::Result<u32> {
+        match self.call(&Request::RegisterQuery { pattern: pattern.to_string(), source })? {
+            Response::QueryId { qid } => Ok(qid),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the current matches (ascending vertex ids) of a standing query.
+    pub fn query_results(&mut self, qid: u32) -> io::Result<Vec<u32>> {
+        match self.call(&Request::QueryResults { qid })? {
+            Response::Matches(vs) => Ok(vs),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Force a checkpoint now.
     pub fn checkpoint(&mut self) -> io::Result<()> {
         match self.call(&Request::Checkpoint)? {

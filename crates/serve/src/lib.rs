@@ -46,7 +46,7 @@ pub use bucket::TokenBucket;
 pub use client::{Client, Submission};
 pub use proto::ServerStats;
 pub use server::{BootReport, IngestCore, ServeConfig, Server, ServerReport};
-pub use wal::Store;
+pub use wal::{Store, WalRecord};
 
 /// Why a serving-layer operation failed.
 #[derive(Debug)]
@@ -60,6 +60,8 @@ pub enum ServeError {
     /// A write-ahead-log batch no longer applies to the restored graph —
     /// the store directory is corrupt or from a different run.
     WalReplay(String),
+    /// A standing-query registration was invalid (bad pattern or source).
+    Query(sdgp_core::query::QueryError),
 }
 
 impl fmt::Display for ServeError {
@@ -69,6 +71,7 @@ impl fmt::Display for ServeError {
             ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             ServeError::Sim(e) => write!(f, "simulator error: {e:?}"),
             ServeError::WalReplay(what) => write!(f, "WAL replay failed: {what}"),
+            ServeError::Query(e) => write!(f, "query registration failed: {e}"),
         }
     }
 }

@@ -83,6 +83,20 @@ pub enum Request {
     /// Stop *as if crashed*: drop everything not yet in the WAL and exit
     /// without flushing or checkpointing. Test and fault-injection hook.
     Kill,
+    /// Register a standing label-constrained path query; the server answers
+    /// with the query id its results are read under.
+    RegisterQuery {
+        /// Query pattern over edge labels (e.g. `a.b*.c`).
+        pattern: String,
+        /// Source vertex the paths start from.
+        source: u32,
+    },
+    /// Read the current result set (matching vertex ids) of a registered
+    /// standing query.
+    QueryResults {
+        /// The id [`Response::QueryId`] assigned at registration.
+        qid: u32,
+    },
 }
 
 impl Request {
@@ -102,6 +116,18 @@ impl Request {
             Request::Stats => vec![4],
             Request::Shutdown => vec![5],
             Request::Kill => vec![6],
+            Request::RegisterQuery { pattern, source } => {
+                let mut out = Vec::with_capacity(5 + pattern.len());
+                out.push(7);
+                out.extend_from_slice(&source.to_le_bytes());
+                out.extend_from_slice(pattern.as_bytes());
+                out
+            }
+            Request::QueryResults { qid } => {
+                let mut out = vec![8];
+                out.extend_from_slice(&qid.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -117,6 +143,16 @@ impl Request {
             Some((4, [])) => Ok(Request::Stats),
             Some((5, [])) => Ok(Request::Shutdown),
             Some((6, [])) => Ok(Request::Kill),
+            Some((7, rest)) if rest.len() >= 4 => {
+                let source = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+                let pattern = std::str::from_utf8(&rest[4..])
+                    .map_err(|_| malformed("query pattern is not UTF-8"))?
+                    .to_string();
+                Ok(Request::RegisterQuery { pattern, source })
+            }
+            Some((8, rest)) if rest.len() == 4 => Ok(Request::QueryResults {
+                qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
+            }),
             _ => Err(malformed("unknown request")),
         }
     }
@@ -148,6 +184,13 @@ pub enum Response {
         /// Human-readable reason.
         String,
     ),
+    /// A standing query was registered under this id.
+    QueryId {
+        /// Id to pass to [`Request::QueryResults`].
+        qid: u32,
+    },
+    /// The current matches of a standing query (ascending vertex ids).
+    Matches(Vec<u32>),
 }
 
 impl Response {
@@ -203,6 +246,20 @@ impl Response {
                 out.extend_from_slice(msg.as_bytes());
                 out
             }
+            Response::QueryId { qid } => {
+                let mut out = vec![7];
+                out.extend_from_slice(&qid.to_le_bytes());
+                out
+            }
+            Response::Matches(vs) => {
+                let mut out = Vec::with_capacity(5 + vs.len() * 4);
+                out.push(8);
+                out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                for v in vs {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
         }
     }
 
@@ -253,6 +310,23 @@ impl Response {
             })),
             Some((5, [])) => Ok(Response::Done),
             Some((6, rest)) => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
+            Some((7, rest)) if rest.len() == 4 => {
+                Ok(Response::QueryId { qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")) })
+            }
+            Some((8, rest)) => {
+                let n = rest
+                    .get(..4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .ok_or_else(|| malformed("short match count"))?
+                    as usize;
+                let mut vs = Vec::with_capacity(n.min(1 << 20));
+                for i in 0..n {
+                    let at = 4 + i * 4;
+                    let b = rest.get(at..at + 4).ok_or_else(|| malformed("short match list"))?;
+                    vs.push(u32::from_le_bytes(b.try_into().expect("4 bytes")));
+                }
+                Ok(Response::Matches(vs))
+            }
             _ => Err(malformed("unknown response")),
         }
     }
@@ -269,6 +343,7 @@ mod tests {
             Request::Submit(vec![
                 GraphMutation::AddEdge((1, 2, 3)),
                 GraphMutation::DelEdge((4, 5, 6)),
+                GraphMutation::AddLabeledEdge((2, 6, 1), 7),
                 GraphMutation::UpdateWeight { u: 7, v: 8, w: 9 },
             ]),
             Request::Submit(vec![]),
@@ -277,6 +352,9 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Kill,
+            Request::RegisterQuery { pattern: "a.b*.c".into(), source: 12 },
+            Request::RegisterQuery { pattern: "".into(), source: 0 },
+            Request::QueryResults { qid: 3 },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -305,11 +383,15 @@ mod tests {
             }),
             Response::Done,
             Response::Err("no live copy".into()),
+            Response::QueryId { qid: 9 },
+            Response::Matches(vec![1, 4, 1000]),
+            Response::Matches(vec![]),
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
         assert!(Response::decode(&[99]).is_err());
+        assert!(Response::decode(&[8, 2, 0, 0, 0, 1, 0, 0, 0]).is_err(), "short match list");
     }
 
     #[test]

@@ -48,7 +48,7 @@ use sdgp_core::GraphCheckpoint;
 
 use crate::admission::{Admission, AdmissionConfig, Decision};
 use crate::proto::{read_frame, write_frame, Request, Response, ServerStats};
-use crate::wal::Store;
+use crate::wal::{Store, WalRecord};
 use crate::ServeError;
 
 /// Configuration of the TCP serving loop.
@@ -77,6 +77,10 @@ pub struct BootReport {
     pub tail_batches: usize,
     /// Mutations across the replayed tail.
     pub tail_mutations: usize,
+    /// Standing queries re-registered from the WAL tail (queries inside the
+    /// checkpoint are restored by the checkpoint codec and not counted
+    /// here).
+    pub tail_queries: usize,
 }
 
 /// The single-writer ingestion state machine (module docs).
@@ -114,8 +118,11 @@ impl<G: VertexAlgo> IngestCore<G> {
         // Seed the coalescing stage with the graph's live multiset so it
         // mirrors the edge ledger from the first submission on.
         let mut stage = MutationLog::new();
-        for (u, v, w) in graph.live_edges() {
-            stage.push(GraphMutation::AddEdge((u, v, w)));
+        for (e, label) in graph.live_labeled_edges() {
+            stage.push(match label {
+                0 => GraphMutation::AddEdge(e),
+                l => GraphMutation::AddLabeledEdge(e, l),
+            });
         }
         stage.drain();
         let mut core = IngestCore {
@@ -127,16 +134,34 @@ impl<G: VertexAlgo> IngestCore<G> {
             stats: ServerStats::default(),
         };
         let tail = core.store.load_tail()?;
-        let (tail_batches, tail_mutations) = (tail.len(), tail.iter().map(Vec::len).sum::<usize>());
-        for batch in &tail {
-            core.replay(batch)?;
+        let (mut tail_batches, mut tail_mutations, mut tail_queries) = (0, 0, 0);
+        for record in &tail {
+            match record {
+                WalRecord::Batch(batch) => {
+                    tail_batches += 1;
+                    tail_mutations += batch.len();
+                    core.replay(batch)?;
+                }
+                WalRecord::Register { pattern, source } => {
+                    // Re-register without a WAL append (the record is
+                    // already on disk); replay order reproduces the query
+                    // id assignment.
+                    tail_queries += 1;
+                    core.graph.register_query(pattern, *source).map_err(|e| {
+                        ServeError::WalReplay(format!("query {pattern:?} no longer registers: {e}"))
+                    })?;
+                }
+            }
         }
         // The replayed tail is still in the WAL: it counts against the
         // checkpoint cadence so a crash loop cannot grow the tail forever.
         core.since_checkpoint = tail_batches as u64;
         core.stats.wal_tail_batches = tail_batches as u64;
         core.stats.live_edges = core.graph.live_edge_count();
-        Ok((core, BootReport { recovered, checkpoint_edges, tail_batches, tail_mutations }))
+        Ok((
+            core,
+            BootReport { recovered, checkpoint_edges, tail_batches, tail_mutations, tail_queries },
+        ))
     }
 
     /// Re-apply one WAL batch during boot (no WAL append — it is already
@@ -220,6 +245,27 @@ impl<G: VertexAlgo> IngestCore<G> {
         self.graph.sync_values()
     }
 
+    /// Register a standing path query, durably: the WAL record is synced
+    /// *before* the graph registration runs, so a crash at any point either
+    /// recovers the query or never acknowledged it. Returns the query id.
+    pub fn register_query(&mut self, pattern: &str, source: u32) -> Result<u32, ServeError> {
+        // Validate first so a bad pattern never hits the WAL.
+        sdgp_core::query::compile(pattern).map_err(ServeError::Query)?;
+        if source >= self.graph.n_vertices() {
+            return Err(ServeError::Query(sdgp_core::query::QueryError::SourceOutOfRange {
+                source,
+                n: self.graph.n_vertices(),
+            }));
+        }
+        self.store.append_register(pattern, source)?;
+        self.graph.register_query(pattern, source).map_err(ServeError::Query)
+    }
+
+    /// Current matches of a registered standing query (applied state only).
+    pub fn query_results(&self, qid: u32) -> Vec<u32> {
+        self.graph.query_results(qid)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         self.stats
@@ -245,6 +291,8 @@ pub struct ServerReport {
 enum Cmd {
     Submit { muts: Vec<GraphMutation>, reply: mpsc::SyncSender<Response> },
     Query { reply: mpsc::SyncSender<Response> },
+    RegisterQuery { pattern: String, source: u32, reply: mpsc::SyncSender<Response> },
+    QueryResults { qid: u32, reply: mpsc::SyncSender<Response> },
     Checkpoint { reply: mpsc::SyncSender<Response> },
     Stats { reply: mpsc::SyncSender<Response> },
     Shutdown { reply: mpsc::SyncSender<Response> },
@@ -441,6 +489,18 @@ fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -
             let _ = reply.send(Response::States(core.sync_values()));
             Flow::Continue
         }
+        Cmd::RegisterQuery { pattern, source, reply } => {
+            let resp = match core.register_query(&pattern, source) {
+                Ok(qid) => Response::QueryId { qid },
+                Err(e) => Response::Err(e.to_string()),
+            };
+            let _ = reply.send(resp);
+            Flow::Continue
+        }
+        Cmd::QueryResults { qid, reply } => {
+            let _ = reply.send(Response::Matches(core.query_results(qid)));
+            Flow::Continue
+        }
         Cmd::Checkpoint { reply } => {
             let resp = match core.checkpoint() {
                 Ok(_) => Response::Done,
@@ -508,6 +568,12 @@ fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared)
                 }
             }
             Ok(Request::Query) => forward(tx, |reply| Cmd::Query { reply }),
+            Ok(Request::RegisterQuery { pattern, source }) => {
+                forward(tx, |reply| Cmd::RegisterQuery { pattern, source, reply })
+            }
+            Ok(Request::QueryResults { qid }) => {
+                forward(tx, |reply| Cmd::QueryResults { qid, reply })
+            }
             Ok(Request::Checkpoint) => forward(tx, |reply| Cmd::Checkpoint { reply }),
             Ok(Request::Stats) => forward(tx, |reply| Cmd::Stats { reply }),
             Ok(Request::Shutdown) => forward(tx, |reply| Cmd::Shutdown { reply }),

@@ -7,14 +7,18 @@
 //!   `sync`, `rename`), so a crash mid-checkpoint leaves the previous
 //!   checkpoint intact; writing it truncates the WAL, because everything
 //!   the WAL carried is now inside the snapshot.
-//! * `wal.bin` — one record per applied canonical batch, appended and
-//!   synced **before** the batch's `stream_increment` runs. Each record is
-//!   a length-prefixed [`encode_mutations`] payload followed by its FNV-1a
-//!   checksum; a torn trailing record (crash mid-append) is detected and
-//!   dropped at load, never mistaken for data.
+//! * `wal.bin` — one record per applied action, appended and synced
+//!   **before** the action runs. A record payload is a one-byte kind —
+//!   `0` = canonical mutation batch ([`encode_mutations`] body), `1` =
+//!   standing-query registration (`u32` source, `u32` pattern length,
+//!   pattern bytes) — length-prefixed and followed by its FNV-1a checksum;
+//!   a torn trailing record (crash mid-append) is detected and dropped at
+//!   load, never mistaken for data.
 //!
 //! Recovery cost is therefore `O(checkpoint) + O(tail)`: restore the
-//! snapshot, replay only the batches applied since it was written.
+//! snapshot, replay only the actions applied since it was written — in
+//! append order, so a query registered mid-stream re-registers against
+//! exactly the edges that preceded it.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -26,10 +30,48 @@ use sdgp_core::GraphCheckpoint;
 
 use crate::ServeError;
 
+/// Decode one checksum-valid record payload (kind byte + body).
+fn decode_record(payload: &[u8]) -> Result<WalRecord, ServeError> {
+    let corrupt = |what: &str| ServeError::WalReplay(format!("corrupt WAL record: {what}"));
+    match payload.split_first() {
+        Some((0, body)) => Ok(WalRecord::Batch(decode_mutations(body)?)),
+        Some((1, body)) => {
+            let source = body
+                .get(..4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or_else(|| corrupt("short register source"))?;
+            let len = body
+                .get(4..8)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or_else(|| corrupt("short register length"))? as usize;
+            let raw = body.get(8..8 + len).ok_or_else(|| corrupt("short register pattern"))?;
+            let pattern = std::str::from_utf8(raw)
+                .map_err(|_| corrupt("register pattern is not UTF-8"))?
+                .to_string();
+            Ok(WalRecord::Register { pattern, source })
+        }
+        _ => Err(corrupt("unknown record kind")),
+    }
+}
+
 /// File name of the checkpoint inside a store directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
 /// File name of the write-ahead log inside a store directory.
 pub const WAL_FILE: &str = "wal.bin";
+
+/// One durable action in the write-ahead log, in append order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A canonical mutation batch (applied as one `stream_increment`).
+    Batch(Vec<GraphMutation>),
+    /// A standing-query registration.
+    Register {
+        /// Query pattern over edge labels.
+        pattern: String,
+        /// Source vertex.
+        source: u32,
+    },
+}
 
 /// An open store directory (module docs).
 #[derive(Debug)]
@@ -67,7 +109,7 @@ impl Store {
     /// Load the WAL tail: every intact record, in append order. A torn
     /// trailing record (short bytes or checksum mismatch at the very end)
     /// is dropped; corruption *before* the tail is an error.
-    pub fn load_tail(&self) -> Result<Vec<Vec<GraphMutation>>, ServeError> {
+    pub fn load_tail(&self) -> Result<Vec<WalRecord>, ServeError> {
         let mut bytes = Vec::new();
         File::open(self.dir.join(WAL_FILE))?.read_to_end(&mut bytes)?;
         let mut out = Vec::new();
@@ -82,7 +124,7 @@ impl Store {
             }
             // A checksum-valid record that fails to decode is corruption,
             // not a torn tail.
-            out.push(decode_mutations(payload)?);
+            out.push(decode_record(payload)?);
             at += 12 + len;
         }
         Ok(out)
@@ -91,11 +133,28 @@ impl Store {
     /// Append one canonical batch to the WAL and sync it to disk. Returns
     /// only once the record is durable — callers apply the batch *after*.
     pub fn append_batch(&mut self, muts: &[GraphMutation]) -> io::Result<()> {
-        let payload = encode_mutations(muts);
+        let mut payload = Vec::with_capacity(5 + muts.len() * 14);
+        payload.push(0);
+        payload.extend_from_slice(&encode_mutations(muts));
+        self.append_record(&payload)
+    }
+
+    /// Append one standing-query registration to the WAL and sync it.
+    /// Returns only once the record is durable — callers register *after*.
+    pub fn append_register(&mut self, pattern: &str, source: u32) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(9 + pattern.len());
+        payload.push(1);
+        payload.extend_from_slice(&source.to_le_bytes());
+        payload.extend_from_slice(&(pattern.len() as u32).to_le_bytes());
+        payload.extend_from_slice(pattern.as_bytes());
+        self.append_record(&payload)
+    }
+
+    fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
         let mut rec = Vec::with_capacity(12 + payload.len());
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&payload);
-        rec.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&fnv1a(payload).to_le_bytes());
         self.wal.write_all(&rec)?;
         self.wal.sync_data()
     }
@@ -139,10 +198,19 @@ mod tests {
         assert!(s.load_checkpoint().unwrap().is_none());
         assert!(s.load_tail().unwrap().is_empty());
         s.append_batch(&batch(0)).unwrap();
+        s.append_register("a.b*.c", 3).unwrap();
         s.append_batch(&batch(10)).unwrap();
         drop(s);
         let s = Store::open(&dir).unwrap();
-        assert_eq!(s.load_tail().unwrap(), vec![batch(0), batch(10)]);
+        assert_eq!(
+            s.load_tail().unwrap(),
+            vec![
+                WalRecord::Batch(batch(0)),
+                WalRecord::Register { pattern: "a.b*.c".into(), source: 3 },
+                WalRecord::Batch(batch(10)),
+            ],
+            "records interleave in append order"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -154,8 +222,10 @@ mod tests {
         let ck = GraphCheckpoint {
             n_vertices: 4,
             edges: vec![(0, 1, 1)],
+            labels: vec![2],
             promoted: vec![],
             sync_states: vec![Some(0), Some(1), None, None],
+            queries: vec![("b".into(), 0)],
         };
         let size = s.write_checkpoint(&ck).unwrap();
         assert!(size > 0);
@@ -163,7 +233,7 @@ mod tests {
         assert_eq!(s.load_checkpoint().unwrap(), Some(ck));
         // Appends continue cleanly after truncation.
         s.append_batch(&batch(5)).unwrap();
-        assert_eq!(s.load_tail().unwrap(), vec![batch(5)]);
+        assert_eq!(s.load_tail().unwrap(), vec![WalRecord::Batch(batch(5))]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -178,14 +248,17 @@ mod tests {
         for cut in [full.len() - 1, full.len() - 9, full.len() - 12] {
             fs::write(&wal_path, &full[..cut]).unwrap();
             let s = Store::open(&dir).unwrap();
-            assert_eq!(s.load_tail().unwrap(), vec![batch(0)], "cut at {cut}");
+            assert_eq!(s.load_tail().unwrap(), vec![WalRecord::Batch(batch(0))], "cut at {cut}");
         }
         // A flipped byte inside the trailing record is also a torn tail...
         let mut flipped = full.clone();
         let n = flipped.len();
         flipped[n - 10] ^= 0xff;
         fs::write(&wal_path, &flipped).unwrap();
-        assert_eq!(Store::open(&dir).unwrap().load_tail().unwrap(), vec![batch(0)]);
+        assert_eq!(
+            Store::open(&dir).unwrap().load_tail().unwrap(),
+            vec![WalRecord::Batch(batch(0))]
+        );
         // ...but a flipped byte in an *earlier* record is corruption: the
         // checksum fails, the scan stops there, and the later intact record
         // is unreachable — the tail ends at the first bad record.

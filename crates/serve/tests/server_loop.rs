@@ -169,6 +169,62 @@ fn kill_then_boot_replays_only_the_tail_bit_identically() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Standing queries survive a crash through BOTH durability paths: one
+/// registered before the checkpoint travels inside it, one registered after
+/// rides the WAL tail as a register record. Recovery preserves the id
+/// assignment, recomputes the same result sets, and the recovered server
+/// keeps maintaining them through further churn.
+#[test]
+fn standing_queries_survive_kill_and_restart() {
+    let dir = tmp_dir("queries");
+    let labeled = |edges: &[(u32, u32, u32, u8)]| -> Vec<GraphMutation> {
+        edges.iter().map(|&(u, v, w, l)| GraphMutation::AddLabeledEdge((u, v, w), l)).collect()
+    };
+
+    // Build the labelled chain 0 -a-> 1 -b-> 2 -b-> 3 -c-> 4 across a
+    // checkpoint boundary, registering one query on each side of it.
+    let (q0_results, q1_results) = {
+        let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+        let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.submit_retrying(&labeled(&[(0, 1, 1, 1), (1, 2, 1, 2)]), 10).unwrap();
+        assert_eq!(c.register_query("a.b*.c", 0).unwrap(), 0);
+        c.checkpoint().unwrap(); // query 0 travels inside the checkpoint
+        assert_eq!(c.register_query("b+", 1).unwrap(), 1); // query 1 rides the WAL tail
+        c.submit_retrying(&labeled(&[(2, 3, 1, 2), (3, 4, 1, 3)]), 10).unwrap();
+        let r = (c.query_results(0).unwrap(), c.query_results(1).unwrap());
+        assert_eq!(r.0, vec![4], "a.b*.c reaches the chain's end");
+        assert_eq!(r.1, vec![2, 3], "b+ from 1 covers the b-segment");
+        c.kill().unwrap();
+        assert!(server.join().crashed);
+        r
+    };
+
+    // Recovery re-registers query 0 from the checkpoint and query 1 from
+    // the tail, in id order, and recomputes identical result sets.
+    let (core, boot) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    assert!(boot.recovered);
+    assert_eq!(boot.tail_queries, 1, "only the post-checkpoint registration replays");
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.query_results(0).unwrap(), q0_results);
+    assert_eq!(c.query_results(1).unwrap(), q1_results);
+
+    // The recovered queries stay live: deleting the b-edge 1→2 breaks every
+    // match, and a fresh registration takes the next id.
+    c.submit_retrying(&[GraphMutation::DelEdge((1, 2, 1))], 10).unwrap();
+    assert_eq!(c.query_results(0).unwrap(), Vec::<u32>::new());
+    assert_eq!(c.query_results(1).unwrap(), Vec::<u32>::new());
+    assert_eq!(c.register_query("c", 3).unwrap(), 2);
+    assert_eq!(c.query_results(2).unwrap(), vec![4]);
+    // A bad pattern is refused without poisoning the session.
+    assert!(c.register_query("a.!", 0).is_err());
+    assert_eq!(c.query_results(2).unwrap(), vec![4]);
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn checkpoint_cadence_bounds_the_tail() {
     let dir = tmp_dir("cadence");

@@ -40,23 +40,32 @@ pub const ALL_ALGOS: [Algo; 3] = [Algo::Bfs, Algo::Sssp, Algo::Cc];
 /// delete removes the *oldest* live copy of its `(u, v, w)` identity, an
 /// update re-weights the *oldest* live copy of its pair.
 pub fn surviving_edges(muts: &[GraphMutation]) -> Vec<StreamEdge> {
-    let mut live: Vec<StreamEdge> = Vec::new();
+    surviving_labeled_edges(muts).into_iter().map(|(e, _)| e).collect()
+}
+
+/// [`surviving_edges`] with per-copy labels: labeled inserts keep their
+/// label through re-weights, and deletes stay label-agnostic (they name a
+/// copy by `(u, v, w)` alone) — the same semantics the host ledger applies.
+/// The ground truth a standing-query oracle runs over.
+pub fn surviving_labeled_edges(muts: &[GraphMutation]) -> Vec<(StreamEdge, u8)> {
+    let mut live: Vec<(StreamEdge, u8)> = Vec::new();
     for m in muts {
         match *m {
-            GraphMutation::AddEdge(e) => live.push(e),
+            GraphMutation::AddEdge(e) => live.push((e, 0)),
+            GraphMutation::AddLabeledEdge(e, l) => live.push((e, l)),
             GraphMutation::DelEdge((u, v, w)) => {
                 let i = live
                     .iter()
-                    .position(|&e| e == (u, v, w))
+                    .position(|&(e, _)| e == (u, v, w))
                     .expect("script deletes only live edges");
                 live.remove(i);
             }
             GraphMutation::UpdateWeight { u, v, w } => {
                 let i = live
                     .iter()
-                    .position(|&(a, b, _)| (a, b) == (u, v))
+                    .position(|&((a, b, _), _)| (a, b) == (u, v))
                     .expect("script updates only live pairs");
-                live[i].2 = w;
+                live[i].0 .2 = w;
             }
         }
     }

@@ -81,6 +81,7 @@ fn full_and_targeted_reach_identical_fixpoints_on_churn() {
         drain: true,
         updates_per_batch: 0,
         order: Sampling::Edge,
+        labels: 0,
         seed: 7,
     });
 }
@@ -95,6 +96,7 @@ fn full_and_targeted_reach_identical_fixpoints_on_snowball_churn() {
         drain: true,
         updates_per_batch: 0,
         order: Sampling::Snowball,
+        labels: 0,
         seed: 8,
     });
 }
@@ -109,6 +111,7 @@ fn full_and_targeted_reach_identical_fixpoints_with_weight_updates() {
         drain: true,
         updates_per_batch: 12,
         order: Sampling::Edge,
+        labels: 0,
         seed: 9,
     });
 }
@@ -126,7 +129,7 @@ fn region_bound(pre: &[StreamEdge], batch: &[GraphMutation], n: u32) -> u64 {
     let mut sources: Vec<u32> = Vec::new();
     for m in batch {
         match *m {
-            GraphMutation::AddEdge(e) => {
+            GraphMutation::AddEdge(e) | GraphMutation::AddLabeledEdge(e, _) => {
                 edges.push(e);
                 sources.push(e.0);
             }

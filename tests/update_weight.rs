@@ -80,7 +80,7 @@ fn update_mix(muts: &[GraphMutation]) -> (usize, usize) {
     let (mut raises, mut drops) = (0, 0);
     for m in muts {
         match *m {
-            GraphMutation::AddEdge(e) => live.push(e),
+            GraphMutation::AddEdge(e) | GraphMutation::AddLabeledEdge(e, _) => live.push(e),
             GraphMutation::DelEdge(e) => {
                 let i = live.iter().position(|&x| x == e).unwrap();
                 live.remove(i);
