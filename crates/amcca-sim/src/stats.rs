@@ -33,32 +33,61 @@ impl Counters {
     /// of a parallel run back into the chip's totals; every field is an
     /// order-independent event count, so the merged result is bit-identical
     /// to a sequential run.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a counter field
+    /// without merging it here becomes a compile error, not a silent drop.
     pub fn merge(&mut self, other: &Counters) {
-        self.instrs += other.instrs;
-        self.hops += other.hops;
-        self.msgs_staged += other.msgs_staged;
-        self.io_injected += other.io_injected;
-        self.msgs_delivered += other.msgs_delivered;
-        self.allocs += other.allocs;
-        self.alloc_retries += other.alloc_retries;
-        self.stage_stalls += other.stage_stalls;
-        self.net_stalls += other.net_stalls;
-        self.deliver_stalls += other.deliver_stalls;
+        let Counters {
+            instrs,
+            hops,
+            msgs_staged,
+            io_injected,
+            msgs_delivered,
+            allocs,
+            alloc_retries,
+            stage_stalls,
+            net_stalls,
+            deliver_stalls,
+        } = *other;
+        self.instrs += instrs;
+        self.hops += hops;
+        self.msgs_staged += msgs_staged;
+        self.io_injected += io_injected;
+        self.msgs_delivered += msgs_delivered;
+        self.allocs += allocs;
+        self.alloc_retries += alloc_retries;
+        self.stage_stalls += stage_stalls;
+        self.net_stalls += net_stalls;
+        self.deliver_stalls += deliver_stalls;
     }
 
     /// Element-wise difference `self - earlier` (for run-segment reports).
+    /// Exhaustively destructured like [`Counters::merge`], and for the same
+    /// reason.
     pub fn delta(&self, earlier: &Counters) -> Counters {
+        let Counters {
+            instrs,
+            hops,
+            msgs_staged,
+            io_injected,
+            msgs_delivered,
+            allocs,
+            alloc_retries,
+            stage_stalls,
+            net_stalls,
+            deliver_stalls,
+        } = *earlier;
         Counters {
-            instrs: self.instrs - earlier.instrs,
-            hops: self.hops - earlier.hops,
-            msgs_staged: self.msgs_staged - earlier.msgs_staged,
-            io_injected: self.io_injected - earlier.io_injected,
-            msgs_delivered: self.msgs_delivered - earlier.msgs_delivered,
-            allocs: self.allocs - earlier.allocs,
-            alloc_retries: self.alloc_retries - earlier.alloc_retries,
-            stage_stalls: self.stage_stalls - earlier.stage_stalls,
-            net_stalls: self.net_stalls - earlier.net_stalls,
-            deliver_stalls: self.deliver_stalls - earlier.deliver_stalls,
+            instrs: self.instrs - instrs,
+            hops: self.hops - hops,
+            msgs_staged: self.msgs_staged - msgs_staged,
+            io_injected: self.io_injected - io_injected,
+            msgs_delivered: self.msgs_delivered - msgs_delivered,
+            allocs: self.allocs - allocs,
+            alloc_retries: self.alloc_retries - alloc_retries,
+            stage_stalls: self.stage_stalls - stage_stalls,
+            net_stalls: self.net_stalls - net_stalls,
+            deliver_stalls: self.deliver_stalls - deliver_stalls,
         }
     }
 }

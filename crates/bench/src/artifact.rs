@@ -1,0 +1,187 @@
+//! Standardized machine-readable benchmark artifacts.
+//!
+//! Every `BENCH_*.json` the `paper` binary emits shares one envelope:
+//!
+//! ```json
+//! {
+//!   "scenario": "serve",
+//!   "scale": "Small",
+//!   "git_describe": "51d28e7",
+//!   "metrics": { "mutations_submitted": 12345, "recovery_ms": 8.21 }
+//! }
+//! ```
+//!
+//! `metrics` is a *flat* map — no nesting — so downstream tooling (the CI
+//! artifact diff, plotting scripts) can treat every artifact identically.
+//! Scenarios that previously hand-rolled their JSON (`serve`, `queries`)
+//! emit through [`BenchArtifact`], as does the `churn` scenario.
+//!
+//! Values written into an artifact that the shard-determinism gate diffs
+//! (`churn`) must be simulation-derived (cycles, counts, simulated µs) —
+//! never wall-clock — so `--jobs 1` and `--jobs 4` runs stay byte-identical.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use crate::Scale;
+
+/// One value in the flat `metrics` map of a [`BenchArtifact`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// An unsigned integer (counts, cycles, bytes).
+    U64(u64),
+    /// A float, serialized with three decimals (rates, percentages, ms).
+    F64(f64),
+    /// A string (labels, joined lists).
+    Str(String),
+    /// A flag (e.g. "oracle checked").
+    Bool(bool),
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> MetricValue {
+        MetricValue::U64(v)
+    }
+}
+
+impl From<usize> for MetricValue {
+    fn from(v: usize) -> MetricValue {
+        MetricValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for MetricValue {
+    fn from(v: u32) -> MetricValue {
+        MetricValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> MetricValue {
+        MetricValue::F64(v)
+    }
+}
+
+impl From<&str> for MetricValue {
+    fn from(v: &str) -> MetricValue {
+        MetricValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for MetricValue {
+    fn from(v: String) -> MetricValue {
+        MetricValue::Str(v)
+    }
+}
+
+impl From<bool> for MetricValue {
+    fn from(v: bool) -> MetricValue {
+        MetricValue::Bool(v)
+    }
+}
+
+impl MetricValue {
+    fn render(&self) -> String {
+        match self {
+            MetricValue::U64(v) => v.to_string(),
+            MetricValue::F64(v) => format!("{v:.3}"),
+            MetricValue::Str(s) => format!("\"{}\"", amcca_obs::json::escape(s)),
+            MetricValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// The version-control revision the artifact was produced from, via
+/// `git describe --always --dirty`; `"unknown"` outside a git checkout
+/// (e.g. a source tarball) or when `git` is not installed.
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One `BENCH_<scenario>.json` artifact under construction (module docs).
+#[derive(Debug)]
+pub struct BenchArtifact {
+    scenario: String,
+    scale: Scale,
+    metrics: Vec<(String, MetricValue)>,
+}
+
+impl BenchArtifact {
+    /// Start an artifact for `scenario` at `scale` with an empty metrics
+    /// map.
+    pub fn new(scenario: &str, scale: Scale) -> BenchArtifact {
+        BenchArtifact { scenario: scenario.to_string(), scale, metrics: Vec::new() }
+    }
+
+    /// Append one metric (insertion order is preserved in the output).
+    pub fn push(&mut self, name: &str, value: impl Into<MetricValue>) -> &mut BenchArtifact {
+        self.metrics.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Render the full envelope as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n",
+            amcca_obs::json::escape(&self.scenario)
+        ));
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!(
+            "  \"git_describe\": \"{}\",\n",
+            amcca_obs::json::escape(&git_describe())
+        ));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {}{comma}\n",
+                amcca_obs::json::escape(name),
+                value.render()
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<scenario>.json` into `dir`; returns the path written.
+    pub fn write(&self, dir: &Path) -> PathBuf {
+        let path = dir.join(format!("BENCH_{}.json", self.scenario));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_valid_json_with_required_keys() {
+        let mut a = BenchArtifact::new("unit", Scale::Small);
+        a.push("count", 7u64).push("rate", 1.5f64).push("label", "x\"y").push("ok", true);
+        let parsed = amcca_obs::json::parse(&a.to_json()).expect("artifact parses");
+        assert_eq!(parsed.get("scenario").and_then(|j| j.as_str()), Some("unit"));
+        assert_eq!(parsed.get("scale").and_then(|j| j.as_str()), Some("Small"));
+        assert!(parsed.get("git_describe").is_some());
+        let metrics = parsed.get("metrics").expect("metrics map");
+        assert_eq!(metrics.get("count").and_then(|j| j.as_num()), Some(7.0));
+        assert_eq!(metrics.get("rate").and_then(|j| j.as_num()), Some(1.5));
+        assert_eq!(metrics.get("label").and_then(|j| j.as_str()), Some("x\"y"));
+    }
+
+    #[test]
+    fn git_describe_never_panics_and_is_nonempty() {
+        assert!(!git_describe().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! `obs_check` — validate observability artifacts from `paper serve --obs`.
+//!
+//! ```text
+//! obs_check <trace.jsonl> [snapshot.metrics.json]
+//! ```
+//!
+//! Every line of the JSONL trace must parse as a JSON object carrying the
+//! span schema (see `docs/OBSERVABILITY.md`): `ts_us`, `batch`, `muts`,
+//! `dur_us` as numbers and `span` as a non-empty string. The metrics
+//! snapshot, when given, must parse and carry the `counters`, `gauges`,
+//! and `histograms` maps. The first violation exits non-zero with the
+//! offending line — CI runs this over the uploaded artifacts so a schema
+//! regression fails the build, not someone's plotting script.
+
+use amcca_obs::json::{parse, Json};
+
+fn die(msg: &str) -> ! {
+    eprintln!("obs_check: {msg}");
+    std::process::exit(1);
+}
+
+fn check_trace_line(lineno: usize, line: &str) {
+    let v = parse(line)
+        .unwrap_or_else(|e| die(&format!("trace line {lineno} does not parse: {e}\n  {line}")));
+    for field in ["ts_us", "batch", "muts", "dur_us"] {
+        if v.get(field).and_then(Json::as_num).is_none() {
+            die(&format!("trace line {lineno} is missing numeric \"{field}\":\n  {line}"));
+        }
+    }
+    match v.get("span").and_then(Json::as_str) {
+        Some(name) if !name.is_empty() => {}
+        _ => die(&format!("trace line {lineno} is missing the \"span\" name:\n  {line}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(trace_path) = args.first() else {
+        die("usage: obs_check <trace.jsonl> [snapshot.metrics.json]");
+    };
+    let trace = std::fs::read_to_string(trace_path)
+        .unwrap_or_else(|e| die(&format!("read {trace_path}: {e}")));
+    let mut spans = 0usize;
+    for (i, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        check_trace_line(i + 1, line);
+        spans += 1;
+    }
+    if spans == 0 {
+        die(&format!("{trace_path} contains no span records"));
+    }
+    println!("obs_check: {trace_path}: {spans} spans, all lines carry the span schema");
+
+    if let Some(snap_path) = args.get(1) {
+        let text = std::fs::read_to_string(snap_path)
+            .unwrap_or_else(|e| die(&format!("read {snap_path}: {e}")));
+        let snap =
+            parse(&text).unwrap_or_else(|e| die(&format!("{snap_path} does not parse: {e}")));
+        for section in ["counters", "gauges", "histograms"] {
+            if snap.get(section).is_none() {
+                die(&format!("{snap_path} is missing the \"{section}\" map"));
+            }
+        }
+        println!("obs_check: {snap_path}: counters/gauges/histograms present");
+    }
+}

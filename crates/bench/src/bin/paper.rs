@@ -36,6 +36,11 @@
 //! the reseed scoping of the headline run; the ablation CSV
 //! (`churn_repair.csv`) always measures both.
 //!
+//! `serve` takes `--obs TRACE.jsonl` to turn on the observability layer:
+//! batch-lifecycle spans stream to the JSONL trace and the final metrics
+//! snapshot (counters, gauges, latency histograms with p50/p90/p99/p999)
+//! lands next to it as `TRACE.metrics.json`. See `docs/OBSERVABILITY.md`.
+//!
 //! Default scale is `small` (1/50 of the paper, seconds). `--scale full`
 //! reproduces the paper's sizes (50K/1.0M and 500K/10.2M edges); expect
 //! minutes and a few GB of RAM for the 500K runs. CSV artifacts land in
@@ -43,8 +48,8 @@
 
 use amcca_bench::{
     chip_with_placement, format_table, human_count, out_dir, run_streaming_bfs,
-    run_streaming_churn, sparkline, write_activity_csv, write_csv, ExperimentResult, RunOpts,
-    Scale,
+    run_streaming_churn, sparkline, write_activity_csv, write_csv, BenchArtifact, ExperimentResult,
+    RunOpts, Scale,
 };
 use amcca_sim::{run_tasks, ChipConfig, GhostPlacement};
 use gc_datasets::{ChurnPreset, GcPreset, Sampling, SkewPreset, StreamingDataset};
@@ -55,6 +60,12 @@ struct Args {
     command: String,
     scale: Scale,
     out: String,
+    /// `--obs PATH` (serve only): record the observability layer — a
+    /// JSONL span trace streamed to PATH, plus the final metrics snapshot
+    /// (counters/gauges/latency histograms) at `PATH` with the extension
+    /// replaced by `metrics.json`. Instrumentation is pure observation:
+    /// results are bit-identical with and without it.
+    obs: Option<String>,
     /// Parallelism budget: every simulated chip runs with this many shards
     /// (chip-running scenarios then fan out one at a time, see
     /// [`CHIP_SCENARIO_WORKERS`]); dataset-only fan-outs use it as a plain
@@ -72,6 +83,7 @@ fn parse_args() -> Args {
     let mut command = String::new();
     let mut scale = Scale::Small;
     let mut out = "bench_out".to_string();
+    let mut obs = None;
     let mut jobs = 0usize;
     let mut repair = RepairMode::Targeted;
     let mut i = 0;
@@ -85,6 +97,10 @@ fn parse_args() -> Args {
             "--out" => {
                 i += 1;
                 out = argv.get(i).cloned().unwrap_or_else(|| die("missing --out value"));
+            }
+            "--obs" => {
+                i += 1;
+                obs = Some(argv.get(i).cloned().unwrap_or_else(|| die("missing --obs value")));
             }
             "--jobs" => {
                 i += 1;
@@ -107,12 +123,12 @@ fn parse_args() -> Args {
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|verify|all> [--scale small|mid|full] [--out DIR] [--jobs N] [--repair full|targeted]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|verify|all> [--scale small|mid|full] [--out DIR] [--obs TRACE.jsonl] [--jobs N] [--repair full|targeted]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     }
-    Args { command, scale, out, jobs, repair }
+    Args { command, scale, out, obs, jobs, repair }
 }
 
 fn die(msg: &str) -> ! {
@@ -994,6 +1010,25 @@ fn churn(args: &Args) {
         }),
     );
     println!("  (csv: {}/churn.csv)", args.out);
+    // Every value below is simulation-derived (the determinism gate diffs
+    // this file across `--jobs` settings).
+    let mut art = BenchArtifact::new("churn", args.scale);
+    art.push("repair_mode", mode_name(args.repair))
+        .push("batches", ing.rows.len())
+        .push("window", p.window)
+        .push("adds_total", ing.rows.iter().map(|r| r.adds as u64).sum::<u64>())
+        .push("dels_total", ing.rows.iter().map(|r| r.dels as u64).sum::<u64>())
+        .push("live_edges_final", last.live)
+        .push("ingest_cycles_total", ing.rows.iter().map(|r| r.cycles).sum::<u64>())
+        .push("ingest_bfs_cycles_total", bfs.rows.iter().map(|r| r.cycles).sum::<u64>())
+        .push("repair_cycles_total", bfs.rows.iter().map(|r| r.repair_cycles).sum::<u64>())
+        .push("reseed_triggers_total", bfs.rows.iter().map(|r| r.reseed_triggers).sum::<u64>())
+        .push("promoted_final", last.promoted)
+        .push("demoted_final", last.demoted)
+        .push("extra_roots_final", last.extra_roots)
+        .push("oracle_checked_every_batch", true);
+    art.write(&dir);
+    println!("  (json: {}/BENCH_churn.json)", args.out);
     // The headline BFS run already measured (window, args.repair) under the
     // ablation's exact options — reuse it instead of re-simulating.
     ablate_repair(args, &rcfg, &c, bfs);
@@ -1166,12 +1201,27 @@ fn serve(args: &Args) {
         })
         .collect();
 
+    // `--obs` turns on the observability layer: one handle is shared by the
+    // graph, the server, and the recovery boot, so the JSONL trace and the
+    // final snapshot cover the whole lifecycle (ingest, checkpoint, crash,
+    // replay). Without the flag the handle is inert (no clock reads).
+    let obs = match &args.obs {
+        Some(p) => {
+            let path = std::path::Path::new(p);
+            if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).expect("create --obs parent dir");
+            }
+            amcca_obs::Obs::with_trace(path).expect("open --obs trace")
+        }
+        None => amcca_obs::Obs::disabled(),
+    };
     let builder = || {
         StreamingGraph::builder(BfsAlgo::new(0))
             .vertices(n_total)
             .chip(chip_for(args))
             .rpvo(RpvoConfig::default())
             .repair(args.repair)
+            .obs(obs.clone())
     };
     let dir = out_dir(&args.out);
     let store = dir.join("serve_store");
@@ -1237,6 +1287,16 @@ fn serve(args: &Args) {
     }
     let states_before = ctl.query().expect("pre-crash query");
     let stats_before = ctl.stats().expect("pre-crash stats");
+    // Exercise the live observability frame over TCP: the server answers
+    // with the same registry the final in-process snapshot is taken from.
+    let live_snap = ctl.obs_stats().expect("obs stats frame");
+    if args.obs.is_some() {
+        assert!(live_snap.counter("wal.appends") > 0, "live snapshot saw WAL appends");
+        assert!(
+            live_snap.hist("span.wal_append_ns").is_some_and(|h| h.count > 0),
+            "live snapshot carries the WAL-fsync latency histogram"
+        );
+    }
     ctl.kill().expect("kill");
     let report = server.join();
     assert!(report.crashed, "kill must end the run as a crash");
@@ -1296,26 +1356,39 @@ fn serve(args: &Args) {
         reboot.tail_batches, total_batches
     );
 
-    let json = format!(
-        "{{\n  \"scenario\": \"serve\",\n  \"scale\": \"{:?}\",\n  \"clients\": {CLIENTS},\n  \
-         \"batches_submitted\": {total_batches},\n  \"mutations_submitted\": {submitted_muts},\n  \
-         \"mutations_per_sec\": {:.1},\n  \"submit_latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},\n  \
-         \"increments_applied\": {},\n  \"admission_retries\": {admission_retries},\n  \
-         \"admission_rejected\": {},\n  \"checkpoints\": {},\n  \"checkpoint_bytes\": {},\n  \
-         \"wal_tail_batches_replayed\": {},\n  \"recovery_ms\": {recovery_ms:.2},\n  \
-         \"recovered_fixpoint_bit_identical\": true\n}}\n",
-        args.scale,
-        submitted_muts as f64 / ingest_secs,
-        pct(0.50),
-        pct(0.99),
-        stats_before.batches,
-        report.stats.rejected,
-        stats_before.checkpoints,
-        stats_before.last_checkpoint_bytes,
-        reboot.tail_batches,
-    );
-    std::fs::write(dir.join("BENCH_serve.json"), json).expect("write BENCH_serve.json");
+    let mut art = BenchArtifact::new("serve", args.scale);
+    art.push("clients", CLIENTS)
+        .push("batches_submitted", total_batches)
+        .push("mutations_submitted", submitted_muts)
+        .push("mutations_per_sec", submitted_muts as f64 / ingest_secs)
+        .push("submit_p50_ms", pct(0.50))
+        .push("submit_p99_ms", pct(0.99))
+        .push("increments_applied", stats_before.batches)
+        .push("admission_retries", admission_retries)
+        .push("admission_rejected", report.stats.rejected)
+        .push("checkpoints", stats_before.checkpoints)
+        .push("checkpoint_bytes", stats_before.last_checkpoint_bytes)
+        .push("wal_tail_batches_replayed", reboot.tail_batches)
+        .push("recovery_ms", recovery_ms)
+        .push("recovered_fixpoint_bit_identical", true);
+    art.write(&dir);
     println!("  (json: {}/BENCH_serve.json)", args.out);
+
+    if let Some(trace_path) = &args.obs {
+        obs.flush().expect("flush obs trace");
+        let snap = obs.snapshot();
+        // The run must have fed the two headline histograms: WAL fsync
+        // latency and the structural increment phase.
+        for h in ["span.wal_append_ns", "span.structural_ns"] {
+            assert!(
+                snap.hist(h).is_some_and(|s| s.count > 0),
+                "obs snapshot is missing samples in {h}"
+            );
+        }
+        let snap_path = std::path::Path::new(trace_path).with_extension("metrics.json");
+        std::fs::write(&snap_path, snap.to_json()).expect("write obs metrics snapshot");
+        println!("  (obs: trace {trace_path}, snapshot {})", snap_path.display());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1446,17 +1519,16 @@ fn queries(args: &Args) {
     println!("  (csv: {}/queries.csv)", args.out);
     let final_matches: Vec<String> =
         rows.last().map(|r| r.5.iter().map(usize::to_string).collect()).unwrap_or_default();
-    let json = format!(
-        "{{\n  \"scenario\": \"queries\",\n  \"scale\": \"{:?}\",\n  \"patterns\": [{}],\n  \
-         \"labels\": {LABELS},\n  \"batches\": {},\n  \"cycles_with_queries\": {q_cycles},\n  \
-         \"cycles_baseline\": {b_cycles},\n  \"maintenance_overhead_pct\": {overhead:.2},\n  \
-         \"final_matches\": [{}],\n  \"oracle_checked_every_batch\": true\n}}\n",
-        args.scale,
-        PANEL.iter().map(|(s, _)| format!("\"{s}\"")).collect::<Vec<_>>().join(", "),
-        churn.len(),
-        final_matches.join(", "),
-    );
-    std::fs::write(dir.join("BENCH_queries.json"), json).expect("write BENCH_queries.json");
+    let mut art = BenchArtifact::new("queries", args.scale);
+    art.push("patterns", PANEL.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(","))
+        .push("labels", LABELS as u64)
+        .push("batches", churn.len())
+        .push("cycles_with_queries", q_cycles)
+        .push("cycles_baseline", b_cycles)
+        .push("maintenance_overhead_pct", overhead)
+        .push("final_matches", final_matches.join(","))
+        .push("oracle_checked_every_batch", true);
+    art.write(&dir);
     println!("  (json: {}/BENCH_queries.json)", args.out);
 }
 

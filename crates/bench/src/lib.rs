@@ -8,6 +8,9 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+pub mod artifact;
+pub use artifact::{git_describe, BenchArtifact, MetricValue};
+
 use amcca_sim::{ActivityRecording, ChipConfig, Counters, GhostPlacement};
 use gc_datasets::{ChurnStream, GcPreset, StreamingDataset};
 use sdgp_core::apps::BfsAlgo;

@@ -37,6 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use amcca_obs::Obs;
 use amcca_sim::{Address, ChipConfig, Operon, SimError};
 use diffusive::{Device, RunReport};
 
@@ -257,6 +258,14 @@ pub struct StreamingGraph<G: VertexAlgo> {
     /// checkpointed and re-registered on restore. The automata are mirrored
     /// into the fabric app, which maintains the per-object state bitsets.
     queries: Vec<StandingQuery>,
+    /// Wall-clock observability handle (disabled by default). Pure
+    /// observation: spans and counters never feed back into control flow,
+    /// so enabling it cannot perturb the fixpoint (pinned by the
+    /// `obs_equivalence` proptest).
+    obs: Obs,
+    /// Monotonic increment sequence number — the batch id carried by this
+    /// graph's trace spans. Advances whether or not obs is enabled.
+    seq: u64,
 }
 
 /// Builder for [`StreamingGraph`]: owns the chip shape, RPVO shape, and
@@ -281,6 +290,7 @@ pub struct GraphBuilder<G: VertexAlgo> {
     chip: ChipConfig,
     rpvo: RpvoConfig,
     repair: RepairMode,
+    obs: Obs,
 }
 
 impl<G: VertexAlgo> GraphBuilder<G> {
@@ -308,10 +318,17 @@ impl<G: VertexAlgo> GraphBuilder<G> {
         self
     }
 
+    /// Observability handle recording increment-phase spans and cycle
+    /// counters (default [`Obs::disabled`], a no-op).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Create the device, register the actions (Listing 1), and allocate the
     /// root vertex objects across the chip.
     pub fn build(self) -> Result<StreamingGraph<G>, SimError> {
-        let GraphBuilder { algo, n_vertices, chip: cfg, rpvo: rcfg, repair } = self;
+        let GraphBuilder { algo, n_vertices, chip: cfg, rpvo: rcfg, repair, obs } = self;
         let dims = cfg.dims;
         let root_placement = cfg.root_placement;
         let seed = cfg.seed;
@@ -337,6 +354,8 @@ impl<G: VertexAlgo> GraphBuilder<G> {
             repair,
             last_repair: RepairStats::default(),
             queries: Vec::new(),
+            obs,
+            seq: 0,
         })
     }
 }
@@ -352,6 +371,7 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             chip: ChipConfig::default(),
             rpvo: RpvoConfig::default(),
             repair: RepairMode::default(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -593,6 +613,11 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// [`GraphMutation::UpdateWeight`] names an identity with no live copy.
     pub fn stream_increment(&mut self, muts: &[GraphMutation]) -> Result<RunReport, SimError> {
         let threshold = self.rcfg.rhizome_threshold;
+        // Clone the handle so span guards borrow the local, not `self`.
+        let obs = self.obs.clone();
+        self.seq += 1;
+        let bid = self.seq;
+        let n_muts = muts.len() as u64;
         // Coalesce the batch through the shared mutation log: same-batch
         // merges (annihilation, insert rewrites, patch folds, moot-patch
         // drops) happen there, validation panics fire before any graph
@@ -655,7 +680,10 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             // repair frontier on-fabric.
             self.dev.app_mut().notify_inserts = false;
             self.dev.register_data_transfer(wave);
-            let structural = self.dev.run();
+            let structural = {
+                let _s = obs.span("structural", bid, n_muts);
+                self.dev.run()
+            };
             self.dev.app_mut().notify_inserts = true;
             let mut report = structural?;
             // Phase B — repair: trigger the reseed wave (scoped per the
@@ -665,7 +693,10 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             let reseeds =
                 frontier.iter().map(|&v| Operon::new(self.rz.primary(v), ACT_RESEED, [0, 0]));
             self.dev.register_data_transfer(reseeds);
-            let mut repair = self.dev.run()?;
+            let mut repair = {
+                let _s = obs.span("repair", bid, n_muts);
+                self.dev.run()?
+            };
             repair.reseed_triggers = frontier.len() as u64;
             repair.repair_cycles = repair.cycles;
             repair.repair_instrs = repair.counters.instrs;
@@ -673,6 +704,7 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             report
         } else {
             self.dev.register_data_transfer(wave);
+            let _s = obs.span("structural", bid, n_muts);
             self.dev.run()?
         };
         // Demotion sweep: collapse rhizomes whose live degree fell back
@@ -682,6 +714,7 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             let merge = self.demote_collapse(&due);
             if !merge.is_empty() {
                 self.dev.register_data_transfer(merge);
+                let _s = obs.span("demote_merge", bid, n_muts);
                 report.absorb(self.dev.run()?);
             }
         }
@@ -702,11 +735,27 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                 .collect();
             let suppressed = needs_repair && self.dev.app().propagate_algo;
             if !del_heads.is_empty() || suppressed {
-                report.absorb(self.repair_queries(&del_heads, &touched)?);
+                let rq = {
+                    let _s = obs.span("query_repair", bid, n_muts);
+                    self.repair_queries(&del_heads, &touched)?
+                };
+                obs.counter_add("query.repair_cycles", rq.cycles);
+                report.absorb(rq);
             }
         }
         // Quiescent: no retraction in flight, drained identities can go.
         self.ledger.prune_drained();
+        // Fold the increment's RunReport deltas into the registry so the
+        // live Stats snapshot carries simulated-time totals next to the
+        // wall-clock span histograms.
+        if obs.is_enabled() {
+            obs.counter_add("graph.increments", 1);
+            obs.counter_add("graph.mutations", n_muts);
+            obs.counter_add("graph.cycles", report.cycles);
+            obs.counter_add("graph.repair_cycles", report.repair_cycles);
+            obs.counter_add("graph.reseed_triggers", report.reseed_triggers);
+            obs.observe("graph.increment_cycles", report.cycles);
+        }
         Ok(report)
     }
 
@@ -811,7 +860,13 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         let seed =
             query_operon(self.rz.primary(source), qid, self.queries[qid as usize].dfa.start_bits());
         self.dev.register_data_transfer([seed]);
-        self.dev.run().expect("query registration diffusion");
+        let obs = self.obs.clone();
+        obs.counter_add("query.registered", 1);
+        let report = {
+            let _s = obs.span("query_seed", self.seq, 1);
+            self.dev.run().expect("query registration diffusion")
+        };
+        obs.counter_add("query.repair_cycles", report.cycles);
         Ok(qid)
     }
 
@@ -971,6 +1026,12 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             }
         });
         (count, if count == 0 { 0.0 } else { hops as f64 / count as f64 })
+    }
+
+    /// The observability handle this graph records into (the serving layer
+    /// clones it so graph and server share one registry).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The underlying diffusive device (read access).

@@ -87,19 +87,32 @@ impl RunReport {
     /// batch's structural phase, its repair re-relaxation, a rhizome
     /// demotion merge): cycles, counters, energy, and time accumulate and
     /// the activity series are concatenated in run order.
+    /// The exhaustive destructuring is deliberate: adding a report field
+    /// without absorbing it here becomes a compile error, not a silent
+    /// drop in multi-segment increments.
     pub fn absorb(&mut self, other: RunReport) {
-        self.cycles += other.cycles;
-        self.counters.merge(&other.counters);
-        self.energy_uj += other.energy_uj;
-        self.time_us += other.time_us;
-        self.activity.counts.extend_from_slice(&other.activity.counts);
-        self.activity.frames.extend(other.activity.frames);
+        let RunReport {
+            cycles,
+            counters,
+            energy_uj,
+            time_us,
+            activity,
+            reseed_triggers,
+            repair_cycles,
+            repair_instrs,
+        } = other;
+        self.cycles += cycles;
+        self.counters.merge(&counters);
+        self.energy_uj += energy_uj;
+        self.time_us += time_us;
+        self.activity.counts.extend_from_slice(&activity.counts);
+        self.activity.frames.extend(activity.frames);
         if self.activity.frame_stride == 0 {
-            self.activity.frame_stride = other.activity.frame_stride;
+            self.activity.frame_stride = activity.frame_stride;
         }
-        self.reseed_triggers += other.reseed_triggers;
-        self.repair_cycles += other.repair_cycles;
-        self.repair_instrs += other.repair_instrs;
+        self.reseed_triggers += reseed_triggers;
+        self.repair_cycles += repair_cycles;
+        self.repair_instrs += repair_instrs;
     }
 }
 

@@ -1,0 +1,253 @@
+//! Fixed-bucket log-scale histograms for latency-style `u64` samples.
+//!
+//! The bucket layout is log-linear: values below [`SUB`] get exact
+//! single-value buckets; every power-of-two octave above that is split into
+//! [`SUB`] linear sub-buckets. With `SUB = 8` (3 significant bits) any
+//! recorded value lands in a bucket whose width is at most 1/8 of its lower
+//! bound, so percentiles read back from bucket bounds carry at most ~12.5%
+//! relative error — plenty for wall-clock latency distributions — while the
+//! whole `u64` range fits in [`BUCKETS`] slots and recording is two shifts
+//! and an increment.
+
+/// Significant bits of linear resolution inside each octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = (SUB as usize) + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// Bucket index for a value. Total and monotone: `v <= w` implies
+/// `bucket_index(v) <= bucket_index(w)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // 2^e <= v < 2^(e+1), e >= SUB_BITS
+        let sub = (v >> (e - SUB_BITS)) - SUB; // linear position inside the octave
+        (SUB + (e as u64 - SUB_BITS as u64) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < SUB {
+        (idx, idx)
+    } else {
+        let k = idx - SUB;
+        let e = SUB_BITS + (k / SUB) as u32;
+        let sub = k % SUB;
+        let width = 1u64 << (e - SUB_BITS);
+        let lo = (1u64 << e) + sub * width;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A log-scale histogram: dense bucket counts plus exact count/sum/min/max.
+///
+/// `record` never allocates; the struct is `BUCKETS * 8` bytes of counts.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sparse `(bucket, count)` snapshot plus the exact aggregates.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u16, c))
+            .collect();
+        HistSnapshot { buckets, count: self.count, sum: self.sum, min: self.min, max: self.max }
+    }
+}
+
+/// Immutable, mergeable snapshot of a [`Histogram`]: sparse non-zero
+/// buckets in ascending index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Non-zero `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    /// The empty snapshot — the identity element for [`HistSnapshot::merge`]
+    /// (`min` starts at `u64::MAX`, matching an empty [`Histogram`]).
+    fn default() -> Self {
+        HistSnapshot { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Merge another snapshot into this one (bucket-wise addition).
+    /// Associative and commutative, so shard snapshots can be folded in
+    /// any order.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        let mut out = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        out.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        out.push((ib, cb));
+                        b.next();
+                    } else {
+                        out.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    out.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    out.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = out;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the rank-`ceil(q * count)` sample, clamped to the observed
+    /// max. Returns 0 for an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(idx as usize).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p90/p99/p999 in one call.
+    pub fn quantiles(&self) -> [u64; 4] {
+        [
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_at_octave_edges() {
+        // Every power of two starts a fresh octave; the value just below it
+        // closes the previous one.
+        for e in SUB_BITS..64 {
+            let lo = 1u64 << e;
+            let (blo, _) = bucket_bounds(bucket_index(lo));
+            assert_eq!(blo, lo, "2^{e} must open its bucket");
+            let below = lo - 1;
+            let (_, bhi) = bucket_bounds(bucket_index(below));
+            assert_eq!(bhi, below, "2^{e}-1 must close the previous bucket");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_invert_the_index_everywhere_it_matters() {
+        let probes = [0, 1, 7, 8, 9, 15, 16, 100, 1000, 4095, 4096, 1 << 20, u64::MAX / 3];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} idx={idx} [{lo},{hi}]");
+            // Relative bucket width bound: width <= lo / SUB for log buckets.
+            if v >= SUB {
+                assert!(hi - lo <= lo / SUB, "bucket too wide at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_of_point_mass_is_its_bucket() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(bucket_index(s.percentile(q)), bucket_index(777));
+        }
+        assert_eq!(s.min, 777);
+        assert_eq!(s.max, 777);
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity_for_merge() {
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(40_000);
+        let mut s = h.snapshot();
+        let before = s.clone();
+        s.merge(&HistSnapshot::default());
+        assert_eq!(s, before);
+        let mut empty = HistSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

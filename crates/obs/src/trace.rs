@@ -1,0 +1,247 @@
+//! The `Obs` handle and batch-lifecycle span tracing.
+//!
+//! [`Obs`] is the single object the serving stack threads around: a cheap
+//! clone (one `Option<Arc>`), disabled by default. When disabled, every
+//! entry point is a branch on `None` and returns — no clock reads, no
+//! locks, no allocation — so instrumentation can stay compiled into the
+//! hot path unconditionally.
+//!
+//! When enabled, a span both records its duration into the registry
+//! histogram `span.<name>_ns` and (if a JSONL sink is attached) appends one
+//! trace event per completed span:
+//!
+//! ```json
+//! {"ts_us": 1042, "span": "wal_append", "batch": 17, "muts": 128, "dur_us": 310.4}
+//! ```
+//!
+//! `ts_us` is the span's start, in microseconds since the `Obs` handle was
+//! created. Events from concurrent threads interleave whole-line atomically
+//! (one buffered `write_all` per event under the sink mutex).
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::registry::{MetricsSnapshot, Registry};
+
+struct ObsInner {
+    registry: Registry,
+    epoch: Instant,
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+/// Shared observability handle (see module docs).
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.inner, self.inner.as_ref().map(|i| i.sink.is_some())) {
+            (None, _) => write!(f, "Obs(disabled)"),
+            (Some(_), Some(true)) => write!(f, "Obs(metrics+trace)"),
+            _ => write!(f, "Obs(metrics)"),
+        }
+    }
+}
+
+impl Obs {
+    /// The no-op handle: every operation is a branch and a return.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Metrics only: counters, gauges, and span histograms accumulate in
+    /// memory; no trace events are written anywhere.
+    pub fn enabled() -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                registry: Registry::default(),
+                epoch: Instant::now(),
+                sink: None,
+            })),
+        }
+    }
+
+    /// Metrics plus a JSONL span trace appended to the writer `sink`.
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                registry: Registry::default(),
+                epoch: Instant::now(),
+                sink: Some(Mutex::new(sink)),
+            })),
+        }
+    }
+
+    /// Metrics plus a JSONL span trace written to the file at `path`
+    /// (created or truncated).
+    pub fn with_trace(path: &Path) -> io::Result<Obs> {
+        let file = std::fs::File::create(path)?;
+        Ok(Obs::with_sink(Box::new(BufWriter::new(file))))
+    }
+
+    /// Is any recording active? Callers can gate work that only exists to
+    /// feed the registry (e.g. pre-computing a mutation count).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to counter `name`. No-op when disabled.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter_add(name, delta);
+        }
+    }
+
+    /// Set gauge `name`. No-op when disabled.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_set(name, value);
+        }
+    }
+
+    /// Record a raw sample into histogram `name` (for non-wall-clock units
+    /// such as cycles or bytes). No-op when disabled.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe(name, value);
+        }
+    }
+
+    /// Open a lifecycle span. The span measures wall-clock from this call
+    /// until the guard drops, then records `span.<name>_ns` and appends a
+    /// trace event. When disabled this reads no clock and the guard's drop
+    /// is empty.
+    #[inline]
+    pub fn span(&self, name: &'static str, batch: u64, muts: u64) -> Span<'_> {
+        Span {
+            live: self.inner.as_deref().map(|inner| LiveSpan {
+                inner,
+                name,
+                batch,
+                muts,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Consistent snapshot of every metric. Empty when disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Flush the trace sink, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.lock().unwrap().flush()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct LiveSpan<'a> {
+    inner: &'a ObsInner,
+    name: &'static str,
+    batch: u64,
+    muts: u64,
+    start: Instant,
+}
+
+/// RAII guard for one open span (see [`Obs::span`]).
+pub struct Span<'a> {
+    live: Option<LiveSpan<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(s) = self.live.take() else { return };
+        let dur = s.start.elapsed();
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        s.inner.registry.observe(&format!("span.{}_ns", s.name), ns);
+        if let Some(sink) = &s.inner.sink {
+            let ts_us = s.start.duration_since(s.inner.epoch).as_micros();
+            let line = format!(
+                "{{\"ts_us\": {ts_us}, \"span\": \"{}\", \"batch\": {}, \"muts\": {}, \
+                 \"dur_us\": {:.3}}}\n",
+                s.name,
+                s.batch,
+                s.muts,
+                ns as f64 / 1000.0
+            );
+            // A failed trace write must never take down the serving path;
+            // the metrics side already recorded the span.
+            let _ = sink.lock().unwrap().write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use std::sync::mpsc;
+
+    /// A Write that forwards each chunk over a channel.
+    struct ChanSink(mpsc::Sender<Vec<u8>>);
+    impl Write for ChanSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let _ = self.0.send(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.counter_add("x", 1);
+        obs.gauge_set("g", 5);
+        obs.observe("h", 9);
+        drop(obs.span("nothing", 0, 0));
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn spans_feed_both_histogram_and_trace() {
+        let (tx, rx) = mpsc::channel();
+        let obs = Obs::with_sink(Box::new(ChanSink(tx)));
+        {
+            let _s = obs.span("unit_test", 42, 7);
+            std::hint::black_box(1 + 1);
+        }
+        let snap = obs.snapshot();
+        let h = snap.hist("span.unit_test_ns").expect("span histogram");
+        assert_eq!(h.count, 1);
+        let line = String::from_utf8(rx.recv().unwrap()).unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("span").and_then(Json::as_str), Some("unit_test"));
+        assert_eq!(v.get("batch").and_then(Json::as_num), Some(42.0));
+        assert_eq!(v.get("muts").and_then(Json::as_num), Some(7.0));
+        assert!(v.get("dur_us").and_then(Json::as_num).is_some());
+        assert!(v.get("ts_us").and_then(Json::as_num).is_some());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        obs.counter_add("shared", 1);
+        other.counter_add("shared", 2);
+        assert_eq!(other.snapshot().counter("shared"), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the histogram/snapshot core: merge associativity and
+//! percentile extraction against a sorted-vector oracle.
+
+use amcca_obs::{bucket_index, HistSnapshot, Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn snap(values: &[u64]) -> HistSnapshot {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Mix of small exact-bucket values, mid-range, and huge samples: a
+/// selector byte picks the regime, the raw `u64` supplies the value.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((any::<u8>(), any::<u64>()), 0..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, raw)| match sel % 3 {
+                0 => raw % 16,
+                1 => 16 + raw % 100_000,
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snap(&all));
+    }
+
+    #[test]
+    fn percentiles_match_a_sorted_vector_oracle(
+        values in arb_values(),
+        permilles in prop::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let s = snap(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in permilles.into_iter().map(|p| p as f64 / 1000.0) {
+            let got = s.percentile(q);
+            if sorted.is_empty() {
+                prop_assert_eq!(got, 0);
+                continue;
+            }
+            // The oracle: rank-ceil(q*n) smallest sample (1-based, clamped).
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            // The histogram answers with a value in the oracle's bucket,
+            // never below the oracle and never above the observed max.
+            prop_assert_eq!(bucket_index(got), bucket_index(oracle),
+                "q={} got={} oracle={}", q, got, oracle);
+            prop_assert!(got >= oracle && got <= s.max,
+                "q={} got={} oracle={} max={}", q, got, oracle, s.max);
+        }
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrips_for_any_contents(
+        a in arb_values(),
+        b in arb_values(),
+        counter in any::<u64>(),
+        gauge in any::<i64>(),
+    ) {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("c.one".into(), counter)],
+            gauges: vec![("g.depth".into(), gauge)],
+            hists: vec![("h.a".into(), snap(&a)), ("h.b".into(), snap(&b))],
+        };
+        prop_assert_eq!(
+            MetricsSnapshot::decode(&snapshot.encode()).unwrap(),
+            snapshot
+        );
+    }
+}

@@ -125,6 +125,15 @@ impl Client {
         }
     }
 
+    /// Read the live observability snapshot (counters, gauges, latency
+    /// histograms). Empty when the server runs with observability disabled.
+    pub fn obs_stats(&mut self) -> io::Result<amcca_obs::MetricsSnapshot> {
+        match self.call(&Request::ObsStats)? {
+            Response::ObsStats(snap) => Ok(snap),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Stop the server gracefully (flush, no checkpoint).
     pub fn shutdown(&mut self) -> io::Result<()> {
         match self.call(&Request::Shutdown)? {

@@ -10,6 +10,7 @@
 
 use std::io::{self, Read, Write};
 
+use amcca_obs::MetricsSnapshot;
 use sdgp_core::checkpoint::{decode_mutations, encode_mutations};
 use sdgp_core::graph::GraphMutation;
 
@@ -97,6 +98,11 @@ pub enum Request {
         /// The id [`Response::QueryId`] assigned at registration.
         qid: u32,
     },
+    /// Read the live observability snapshot: every counter, gauge, and
+    /// latency histogram the server's [`amcca_obs::Obs`] handle has
+    /// accumulated (empty when the server runs with observability
+    /// disabled). The simulated-time counters stay on [`Request::Stats`].
+    ObsStats,
 }
 
 impl Request {
@@ -128,6 +134,7 @@ impl Request {
                 out.extend_from_slice(&qid.to_le_bytes());
                 out
             }
+            Request::ObsStats => vec![9],
         }
     }
 
@@ -153,6 +160,7 @@ impl Request {
             Some((8, rest)) if rest.len() == 4 => Ok(Request::QueryResults {
                 qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
             }),
+            Some((9, [])) => Ok(Request::ObsStats),
             _ => Err(malformed("unknown request")),
         }
     }
@@ -191,6 +199,9 @@ pub enum Response {
     },
     /// The current matches of a standing query (ascending vertex ids).
     Matches(Vec<u32>),
+    /// The live observability snapshot (see [`Request::ObsStats`]), carried
+    /// in [`MetricsSnapshot::encode`]'s binary codec.
+    ObsStats(MetricsSnapshot),
 }
 
 impl Response {
@@ -260,6 +271,13 @@ impl Response {
                 }
                 out
             }
+            Response::ObsStats(snap) => {
+                let body = snap.encode();
+                let mut out = Vec::with_capacity(1 + body.len());
+                out.push(9);
+                out.extend_from_slice(&body);
+                out
+            }
         }
     }
 
@@ -327,6 +345,9 @@ impl Response {
                 }
                 Ok(Response::Matches(vs))
             }
+            Some((9, rest)) => {
+                MetricsSnapshot::decode(rest).map(Response::ObsStats).map_err(|e| malformed(&e))
+            }
             _ => Err(malformed("unknown response")),
         }
     }
@@ -355,6 +376,7 @@ mod tests {
             Request::RegisterQuery { pattern: "a.b*.c".into(), source: 12 },
             Request::RegisterQuery { pattern: "".into(), source: 0 },
             Request::QueryResults { qid: 3 },
+            Request::ObsStats,
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -386,6 +408,14 @@ mod tests {
             Response::QueryId { qid: 9 },
             Response::Matches(vec![1, 4, 1000]),
             Response::Matches(vec![]),
+            Response::ObsStats(MetricsSnapshot::default()),
+            Response::ObsStats({
+                let obs = amcca_obs::Obs::enabled();
+                obs.counter_add("wal.bytes", 4096);
+                obs.gauge_set("serve.queue_depth", 3);
+                obs.observe("span.wal_append_ns", 120_000);
+                obs.snapshot()
+            }),
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);

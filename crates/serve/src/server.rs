@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use amcca_obs::{MetricsSnapshot, Obs};
 use sdgp_core::apps::VertexAlgo;
 use sdgp_core::graph::{GraphBuilder, GraphMutation, MutationError, MutationLog, StreamingGraph};
 use sdgp_core::GraphCheckpoint;
@@ -95,6 +96,10 @@ pub struct IngestCore<G: VertexAlgo> {
     checkpoint_every: u64,
     since_checkpoint: u64,
     stats: ServerStats,
+    /// Wall-clock observability, cloned from the graph's handle so the
+    /// server and the graph feed one shared registry (disabled unless the
+    /// builder carried an enabled [`Obs`]).
+    obs: Obs,
 }
 
 impl<G: VertexAlgo> IngestCore<G> {
@@ -125,6 +130,7 @@ impl<G: VertexAlgo> IngestCore<G> {
             });
         }
         stage.drain();
+        let obs = graph.obs().clone();
         let mut core = IngestCore {
             graph,
             store,
@@ -132,6 +138,7 @@ impl<G: VertexAlgo> IngestCore<G> {
             checkpoint_every,
             since_checkpoint: 0,
             stats: ServerStats::default(),
+            obs,
         };
         let tail = core.store.load_tail()?;
         let (mut tail_batches, mut tail_mutations, mut tail_queries) = (0, 0, 0);
@@ -214,13 +221,25 @@ impl<G: VertexAlgo> IngestCore<G> {
             // round): no surviving op, no repair need, nothing to log.
             return Ok(false);
         }
-        self.store.append_batch(&batch.muts)?;
+        let obs = self.obs.clone();
+        let bid = self.stats.batches + 1;
+        let n_muts = batch.muts.len() as u64;
+        let wal_bytes = {
+            // The span covers serialization, the write, and the fsync — the
+            // `span.wal_append_ns` histogram is the durability latency.
+            let _s = obs.span("wal_append", bid, n_muts);
+            self.store.append_batch(&batch.muts)?
+        };
+        obs.counter_add("wal.appends", 1);
+        obs.counter_add("wal.bytes", wal_bytes);
         self.graph.stream_increment(&batch.muts)?;
         self.since_checkpoint += 1;
         self.stats.batches += 1;
         self.stats.mutations += batch.muts.len() as u64;
         self.stats.live_edges = self.graph.live_edge_count();
         self.stats.wal_tail_batches = self.since_checkpoint;
+        obs.gauge_set("serve.live_edges", self.stats.live_edges as i64);
+        obs.gauge_set("serve.wal_tail_batches", self.since_checkpoint as i64);
         if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
             self.checkpoint()?;
         }
@@ -230,8 +249,15 @@ impl<G: VertexAlgo> IngestCore<G> {
     /// Snapshot the quiescent graph to disk now, truncating the WAL.
     /// Returns the checkpoint size in bytes.
     pub fn checkpoint(&mut self) -> Result<u64, ServeError> {
-        let ck = GraphCheckpoint::capture(&self.graph);
-        let bytes = self.store.write_checkpoint(&ck)?;
+        let obs = self.obs.clone();
+        let bytes = {
+            let _s = obs.span("checkpoint", self.stats.batches, 0);
+            let ck = GraphCheckpoint::capture(&self.graph);
+            self.store.write_checkpoint(&ck)?
+        };
+        obs.counter_add("checkpoint.count", 1);
+        obs.counter_add("checkpoint.bytes", bytes);
+        obs.gauge_set("serve.wal_tail_batches", 0);
         self.since_checkpoint = 0;
         self.stats.checkpoints += 1;
         self.stats.wal_tail_batches = 0;
@@ -257,7 +283,9 @@ impl<G: VertexAlgo> IngestCore<G> {
                 n: self.graph.n_vertices(),
             }));
         }
-        self.store.append_register(pattern, source)?;
+        let wal_bytes = self.store.append_register(pattern, source)?;
+        self.obs.counter_add("wal.appends", 1);
+        self.obs.counter_add("wal.bytes", wal_bytes);
         self.graph.register_query(pattern, source).map_err(ServeError::Query)
     }
 
@@ -269,6 +297,17 @@ impl<G: VertexAlgo> IngestCore<G> {
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    /// The observability handle the core (and its graph) record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Live observability snapshot — every counter, gauge, and latency
+    /// histogram recorded so far (empty when observability is disabled).
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// The graph being served (read-only).
@@ -295,6 +334,7 @@ enum Cmd {
     QueryResults { qid: u32, reply: mpsc::SyncSender<Response> },
     Checkpoint { reply: mpsc::SyncSender<Response> },
     Stats { reply: mpsc::SyncSender<Response> },
+    ObsStats { reply: mpsc::SyncSender<Response> },
     Shutdown { reply: mpsc::SyncSender<Response> },
     Kill { reply: mpsc::SyncSender<Response> },
 }
@@ -307,8 +347,14 @@ struct Shared {
     queue_depth: AtomicUsize,
     rejected: AtomicU64,
     next_client: AtomicU32,
+    /// Submission sequence — the batch id carried by reader-side spans
+    /// (`submit`, `admission`).
+    submit_seq: AtomicU64,
     stop: AtomicBool,
     epoch: Instant,
+    /// Clone of the core's observability handle, for reader-side spans and
+    /// the queue-depth gauge.
+    obs: Obs,
 }
 
 impl Shared {
@@ -348,8 +394,10 @@ impl Server {
             queue_depth: AtomicUsize::new(0),
             rejected: AtomicU64::new(0),
             next_client: AtomicU32::new(1),
+            submit_seq: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             epoch: Instant::now(),
+            obs: core.obs().clone(),
         });
         let (tx, rx) = mpsc::channel::<Cmd>();
 
@@ -437,10 +485,21 @@ fn ingest_loop<G: VertexAlgo>(
         }
 
         if !round.is_empty() {
+            let obs = core.obs().clone();
+            let bid = core.stats().batches + 1;
+            let round_muts: u64 = round.iter().map(|(m, _)| m.len() as u64).sum();
+            // The `ack` span closes when this round's acknowledgements have
+            // been handed to the reply channels — dequeue-to-ack latency.
+            let _ack_span = obs.span("ack", bid, round_muts);
             let mut acks = Vec::with_capacity(round.len());
             for (muts, reply) in round {
-                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                match core.submit(&muts) {
+                let depth = shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                obs.gauge_set("serve.queue_depth", depth as i64 - 1);
+                let validated = {
+                    let _s = obs.span("validate", bid, muts.len() as u64);
+                    core.submit(&muts)
+                };
+                match validated {
                     Ok(()) => acks.push(reply),
                     Err(e) => {
                         let _ = reply.send(Response::Err(e.to_string()));
@@ -515,6 +574,10 @@ fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -
             let _ = reply.send(Response::Stats(stats));
             Flow::Continue
         }
+        Cmd::ObsStats { reply } => {
+            let _ = reply.send(Response::ObsStats(core.obs_snapshot()));
+            Flow::Continue
+        }
         Cmd::Shutdown { reply } => {
             // Graceful: apply what was acknowledged as parked, then stop.
             // Deliberately no checkpoint — the WAL tail carries the last
@@ -546,20 +609,31 @@ fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared)
             Err(e) => Response::Err(e.to_string()),
             Ok(Request::Hello) => Response::Hello { client_id },
             Ok(Request::Submit(muts)) => {
-                let depth = shared.queue_depth.load(Ordering::SeqCst);
-                let decision = shared.admission.lock().expect("admission lock poisoned").decide(
-                    client_id,
-                    muts.len(),
-                    depth,
-                    shared.now_micros(),
-                );
+                let sid = shared.submit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                // Covers the whole server-side handling of this Submit
+                // frame: admission, queue wait, validation, WAL, increment,
+                // and the reply arriving back from the ingest thread.
+                let _submit_span = shared.obs.span("submit", sid, muts.len() as u64);
+                let decision = {
+                    let _s = shared.obs.span("admission", sid, muts.len() as u64);
+                    let depth = shared.queue_depth.load(Ordering::SeqCst);
+                    shared.admission.lock().expect("admission lock poisoned").decide(
+                        client_id,
+                        muts.len(),
+                        depth,
+                        shared.now_micros(),
+                    )
+                };
                 match decision {
                     Decision::RetryAfter(millis) => {
                         shared.rejected.fetch_add(1, Ordering::SeqCst);
+                        shared.obs.counter_add("admission.rejected", 1);
                         Response::RetryAfter { millis }
                     }
                     Decision::Admit => {
-                        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        shared.obs.counter_add("admission.admitted", 1);
+                        let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        shared.obs.gauge_set("serve.queue_depth", depth as i64 + 1);
                         roundtrip(tx, |reply| Cmd::Submit { muts, reply }).unwrap_or_else(|| {
                             shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
                             Response::Err("server stopped".into())
@@ -576,6 +650,7 @@ fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared)
             }
             Ok(Request::Checkpoint) => forward(tx, |reply| Cmd::Checkpoint { reply }),
             Ok(Request::Stats) => forward(tx, |reply| Cmd::Stats { reply }),
+            Ok(Request::ObsStats) => forward(tx, |reply| Cmd::ObsStats { reply }),
             Ok(Request::Shutdown) => forward(tx, |reply| Cmd::Shutdown { reply }),
             Ok(Request::Kill) => forward(tx, |reply| Cmd::Kill { reply }),
         };

@@ -131,8 +131,9 @@ impl Store {
     }
 
     /// Append one canonical batch to the WAL and sync it to disk. Returns
-    /// only once the record is durable — callers apply the batch *after*.
-    pub fn append_batch(&mut self, muts: &[GraphMutation]) -> io::Result<()> {
+    /// the record size in bytes, and only once the record is durable —
+    /// callers apply the batch *after*.
+    pub fn append_batch(&mut self, muts: &[GraphMutation]) -> io::Result<u64> {
         let mut payload = Vec::with_capacity(5 + muts.len() * 14);
         payload.push(0);
         payload.extend_from_slice(&encode_mutations(muts));
@@ -140,8 +141,9 @@ impl Store {
     }
 
     /// Append one standing-query registration to the WAL and sync it.
-    /// Returns only once the record is durable — callers register *after*.
-    pub fn append_register(&mut self, pattern: &str, source: u32) -> io::Result<()> {
+    /// Returns the record size in bytes, and only once the record is
+    /// durable — callers register *after*.
+    pub fn append_register(&mut self, pattern: &str, source: u32) -> io::Result<u64> {
         let mut payload = Vec::with_capacity(9 + pattern.len());
         payload.push(1);
         payload.extend_from_slice(&source.to_le_bytes());
@@ -150,13 +152,14 @@ impl Store {
         self.append_record(&payload)
     }
 
-    fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
+    fn append_record(&mut self, payload: &[u8]) -> io::Result<u64> {
         let mut rec = Vec::with_capacity(12 + payload.len());
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(payload);
         rec.extend_from_slice(&fnv1a(payload).to_le_bytes());
         self.wal.write_all(&rec)?;
-        self.wal.sync_data()
+        self.wal.sync_data()?;
+        Ok(rec.len() as u64)
     }
 
     /// Atomically replace the checkpoint and truncate the WAL (module

@@ -225,6 +225,63 @@ fn standing_queries_survive_kill_and_restart() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The ObsStats frame returns the live observability snapshot over TCP:
+/// the graph and the server feed one registry, so WAL, checkpoint,
+/// admission, and increment-phase metrics all surface in a single reply.
+#[test]
+fn obs_stats_frame_returns_live_snapshot_over_tcp() {
+    let dir = tmp_dir("obs");
+    let (core, _) = IngestCore::boot(builder(8).obs(amcca_obs::Obs::enabled()), &dir, 0).unwrap();
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.submit_retrying(&adds(&[(0, 1, 1), (1, 2, 1)]), 10).unwrap();
+    c.submit_retrying(&adds(&[(2, 3, 1)]), 10).unwrap();
+    c.checkpoint().unwrap();
+
+    let snap = c.obs_stats().unwrap();
+    assert_eq!(snap.counter("wal.appends"), 2, "one WAL record per applied batch");
+    assert!(snap.counter("wal.bytes") > 0);
+    assert_eq!(snap.counter("checkpoint.count"), 1);
+    assert_eq!(snap.counter("graph.increments"), 2);
+    assert_eq!(snap.counter("graph.mutations"), 3);
+    assert_eq!(snap.counter("admission.admitted"), 2);
+    assert_eq!(snap.gauge("serve.live_edges"), Some(3));
+    for h in ["span.wal_append_ns", "span.structural_ns", "span.checkpoint_ns"] {
+        let hist = snap.hist(h).unwrap_or_else(|| panic!("missing histogram {h}"));
+        assert!(hist.count > 0, "{h} is empty");
+        assert!(hist.max >= hist.min, "{h} bounds");
+    }
+    // The snapshot is live: more work moves the counters.
+    c.submit_retrying(&adds(&[(3, 4, 1)]), 10).unwrap();
+    let later = c.obs_stats().unwrap();
+    assert_eq!(later.counter("wal.appends"), 3);
+    assert!(later.hist("span.wal_append_ns").unwrap().count > snap_wal_count(&snap));
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn snap_wal_count(snap: &amcca_obs::MetricsSnapshot) -> u64 {
+    snap.hist("span.wal_append_ns").map(|h| h.count).unwrap_or(0)
+}
+
+/// With observability off (the default), the frame still answers — with an
+/// empty snapshot — and results are unchanged (tracing is pure observation).
+#[test]
+fn obs_stats_frame_is_empty_when_disabled() {
+    let dir = tmp_dir("obs-off");
+    let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.submit_retrying(&adds(&[(0, 1, 1)]), 10).unwrap();
+    let snap = c.obs_stats().unwrap();
+    assert_eq!(snap.counter("wal.appends"), 0);
+    assert!(snap.hist("span.wal_append_ns").is_none());
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn checkpoint_cadence_bounds_the_tail() {
     let dir = tmp_dir("cadence");

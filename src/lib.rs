@@ -17,6 +17,8 @@
 //! * [`gc_datasets`] — GraphChallenge-style SBM workloads with Edge and
 //!   Snowball sampling schedules.
 //! * [`refgraph`] — sequential reference algorithms used as oracles.
+//! * [`amcca_obs`] — wall-clock observability: metrics registry, latency
+//!   histograms, batch-lifecycle span tracing (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 //! assert_eq!(g.state_of(99), 99);
 //! ```
 
+pub use amcca_obs;
 pub use amcca_sim;
 pub use diffusive;
 pub use gc_datasets;
@@ -54,6 +57,7 @@ pub use sdgp_core;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use amcca_obs::{MetricsSnapshot, Obs};
     pub use amcca_sim::{
         ActivityRecording, Address, ChipConfig, Dims, EnergyModel, GhostPlacement, Operon,
         RhizomePlacement, RootPlacement, SimError,

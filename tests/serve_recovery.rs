@@ -34,6 +34,10 @@ fn builder(k: usize) -> sdgp_core::GraphBuilder<BfsAlgo> {
         .vertices(N)
         .chip(ChipConfig::small_test())
         .rpvo(if k <= 1 { base } else { base.with_rhizomes(6, k) })
+        // Tracing stays on through every crash/recovery script: the
+        // observability layer is pure observation and must not perturb
+        // the bit-identical-fixpoint guarantees this test pins.
+        .obs(Obs::enabled())
 }
 
 /// Raw steps: `(u, v, w, op, pick)` with `op % 3` selecting add / delete /
