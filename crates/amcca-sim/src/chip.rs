@@ -91,6 +91,19 @@ pub struct Chip<P: Program> {
     /// Cycles executed on the sharded engine (diagnostics for the adaptive
     /// switch; deliberately not part of [`Counters`]).
     pub(crate) sharded_cycles: u64,
+    /// Mesh rows reassigned by the work-stealing scheduler, summed over all
+    /// sharded cycles (diagnostics; not part of [`Counters`]).
+    pub(crate) steal_rows: u64,
+    /// Owner-attributed active-cell totals per column band, summed over all
+    /// sharded cycles: index `s` counts the work *belonging* to band `s`
+    /// regardless of which worker executed it. Sized lazily by the sharded
+    /// engine (empty until it runs). Diagnostics; not part of [`Counters`].
+    pub(crate) band_active: Vec<u64>,
+    /// Executor-attributed active-cell totals per worker: index `s` counts
+    /// the work worker `s` actually executed (own rows plus stolen ones).
+    /// With stealing off this equals [`Chip::band_active`]. Diagnostics; not
+    /// part of [`Counters`].
+    pub(crate) exec_active: Vec<u64>,
 }
 
 /// Consecutive cycles above/below [`ChipConfig::shard_break_even`] required
@@ -409,6 +422,9 @@ impl<P: Program> Chip<P> {
             loads: vec![CellLoad::default(); cfg.cell_count() as usize],
             last_active: 0,
             sharded_cycles: 0,
+            steal_rows: 0,
+            band_active: Vec::new(),
+            exec_active: Vec::new(),
             cfg,
         }
     }
@@ -888,6 +904,33 @@ impl<P: Program> Chip<P> {
     /// never affects simulation results, only wall-clock time.
     pub fn sharded_cycles(&self) -> u64 {
         self.sharded_cycles
+    }
+
+    /// Mesh rows reassigned by the deterministic work-stealing scheduler,
+    /// summed over all sharded cycles. Zero with stealing off (or when no
+    /// cycle was imbalanced enough to steal). Diagnostics only — stealing
+    /// never affects simulation results.
+    pub fn steal_rows(&self) -> u64 {
+        self.steal_rows
+    }
+
+    /// Owner-attributed active-cell totals per column band, summed over all
+    /// sharded cycles: entry `s` counts the compute work *belonging* to band
+    /// `s`, regardless of which worker executed it. Empty until the sharded
+    /// engine has run. The max/mean ratio of these totals measures the
+    /// workload's inherent band imbalance (what a static partition would
+    /// suffer).
+    pub fn band_active(&self) -> &[u64] {
+        &self.band_active
+    }
+
+    /// Executor-attributed active-cell totals per worker: entry `s` counts
+    /// the work worker `s` actually executed (own rows plus stolen ones,
+    /// minus donated ones). With stealing off this equals
+    /// [`Chip::band_active`]; with stealing on, its max/mean ratio measures
+    /// the residual imbalance after the scheduler levels the load.
+    pub fn exec_active(&self) -> &[u64] {
+        &self.exec_active
     }
 }
 

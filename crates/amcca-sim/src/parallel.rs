@@ -22,17 +22,39 @@
 //!    order.
 //! 2. **Drain + compute + IO** — every worker drains its inboxes in shard-id
 //!    order, runs the shared per-cell compute ([`crate::chip::compute_cell`])
-//!    and IO steps over its own cells (all cell-local by the architecture's
+//!    and IO steps over its cells (all cell-local by the architecture's
 //!    message-driven discipline), snapshots its routers for the next cycle,
 //!    and publishes boundary credit frames plus a cycle report.
 //!
-//! The coordinator (the calling thread) then folds the per-shard reports —
-//! active-cell counts, queue/occupancy deltas, Safra token events, and the
-//! first error in (phase, cell-id) order — exactly as the sequential loop
-//! would have, and decides whether another cycle runs. Event counters and
-//! per-cell load stats accumulate in worker-local storage with **no locks or
-//! atomics on the hot path** and merge once at run end; program state runs on
-//! per-shard forks merged in shard order ([`crate::Program::fork`]).
+//! Per-cycle reports fold up a **binary merge tree**: each worker waits for
+//! its children (`2s+1`, `2s+2`) to publish, merges their reports into its
+//! own slot, and publishes in turn, so the coordinator (the calling thread)
+//! reads a single pre-merged root report per cycle and the barrier cost
+//! stays flat as the shard count grows. The folded quantities — active-cell
+//! counts, queue/occupancy deltas, Safra token events, and the first error
+//! in (phase, cell-id) order — are exactly what the sequential loop would
+//! have produced, and the coordinator decides whether another cycle runs.
+//! Event counters and per-cell load stats accumulate in worker-local storage
+//! with **no locks or atomics on the hot path** and merge once at run end;
+//! program state runs on per-shard forks merged in shard order
+//! ([`crate::Program::fork`]).
+//!
+//! # Deterministic work stealing
+//!
+//! With [`crate::ChipConfig::work_stealing`] on, the coordinator also runs
+//! [`steal_schedule`] over the root report's per-(band, row) active-cell
+//! counts and publishes the result before releasing the next cycle: the
+//! busiest band donates whole mesh rows to less-loaded bands **for the next
+//! compute phase only** — routing, IO, and credit publication stay with the
+//! owner. Donors post the row slices to a [`LoanBoard`] after draining their
+//! inboxes, a barrier separates the handoff from the stolen compute, and a
+//! second barrier returns the rows before the owner's IO phase and router
+//! snapshot need them. Compute is cell-local (all effects flow through the
+//! cell itself, the executor's program fork, order-independent counters, and
+//! the summed report deltas), so *who* executes a row cannot change any
+//! result — stealing is bit-identical on or off, for any shard count, and
+//! only levels the per-worker wall-clock. The extra barriers are paid only
+//! on cycles whose schedule is non-empty.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -51,7 +73,7 @@ use crate::placement::PlacementTable;
 use crate::program::Program;
 use crate::router::{PORT_EAST, PORT_WEST};
 use crate::safra::ACT_TOKEN;
-use crate::shard::{backoff, ShardPlan, SpinBarrier};
+use crate::shard::{backoff, steal_schedule, ShardPlan, SpinBarrier, StealAssign};
 use crate::stats::{ActivityRecording, CellLoad, Counters};
 
 /// What a sharded run waits for (mirrors the two sequential run loops).
@@ -74,8 +96,10 @@ pub(crate) enum SegmentEnd {
 }
 
 /// A shard worker's run-long accumulators, folded back into the chip once
-/// the run stops (in shard-id order).
-type ShardOutcome<P> = (usize, P, Counters, Vec<CellLoad>);
+/// the run stops (in shard-id order): program fork, event counters, per-cell
+/// loads, per-band active-cell contributions (owner-attributed), and the
+/// executed active-cell total (executor-attributed).
+type ShardOutcome<P> = (usize, P, Counters, Vec<CellLoad>, Vec<u64>, u64);
 
 /// A cross-band hop in flight between two shards.
 struct Mail {
@@ -84,8 +108,8 @@ struct Mail {
     op: Operon,
 }
 
-/// One shard's non-cell-local effects for one cycle, handed to the
-/// coordinator at the cycle barrier.
+/// One shard's non-cell-local effects for one cycle, handed up the merge
+/// tree at the cycle barrier.
 #[derive(Default)]
 struct CycleReport {
     active: u32,
@@ -101,6 +125,45 @@ struct CycleReport {
     comp_err: Option<(u16, SimError)>,
     /// Activity bitmap words (whole-chip indexing); used only in Frames mode.
     frame: Vec<u64>,
+    /// Per-(owner band, mesh row) active-cell counts
+    /// (`row_active[s * dims.y + y]`), the steal scheduler's input; sized
+    /// only when work stealing is enabled.
+    row_active: Vec<u32>,
+}
+
+impl CycleReport {
+    /// Fold a child's flushed report into this one: sums for the scalar
+    /// aggregates and per-row counts, min-cell-id for the per-phase first
+    /// errors (each worker's first error is its minimum-id one, so the fold
+    /// reproduces the sequential first-error order), OR for frames.
+    fn merge(&mut self, other: &mut CycleReport) {
+        self.active += other.active;
+        self.d_in_network += other.d_in_network;
+        self.d_queued += other.d_queued;
+        self.d_busy += other.d_busy;
+        self.io_injected += other.io_injected;
+        if let Some(step) = other.token.take() {
+            debug_assert!(self.token.is_none(), "one token per chip");
+            self.token = Some(step);
+        }
+        self.token_hops += other.token_hops;
+        if let Some((cc, e)) = other.net_err.take() {
+            if self.net_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
+                self.net_err = Some((cc, e));
+            }
+        }
+        if let Some((cc, e)) = other.comp_err.take() {
+            if self.comp_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
+                self.comp_err = Some((cc, e));
+            }
+        }
+        for (acc, w) in self.frame.iter_mut().zip(&other.frame) {
+            *acc |= *w;
+        }
+        for (acc, c) in self.row_active.iter_mut().zip(&other.row_active) {
+            *acc += *c;
+        }
+    }
 }
 
 /// Start-of-cycle acceptance of a band's boundary columns, published for the
@@ -179,6 +242,58 @@ struct Shared<'a> {
     frames_on: bool,
     start_cycle: u64,
     n_cells: usize,
+    /// Work stealing enabled for this run (`ChipConfig::work_stealing`).
+    steal_on: bool,
+    /// The published steal schedule; applies to the epoch in `steal_epoch`.
+    steal: Mutex<Vec<StealAssign>>,
+    /// Epoch the published schedule was computed for (0 = none yet);
+    /// workers only honour a schedule stamped with their current epoch.
+    steal_epoch: AtomicUsize,
+    /// Extra barrier bracketing the compute phase on steal cycles only.
+    steal_bar: SpinBarrier,
+    /// Merge-tree publication: `ready[s]` is the last epoch whose merged
+    /// subtree report worker `s` has published into `reports[s]`.
+    ready: Vec<AtomicUsize>,
+}
+
+impl Shared<'_> {
+    /// Spin until worker `sid` has published its merged report for `epoch`.
+    fn wait_ready(&self, sid: usize, epoch: usize) {
+        let mut spins = 0u32;
+        while self.ready[sid].load(Ordering::Acquire) < epoch {
+            if self.gate.poisoned.load(Ordering::Relaxed) {
+                panic!("shard engine poisoned: a sibling worker panicked");
+            }
+            backoff(&mut spins);
+        }
+    }
+}
+
+/// A row segment on loan for one compute phase (work stealing): the owner
+/// moves the `&mut` slice out of its `rows` table, the executor computes it,
+/// and the slice travels back through the board before the owner's IO phase.
+struct Loan<'a, T> {
+    owner: usize,
+    x0: usize,
+    y: usize,
+    row: &'a mut [Cell<T>],
+}
+
+/// Per-executor loan slots (`out`) and per-owner return slots (`back`).
+/// Safe-Rust row handoff: exclusive access transfers with the `&mut` slice
+/// itself, and the two steal barriers order the exchanges.
+struct LoanBoard<'a, T> {
+    out: Vec<Mutex<Vec<Loan<'a, T>>>>,
+    back: Vec<Mutex<Vec<Loan<'a, T>>>>,
+}
+
+impl<'a, T> LoanBoard<'a, T> {
+    fn new(n: usize) -> Self {
+        LoanBoard {
+            out: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            back: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
 }
 
 /// One shard worker: exclusive owner of a column band's cells, IO cells,
@@ -188,6 +303,7 @@ struct Worker<'a, P: Program> {
     x0: usize,
     width: usize,
     /// One row-segment per mesh row: `rows[y][x - x0]` is cell `(x, y)`.
+    /// A donated row is an empty slice until the loan returns.
     rows: Vec<&'a mut [Cell<P::Object>]>,
     /// This band's IO-cell segments (one per active channel).
     io_segs: Vec<&'a mut [IoCell]>,
@@ -202,6 +318,79 @@ struct Worker<'a, P: Program> {
     right_credit: Vec<bool>,
     frame: Vec<u64>,
     rep: CycleReport,
+    /// This cycle's steal schedule (whole chip), empty on ordinary cycles.
+    steal_buf: Vec<StealAssign>,
+    /// Run-long owner-attributed active-cell totals per band (the band a
+    /// computed row belongs to, not the worker that computed it).
+    band_contrib: Vec<u64>,
+    /// Run-long executor-attributed active-cell total (what *this worker*
+    /// computed, own rows plus stolen ones, minus donated ones).
+    exec_active: u64,
+}
+
+/// Run the compute phase over one row segment (cells `x0 .. x0 + len` of
+/// mesh row `gy`), crediting per-row activity to `owner`'s band. Shared by
+/// the plain path and the stolen-row path: compute is cell-local, so which
+/// worker executes a row cannot affect the results. Errors fold into the
+/// report by minimum cell id — within a segment the first error already has
+/// the lowest id (iteration is in id order), so the fold reproduces the
+/// sequential first-error-wins semantics. Returns the segment's active
+/// count.
+#[allow(clippy::too_many_arguments)]
+fn compute_row<P: Program>(
+    row: &mut [Cell<P::Object>],
+    gy: usize,
+    x0: usize,
+    owner: usize,
+    shared: &Shared<'_>,
+    program: &mut P,
+    counters: &mut Counters,
+    rep: &mut CycleReport,
+    frame: &mut [u64],
+) -> u32 {
+    let dims = shared.cfg.dims;
+    let mut active = 0u32;
+    let mut err: Option<SimError> = None;
+    for (lx, cell) in row.iter_mut().enumerate() {
+        let i = gy * dims.x as usize + x0 + lx;
+        let mut fx = ComputeFx::default();
+        let before = err.is_some();
+        let did_work = compute_cell(
+            cell,
+            i,
+            shared.safra_on,
+            program,
+            counters,
+            shared.cfg,
+            shared.placement,
+            &mut err,
+            &mut fx,
+        );
+        if !before {
+            if let Some(e) = err.clone() {
+                if rep.comp_err.as_ref().is_none_or(|(c0, _)| (i as u16) < *c0) {
+                    rep.comp_err = Some((i as u16, e));
+                }
+            }
+        }
+        rep.d_queued += fx.d_queued;
+        rep.d_busy += fx.d_busy;
+        rep.d_in_network += fx.d_in_network;
+        if fx.token.is_some() {
+            debug_assert!(rep.token.is_none(), "one token per chip");
+            rep.token = fx.token;
+        }
+        if did_work {
+            active += 1;
+            if shared.frames_on {
+                frame[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+    if !rep.row_active.is_empty() {
+        rep.row_active[owner * dims.y as usize + gy] += active;
+    }
+    active
 }
 
 impl<'a, P: Program> Worker<'a, P> {
@@ -211,7 +400,7 @@ impl<'a, P: Program> Worker<'a, P> {
         &mut self.rows[y][x - self.x0]
     }
 
-    fn run(&mut self, shared: &Shared<'_>) {
+    fn run(&mut self, shared: &Shared<'_>, board: &LoanBoard<'a, P::Object>) {
         let dims = shared.cfg.dims;
         // P0: snapshot routers and publish credits for the first cycle.
         self.begin_cycle_and_publish(shared);
@@ -224,11 +413,25 @@ impl<'a, P: Program> Worker<'a, P> {
             if shared.gate.stop.load(Ordering::Acquire) {
                 break;
             }
+            // Copy this cycle's steal schedule (published, if any, before
+            // the epoch was released). Every worker sees the same schedule,
+            // so barrier participation stays consistent.
+            self.steal_buf.clear();
+            if shared.steal_on && shared.steal_epoch.load(Ordering::Acquire) == epoch {
+                self.steal_buf.extend_from_slice(&shared.steal.lock().unwrap());
+            }
             self.phase_route(shared, cur, dims);
             shared.mid.wait();
-            self.phase_drain_compute_io(shared, cur, dims);
+            self.phase_drain(shared, dims);
+            if self.steal_buf.is_empty() {
+                self.phase_compute(shared);
+            } else {
+                self.phase_compute_stealing(shared, board);
+            }
+            self.phase_io(shared, dims);
             self.begin_cycle_and_publish(shared);
             self.flush_report(shared);
+            self.merge_children(shared, epoch);
             cur += 1;
             shared.gate.arrive();
         }
@@ -325,9 +528,8 @@ impl<'a, P: Program> Worker<'a, P> {
         }
     }
 
-    /// Drain cross-band arrivals, then run compute and IO over the band.
-    fn phase_drain_compute_io(&mut self, shared: &Shared<'_>, cur: u64, dims: crate::geom::Dims) {
-        let _ = cur;
+    /// Drain cross-band arrivals into this band's routers.
+    fn phase_drain(&mut self, shared: &Shared<'_>, dims: crate::geom::Dims) {
         let n_shards = shared.plan.shard_count();
         // Drain inboxes in shard-id order (deterministic; and each input
         // FIFO receives at most one flit per cycle regardless).
@@ -340,58 +542,80 @@ impl<'a, P: Program> Worker<'a, P> {
                 self.cell_mut(m.dst, dims.x).router.push(m.in_port as usize, m.op);
             }
         }
-        // Compute phase over own cells, in cell-id order.
+    }
+
+    /// Compute phase over own cells, in cell-id order (no stealing).
+    fn phase_compute(&mut self, shared: &Shared<'_>) {
         if shared.frames_on {
             self.frame.fill(0);
         }
         let mut active = 0u32;
-        let mut comp_err: Option<SimError> = None;
-        let Worker { rows, program, counters, x0, rep, frame, .. } = self;
-        let x0 = *x0;
+        let Worker { rows, program, counters, x0, sid, rep, frame, band_contrib, .. } = self;
         for (gy, row) in rows.iter_mut().enumerate() {
-            for (lx, cell) in row.iter_mut().enumerate() {
-                let i = gy * dims.x as usize + x0 + lx;
-                let mut fx = ComputeFx::default();
-                let before = comp_err.is_some();
-                let did_work = compute_cell(
-                    cell,
-                    i,
-                    shared.safra_on,
-                    program,
-                    counters,
-                    shared.cfg,
-                    shared.placement,
-                    &mut comp_err,
-                    &mut fx,
-                );
-                if !before {
-                    if let Some(e) = comp_err.clone() {
-                        rep.comp_err = Some((i as u16, e));
-                    }
-                }
-                rep.d_queued += fx.d_queued;
-                rep.d_busy += fx.d_busy;
-                rep.d_in_network += fx.d_in_network;
-                if fx.token.is_some() {
-                    debug_assert!(rep.token.is_none(), "one token per chip");
-                    rep.token = fx.token;
-                }
-                if did_work {
-                    active += 1;
-                    if shared.frames_on {
-                        frame[i / 64] |= 1u64 << (i % 64);
-                    }
-                }
-            }
+            let a = compute_row::<P>(row, gy, *x0, *sid, shared, program, counters, rep, frame);
+            band_contrib[*sid] += a as u64;
+            active += a;
         }
         self.rep.active = active;
-        // IO phase over this band's IO cells.
-        let Worker { rows, io_segs, counters, rep, .. } = self;
+        self.exec_active += active as u64;
+    }
+
+    /// Compute phase on a steal cycle: lend donated rows, compute own plus
+    /// stolen rows, return loans, reclaim donations. Two barriers bracket
+    /// the stolen compute so no row is ever touched by two workers at once
+    /// and every row is home again before the IO phase and router snapshot.
+    fn phase_compute_stealing(&mut self, shared: &Shared<'_>, board: &LoanBoard<'a, P::Object>) {
+        if shared.frames_on {
+            self.frame.fill(0);
+        }
+        let Worker { rows, steal_buf, sid, x0, .. } = self;
+        let (sid, x0) = (*sid, *x0);
+        for a in steal_buf.iter().filter(|a| a.owner as usize == sid) {
+            let row = std::mem::take(&mut rows[a.y as usize]);
+            let loan = Loan { owner: sid, x0, y: a.y as usize, row };
+            board.out[a.executor as usize].lock().unwrap().push(loan);
+        }
+        // Every donor has drained and lent; stolen rows are safe to touch.
+        shared.steal_bar.wait();
+        let mut active = 0u32;
+        let Worker { rows, program, counters, rep, frame, band_contrib, .. } = self;
+        for (gy, row) in rows.iter_mut().enumerate() {
+            // Donated rows are empty slices and fall through at no cost.
+            let a = compute_row::<P>(row, gy, x0, sid, shared, program, counters, rep, frame);
+            band_contrib[sid] += a as u64;
+            active += a;
+        }
+        let mut loans: Vec<Loan<'a, P::Object>> =
+            std::mem::take(&mut *board.out[sid].lock().unwrap());
+        loans.sort_by_key(|l| (l.owner, l.y));
+        for loan in &mut loans {
+            let a = compute_row::<P>(
+                loan.row, loan.y, loan.x0, loan.owner, shared, program, counters, rep, frame,
+            );
+            band_contrib[loan.owner] += a as u64;
+            active += a;
+        }
+        for loan in loans {
+            board.back[loan.owner].lock().unwrap().push(loan);
+        }
+        // Every stolen row is computed and posted back; owners may reclaim.
+        shared.steal_bar.wait();
+        for loan in board.back[sid].lock().unwrap().drain(..) {
+            self.rows[loan.y] = loan.row;
+        }
+        debug_assert!(self.rows.iter().all(|r| !r.is_empty()), "all loans returned");
+        self.rep.active = active;
+        self.exec_active += active as u64;
+    }
+
+    /// IO phase over this band's IO cells.
+    fn phase_io(&mut self, shared: &Shared<'_>, dims: crate::geom::Dims) {
+        let Worker { rows, io_segs, counters, x0, rep, .. } = self;
         for seg in io_segs.iter_mut() {
             for io_cell in seg.iter_mut() {
                 let x = (io_cell.cc % dims.x) as usize;
                 let y = (io_cell.cc / dims.x) as usize;
-                let border = &mut rows[y][x - x0];
+                let border = &mut rows[y][x - *x0];
                 if io_cell_step(io_cell, border, shared.safra_on, counters) {
                     rep.io_injected += 1;
                     rep.d_in_network += 1;
@@ -415,11 +639,14 @@ impl<'a, P: Program> Worker<'a, P> {
         }
     }
 
-    /// Hand this cycle's report to the coordinator slot.
+    /// Hand this cycle's report to this worker's merge-tree slot.
     fn flush_report(&mut self, shared: &Shared<'_>) {
         let mut slot = shared.reports[self.sid].lock().unwrap();
         if shared.frames_on {
             std::mem::swap(&mut slot.frame, &mut self.frame);
+        }
+        if shared.steal_on {
+            std::mem::swap(&mut slot.row_active, &mut self.rep.row_active);
         }
         slot.active = self.rep.active;
         slot.d_in_network = self.rep.d_in_network;
@@ -430,7 +657,28 @@ impl<'a, P: Program> Worker<'a, P> {
         slot.token_hops = self.rep.token_hops;
         slot.net_err = self.rep.net_err.take();
         slot.comp_err = self.rep.comp_err.take();
-        self.rep = CycleReport { frame: std::mem::take(&mut self.rep.frame), ..Default::default() };
+        let frame = std::mem::take(&mut self.rep.frame);
+        let mut row_active = std::mem::take(&mut self.rep.row_active);
+        row_active.fill(0); // the swapped-in buffer carries stale counts
+        self.rep = CycleReport { frame, row_active, ..Default::default() };
+    }
+
+    /// Binary merge tree: fold the children's published reports into this
+    /// worker's slot, then publish it for the parent. The coordinator only
+    /// reads the root slot, so the per-cycle merge cost is O(log shards) on
+    /// the critical path instead of O(shards) on the coordinator.
+    fn merge_children(&mut self, shared: &Shared<'_>, epoch: usize) {
+        let n = shared.plan.shard_count();
+        for child in [2 * self.sid + 1, 2 * self.sid + 2] {
+            if child >= n {
+                continue;
+            }
+            shared.wait_ready(child, epoch);
+            let mut mine = shared.reports[self.sid].lock().unwrap();
+            let mut theirs = shared.reports[child].lock().unwrap();
+            mine.merge(&mut theirs);
+        }
+        shared.ready[self.sid].store(epoch, Ordering::Release);
     }
 }
 
@@ -502,9 +750,11 @@ pub(crate) fn run_sharded<P: Program>(
     let seg_start = chip.cycle;
     let safra_on = chip.safra.is_some();
     let frames_on = matches!(chip.cfg.record_activity, ActivityRecording::Frames { .. });
+    let steal_on = chip.cfg.work_stealing;
     let dims = chip.cfg.dims;
     let n_cells = chip.cfg.cell_count() as usize;
     let words = n_cells.div_ceil(64);
+    let row_words = if steal_on { n_shards * dims.y as usize } else { 0 };
 
     let Chip {
         cfg,
@@ -525,9 +775,18 @@ pub(crate) fn run_sharded<P: Program>(
         loads,
         last_active,
         sharded_cycles,
+        steal_rows,
+        band_active,
+        exec_active,
         ..
     } = chip;
     let IoSystem { cells: io_cells, pending: io_pending, .. } = io;
+    if band_active.len() < n_shards {
+        band_active.resize(n_shards, 0);
+    }
+    if exec_active.len() < n_shards {
+        exec_active.resize(n_shards, 0);
+    }
 
     let forks: Vec<P> = (0..n_shards).map(|_| program.fork()).collect();
     let cell_views = split_cells(cells, &plan);
@@ -551,9 +810,11 @@ pub(crate) fn run_sharded<P: Program>(
         reports: (0..n_shards)
             .map(|_| {
                 Mutex::new(CycleReport {
-                    // Sized up front: `flush_report` ping-pongs this buffer
-                    // with the worker's, so both must span the whole chip.
+                    // Sized up front: `flush_report` ping-pongs these
+                    // buffers with the worker's, so both must span the
+                    // whole chip.
                     frame: vec![0u64; if frames_on { words } else { 0 }],
+                    row_active: vec![0u32; row_words],
                     ..Default::default()
                 })
             })
@@ -564,7 +825,13 @@ pub(crate) fn run_sharded<P: Program>(
         frames_on,
         start_cycle: seg_start,
         n_cells,
+        steal_on,
+        steal: Mutex::new(Vec::new()),
+        steal_epoch: AtomicUsize::new(0),
+        steal_bar: SpinBarrier::new(n_shards),
+        ready: (0..n_shards).map(|_| AtomicUsize::new(0)).collect(),
     };
+    let board: LoanBoard<'_, P::Object> = LoanBoard::new(n_shards);
     let outcomes: Mutex<Vec<ShardOutcome<P>>> = Mutex::new(Vec::with_capacity(n_shards));
 
     let mut result: Result<SegmentEnd, SimError> = Ok(SegmentEnd::Done);
@@ -575,6 +842,7 @@ pub(crate) fn run_sharded<P: Program>(
             cell_views.into_iter().zip(io_views).zip(forks).enumerate()
         {
             let shared = &shared;
+            let board = &board;
             let outcomes = &outcomes;
             let (x0, _) = plan.band(sid);
             scope.spawn(move || {
@@ -592,20 +860,34 @@ pub(crate) fn run_sharded<P: Program>(
                     left_credit: vec![false; dims.y as usize],
                     right_credit: vec![false; dims.y as usize],
                     frame: vec![0u64; words],
-                    rep: CycleReport::default(),
+                    rep: CycleReport { row_active: vec![0u32; row_words], ..Default::default() },
+                    steal_buf: Vec::new(),
+                    band_contrib: vec![0u64; n_shards],
+                    exec_active: 0,
                 };
-                let run = catch_unwind(AssertUnwindSafe(|| w.run(shared)));
+                let run = catch_unwind(AssertUnwindSafe(|| w.run(shared, board)));
                 if let Err(panic) = run {
                     shared.gate.poisoned.store(true, Ordering::Release);
                     shared.mid.poison();
+                    shared.steal_bar.poison();
                     resume_unwind(panic);
                 }
-                outcomes.lock().unwrap().push((w.sid, w.program, w.counters, w.loads));
+                outcomes.lock().unwrap().push((
+                    w.sid,
+                    w.program,
+                    w.counters,
+                    w.loads,
+                    w.band_contrib,
+                    w.exec_active,
+                ));
             });
         }
 
-        // Coordinator: merge cycle reports and drive the stop conditions.
+        // Coordinator: read the merge tree's root report each cycle, fold it
+        // into the chip scalars, publish the next steal schedule, and drive
+        // the stop conditions.
         shared.gate.wait_arrivals(n_shards); // initial snapshots published
+        let mut epoch = 0usize;
         loop {
             let stop = match goal {
                 RunGoal::Quiescence
@@ -638,55 +920,51 @@ pub(crate) fn run_sharded<P: Program>(
                 break;
             }
             shared.gate.release();
+            epoch += 1;
             shared.gate.wait_arrivals(n_shards);
 
-            let mut active = 0u32;
-            let mut net_err: Option<(u16, SimError)> = None;
-            let mut comp_err: Option<(u16, SimError)> = None;
-            if frames_on {
-                frame_scratch.fill(0);
-            }
-            for slot in &shared.reports {
-                let mut r = slot.lock().unwrap();
-                active += r.active;
-                *in_network = add_delta(*in_network, r.d_in_network);
-                *queued_tasks = add_delta(*queued_tasks, r.d_queued);
-                *busy = (*busy as i64 + r.d_busy) as u32;
-                *io_pending -= r.io_injected;
-                if let Some((cc, e)) = r.net_err.take() {
-                    if net_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
-                        net_err = Some((cc, e));
-                    }
-                }
-                if let Some((cc, e)) = r.comp_err.take() {
-                    if comp_err.as_ref().is_none_or(|(c0, _)| cc < *c0) {
-                        comp_err = Some((cc, e));
-                    }
-                }
-                if let Some(step) = r.token.take() {
-                    apply_token_step(
-                        step,
-                        safra.as_mut().expect("token without detector"),
-                        token_alive,
-                        *cycle,
-                    );
-                }
-                if r.token_hops > 0 {
-                    if let Some(s) = safra.as_mut() {
-                        s.token_hops += r.token_hops;
-                    }
-                }
-                if frames_on {
-                    for (acc, w) in frame_scratch.iter_mut().zip(&r.frame) {
-                        *acc |= *w;
-                    }
-                }
-            }
+            let mut r = shared.reports[0].lock().unwrap();
+            let active = r.active;
+            *in_network = add_delta(*in_network, r.d_in_network);
+            *queued_tasks = add_delta(*queued_tasks, r.d_queued);
+            *busy = (*busy as i64 + r.d_busy) as u32;
+            *io_pending -= r.io_injected;
             // First error in (network, then compute) × cell-id order — the
-            // same precedence the sequential phases produce.
+            // same precedence the sequential phases produce; the merge tree
+            // has already folded each phase to its minimum cell id.
+            let net_err = r.net_err.take();
+            let comp_err = r.comp_err.take();
             if error.is_none() {
                 *error = net_err.map(|(_, e)| e).or(comp_err.map(|(_, e)| e));
             }
+            if let Some(step) = r.token.take() {
+                apply_token_step(
+                    step,
+                    safra.as_mut().expect("token without detector"),
+                    token_alive,
+                    *cycle,
+                );
+            }
+            if r.token_hops > 0 {
+                if let Some(s) = safra.as_mut() {
+                    s.token_hops += r.token_hops;
+                }
+            }
+            if frames_on {
+                frame_scratch.copy_from_slice(&r.frame);
+            }
+            if steal_on {
+                // Next cycle's schedule: a pure function of this cycle's
+                // merged per-(band, row) counts, published before release.
+                let sched =
+                    steal_schedule(&r.row_active, n_shards, dims.y as usize, cfg.shard_break_even);
+                if !sched.is_empty() {
+                    *steal_rows += sched.len() as u64;
+                    *shared.steal.lock().unwrap() = sched;
+                    shared.steal_epoch.store(epoch + 1, Ordering::Release);
+                }
+            }
+            drop(r);
             match cfg.record_activity {
                 ActivityRecording::Off => {}
                 ActivityRecording::Counts => {
@@ -713,13 +991,17 @@ pub(crate) fn run_sharded<P: Program>(
     // Fold the per-shard accumulators back, in shard-id order.
     let mut outs = outcomes.into_inner().unwrap();
     outs.sort_by_key(|(sid, ..)| *sid);
-    for (_, fork, fork_counters, fork_loads) in outs {
+    for (sid, fork, fork_counters, fork_loads, contrib, executed) in outs {
         program.merge(fork);
         counters.merge(&fork_counters);
         for (total, shard) in loads.iter_mut().zip(&fork_loads) {
             total.delivered += shard.delivered;
             total.peak_queue = total.peak_queue.max(shard.peak_queue);
         }
+        for (total, c) in band_active.iter_mut().zip(&contrib) {
+            *total += *c;
+        }
+        exec_active[sid] += executed;
     }
     result
 }

@@ -28,6 +28,10 @@
 //!                    through labelled churn, oracle-checked per batch,
 //!                    with the cycle overhead vs a query-free twin
 //!                    (emits BENCH_queries.json)
+//!   balance          Hot-column churn with load balancing (cycle-barrier
+//!                    work stealing + hot-object migration) on vs off, at
+//!                    shard counts 1/2/4/8, with the cross-shard cycle
+//!                    identity asserted (emits BENCH_balance.json)
 //!   verify           Check streamed BFS against the reference oracle (§4)
 //!   all              Everything above, in order
 //! ```
@@ -76,6 +80,12 @@ struct Args {
     /// Reseed scoping of the headline `churn` run (the repair ablation
     /// always measures both modes).
     repair: RepairMode,
+    /// `--balance on|off` (default on): cycle-barrier work stealing in the
+    /// sharded engine. Stealing only changes which host worker executes a
+    /// row, never the simulation results, so this knob is safe to flip
+    /// under the determinism gate. The `balance` scenario sweeps both
+    /// settings regardless.
+    balance: bool,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +96,7 @@ fn parse_args() -> Args {
     let mut obs = None;
     let mut jobs = 0usize;
     let mut repair = RepairMode::Targeted;
+    let mut balance = true;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -117,18 +128,26 @@ fn parse_args() -> Args {
                     _ => die("invalid --repair (full|targeted)"),
                 };
             }
+            "--balance" => {
+                i += 1;
+                balance = match argv.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("invalid --balance (on|off)"),
+                };
+            }
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|verify|all> [--scale small|mid|full] [--out DIR] [--obs TRACE.jsonl] [--jobs N] [--repair full|targeted]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|balance|verify|all> [--scale small|mid|full] [--out DIR] [--obs TRACE.jsonl] [--jobs N] [--repair full|targeted] [--balance on|off]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     }
-    Args { command, scale, out, obs, jobs, repair }
+    Args { command, scale, out, obs, jobs, repair, balance }
 }
 
 fn die(msg: &str) -> ! {
@@ -140,9 +159,10 @@ fn presets(scale: Scale) -> Vec<GcPreset> {
     GcPreset::table1().into_iter().map(|p| scale.apply(p)).collect()
 }
 
-/// The chip every experiment runs on: paper platform, sharded per `--jobs`.
+/// The chip every experiment runs on: paper platform, sharded per `--jobs`,
+/// work stealing per `--balance`.
 fn chip_for(args: &Args) -> ChipConfig {
-    ChipConfig::default().with_shards(args.jobs)
+    ChipConfig::default().with_shards(args.jobs).with_work_stealing(args.balance)
 }
 
 /// Worker cap for fanning out *chip-running* scenarios. Each chip already
@@ -172,6 +192,7 @@ fn main() {
         "churn" => churn(&args),
         "serve" => serve(&args),
         "queries" => queries(&args),
+        "balance" => balance(&args),
         "verify" => verify(&args),
         "all" => {
             table1(&args);
@@ -187,6 +208,7 @@ fn main() {
             churn(&args);
             serve(&args);
             queries(&args);
+            balance(&args);
             verify(&args);
         }
         other => die(&format!("unknown command {other}")),
@@ -1157,6 +1179,205 @@ fn ablate_repair(
 // Serving mode: always-on ingestion, admission control, crash recovery.
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Load balancing: hot-column churn, stealing + migration on vs off.
+// ---------------------------------------------------------------------
+
+/// One `paper balance` measurement: the hot-column schedule streamed once
+/// at one shard count, with both balancing mechanisms on or off together.
+struct BalanceRun {
+    k: usize,
+    balanced: bool,
+    /// Per-batch simulated cycles. For a fixed balancing setting these are
+    /// identical at every shard count (asserted by the scenario).
+    cycles: Vec<u64>,
+    /// max/mean of per-band busy work attributed to the *executing* band;
+    /// equals the owner-band ratio when stealing is off.
+    exec_imb: f64,
+    /// Rows executed by a non-owner band.
+    steal_rows: u64,
+    /// Hot objects the host-side rebalancer moved between increments.
+    migrations: u64,
+    /// Host wall-clock (printed, never written to the artifact).
+    wall_ms: f64,
+}
+
+/// Hot-column churn for `paper balance`: every batch fans edges out of hub
+/// vertices that all sit in mesh column 0 under round-robin placement
+/// (vids ≡ 0 mod the mesh width), with a two-batch sliding window of
+/// deletes, so one band owns far more active rows than the rest of the
+/// chip unless balancing spreads the load.
+fn balance_schedule(n: u32, x: u32, batches: u32) -> Vec<Vec<sdgp_core::graph::GraphMutation>> {
+    use sdgp_core::graph::GraphMutation::{AddEdge, DelEdge};
+    const HUBS: u32 = 8;
+    const FAN: u32 = 48;
+    let hub_slots = n / x;
+    let mut added: Vec<Vec<(u32, u32, u32)>> = Vec::with_capacity(batches as usize);
+    let mut out = Vec::with_capacity(batches as usize);
+    for b in 0..batches {
+        let mut muts = Vec::new();
+        let mut batch_edges = Vec::new();
+        for h in 0..HUBS {
+            let hub = ((b * HUBS + h) % hub_slots) * x;
+            for j in 0..FAN {
+                let t = (hub + 1 + (j * 97 + b * 131 + h * 17) % (n - 1)) % n;
+                if t == hub {
+                    continue;
+                }
+                let e = (hub, t, 1 + j % 7);
+                batch_edges.push(e);
+                muts.push(AddEdge(e));
+            }
+        }
+        if b >= 2 {
+            muts.extend(added[b as usize - 2].iter().map(|&e| DelEdge(e)));
+        }
+        added.push(batch_edges);
+        out.push(muts);
+    }
+    out
+}
+
+/// Stream the schedule once. `balanced` turns on both mechanisms: the
+/// cycle-barrier steal scheduler inside the sharded engine and host-side
+/// hot-object migration between increments. Adaptive engine selection is
+/// off so every cycle runs sharded and the diagnostics cover the full run.
+fn balance_run(
+    n: u32,
+    sched: &[Vec<sdgp_core::graph::GraphMutation>],
+    k: usize,
+    balanced: bool,
+) -> BalanceRun {
+    use sdgp_core::apps::BfsAlgo;
+    use sdgp_core::graph::StreamingGraph;
+
+    let chip = ChipConfig { adaptive_shards: false, ..ChipConfig::default() }
+        .with_shards(k)
+        .with_work_stealing(balanced);
+    let start = std::time::Instant::now();
+    let mut g = StreamingGraph::builder(BfsAlgo::new(0))
+        .vertices(n)
+        .chip(chip)
+        .rpvo(RpvoConfig::default())
+        .migrate_hot(balanced)
+        .build()
+        .expect("graph construction");
+    let mut cycles = Vec::with_capacity(sched.len());
+    let mut migrations = 0;
+    for b in sched {
+        let r = g.stream_increment(b).expect("balance batch");
+        cycles.push(r.cycles);
+        migrations += r.migrations;
+    }
+    g.check_mirror_consistency().expect("mirrors agree after the schedule");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let chip = g.device().chip();
+    BalanceRun {
+        k,
+        balanced,
+        cycles,
+        exec_imb: amcca_sim::max_mean_ratio(chip.exec_active()),
+        steal_rows: chip.steal_rows(),
+        migrations,
+        wall_ms,
+    }
+}
+
+/// The `paper balance` scenario: the hot-column schedule at shard counts
+/// 1/2/4/8 with balancing on vs off, asserting that per-batch cycle counts
+/// are shard-count-independent under both settings, then reporting the
+/// busy-cycle imbalance drop. Emits `BENCH_balance.json` (simulation-only
+/// values — the determinism gate diffs it across `--jobs`).
+fn balance(args: &Args) {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const BATCHES: u32 = 8;
+
+    eprintln!(
+        "[balance] hot-column churn, balancing on vs off, shards 1/2/4/8, scale {:?}...",
+        args.scale
+    );
+    let chip = ChipConfig::default();
+    let n = (50_000 / args.scale.factor()).max(chip.dims.x as u32 * 8);
+    let sched = balance_schedule(n, chip.dims.x as u32, BATCHES);
+    let runs: Vec<BalanceRun> = run_tasks(
+        [false, true]
+            .iter()
+            .flat_map(|&bal| SHARD_COUNTS.iter().map(move |&k| (bal, k)))
+            .map(|(bal, k)| {
+                let sched = &sched;
+                move || balance_run(n, sched, k, bal)
+            })
+            .collect(),
+        CHIP_SCENARIO_WORKERS,
+    );
+    // The load balancers must be simulation-invisible: same per-batch
+    // cycles and the same migration decisions at every shard count.
+    for group in runs.chunks(SHARD_COUNTS.len()) {
+        for r in &group[1..] {
+            assert_eq!(r.cycles, group[0].cycles, "cycles diverged at {} shards", r.k);
+            assert_eq!(r.migrations, group[0].migrations, "migrations diverged at {} shards", r.k);
+        }
+    }
+
+    println!(
+        "\nLoad balancing: {n} vertices, {BATCHES} hot-column batches, \
+         work stealing + hot-object migration vs neither"
+    );
+    let header = [
+        "Shards",
+        "Balancing",
+        "Cycles",
+        "Busy imbalance",
+        "Stolen rows",
+        "Migrations",
+        "Wall (ms)",
+    ];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                if r.balanced { "on" } else { "off" }.to_string(),
+                r.cycles.iter().sum::<u64>().to_string(),
+                format!("{:.3}", r.exec_imb),
+                r.steal_rows.to_string(),
+                r.migrations.to_string(),
+                format!("{:.1}", r.wall_ms),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+
+    let at = |bal: bool, k: usize| {
+        runs.iter().find(|r| r.balanced == bal && r.k == k).expect("run present")
+    };
+    let (off4, on4) = (at(false, 4), at(true, 4));
+    let drop_pct = 100.0 * (off4.exec_imb - on4.exec_imb) / off4.exec_imb;
+    println!(
+        "  at 4 shards: busy-cycle imbalance {:.3} -> {:.3} ({:.1}% lower) with balancing on",
+        off4.exec_imb, on4.exec_imb, drop_pct
+    );
+
+    let dir = out_dir(&args.out);
+    let mut art = BenchArtifact::new("balance", args.scale);
+    art.push("n_vertices", n)
+        .push("batches", BATCHES)
+        .push("shard_counts", "1,2,4,8")
+        .push("cycles_total_off", at(false, 1).cycles.iter().sum::<u64>())
+        .push("cycles_total_on", at(true, 1).cycles.iter().sum::<u64>())
+        .push("migrations_off", at(false, 1).migrations)
+        .push("migrations_on", at(true, 1).migrations)
+        .push("cycles_identical_across_shards", true);
+    for &k in &SHARD_COUNTS {
+        art.push(&format!("imbalance_off_k{k}"), at(false, k).exec_imb)
+            .push(&format!("imbalance_on_k{k}"), at(true, k).exec_imb)
+            .push(&format!("steal_rows_on_k{k}"), at(true, k).steal_rows);
+    }
+    art.push("imbalance_drop_pct_k4", drop_pct);
+    art.write(&dir);
+    println!("  (json: {}/BENCH_balance.json)", args.out);
+}
+
 /// The `paper serve` scenario: boot the ingestion server fresh, drive it
 /// with concurrent churn clients over disjoint vertex slices (disjoint
 /// pairs keep concurrent submissions commutative), checkpoint, push a
@@ -1389,6 +1610,12 @@ fn serve(args: &Args) {
         std::fs::write(&snap_path, snap.to_json()).expect("write obs metrics snapshot");
         println!("  (obs: trace {trace_path}, snapshot {})", snap_path.display());
     }
+
+    // The store is scratch state for the crash/recover exercise; leaving
+    // its checkpoint + WAL under `--out` would dirty the determinism
+    // gate's `diff -r` across runs. Kept on failure (every check above
+    // panics before this line) for post-mortems.
+    std::fs::remove_dir_all(&store).expect("remove serve_store");
 }
 
 // ---------------------------------------------------------------------
