@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! obs_check <trace.jsonl> [snapshot.metrics.json]
+//! obs_check --bench <BENCH_*.json>...
 //! ```
 //!
 //! Every line of the JSONL trace must parse as a JSON object carrying the
 //! span schema (see `docs/OBSERVABILITY.md`): `ts_us`, `batch`, `muts`,
 //! `dur_us` as numbers and `span` as a non-empty string. The metrics
 //! snapshot, when given, must parse and carry the `counters`, `gauges`,
-//! and `histograms` maps. The first violation exits non-zero with the
-//! offending line — CI runs this over the uploaded artifacts so a schema
-//! regression fails the build, not someone's plotting script.
+//! and `histograms` maps. With `--bench`, each file is instead checked
+//! against the `BENCH_*.json` envelope (see `amcca_bench::BenchArtifact`):
+//! non-empty `scenario`, `scale`, and `git_describe` strings plus a
+//! non-empty flat `metrics` map. The first violation exits non-zero with
+//! the offending line — CI runs this over the uploaded artifacts so a
+//! schema regression fails the build, not someone's plotting script.
 
 use amcca_obs::json::{parse, Json};
 
@@ -33,10 +37,42 @@ fn check_trace_line(lineno: usize, line: &str) {
     }
 }
 
+/// Validate one `BENCH_*.json` artifact against the shared envelope.
+fn check_bench_artifact(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let v = parse(&text).unwrap_or_else(|e| die(&format!("{path} does not parse: {e}")));
+    for field in ["scenario", "scale", "git_describe"] {
+        match v.get(field).and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => die(&format!("{path} is missing the \"{field}\" string")),
+        }
+    }
+    let Some(Json::Obj(metrics)) = v.get("metrics") else {
+        die(&format!("{path} is missing the \"metrics\" map"));
+    };
+    if metrics.is_empty() {
+        die(&format!("{path} has an empty \"metrics\" map"));
+    }
+    println!(
+        "obs_check: {path}: scenario \"{}\" carries {} metrics",
+        v.get("scenario").and_then(Json::as_str).unwrap_or_default(),
+        metrics.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--bench") {
+        if args.len() < 2 {
+            die("usage: obs_check --bench <BENCH_*.json>...");
+        }
+        for path in &args[1..] {
+            check_bench_artifact(path);
+        }
+        return;
+    }
     let Some(trace_path) = args.first() else {
-        die("usage: obs_check <trace.jsonl> [snapshot.metrics.json]");
+        die("usage: obs_check <trace.jsonl> [snapshot.metrics.json] | obs_check --bench <BENCH_*.json>...");
     };
     let trace = std::fs::read_to_string(trace_path)
         .unwrap_or_else(|e| die(&format!("read {trace_path}: {e}")));

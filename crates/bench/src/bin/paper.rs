@@ -28,6 +28,11 @@
 //!                    through labelled churn, oracle-checked per batch,
 //!                    with the cycle overhead vs a query-free twin
 //!                    (emits BENCH_queries.json)
+//!   subscriptions    Push-based query subscriptions over labelled churn:
+//!                    per-batch result deltas pinned to the polled result
+//!                    sets, with maintenance + fan-out cost ablated over
+//!                    registered-query and subscriber counts
+//!                    (emits BENCH_subscriptions.json)
 //!   balance          Hot-column churn with load balancing (cycle-barrier
 //!                    work stealing + hot-object migration) on vs off, at
 //!                    shard counts 1/2/4/8, with the cross-shard cycle
@@ -142,7 +147,7 @@ fn parse_args() -> Args {
         i += 1;
     }
     if command.is_empty() {
-        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|balance|verify|all> [--scale small|mid|full] [--out DIR] [--obs TRACE.jsonl] [--jobs N] [--repair full|targeted] [--balance on|off]");
+        die("usage: paper <table1|table2|fig6|fig7|fig8|fig9|ablate-alloc|ablate-edgecap|ablate-ghosts|ablate-terminator|ablate-rhizomes|loadmap|skew|churn|serve|queries|subscriptions|balance|verify|all> [--scale small|mid|full] [--out DIR] [--obs TRACE.jsonl] [--jobs N] [--repair full|targeted] [--balance on|off]");
     }
     if jobs == 0 {
         jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -192,6 +197,7 @@ fn main() {
         "churn" => churn(&args),
         "serve" => serve(&args),
         "queries" => queries(&args),
+        "subscriptions" => subscriptions(&args),
         "balance" => balance(&args),
         "verify" => verify(&args),
         "all" => {
@@ -208,6 +214,7 @@ fn main() {
             churn(&args);
             serve(&args);
             queries(&args);
+            subscriptions(&args);
             balance(&args);
             verify(&args);
         }
@@ -1633,7 +1640,7 @@ fn queries(args: &Args) {
     use gc_datasets::{generate_churn, ChurnParams};
     use sdgp_core::apps::BfsAlgo;
     use sdgp_core::graph::StreamingGraph;
-    use sdgp_core::oracle_results;
+    use sdgp_core::oracle_results_multi;
 
     /// The standing panel: closures over the 3-letter alphabet the schedule
     /// labels its inserts from.
@@ -1684,7 +1691,7 @@ fn queries(args: &Args) {
             churn.live_labeled_after(i).iter().map(|&((u, v, _), label)| (u, v, label)).collect();
         let mut matches = Vec::with_capacity(PANEL.len());
         for (qid, q) in with_queries.registered_queries().iter().enumerate() {
-            let want = oracle_results(churn.n_vertices, &live, &q.dfa, q.source);
+            let want = oracle_results_multi(churn.n_vertices, &live, &q.dfa, &q.sources);
             let got = with_queries.query_results(qid as u32);
             assert_eq!(got, want, "batch {i}: query {qid} ({:?}) vs recompute", q.pattern);
             matches.push(got.len());
@@ -1757,6 +1764,195 @@ fn queries(args: &Args) {
         .push("oracle_checked_every_batch", true);
     art.write(&dir);
     println!("  (json: {}/BENCH_queries.json)", args.out);
+}
+
+// ---------------------------------------------------------------------
+// Subscriptions: push-based result deltas over the churn stream.
+// ---------------------------------------------------------------------
+
+/// The `paper subscriptions` scenario: the push half of standing queries.
+/// The same labelled churn schedule as `queries` streams against graphs
+/// with 1, 2, and 4 registered queries (the 4-query panel includes one
+/// multi-source registration); after every batch the incremental result
+/// deltas are drained, applied to running sets, and pinned against the
+/// polled result sets — the exact invariant subscribers depend on. Fan-out
+/// cost is then ablated over subscriber counts by encoding the same
+/// `QueryDelta` wire frames the server pushes, once per subscriber (the
+/// server's per-subscriber encode). Frame and byte counts are
+/// simulation-derived and deterministic; the encode wall time is printed
+/// but kept out of the CSV and JSON so the shard-determinism gate can diff
+/// them. Emits `subscriptions.csv` and `BENCH_subscriptions.json`.
+fn subscriptions(args: &Args) {
+    use amcca_serve::proto::Response;
+    use gc_datasets::{generate_churn, ChurnParams};
+    use sdgp_core::apps::BfsAlgo;
+    use sdgp_core::graph::StreamingGraph;
+    use std::time::Instant;
+
+    /// The registration panel, in registration order; sweeps take prefixes.
+    /// The last entry anchors one query at three sources to exercise the
+    /// shared-DFA multi-source path.
+    const PANEL: [(&str, &[u32]); 4] =
+        [("a.b*.c", &[0]), ("c+", &[0]), ("a?.b.c*", &[1]), ("b+", &[0, 1, 2])];
+    const QUERY_COUNTS: [usize; 3] = [1, 2, 4];
+    const SUB_COUNTS: [usize; 3] = [1, 4, 16];
+    const LABELS: u8 = 3;
+
+    eprintln!("[subscriptions] push deltas over labelled churn, scale {:?}...", args.scale);
+    let p = ChurnPreset::v50k().scaled_down(args.scale.factor());
+    let churn = generate_churn(&ChurnParams {
+        n_vertices: p.n_vertices,
+        batches: p.batches,
+        adds_per_batch: p.adds_per_batch,
+        window: p.window,
+        drain: true,
+        updates_per_batch: (p.adds_per_batch / 8).max(4),
+        order: Sampling::Edge,
+        labels: LABELS,
+        seed: p.seed,
+    });
+    let build = || {
+        StreamingGraph::builder(BfsAlgo::new(0))
+            .vertices(churn.n_vertices)
+            .chip(chip_for(args))
+            .rpvo(RpvoConfig::default())
+            .repair(args.repair)
+            .build()
+            .expect("graph construction")
+    };
+
+    // The query-free twin every maintenance overhead is measured against.
+    let mut baseline = build();
+    let mut b_cycles = 0u64;
+    for i in 0..churn.len() {
+        b_cycles += baseline
+            .stream_increment(&churn.batch(i).to_mutations())
+            .expect("baseline batch")
+            .cycles;
+    }
+
+    // (n_queries, n_subscribers, frames, bytes, cycles, fanout_us)
+    let mut rows: Vec<(usize, usize, u64, u64, u64, u128)> = Vec::new();
+    let mut csv = Vec::new();
+    for &nq in &QUERY_COUNTS {
+        let mut g = build();
+        for &(pattern, sources) in &PANEL[..nq] {
+            g.register_query_multi(pattern, sources).expect("panel pattern compiles");
+        }
+        // One canonical running set per query: every subscriber receives
+        // the same deltas, so the delta==polled-diff pin is checked once
+        // and only the per-subscriber encode is repeated.
+        let mut running: Vec<Vec<u32>> = (0..nq).map(|q| g.query_results(q as u32)).collect();
+        let mut cycles = 0u64;
+        let mut frames = vec![0u64; SUB_COUNTS.len()];
+        let mut bytes = vec![0u64; SUB_COUNTS.len()];
+        let mut fanout_us = vec![0u128; SUB_COUNTS.len()];
+        for i in 0..churn.len() {
+            let muts = churn.batch(i).to_mutations();
+            cycles += g.stream_increment(&muts).expect("queried batch run").cycles;
+            let deltas = g.take_query_deltas();
+            assert_eq!(deltas.len(), nq, "one delta record per registered query");
+            for d in &deltas {
+                let set = &mut running[d.qid as usize];
+                set.retain(|v| !d.removed.contains(v));
+                set.extend(&d.added);
+                set.sort_unstable();
+                assert_eq!(
+                    *set,
+                    g.query_results(d.qid),
+                    "batch {i}: delta-maintained set diverged from polled results (query {})",
+                    d.qid
+                );
+            }
+            // Fan-out: the server encodes one frame per changed query per
+            // subscriber; replay that work for each subscriber count.
+            for (si, &ns) in SUB_COUNTS.iter().enumerate() {
+                let t = Instant::now();
+                for _ in 0..ns {
+                    for d in deltas.iter().filter(|d| !d.is_empty()) {
+                        let frame = Response::QueryDelta {
+                            qid: d.qid,
+                            batch_seq: (i + 1) as u64,
+                            added: d.added.clone(),
+                            removed: d.removed.clone(),
+                        }
+                        .encode();
+                        frames[si] += 1;
+                        bytes[si] += frame.len() as u64;
+                    }
+                }
+                fanout_us[si] += t.elapsed().as_micros();
+            }
+        }
+        for (si, &ns) in SUB_COUNTS.iter().enumerate() {
+            rows.push((nq, ns, frames[si], bytes[si], cycles, fanout_us[si]));
+            csv.push(format!(
+                "{nq},{ns},{},{},{},{cycles},{b_cycles}",
+                churn.len(),
+                frames[si],
+                bytes[si]
+            ));
+        }
+    }
+
+    println!(
+        "\nSubscriptions: result-delta fan-out over {} labelled batches ({} vertices, window {})",
+        churn.len(),
+        churn.n_vertices,
+        p.window
+    );
+    let header = ["Queries", "Subs", "Frames", "Bytes", "Cycles", "Overhead", "Fanout ms"];
+    println!(
+        "{}",
+        format_table(
+            &header,
+            &rows
+                .iter()
+                .map(|&(nq, ns, frames, bytes, cycles, us)| {
+                    vec![
+                        nq.to_string(),
+                        ns.to_string(),
+                        frames.to_string(),
+                        bytes.to_string(),
+                        cycles.to_string(),
+                        format!("{:+.1}%", (cycles as f64 / b_cycles as f64 - 1.0) * 100.0),
+                        format!("{:.2}", us as f64 / 1000.0),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "  every batch pinned: applying each pushed delta to the running set \
+         reproduces the polled result set bit-identically"
+    );
+
+    let dir = out_dir(&args.out);
+    write_csv(
+        &dir.join("subscriptions.csv"),
+        "n_queries,n_subscribers,batches,delta_frames,delta_bytes,cycles,baseline_cycles",
+        csv,
+    );
+    println!("  (csv: {}/subscriptions.csv)", args.out);
+    let mut art = BenchArtifact::new("subscriptions", args.scale);
+    art.push("query_counts", QUERY_COUNTS.map(|q| q.to_string()).join(","))
+        .push("subscriber_counts", SUB_COUNTS.map(|s| s.to_string()).join(","))
+        .push("batches", churn.len())
+        .push("cycles_baseline", b_cycles);
+    for &(nq, ns, frames, bytes, cycles, _) in &rows {
+        if ns == SUB_COUNTS[SUB_COUNTS.len() - 1] {
+            art.push(&format!("cycles_q{nq}"), cycles)
+                .push(
+                    &format!("maintenance_overhead_pct_q{nq}"),
+                    (cycles as f64 / b_cycles as f64 - 1.0) * 100.0,
+                )
+                .push(&format!("delta_frames_q{nq}_s{ns}"), frames)
+                .push(&format!("delta_bytes_q{nq}_s{ns}"), bytes);
+        }
+    }
+    art.push("deltas_pinned_to_polled_results", true);
+    art.write(&dir);
+    println!("  (json: {}/BENCH_subscriptions.json)", args.out);
 }
 
 // ---------------------------------------------------------------------

@@ -203,6 +203,13 @@ pub struct GraphApp<G: VertexAlgo> {
     /// registry lives on the master app; per-shard forks clone it), so the
     /// vector is read-only during a run.
     pub(crate) queries: Vec<QueryDfa>,
+    /// `(qid, vid)` pairs recorded whenever a query-bit absorption turned on
+    /// an *accepting* automaton state at some object of the vertex — the
+    /// candidate set for the host's per-increment result-delta diff.
+    /// Duplicates possible (root, peers, and ghosts record independently);
+    /// the host dedups and re-checks the primary, so over-recording is
+    /// harmless. Commutative accumulator, folded back through [`App::merge`].
+    qaccept_touched: Vec<(u32, u32)>,
     scratch_edges: Vec<Edge>,
     scratch_ghosts: Vec<Address>,
     scratch_peers: Vec<Address>,
@@ -221,6 +228,7 @@ impl<G: VertexAlgo> GraphApp<G> {
             invalidated: Vec::new(),
             rejected: Vec::new(),
             queries: Vec::new(),
+            qaccept_touched: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
@@ -234,6 +242,14 @@ impl<G: VertexAlgo> GraphApp<G> {
     /// independently). The host dedups.
     pub fn take_repair_sets(&mut self) -> (Vec<u32>, Vec<u32>) {
         (std::mem::take(&mut self.invalidated), std::mem::take(&mut self.rejected))
+    }
+
+    /// Drain the `(qid, vid)` pairs whose accepting automaton bits turned on
+    /// since the last call — the candidate half of the host's incremental
+    /// result-delta computation (the other half is the repair-cleared
+    /// region). Duplicates possible; the host dedups.
+    pub fn take_query_touched(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.qaccept_touched)
     }
 
     /// Listing 6: insert an edge, spilling through ghost futures on overflow.
@@ -700,7 +716,7 @@ impl<G: VertexAlgo> GraphApp<G> {
         bits: u32,
     ) {
         ctx.charge(ctx.cost().state_update);
-        let new = {
+        let (new, vid) = {
             let Some(obj) = ctx.obj_mut(target.slot) else {
                 ctx.fail(SimError::BadAddress { addr: target, action: diffusive::ACT_QUERY });
                 return;
@@ -723,12 +739,20 @@ impl<G: VertexAlgo> GraphApp<G> {
                     }
                 }
             }
-            new
+            (new, obj.vid)
         };
         if new == 0 {
             return;
         }
         let Some(dfa) = self.queries.get(qid as usize) else { return };
+        if new & dfa.accepting_bits() != 0 {
+            // An accepting state just turned on somewhere in this vertex's
+            // object tree: flag the vertex as a result-delta candidate. Bits
+            // are monotone within a run, so the candidate set is exactly the
+            // end-minus-start accepting transition set — deterministic and
+            // shard-independent.
+            self.qaccept_touched.push((qid, vid));
+        }
         ctx.charge(ctx.cost().scan_per_edge * self.scratch_edges.len() as u32);
         for i in 0..self.scratch_edges.len() {
             let e = self.scratch_edges[i];
@@ -820,6 +844,7 @@ impl<G: VertexAlgo> App for GraphApp<G> {
             invalidated: Vec::new(),
             rejected: Vec::new(),
             queries: self.queries.clone(),
+            qaccept_touched: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_ghosts: Vec::new(),
             scratch_peers: Vec::new(),
@@ -831,6 +856,7 @@ impl<G: VertexAlgo> App for GraphApp<G> {
         self.algo.merge(worker.algo);
         self.invalidated.extend(worker.invalidated);
         self.rejected.extend(worker.rejected);
+        self.qaccept_touched.extend(worker.qaccept_touched);
     }
 
     fn construct(&mut self, req: &AllocRequest) -> Self::Object {

@@ -33,9 +33,11 @@ use crate::graph::{GraphBuilder, GraphMutation, StreamEdge, StreamingGraph};
 /// Magic bytes opening every checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"AMCK";
 /// Current checkpoint format version. Version 2 added a per-edge label byte
-/// and the registered standing-query list; version 1 files still decode
-/// (labels default to 0, no queries).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// and the registered standing-query list; version 3 widened each query's
+/// single source vertex to a source *list* (multi-source registration).
+/// Older files still decode: version 1 yields no labels and no queries,
+/// version 2 yields one-element source lists.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Why checkpoint bytes (or a mutation record) failed to decode or a
 /// restored graph failed its integrity check.
@@ -101,10 +103,11 @@ pub struct GraphCheckpoint {
     /// Converged per-vertex sync values at capture time (the restore-time
     /// fixpoint integrity check).
     pub sync_states: Vec<Option<u64>>,
-    /// Registered standing queries as `(pattern, source)` pairs, in
+    /// Registered standing queries as `(pattern, sources)` pairs, in
     /// registration (query-id) order. Restore re-registers them, which
-    /// recomputes their result sets from the rebuilt graph.
-    pub queries: Vec<(String, u32)>,
+    /// recomputes their result sets from the rebuilt graph. Version-2
+    /// files decode each query's single source into a one-element list.
+    pub queries: Vec<(String, Vec<u32>)>,
 }
 
 impl GraphCheckpoint {
@@ -118,7 +121,11 @@ impl GraphCheckpoint {
             labels: labeled.iter().map(|&(_, l)| l).collect(),
             promoted: g.promoted_vertices(),
             sync_states: g.sync_values(),
-            queries: g.registered_queries().iter().map(|q| (q.pattern.clone(), q.source)).collect(),
+            queries: g
+                .registered_queries()
+                .iter()
+                .map(|q| (q.pattern.clone(), q.sources.clone()))
+                .collect(),
         }
     }
 
@@ -147,8 +154,8 @@ impl GraphCheckpoint {
         if g.promoted_vertices() != self.promoted {
             return Err(CheckpointError::StateMismatch("promoted vertex set".into()));
         }
-        for (pattern, source) in &self.queries {
-            g.register_query(pattern, *source)
+        for (pattern, sources) in &self.queries {
+            g.register_query_multi(pattern, sources)
                 .map_err(|e| CheckpointError::BadQuery(e.to_string()))?;
         }
         Ok(g)
@@ -183,8 +190,11 @@ impl GraphCheckpoint {
             }
         }
         put_u32(&mut out, self.queries.len() as u32);
-        for (pattern, source) in &self.queries {
-            put_u32(&mut out, *source);
+        for (pattern, sources) in &self.queries {
+            put_u32(&mut out, sources.len() as u32);
+            for &s in sources {
+                put_u32(&mut out, s);
+            }
             put_u32(&mut out, pattern.len() as u32);
             out.extend_from_slice(pattern.as_bytes());
         }
@@ -237,12 +247,22 @@ impl GraphCheckpoint {
             let n_queries = r.u32()? as usize;
             queries.reserve(n_queries.min(1 << 16));
             for _ in 0..n_queries {
-                let source = r.u32()?;
+                // v2 stored one source; v3 stores a count-prefixed list.
+                let sources = if version >= 3 {
+                    let n_sources = r.u32()? as usize;
+                    let mut sources = Vec::with_capacity(n_sources.min(1 << 16));
+                    for _ in 0..n_sources {
+                        sources.push(r.u32()?);
+                    }
+                    sources
+                } else {
+                    vec![r.u32()?]
+                };
                 let len = r.u32()? as usize;
                 let pattern = std::str::from_utf8(r.bytes(len)?)
                     .map_err(|_| CheckpointError::BadQuery("pattern is not UTF-8".into()))?
                     .to_string();
-                queries.push((pattern, source));
+                queries.push((pattern, sources));
             }
         }
         Ok(GraphCheckpoint { n_vertices, edges, labels, promoted, sync_states, queries })
@@ -368,9 +388,42 @@ mod tests {
             labels: vec![0, 2, 26],
             promoted: vec![3, 7],
             sync_states: vec![Some(0), None, Some(12)],
-            queries: vec![("a.b*.c".into(), 0), ("z+".into(), 4)],
+            queries: vec![("a.b*.c".into(), vec![0]), ("z+".into(), vec![4, 7, 8])],
         };
         assert_eq!(GraphCheckpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn version_2_bytes_still_decode() {
+        // Hand-build a v2 image: label bytes present, query section carries
+        // a single u32 source per query (no source-count prefix).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut bytes, 2); // version
+        put_u32(&mut bytes, 4); // n_vertices
+        put_u64(&mut bytes, 1); // edge count
+        put_u32(&mut bytes, 0);
+        put_u32(&mut bytes, 1);
+        put_u32(&mut bytes, 5);
+        bytes.push(2); // label
+        put_u32(&mut bytes, 0); // promoted count
+        put_u32(&mut bytes, 1); // sync count
+        bytes.push(0); // None
+        put_u32(&mut bytes, 2); // query count
+        for (source, pattern) in [(0u32, "a.b*.c"), (3, "b+")] {
+            put_u32(&mut bytes, source);
+            put_u32(&mut bytes, pattern.len() as u32);
+            bytes.extend_from_slice(pattern.as_bytes());
+        }
+        let sum = fnv1a(&bytes);
+        put_u64(&mut bytes, sum);
+        let ck = GraphCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(
+            ck.queries,
+            vec![("a.b*.c".to_string(), vec![0]), ("b+".to_string(), vec![3])],
+            "v2 single sources widen to one-element lists"
+        );
+        assert_eq!(ck.labels, vec![2]);
     }
 
     #[test]
@@ -462,10 +515,15 @@ mod tests {
         ])
         .unwrap();
         g.register_query("a.b.c", 0).unwrap();
+        g.register_query_multi("b.c?", &[1, 2]).unwrap();
         assert_eq!(g.query_results(0), vec![3]);
+        assert_eq!(g.query_results(1), vec![2, 3]);
         let ck = GraphCheckpoint::capture(&g);
         assert_eq!(ck.labels, vec![1, 2, 3]);
-        assert_eq!(ck.queries, vec![("a.b.c".to_string(), 0)]);
+        assert_eq!(
+            ck.queries,
+            vec![("a.b.c".to_string(), vec![0]), ("b.c?".to_string(), vec![1, 2])]
+        );
         let restored = ck
             .restore(
                 StreamingGraph::builder(BfsAlgo::new(0))
@@ -475,6 +533,7 @@ mod tests {
             .unwrap();
         assert_eq!(restored.live_labeled_edges(), g.live_labeled_edges());
         assert_eq!(restored.query_results(0), vec![3]);
+        assert_eq!(restored.query_results(1), vec![2, 3], "multi-source query survives restore");
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::apps::algo::{
     delete_operon, insert_operon, update_weight_operon, GraphApp, VertexAlgo, ACT_DELETE,
     ACT_INSERT, ACT_RELAX, ACT_RESEED, ACT_UPDATE,
 };
-use crate::query::{compile, QueryError, StandingQuery};
+use crate::query::{compile, QueryDelta, QueryError, StandingQuery};
 use crate::rpvo::rhizome::{peer_sets, RhizomeDirectory};
 use crate::rpvo::{walk, Edge, RpvoConfig, VertexObj};
 use diffusive::{query_operon, query_reseed_operon, QUERY_ALL};
@@ -260,10 +260,19 @@ pub struct StreamingGraph<G: VertexAlgo> {
     /// Bookkeeping of the most recent increment's repair phase.
     last_repair: RepairStats,
     /// Registered standing queries, indexed by query id: the host-side half
-    /// of the query registry (pattern text, source, compiled automaton) —
+    /// of the query registry (pattern text, sources, compiled automaton) —
     /// checkpointed and re-registered on restore. The automata are mirrored
     /// into the fabric app, which maintains the per-object state bitsets.
     queries: Vec<StandingQuery>,
+    /// Per-query accepting-set snapshot as of the end of the previous
+    /// increment: one bitset over vertex ids per registered query, the
+    /// baseline [`StreamingGraph::stream_increment`] diffs against when
+    /// computing result deltas. Kept exactly in sync with what
+    /// [`StreamingGraph::query_results`] would have returned then.
+    qaccept: Vec<Vec<u64>>,
+    /// Result deltas of the most recent increment, one per registered query,
+    /// drained by [`StreamingGraph::take_query_deltas`].
+    last_deltas: Vec<QueryDelta>,
     /// Wall-clock observability handle (disabled by default). Pure
     /// observation: spans and counters never feed back into control flow,
     /// so enabling it cannot perturb the fixpoint (pinned by the
@@ -378,6 +387,8 @@ impl<G: VertexAlgo> GraphBuilder<G> {
             repair,
             last_repair: RepairStats::default(),
             queries: Vec::new(),
+            qaccept: Vec::new(),
+            last_deltas: Vec::new(),
             obs,
             seq: 0,
             migrate,
@@ -864,14 +875,21 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                 })
                 .collect();
             let suppressed = needs_repair && self.dev.app().propagate_algo;
+            let mut cleared: Vec<u32> = Vec::new();
             if !del_heads.is_empty() || suppressed {
-                let rq = {
+                let (rq, region) = {
                     let _s = obs.span("query_repair", bid, n_muts);
                     self.repair_queries(&del_heads, &touched)?
                 };
                 obs.counter_add("query.repair_cycles", rq.cycles);
                 report.absorb(rq);
+                cleared = region;
             }
+            // Result deltas: diff each query's current accepting set against
+            // the stored baseline, restricted to the candidate vertices this
+            // increment could have changed — the on-fabric recorded accepting
+            // transitions plus the repair-cleared region. No full rescan.
+            self.compute_query_deltas(&cleared);
         }
         // Quiescent: no retraction in flight, drained identities can go.
         self.ledger.prune_drained();
@@ -922,11 +940,15 @@ impl<G: VertexAlgo> StreamingGraph<G> {
     /// state on any surviving derivation path is re-fed either by its
     /// query's source seed or by a frontier in-neighbour's re-announcement,
     /// and monotone propagation rebuilds everything downstream.
+    /// Returns the run report and the cleared region (sorted vertex ids) so
+    /// the caller can fold the region into the result-delta candidate set —
+    /// host-side clearing is the one accepting-bit removal path the on-fabric
+    /// transition recorder cannot see.
     fn repair_queries(
         &mut self,
         del_heads: &[u32],
         touched: &[u32],
-    ) -> Result<RunReport, SimError> {
+    ) -> Result<(RunReport, Vec<u32>), SimError> {
         // Forward closure over surviving out-edges (the closure is a set, so
         // hash-order traversal cannot perturb the sorted result).
         let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
@@ -962,13 +984,15 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         frontier.dedup();
         let mut wave: Vec<Operon> = Vec::with_capacity(self.queries.len() + frontier.len());
         for (qid, q) in self.queries.iter().enumerate() {
-            wave.push(query_operon(self.rz.primary(q.source), qid as u32, q.dfa.start_bits()));
+            for &s in &q.sources {
+                wave.push(query_operon(self.rz.primary(s), qid as u32, q.dfa.start_bits()));
+            }
         }
         for &v in &frontier {
             wave.push(query_reseed_operon(self.rz.primary(v), QUERY_ALL));
         }
         self.dev.register_data_transfer(wave);
-        self.dev.run()
+        Ok((self.dev.run()?, region))
     }
 
     /// Stream an insert-only increment (the source paper's workload shape):
@@ -987,24 +1011,51 @@ impl<G: VertexAlgo> StreamingGraph<G> {
         self.dev.run()
     }
 
-    /// Register a standing label-constrained path query: compile `pattern`
-    /// (see [`crate::query::compile`] for the grammar), assign the next
-    /// query id, mirror the automaton into the fabric app, and seed the
-    /// closed start-state set at `source`'s primary root — a timed diffusion
-    /// run to quiescence that computes the query's current result set over
-    /// the live graph. From then on every [`Self::stream_increment`]
-    /// maintains the result incrementally.
+    /// Register a standing label-constrained path query anchored at a single
+    /// source vertex: sugar for [`Self::register_query_multi`] with one
+    /// source.
     pub fn register_query(&mut self, pattern: &str, source: u32) -> Result<u32, QueryError> {
+        self.register_query_multi(pattern, &[source])
+    }
+
+    /// Register a standing label-constrained path query anchored at several
+    /// source vertices at once: compile `pattern` (see
+    /// [`crate::query::compile`] for the grammar), assign the next query id,
+    /// mirror the automaton into the fabric app **once** (one compiled DFA,
+    /// one qbits plane regardless of source count), and seed the closed
+    /// start-state set at every source's primary root — a timed diffusion
+    /// run to quiescence that computes the union-over-sources result set.
+    /// From then on every [`Self::stream_increment`] maintains the result
+    /// incrementally and reports its per-increment delta
+    /// ([`Self::take_query_deltas`]).
+    ///
+    /// `sources` is deduplicated and sorted at registration; it must be
+    /// non-empty ([`QueryError::NoSources`]) and in range
+    /// ([`QueryError::SourceOutOfRange`]).
+    pub fn register_query_multi(
+        &mut self,
+        pattern: &str,
+        sources: &[u32],
+    ) -> Result<u32, QueryError> {
         let dfa = compile(pattern)?;
-        if source >= self.n_vertices() {
-            return Err(QueryError::SourceOutOfRange { source, n: self.n_vertices() });
+        if sources.is_empty() {
+            return Err(QueryError::NoSources);
+        }
+        let mut sources = sources.to_vec();
+        sources.sort_unstable();
+        sources.dedup();
+        for &s in &sources {
+            if s >= self.n_vertices() {
+                return Err(QueryError::SourceOutOfRange { source: s, n: self.n_vertices() });
+            }
         }
         let qid = self.queries.len() as u32;
         self.dev.app_mut().queries.push(dfa.clone());
-        self.queries.push(StandingQuery { pattern: pattern.to_string(), source, dfa });
-        let seed =
-            query_operon(self.rz.primary(source), qid, self.queries[qid as usize].dfa.start_bits());
-        self.dev.register_data_transfer([seed]);
+        let start = dfa.start_bits();
+        let wave: Vec<Operon> =
+            sources.iter().map(|&s| query_operon(self.rz.primary(s), qid, start)).collect();
+        self.queries.push(StandingQuery { pattern: pattern.to_string(), sources, dfa });
+        self.dev.register_data_transfer(wave);
         let obs = self.obs.clone();
         obs.counter_add("query.registered", 1);
         let report = {
@@ -1012,13 +1063,22 @@ impl<G: VertexAlgo> StreamingGraph<G> {
             self.dev.run().expect("query registration diffusion")
         };
         obs.counter_add("query.repair_cycles", report.cycles);
+        // The registration diffusion is the query's baseline, not a delta:
+        // discard its transition records and snapshot the accepting set.
+        let _ = self.dev.app_mut().take_query_touched();
+        let words = (self.n_vertices() as usize).div_ceil(64);
+        let mut plane = vec![0u64; words];
+        for v in self.query_results(qid) {
+            plane[(v / 64) as usize] |= 1 << (v % 64);
+        }
+        self.qaccept.push(plane);
         Ok(qid)
     }
 
     /// Current result set of registered query `qid`: the sorted vertex ids
     /// whose automaton-state bitset contains an accepting state — i.e. the
-    /// vertices reachable from the query's source along a path whose label
-    /// word matches the pattern. Empty for an unknown id.
+    /// vertices reachable from any of the query's sources along a path whose
+    /// label word matches the pattern. Empty for an unknown id.
     pub fn query_results(&self, qid: u32) -> Vec<u32> {
         let Some(q) = self.queries.get(qid as usize) else { return Vec::new() };
         let accepting = q.dfa.accepting_bits();
@@ -1028,6 +1088,59 @@ impl<G: VertexAlgo> StreamingGraph<G> {
                 obj.qbits_get(qid) & accepting != 0
             })
             .collect()
+    }
+
+    /// Drain the result-set deltas of the most recent increment: one
+    /// [`QueryDelta`] per registered query (empty `added`/`removed` when
+    /// that query's results did not change), pinned bit-identical to diffing
+    /// [`Self::query_results`] before and after the increment. Computed
+    /// incrementally from the transitions the batch actually caused, not by
+    /// rescanning the vertex set. Empty if no increment ran since the last
+    /// drain (or no queries are registered).
+    pub fn take_query_deltas(&mut self) -> Vec<QueryDelta> {
+        std::mem::take(&mut self.last_deltas)
+    }
+
+    /// Diff each query's current accepting set against the stored baseline
+    /// over the candidate vertices only (recorded accepting transitions ∪
+    /// `cleared`), update the baseline, and store the deltas for
+    /// [`Self::take_query_deltas`]. Candidates may over-approximate — every
+    /// candidate is re-checked against the primary root — but must cover:
+    /// an accepting bit can only turn **on** through `absorb_query_bits`
+    /// (recorded on-fabric; mirror replication cannot create a transition
+    /// the primary never saw) and can only turn **off** through the
+    /// repair-time host clear (`cleared`).
+    fn compute_query_deltas(&mut self, cleared: &[u32]) {
+        let touched = self.dev.app_mut().take_query_touched();
+        let mut deltas = Vec::with_capacity(self.queries.len());
+        for qid in 0..self.queries.len() {
+            let accepting = self.queries[qid].dfa.accepting_bits();
+            let mut cands: Vec<u32> = touched
+                .iter()
+                .filter(|&&(tq, _)| tq == qid as u32)
+                .map(|&(_, v)| v)
+                .chain(cleared.iter().copied())
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            let mut added = Vec::new();
+            let mut removed = Vec::new();
+            for v in cands {
+                let obj = self.dev.object(self.rz.primary(v)).expect("root object live");
+                let now = obj.qbits_get(qid as u32) & accepting != 0;
+                let (w, b) = ((v / 64) as usize, v % 64);
+                let before = self.qaccept[qid][w] >> b & 1 != 0;
+                if now && !before {
+                    self.qaccept[qid][w] |= 1 << b;
+                    added.push(v);
+                } else if !now && before {
+                    self.qaccept[qid][w] &= !(1 << b);
+                    removed.push(v);
+                }
+            }
+            deltas.push(QueryDelta { qid: qid as u32, added, removed });
+        }
+        self.last_deltas = deltas;
     }
 
     /// The registered standing queries, indexed by query id (checkpoints
@@ -1964,7 +2077,7 @@ mod tests {
         let q = &g.registered_queries()[qid as usize];
         let edges: Vec<(u32, u32, u8)> =
             g.live_labeled_edges().iter().map(|&((u, v, _), l)| (u, v, l)).collect();
-        let want = crate::query::oracle_results(g.n_vertices(), &edges, &q.dfa, q.source);
+        let want = crate::query::oracle_results_multi(g.n_vertices(), &edges, &q.dfa, &q.sources);
         assert_eq!(g.query_results(qid), want, "query {qid} ({})", q.pattern);
     }
 

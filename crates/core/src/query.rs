@@ -46,6 +46,9 @@ pub enum QueryError {
         /// Number of vertices in the graph.
         n: u32,
     },
+    /// A multi-source registration named no sources at all — the query
+    /// could never match anything.
+    NoSources,
 }
 
 impl fmt::Display for QueryError {
@@ -60,6 +63,7 @@ impl fmt::Display for QueryError {
             QueryError::SourceOutOfRange { source, n } => {
                 write!(f, "query source {source} out of range (graph has {n} vertices)")
             }
+            QueryError::NoSources => write!(f, "query registered with no source vertices"),
         }
     }
 }
@@ -212,16 +216,42 @@ pub fn compile(pattern: &str) -> Result<QueryDfa, QueryError> {
     Ok(QueryDfa { n_states: (k + 1) as u8, start: eps(0), accepting: 1 << k, steps })
 }
 
-/// One registered standing query: the source pattern, the source vertex the
-/// paths are anchored at, and the compiled automaton.
+/// One registered standing query: the source pattern, the source vertices
+/// the paths are anchored at, and the compiled automaton. All sources share
+/// one compiled DFA and one qbits plane — a vertex matches if a matching
+/// path reaches it from *any* source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StandingQuery {
     /// The pattern as registered (re-compiled on checkpoint restore).
     pub pattern: String,
-    /// The vertex every matching path must start from.
-    pub source: u32,
+    /// The vertices a matching path may start from (sorted, deduplicated
+    /// at registration; single-source registration yields one entry).
+    pub sources: Vec<u32>,
     /// The compiled automaton.
     pub dfa: QueryDfa,
+}
+
+/// One standing query's result-set change across a single increment:
+/// vertices that entered (`added`) and left (`removed`) the accepting set,
+/// both sorted ascending. Computed incrementally in `stream_increment`
+/// from the qbits transitions the batch actually caused — not a rescan —
+/// and pinned bit-identical to diffing the polled result sets before and
+/// after the batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryDelta {
+    /// The query the delta belongs to.
+    pub qid: u32,
+    /// Vertices that newly match, ascending.
+    pub added: Vec<u32>,
+    /// Vertices that no longer match, ascending.
+    pub removed: Vec<u32>,
+}
+
+impl QueryDelta {
+    /// True when the increment left the result set unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
 }
 
 /// From-scratch product-state recompute: the least fixpoint of automaton
@@ -235,7 +265,19 @@ pub fn oracle_results(
     dfa: &QueryDfa,
     source: u32,
 ) -> Vec<u32> {
-    let bits = oracle_bits(n_vertices, edges, dfa, source);
+    oracle_results_multi(n_vertices, edges, dfa, &[source])
+}
+
+/// [`oracle_results`] for a multi-source query: start states are seeded at
+/// every source, sharing one automaton — exactly the semantics of
+/// `register_query_multi`.
+pub fn oracle_results_multi(
+    n_vertices: u32,
+    edges: &[(u32, u32, u8)],
+    dfa: &QueryDfa,
+    sources: &[u32],
+) -> Vec<u32> {
+    let bits = oracle_bits_multi(n_vertices, edges, dfa, sources);
     (0..n_vertices).filter(|&v| dfa.accepts(bits[v as usize])).collect()
 }
 
@@ -247,15 +289,27 @@ pub fn oracle_bits(
     dfa: &QueryDfa,
     source: u32,
 ) -> Vec<u32> {
+    oracle_bits_multi(n_vertices, edges, dfa, &[source])
+}
+
+/// The per-vertex fixpoint bitsets behind [`oracle_results_multi`].
+pub fn oracle_bits_multi(
+    n_vertices: u32,
+    edges: &[(u32, u32, u8)],
+    dfa: &QueryDfa,
+    sources: &[u32],
+) -> Vec<u32> {
     let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n_vertices as usize];
     for &(u, v, label) in edges {
         adj[u as usize].push((v, label));
     }
     let mut bits = vec![0u32; n_vertices as usize];
     let mut queue = VecDeque::new();
-    if source < n_vertices {
-        bits[source as usize] = dfa.start_bits();
-        queue.push_back(source);
+    for &source in sources {
+        if source < n_vertices && bits[source as usize] != dfa.start_bits() {
+            bits[source as usize] = dfa.start_bits();
+            queue.push_back(source);
+        }
     }
     while let Some(u) = queue.pop_front() {
         let ub = bits[u as usize];
@@ -378,5 +432,24 @@ mod tests {
         let dfa = compile("a.b").unwrap();
         let bits = oracle_bits(3, &[(0, 1, A), (1, 2, B)], &dfa, 0);
         assert_eq!(bits, vec![0b001, 0b010, 0b100]);
+    }
+
+    #[test]
+    fn multi_source_oracle_unions_the_anchors() {
+        // Two disjoint a-chains anchored at 0 and 3.
+        let edges = [(0, 1, A), (3, 4, A)];
+        let dfa = compile("a").unwrap();
+        assert_eq!(oracle_results_multi(5, &edges, &dfa, &[0, 3]), vec![1, 4]);
+        assert_eq!(oracle_results_multi(5, &edges, &dfa, &[0, 0, 3]), vec![1, 4], "dups harmless");
+        assert_eq!(oracle_results_multi(5, &edges, &dfa, &[]), Vec::<u32>::new());
+        // The multi-source fixpoint is exactly the union of the per-source
+        // fixpoints (the product construction is monotone in start seeds).
+        let mut union: Vec<u32> = oracle_results(5, &edges, &dfa, 0)
+            .into_iter()
+            .chain(oracle_results(5, &edges, &dfa, 3))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(oracle_results_multi(5, &edges, &dfa, &[0, 3]), union);
     }
 }

@@ -43,7 +43,7 @@ pub mod wal;
 
 pub use admission::{Admission, AdmissionConfig, Decision};
 pub use bucket::TokenBucket;
-pub use client::{Client, Submission};
+pub use client::{Client, SubEvent, Submission};
 pub use proto::ServerStats;
 pub use server::{BootReport, IngestCore, ServeConfig, Server, ServerReport};
 pub use wal::{Store, WalRecord};

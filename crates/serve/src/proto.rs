@@ -103,6 +103,30 @@ pub enum Request {
     /// accumulated (empty when the server runs with observability
     /// disabled). The simulated-time counters stay on [`Request::Stats`].
     ObsStats,
+    /// Subscribe to push-delivered result deltas of a registered standing
+    /// query. The server answers [`Response::Subscribed`] with the current
+    /// result snapshot (the subscriber's baseline), then pushes one
+    /// [`Response::QueryDelta`] after every increment that changes the
+    /// result set — or [`Response::Resync`] if the subscriber fell behind.
+    Subscribe {
+        /// The id [`Response::QueryId`] assigned at registration.
+        qid: u32,
+    },
+    /// Cancel a subscription; acknowledged with [`Response::Done`]. Deltas
+    /// already queued may still arrive before the ack.
+    Unsubscribe {
+        /// The subscribed query id.
+        qid: u32,
+    },
+    /// Register a standing query anchored at several source vertices at
+    /// once (one compiled automaton, one state plane — results are the
+    /// union over sources). Answered with [`Response::QueryId`].
+    RegisterQueryMulti {
+        /// Query pattern over edge labels (e.g. `a.b*.c`).
+        pattern: String,
+        /// Source vertices the paths may start from (non-empty).
+        sources: Vec<u32>,
+    },
 }
 
 impl Request {
@@ -135,6 +159,26 @@ impl Request {
                 out
             }
             Request::ObsStats => vec![9],
+            Request::Subscribe { qid } => {
+                let mut out = vec![10];
+                out.extend_from_slice(&qid.to_le_bytes());
+                out
+            }
+            Request::Unsubscribe { qid } => {
+                let mut out = vec![11];
+                out.extend_from_slice(&qid.to_le_bytes());
+                out
+            }
+            Request::RegisterQueryMulti { pattern, sources } => {
+                let mut out = Vec::with_capacity(5 + sources.len() * 4 + pattern.len());
+                out.push(12);
+                out.extend_from_slice(&(sources.len() as u32).to_le_bytes());
+                for s in sources {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                out.extend_from_slice(pattern.as_bytes());
+                out
+            }
         }
     }
 
@@ -161,6 +205,25 @@ impl Request {
                 qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
             }),
             Some((9, [])) => Ok(Request::ObsStats),
+            Some((10, rest)) if rest.len() == 4 => Ok(Request::Subscribe {
+                qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
+            }),
+            Some((11, rest)) if rest.len() == 4 => Ok(Request::Unsubscribe {
+                qid: u32::from_le_bytes(rest.try_into().expect("4 bytes")),
+            }),
+            Some((12, rest)) if rest.len() >= 4 => {
+                let n = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+                let end = 4 + n * 4;
+                let body = rest.get(4..end).ok_or_else(|| malformed("short source list"))?;
+                let sources = body
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .collect();
+                let pattern = std::str::from_utf8(&rest[end..])
+                    .map_err(|_| malformed("query pattern is not UTF-8"))?
+                    .to_string();
+                Ok(Request::RegisterQueryMulti { pattern, sources })
+            }
             _ => Err(malformed("unknown request")),
         }
     }
@@ -202,6 +265,64 @@ pub enum Response {
     /// The live observability snapshot (see [`Request::ObsStats`]), carried
     /// in [`MetricsSnapshot::encode`]'s binary codec.
     ObsStats(MetricsSnapshot),
+    /// Subscription opened: the query's full result set as of increment
+    /// `batch_seq` — the baseline every following [`Response::QueryDelta`]
+    /// applies on top of.
+    Subscribed {
+        /// The subscribed query id.
+        qid: u32,
+        /// Increment sequence number the snapshot is current as of.
+        batch_seq: u64,
+        /// Matching vertex ids, ascending.
+        results: Vec<u32>,
+    },
+    /// Pushed after an increment that changed a subscribed query's result
+    /// set: apply `added`/`removed` to the running set. Bit-identical to
+    /// diffing polled [`Response::Matches`] before and after the increment.
+    QueryDelta {
+        /// The subscribed query id.
+        qid: u32,
+        /// Increment sequence number that produced the delta.
+        batch_seq: u64,
+        /// Vertices that newly match, ascending.
+        added: Vec<u32>,
+        /// Vertices that no longer match, ascending.
+        removed: Vec<u32>,
+    },
+    /// Pushed instead of deltas when the subscriber's outbox overflowed:
+    /// one or more deltas were dropped, so the running set is stale —
+    /// replace it wholesale with this snapshot and continue from
+    /// `batch_seq`.
+    Resync {
+        /// The subscribed query id.
+        qid: u32,
+        /// Increment sequence number the snapshot is current as of.
+        batch_seq: u64,
+        /// Matching vertex ids, ascending.
+        results: Vec<u32>,
+    },
+}
+
+/// Append `vs` to `out` as a `u32` count followed by the values.
+fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Read a count-prefixed `u32` list from `rest` at `at`; returns the list
+/// and the offset one past it.
+fn get_u32s(rest: &[u8], at: usize) -> io::Result<(Vec<u32>, usize)> {
+    let n = rest
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .ok_or_else(|| malformed("short list count"))? as usize;
+    let end = at + 4 + n * 4;
+    let body = rest.get(at + 4..end).ok_or_else(|| malformed("short u32 list"))?;
+    let vs =
+        body.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes"))).collect();
+    Ok((vs, end))
 }
 
 impl Response {
@@ -278,6 +399,31 @@ impl Response {
                 out.extend_from_slice(&body);
                 out
             }
+            Response::Subscribed { qid, batch_seq, results } => {
+                let mut out = Vec::with_capacity(17 + results.len() * 4);
+                out.push(10);
+                out.extend_from_slice(&qid.to_le_bytes());
+                out.extend_from_slice(&batch_seq.to_le_bytes());
+                put_u32s(&mut out, results);
+                out
+            }
+            Response::QueryDelta { qid, batch_seq, added, removed } => {
+                let mut out = Vec::with_capacity(21 + (added.len() + removed.len()) * 4);
+                out.push(11);
+                out.extend_from_slice(&qid.to_le_bytes());
+                out.extend_from_slice(&batch_seq.to_le_bytes());
+                put_u32s(&mut out, added);
+                put_u32s(&mut out, removed);
+                out
+            }
+            Response::Resync { qid, batch_seq, results } => {
+                let mut out = Vec::with_capacity(17 + results.len() * 4);
+                out.push(12);
+                out.extend_from_slice(&qid.to_le_bytes());
+                out.extend_from_slice(&batch_seq.to_le_bytes());
+                put_u32s(&mut out, results);
+                out
+            }
         }
     }
 
@@ -348,6 +494,34 @@ impl Response {
             Some((9, rest)) => {
                 MetricsSnapshot::decode(rest).map(Response::ObsStats).map_err(|e| malformed(&e))
             }
+            Some((10, rest)) if rest.len() >= 12 => {
+                let qid = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+                let batch_seq = u64_at(rest, 4)?;
+                let (results, end) = get_u32s(rest, 12)?;
+                if end != rest.len() {
+                    return Err(malformed("trailing bytes after snapshot"));
+                }
+                Ok(Response::Subscribed { qid, batch_seq, results })
+            }
+            Some((11, rest)) if rest.len() >= 12 => {
+                let qid = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+                let batch_seq = u64_at(rest, 4)?;
+                let (added, mid) = get_u32s(rest, 12)?;
+                let (removed, end) = get_u32s(rest, mid)?;
+                if end != rest.len() {
+                    return Err(malformed("trailing bytes after delta"));
+                }
+                Ok(Response::QueryDelta { qid, batch_seq, added, removed })
+            }
+            Some((12, rest)) if rest.len() >= 12 => {
+                let qid = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+                let batch_seq = u64_at(rest, 4)?;
+                let (results, end) = get_u32s(rest, 12)?;
+                if end != rest.len() {
+                    return Err(malformed("trailing bytes after snapshot"));
+                }
+                Ok(Response::Resync { qid, batch_seq, results })
+            }
             _ => Err(malformed("unknown response")),
         }
     }
@@ -377,6 +551,10 @@ mod tests {
             Request::RegisterQuery { pattern: "".into(), source: 0 },
             Request::QueryResults { qid: 3 },
             Request::ObsStats,
+            Request::Subscribe { qid: 2 },
+            Request::Unsubscribe { qid: 2 },
+            Request::RegisterQueryMulti { pattern: "a.b*.c".into(), sources: vec![0, 5, 9] },
+            Request::RegisterQueryMulti { pattern: "d+".into(), sources: vec![] },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -416,12 +594,21 @@ mod tests {
                 obs.observe("span.wal_append_ns", 120_000);
                 obs.snapshot()
             }),
+            Response::Subscribed { qid: 1, batch_seq: 42, results: vec![3, 7, 11] },
+            Response::Subscribed { qid: 0, batch_seq: 0, results: vec![] },
+            Response::QueryDelta { qid: 1, batch_seq: 43, added: vec![2], removed: vec![3, 7] },
+            Response::QueryDelta { qid: 9, batch_seq: 1, added: vec![], removed: vec![] },
+            Response::Resync { qid: 1, batch_seq: 50, results: vec![2, 11] },
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
         assert!(Response::decode(&[99]).is_err());
         assert!(Response::decode(&[8, 2, 0, 0, 0, 1, 0, 0, 0]).is_err(), "short match list");
+        let mut short_delta =
+            Response::QueryDelta { qid: 1, batch_seq: 2, added: vec![4], removed: vec![] }.encode();
+        short_delta.truncate(short_delta.len() - 2);
+        assert!(Response::decode(&short_delta).is_err(), "short delta list");
     }
 
     #[test]

@@ -32,13 +32,30 @@
 //! acknowledges each one only after that increment converged — a
 //! `Submitted` reply means the mutation is durable (WAL) *and* its
 //! fixpoint is queryable.
+//!
+//! ## Subscriptions
+//!
+//! A connection that sends [`Request::Subscribe`] turns into a **push
+//! subscriber**: a dedicated pusher thread becomes the connection's sole
+//! socket writer, draining a per-subscriber bounded outbox
+//! (`PushChannel`). The ingest thread computes each increment's
+//! result-set deltas inside `stream_increment` (incrementally, from the
+//! qbits transitions the batch caused) and fans them out **after the batch
+//! acks**, so push latency never delays durability acknowledgements.
+//! Subscribe and unsubscribe are routed through the ingest thread, which
+//! makes the baseline snapshot atomic with the delta stream: a subscriber
+//! sees `Subscribed` at increment `s`, then every delta for `s+1, s+2, …`
+//! in order. A slow subscriber's outbox never grows without bound —
+//! past `MAX_QUEUED_DELTAS` the queued deltas are replaced by one
+//! [`Response::Resync`] snapshot per subscribed query.
 
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -149,12 +166,12 @@ impl<G: VertexAlgo> IngestCore<G> {
                     tail_mutations += batch.len();
                     core.replay(batch)?;
                 }
-                WalRecord::Register { pattern, source } => {
+                WalRecord::Register { pattern, sources } => {
                     // Re-register without a WAL append (the record is
                     // already on disk); replay order reproduces the query
                     // id assignment.
                     tail_queries += 1;
-                    core.graph.register_query(pattern, *source).map_err(|e| {
+                    core.graph.register_query_multi(pattern, sources).map_err(|e| {
                         ServeError::WalReplay(format!("query {pattern:?} no longer registers: {e}"))
                     })?;
                 }
@@ -275,18 +292,41 @@ impl<G: VertexAlgo> IngestCore<G> {
     /// *before* the graph registration runs, so a crash at any point either
     /// recovers the query or never acknowledged it. Returns the query id.
     pub fn register_query(&mut self, pattern: &str, source: u32) -> Result<u32, ServeError> {
-        // Validate first so a bad pattern never hits the WAL.
+        self.register_query_multi(pattern, &[source])
+    }
+
+    /// Register a standing path query anchored at several sources (one
+    /// compiled automaton, one state plane; results are the union over
+    /// sources), with the same durability ordering as
+    /// [`Self::register_query`].
+    pub fn register_query_multi(
+        &mut self,
+        pattern: &str,
+        sources: &[u32],
+    ) -> Result<u32, ServeError> {
+        // Validate first so a bad pattern or source list never hits the WAL.
         sdgp_core::query::compile(pattern).map_err(ServeError::Query)?;
-        if source >= self.graph.n_vertices() {
-            return Err(ServeError::Query(sdgp_core::query::QueryError::SourceOutOfRange {
-                source,
-                n: self.graph.n_vertices(),
-            }));
+        if sources.is_empty() {
+            return Err(ServeError::Query(sdgp_core::query::QueryError::NoSources));
         }
-        let wal_bytes = self.store.append_register(pattern, source)?;
+        for &source in sources {
+            if source >= self.graph.n_vertices() {
+                return Err(ServeError::Query(sdgp_core::query::QueryError::SourceOutOfRange {
+                    source,
+                    n: self.graph.n_vertices(),
+                }));
+            }
+        }
+        let wal_bytes = self.store.append_register(pattern, sources)?;
         self.obs.counter_add("wal.appends", 1);
         self.obs.counter_add("wal.bytes", wal_bytes);
-        self.graph.register_query(pattern, source).map_err(ServeError::Query)
+        self.graph.register_query_multi(pattern, sources).map_err(ServeError::Query)
+    }
+
+    /// Drain the result-set deltas of the most recent increment (see
+    /// [`StreamingGraph::take_query_deltas`]).
+    pub fn take_query_deltas(&mut self) -> Vec<sdgp_core::QueryDelta> {
+        self.graph.take_query_deltas()
     }
 
     /// Current matches of a registered standing query (applied state only).
@@ -331,12 +371,125 @@ enum Cmd {
     Submit { muts: Vec<GraphMutation>, reply: mpsc::SyncSender<Response> },
     Query { reply: mpsc::SyncSender<Response> },
     RegisterQuery { pattern: String, source: u32, reply: mpsc::SyncSender<Response> },
+    RegisterQueryMulti { pattern: String, sources: Vec<u32>, reply: mpsc::SyncSender<Response> },
     QueryResults { qid: u32, reply: mpsc::SyncSender<Response> },
+    Subscribe { client_id: u32, qid: u32, reply: mpsc::SyncSender<Response> },
+    Unsubscribe { client_id: u32, qid: u32, reply: mpsc::SyncSender<Response> },
     Checkpoint { reply: mpsc::SyncSender<Response> },
     Stats { reply: mpsc::SyncSender<Response> },
     ObsStats { reply: mpsc::SyncSender<Response> },
     Shutdown { reply: mpsc::SyncSender<Response> },
     Kill { reply: mpsc::SyncSender<Response> },
+}
+
+/// Most delta frames a slow subscriber may have queued before the server
+/// stops queueing deltas and degrades to a [`Response::Resync`] snapshot
+/// per subscribed query (see `PushChannel::push_delta`).
+const MAX_QUEUED_DELTAS: usize = 64;
+
+/// A subscriber connection's bounded outbox: encoded response frames
+/// drained to the socket by the connection's pusher thread (the sole
+/// socket writer once a connection subscribes). Frames come in two
+/// classes — request **replies**, which are never dropped, and pushed
+/// **deltas**, which are bounded by [`MAX_QUEUED_DELTAS`] and degrade to a
+/// resync snapshot on overflow — so a stalled subscriber can slow its own
+/// event stream but can never grow server memory without bound or lose a
+/// request reply.
+struct PushChannel {
+    inner: Mutex<Outbox>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct Outbox {
+    /// `(droppable, encoded frame)` in send order; `droppable` marks delta
+    /// frames, the class the overflow policy may discard.
+    frames: VecDeque<(bool, Vec<u8>)>,
+    /// Count of droppable frames currently queued.
+    deltas: usize,
+    closed: bool,
+}
+
+impl PushChannel {
+    fn new() -> Arc<PushChannel> {
+        Arc::new(PushChannel { inner: Mutex::new(Outbox::default()), cv: Condvar::new() })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Outbox> {
+        self.inner.lock().expect("outbox lock poisoned")
+    }
+
+    /// Enqueue a request reply (never dropped).
+    fn push_reply(&self, frame: Vec<u8>) {
+        let mut o = self.lock();
+        if !o.closed {
+            o.frames.push_back((false, frame));
+            self.cv.notify_one();
+        }
+    }
+
+    /// Enqueue a pushed delta; `Err` when the subscriber is at the bound
+    /// (the caller degrades to a resync).
+    fn push_delta(&self, frame: Vec<u8>) -> Result<(), ()> {
+        let mut o = self.lock();
+        if o.closed {
+            return Ok(()); // disconnecting subscriber: drop silently
+        }
+        if o.deltas >= MAX_QUEUED_DELTAS {
+            return Err(());
+        }
+        o.deltas += 1;
+        o.frames.push_back((true, frame));
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Overflow path: discard every queued delta frame and enqueue `frames`
+    /// (one resync snapshot per subscribed query) in their place. Replies
+    /// stay queued in order.
+    fn replace_deltas(&self, frames: Vec<Vec<u8>>) {
+        let mut o = self.lock();
+        if o.closed {
+            return;
+        }
+        o.frames.retain(|&(droppable, _)| !droppable);
+        o.deltas = frames.len();
+        for f in frames {
+            o.frames.push_back((true, f));
+        }
+        self.cv.notify_one();
+    }
+
+    /// Close the channel: the pusher drains what is queued, then exits.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocking pop; `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut o = self.lock();
+        loop {
+            if let Some((droppable, f)) = o.frames.pop_front() {
+                if droppable {
+                    o.deltas -= 1;
+                }
+                return Some(f);
+            }
+            if o.closed {
+                return None;
+            }
+            o = self.cv.wait(o).expect("outbox lock poisoned");
+        }
+    }
+}
+
+/// One subscriber connection in the registry: which queries it follows and
+/// the outbox its frames go through.
+struct SubEntry {
+    /// Subscribed query ids, sorted ascending.
+    qids: Vec<u32>,
+    chan: Arc<PushChannel>,
 }
 
 /// State shared between the reader threads and the ingest thread.
@@ -355,6 +508,10 @@ struct Shared {
     /// Clone of the core's observability handle, for reader-side spans and
     /// the queue-depth gauge.
     obs: Obs,
+    /// Push subscribers by client id. Readers insert on first subscribe and
+    /// remove on disconnect; the ingest thread mutates `qids` and fans out
+    /// deltas after each flush.
+    subs: Mutex<HashMap<u32, SubEntry>>,
 }
 
 impl Shared {
@@ -398,6 +555,7 @@ impl Server {
             stop: AtomicBool::new(false),
             epoch: Instant::now(),
             obs: core.obs().clone(),
+            subs: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = mpsc::channel::<Cmd>();
 
@@ -406,6 +564,10 @@ impl Server {
         let ingest = thread::spawn(move || {
             let report = ingest_loop(&mut core, &rx, &ingest_shared, max_coalesce);
             ingest_shared.stop.store(true, Ordering::SeqCst);
+            // Release the pusher threads: drain what is queued, then exit.
+            for (_, entry) in ingest_shared.subs.lock().expect("subs lock poisoned").drain() {
+                entry.chan.close();
+            }
             report
         });
 
@@ -507,9 +669,15 @@ fn ingest_loop<G: VertexAlgo>(
                 }
             }
             match core.flush() {
-                Ok(_) => {
+                Ok(ran) => {
+                    // Ack first — push fan-out must never delay durability
+                    // acknowledgements — then fan the increment's result
+                    // deltas out to subscribers.
                     for reply in acks {
                         let _ = reply.send(Response::Submitted);
+                    }
+                    if ran {
+                        fanout_deltas(core, shared);
                     }
                 }
                 Err(e) => {
@@ -541,6 +709,57 @@ fn ingest_loop<G: VertexAlgo>(
     ServerReport { stats, crashed }
 }
 
+/// Fan the most recent increment's result deltas out to every subscriber:
+/// one [`Response::QueryDelta`] frame per (subscriber, changed subscribed
+/// query). A subscriber whose outbox is at its bound gets its queued deltas
+/// replaced by one [`Response::Resync`] snapshot per subscribed query
+/// instead — bounded memory, and the subscriber's running set stays
+/// reconstructible.
+fn fanout_deltas<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared) {
+    let deltas = core.take_query_deltas();
+    if deltas.is_empty() {
+        return;
+    }
+    let batch_seq = core.stats().batches;
+    let subs = shared.subs.lock().expect("subs lock poisoned");
+    if subs.is_empty() {
+        return;
+    }
+    let obs = core.obs().clone();
+    for entry in subs.values() {
+        let mut overflowed = false;
+        for &qid in &entry.qids {
+            let Some(d) = deltas.get(qid as usize) else { continue };
+            if d.is_empty() {
+                continue;
+            }
+            let frame = Response::QueryDelta {
+                qid,
+                batch_seq,
+                added: d.added.clone(),
+                removed: d.removed.clone(),
+            }
+            .encode();
+            if entry.chan.push_delta(frame).is_err() {
+                overflowed = true;
+                break;
+            }
+            obs.counter_add("subscriptions.delta_frames", 1);
+        }
+        if overflowed {
+            let resyncs: Vec<Vec<u8>> = entry
+                .qids
+                .iter()
+                .map(|&qid| {
+                    Response::Resync { qid, batch_seq, results: core.query_results(qid) }.encode()
+                })
+                .collect();
+            obs.counter_add("subscriptions.resyncs", resyncs.len() as u64);
+            entry.chan.replace_deltas(resyncs);
+        }
+    }
+}
+
 fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -> Flow {
     match cmd {
         Cmd::Submit { .. } => unreachable!("submissions are handled in the coalescing round"),
@@ -556,8 +775,65 @@ fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -
             let _ = reply.send(resp);
             Flow::Continue
         }
+        Cmd::RegisterQueryMulti { pattern, sources, reply } => {
+            let resp = match core.register_query_multi(&pattern, &sources) {
+                Ok(qid) => Response::QueryId { qid },
+                Err(e) => Response::Err(e.to_string()),
+            };
+            let _ = reply.send(resp);
+            Flow::Continue
+        }
         Cmd::QueryResults { qid, reply } => {
             let _ = reply.send(Response::Matches(core.query_results(qid)));
+            Flow::Continue
+        }
+        Cmd::Subscribe { client_id, qid, reply } => {
+            // Runs on the ingest thread between increments, so the baseline
+            // snapshot is atomic with the delta stream: the subscriber sees
+            // this snapshot, then every later increment's delta, in order.
+            // The real ack travels through the push channel (enqueued here,
+            // in increment order); the reply channel only carries a marker
+            // (`Done` = pushed) or an error for the reader to deliver.
+            let resp = if (qid as usize) >= core.graph().registered_queries().len() {
+                Response::Err(format!("unknown query id {qid}"))
+            } else {
+                let mut subs = shared.subs.lock().expect("subs lock poisoned");
+                match subs.get_mut(&client_id) {
+                    Some(entry) => {
+                        if !entry.qids.contains(&qid) {
+                            entry.qids.push(qid);
+                            entry.qids.sort_unstable();
+                        }
+                        let ack = Response::Subscribed {
+                            qid,
+                            batch_seq: core.stats().batches,
+                            results: core.query_results(qid),
+                        };
+                        entry.chan.push_reply(ack.encode());
+                        shared.obs.counter_add("subscriptions.subscribes", 1);
+                        Response::Done
+                    }
+                    None => Response::Err("subscriber disconnected".into()),
+                }
+            };
+            let _ = reply.send(resp);
+            Flow::Continue
+        }
+        Cmd::Unsubscribe { client_id, qid, reply } => {
+            // Same marker protocol as Subscribe: the `Done` ack is enqueued
+            // on the push channel *behind* any deltas already queued, so the
+            // client knows no further frames for `qid` follow the ack.
+            let mut subs = shared.subs.lock().expect("subs lock poisoned");
+            let resp = match subs.get_mut(&client_id) {
+                Some(entry) => {
+                    entry.qids.retain(|&q| q != qid);
+                    entry.chan.push_reply(Response::Done.encode());
+                    shared.obs.counter_add("subscriptions.unsubscribes", 1);
+                    Response::Done
+                }
+                None => Response::Err("not a subscriber".into()),
+            };
+            let _ = reply.send(resp);
             Flow::Continue
         }
         Cmd::Checkpoint { reply } => {
@@ -600,27 +876,80 @@ fn control<G: VertexAlgo>(core: &mut IngestCore<G>, shared: &Shared, cmd: Cmd) -
 fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared) {
     let _ = sock.set_nodelay(true);
     let client_id = shared.next_client.fetch_add(1, Ordering::SeqCst);
+    // Once the connection subscribes, its pusher thread is the sole socket
+    // writer and every reply below goes through the outbox instead.
+    let mut push: Option<Arc<PushChannel>> = None;
+    let cleanup = |shared: &Shared, push: &Option<Arc<PushChannel>>| {
+        if let Some(chan) = push {
+            let mut subs = shared.subs.lock().expect("subs lock poisoned");
+            subs.remove(&client_id);
+            shared.obs.gauge_set("serve.subscribers", subs.len() as i64);
+            chan.close();
+        }
+    };
     loop {
         let frame = match read_frame(&mut sock) {
             Ok(f) => f,
-            Err(_) => return, // disconnect
+            Err(_) => {
+                cleanup(shared, &push);
+                return; // disconnect
+            }
         };
-        let resp = match Request::decode(&frame) {
-            Err(e) => Response::Err(e.to_string()),
-            Ok(Request::Hello) => Response::Hello { client_id },
-            Ok(Request::Submit(muts)) => {
+        let req = Request::decode(&frame);
+        // Entering push mode happens *before* the Subscribe command is sent,
+        // so the ingest thread always finds the registry entry and outbox.
+        if let Ok(Request::Subscribe { .. }) = req {
+            if push.is_none() {
+                let Ok(wsock) = sock.try_clone() else {
+                    cleanup(shared, &push);
+                    return;
+                };
+                let chan = PushChannel::new();
+                {
+                    let mut subs = shared.subs.lock().expect("subs lock poisoned");
+                    subs.insert(client_id, SubEntry { qids: Vec::new(), chan: Arc::clone(&chan) });
+                    shared.obs.gauge_set("serve.subscribers", subs.len() as i64);
+                }
+                thread::spawn({
+                    let chan = Arc::clone(&chan);
+                    move || pusher_loop(wsock, &chan)
+                });
+                push = Some(chan);
+            }
+        }
+        let resp = match req {
+            Err(e) => Some(Response::Err(e.to_string())),
+            Ok(Request::Hello) => Some(Response::Hello { client_id }),
+            Ok(Request::Subscribe { qid }) => {
+                // `Done` is the pushed-ack marker: the real `Subscribed`
+                // frame went through the outbox, in increment order.
+                match forward(tx, |reply| Cmd::Subscribe { client_id, qid, reply }) {
+                    Response::Done => None,
+                    other => Some(other),
+                }
+            }
+            Ok(Request::Unsubscribe { qid }) => {
+                match forward(tx, |reply| Cmd::Unsubscribe { client_id, qid, reply }) {
+                    Response::Done => None,
+                    other => Some(other),
+                }
+            }
+            Ok(Request::Submit(muts)) => Some({
                 let sid = shared.submit_seq.fetch_add(1, Ordering::SeqCst) + 1;
                 // Covers the whole server-side handling of this Submit
                 // frame: admission, queue wait, validation, WAL, increment,
                 // and the reply arriving back from the ingest thread.
                 let _submit_span = shared.obs.span("submit", sid, muts.len() as u64);
+                // `decide` reserves the queue slot atomically on admission
+                // (fetch_add-then-validate with rollback), so the watermark
+                // is a hard bound even with many reader threads racing —
+                // there is no check-then-enqueue window here.
                 let decision = {
                     let _s = shared.obs.span("admission", sid, muts.len() as u64);
-                    let depth = shared.queue_depth.load(Ordering::SeqCst);
                     shared.admission.lock().expect("admission lock poisoned").decide(
                         client_id,
                         muts.len(),
-                        depth,
+                        &shared.queue_depth,
                         shared.now_micros(),
                     )
                 };
@@ -632,29 +961,54 @@ fn connection_loop(mut sock: TcpStream, tx: &mpsc::Sender<Cmd>, shared: &Shared)
                     }
                     Decision::Admit => {
                         shared.obs.counter_add("admission.admitted", 1);
-                        let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst);
-                        shared.obs.gauge_set("serve.queue_depth", depth as i64 + 1);
+                        let depth = shared.queue_depth.load(Ordering::SeqCst);
+                        shared.obs.gauge_set("serve.queue_depth", depth as i64);
                         roundtrip(tx, |reply| Cmd::Submit { muts, reply }).unwrap_or_else(|| {
+                            // Never dequeued: release the reserved slot.
                             shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
                             Response::Err("server stopped".into())
                         })
                     }
                 }
-            }
-            Ok(Request::Query) => forward(tx, |reply| Cmd::Query { reply }),
+            }),
+            Ok(Request::Query) => Some(forward(tx, |reply| Cmd::Query { reply })),
             Ok(Request::RegisterQuery { pattern, source }) => {
-                forward(tx, |reply| Cmd::RegisterQuery { pattern, source, reply })
+                Some(forward(tx, |reply| Cmd::RegisterQuery { pattern, source, reply }))
+            }
+            Ok(Request::RegisterQueryMulti { pattern, sources }) => {
+                Some(forward(tx, |reply| Cmd::RegisterQueryMulti { pattern, sources, reply }))
             }
             Ok(Request::QueryResults { qid }) => {
-                forward(tx, |reply| Cmd::QueryResults { qid, reply })
+                Some(forward(tx, |reply| Cmd::QueryResults { qid, reply }))
             }
-            Ok(Request::Checkpoint) => forward(tx, |reply| Cmd::Checkpoint { reply }),
-            Ok(Request::Stats) => forward(tx, |reply| Cmd::Stats { reply }),
-            Ok(Request::ObsStats) => forward(tx, |reply| Cmd::ObsStats { reply }),
-            Ok(Request::Shutdown) => forward(tx, |reply| Cmd::Shutdown { reply }),
-            Ok(Request::Kill) => forward(tx, |reply| Cmd::Kill { reply }),
+            Ok(Request::Checkpoint) => Some(forward(tx, |reply| Cmd::Checkpoint { reply })),
+            Ok(Request::Stats) => Some(forward(tx, |reply| Cmd::Stats { reply })),
+            Ok(Request::ObsStats) => Some(forward(tx, |reply| Cmd::ObsStats { reply })),
+            Ok(Request::Shutdown) => Some(forward(tx, |reply| Cmd::Shutdown { reply })),
+            Ok(Request::Kill) => Some(forward(tx, |reply| Cmd::Kill { reply })),
         };
-        if write_frame(&mut sock, &resp.encode()).is_err() {
+        if let Some(resp) = resp {
+            let sent = match &push {
+                Some(chan) => {
+                    chan.push_reply(resp.encode());
+                    Ok(())
+                }
+                None => write_frame(&mut sock, &resp.encode()),
+            };
+            if sent.is_err() {
+                cleanup(shared, &push);
+                return;
+            }
+        }
+    }
+}
+
+/// Drain a subscriber's outbox to its socket until the channel closes or
+/// the socket dies. The sole writer for its connection from the first
+/// Subscribe on.
+fn pusher_loop(mut sock: TcpStream, chan: &PushChannel) {
+    while let Some(frame) = chan.pop() {
+        if write_frame(&mut sock, &frame).is_err() {
             return;
         }
     }
@@ -676,4 +1030,53 @@ fn forward(
     make: impl FnOnce(mpsc::SyncSender<Response>) -> Cmd,
 ) -> Response {
     roundtrip(tx, make).unwrap_or_else(|| Response::Err("server stopped".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The outbox never drops replies, bounds deltas at
+    /// [`MAX_QUEUED_DELTAS`], and the overflow path swaps every queued
+    /// delta for the supplied resync frames while keeping replies queued.
+    #[test]
+    fn outbox_bounds_deltas_and_preserves_replies() {
+        let chan = PushChannel::new();
+        chan.push_reply(vec![0]);
+        for i in 0..MAX_QUEUED_DELTAS {
+            chan.push_delta(vec![1, i as u8]).unwrap();
+        }
+        assert!(chan.push_delta(vec![2]).is_err(), "delta past the bound is refused");
+        chan.push_reply(vec![3]);
+
+        chan.replace_deltas(vec![vec![9], vec![10]]);
+        // Replies survive in order; the 64 queued deltas became 2 resyncs.
+        assert_eq!(chan.pop(), Some(vec![0]));
+        assert_eq!(chan.pop(), Some(vec![3]));
+        assert_eq!(chan.pop(), Some(vec![9]));
+        assert_eq!(chan.pop(), Some(vec![10]));
+        // Popping made room again under the bound.
+        chan.push_delta(vec![4]).unwrap();
+        assert_eq!(chan.pop(), Some(vec![4]));
+
+        chan.close();
+        assert_eq!(chan.pop(), None, "closed and drained");
+        // Post-close pushes are silently dropped, not queued.
+        chan.push_reply(vec![5]);
+        assert_eq!(chan.push_delta(vec![6]), Ok(()));
+        assert_eq!(chan.pop(), None);
+    }
+
+    /// A blocked pop wakes on close and returns `None`.
+    #[test]
+    fn outbox_pop_unblocks_on_close() {
+        let chan = PushChannel::new();
+        let waiter = {
+            let chan = Arc::clone(&chan);
+            thread::spawn(move || chan.pop())
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        chan.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
 }

@@ -4,16 +4,24 @@
 //!
 //! * `checkpoint.bin` — the latest [`GraphCheckpoint`] in its versioned,
 //!   checksummed codec. Replaced **atomically** (write to a temp file,
-//!   `sync`, `rename`), so a crash mid-checkpoint leaves the previous
-//!   checkpoint intact; writing it truncates the WAL, because everything
-//!   the WAL carried is now inside the snapshot.
+//!   `sync`, `rename`, then fsync the *directory* so the rename itself is
+//!   durable), so a crash mid-checkpoint leaves the previous checkpoint
+//!   intact; writing it truncates the WAL, because everything the WAL
+//!   carried is now inside the snapshot. The directory fsync MUST land
+//!   between the rename and the truncation: a crash after an un-synced
+//!   rename but after the truncate would leave the *old* checkpoint on
+//!   disk with an empty WAL — silently losing acknowledged batches.
 //! * `wal.bin` — one record per applied action, appended and synced
 //!   **before** the action runs. A record payload is a one-byte kind —
 //!   `0` = canonical mutation batch ([`encode_mutations`] body), `1` =
-//!   standing-query registration (`u32` source, `u32` pattern length,
-//!   pattern bytes) — length-prefixed and followed by its FNV-1a checksum;
-//!   a torn trailing record (crash mid-append) is detected and dropped at
-//!   load, never mistaken for data.
+//!   legacy single-source standing-query registration (`u32` source,
+//!   `u32` pattern length, pattern bytes), `2` = multi-source
+//!   registration (`u32` source count, that many `u32` sources, `u32`
+//!   pattern length, pattern bytes) — length-prefixed and followed by its
+//!   FNV-1a checksum; a torn trailing record (crash mid-append) is
+//!   detected and dropped at load, never mistaken for data. Kind-1
+//!   records keep decoding (as a one-element source list) so stores
+//!   written before multi-source registration replay unchanged.
 //!
 //! Recovery cost is therefore `O(checkpoint) + O(tail)`: restore the
 //! snapshot, replay only the actions applied since it was written — in
@@ -33,25 +41,46 @@ use crate::ServeError;
 /// Decode one checksum-valid record payload (kind byte + body).
 fn decode_record(payload: &[u8]) -> Result<WalRecord, ServeError> {
     let corrupt = |what: &str| ServeError::WalReplay(format!("corrupt WAL record: {what}"));
+    let u32_at = |body: &[u8], at: usize, what: &str| -> Result<u32, ServeError> {
+        body.get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .ok_or_else(|| corrupt(what))
+    };
+    let pattern_at = |body: &[u8], at: usize| -> Result<String, ServeError> {
+        let len = u32_at(body, at, "short register length")? as usize;
+        let raw =
+            body.get(at + 4..at + 4 + len).ok_or_else(|| corrupt("short register pattern"))?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| corrupt("register pattern is not UTF-8"))
+    };
     match payload.split_first() {
         Some((0, body)) => Ok(WalRecord::Batch(decode_mutations(body)?)),
         Some((1, body)) => {
-            let source = body
-                .get(..4)
-                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
-                .ok_or_else(|| corrupt("short register source"))?;
-            let len = body
-                .get(4..8)
-                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
-                .ok_or_else(|| corrupt("short register length"))? as usize;
-            let raw = body.get(8..8 + len).ok_or_else(|| corrupt("short register pattern"))?;
-            let pattern = std::str::from_utf8(raw)
-                .map_err(|_| corrupt("register pattern is not UTF-8"))?
-                .to_string();
-            Ok(WalRecord::Register { pattern, source })
+            let source = u32_at(body, 0, "short register source")?;
+            Ok(WalRecord::Register { pattern: pattern_at(body, 4)?, sources: vec![source] })
+        }
+        Some((2, body)) => {
+            let n = u32_at(body, 0, "short register source count")? as usize;
+            let mut sources = Vec::with_capacity(n.min(1 << 16));
+            for i in 0..n {
+                sources.push(u32_at(body, 4 + i * 4, "short register source list")?);
+            }
+            Ok(WalRecord::Register { pattern: pattern_at(body, 4 + n * 4)?, sources })
         }
         _ => Err(corrupt("unknown record kind")),
     }
+}
+
+/// Parse the record framed at `bytes[at..]`: `u32` length, payload,
+/// `u64` FNV-1a checksum. Returns the payload and the offset one past the
+/// record, or `None` if the bytes there are short or the checksum fails.
+fn frame_at(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let len = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().expect("4 bytes")) as usize;
+    let payload = bytes.get(at + 4..at + 4 + len)?;
+    let sum = bytes.get(at + 4 + len..at + 12 + len)?;
+    (fnv1a(payload) == u64::from_le_bytes(sum.try_into().expect("8 bytes")))
+        .then_some((payload, at + 12 + len))
 }
 
 /// File name of the checkpoint inside a store directory.
@@ -68,8 +97,9 @@ pub enum WalRecord {
     Register {
         /// Query pattern over edge labels.
         pattern: String,
-        /// Source vertex.
-        source: u32,
+        /// Source vertices the paths start from (legacy kind-1 records
+        /// decode to a one-element list).
+        sources: Vec<u32>,
     },
 }
 
@@ -78,6 +108,11 @@ pub enum WalRecord {
 pub struct Store {
     dir: PathBuf,
     wal: File,
+    /// Ordered trace of durability-relevant operations, recorded only
+    /// under test so regression tests can pin the fsync ordering that a
+    /// real crash would otherwise be needed to expose.
+    #[cfg(test)]
+    ops: Vec<&'static str>,
 }
 
 impl Store {
@@ -85,12 +120,40 @@ impl Store {
     pub fn open(dir: &Path) -> io::Result<Store> {
         fs::create_dir_all(dir)?;
         let wal = OpenOptions::new().create(true).append(true).open(dir.join(WAL_FILE))?;
-        Ok(Store { dir: dir.to_path_buf(), wal })
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            wal,
+            #[cfg(test)]
+            ops: Vec::new(),
+        };
+        store.trace("create_wal");
+        // Make the WAL's directory entry durable before any append: a
+        // record synced into a file whose creation was never synced can
+        // vanish wholesale with the file on a crash.
+        store.sync_dir()?;
+        Ok(store)
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    #[cfg(test)]
+    fn trace(&mut self, op: &'static str) {
+        self.ops.push(op);
+    }
+
+    #[cfg(not(test))]
+    fn trace(&mut self, _op: &'static str) {}
+
+    /// fsync the store directory itself, making any preceding rename or
+    /// file creation durable (syncing a file does not sync the directory
+    /// entry that names it).
+    fn sync_dir(&mut self) -> io::Result<()> {
+        File::open(&self.dir)?.sync_all()?;
+        self.trace("sync_dir");
+        Ok(())
     }
 
     /// Load the checkpoint, or `None` if one was never written. Corrupt
@@ -108,24 +171,35 @@ impl Store {
 
     /// Load the WAL tail: every intact record, in append order. A torn
     /// trailing record (short bytes or checksum mismatch at the very end)
-    /// is dropped; corruption *before* the tail is an error.
+    /// is dropped; corruption *before* the tail is an error. The two are
+    /// told apart by scanning ahead after the first bad record: a torn
+    /// append leaves only garbage behind it, so if ANY later offset still
+    /// frames a checksum-valid record, intact data would be silently
+    /// dropped — that is mid-log corruption, not a torn tail.
     pub fn load_tail(&self) -> Result<Vec<WalRecord>, ServeError> {
         let mut bytes = Vec::new();
         File::open(self.dir.join(WAL_FILE))?.read_to_end(&mut bytes)?;
         let mut out = Vec::new();
         let mut at = 0usize;
         while at < bytes.len() {
-            let Some(len) = bytes.get(at..at + 4) else { break };
-            let len = u32::from_le_bytes(len.try_into().expect("4 bytes")) as usize;
-            let Some(payload) = bytes.get(at + 4..at + 4 + len) else { break };
-            let Some(sum) = bytes.get(at + 4 + len..at + 12 + len) else { break };
-            if fnv1a(payload) != u64::from_le_bytes(sum.try_into().expect("8 bytes")) {
-                break; // torn mid-append: the tail ends here
-            }
+            let Some((payload, next)) = frame_at(&bytes, at) else {
+                // The scan stopped before the end of the log. Torn tail or
+                // mid-log corruption? Look for any intact record beyond
+                // the stop point before deciding it is safe to drop.
+                for probe in at + 1..bytes.len() {
+                    if frame_at(&bytes, probe).is_some() {
+                        return Err(ServeError::WalReplay(format!(
+                            "WAL corrupt at byte {at}: intact record found at byte {probe} \
+                             beyond the damage — refusing to silently drop it"
+                        )));
+                    }
+                }
+                break; // torn mid-append: the tail genuinely ends here
+            };
             // A checksum-valid record that fails to decode is corruption,
             // not a torn tail.
             out.push(decode_record(payload)?);
-            at += 12 + len;
+            at = next;
         }
         Ok(out)
     }
@@ -142,11 +216,15 @@ impl Store {
 
     /// Append one standing-query registration to the WAL and sync it.
     /// Returns the record size in bytes, and only once the record is
-    /// durable — callers register *after*.
-    pub fn append_register(&mut self, pattern: &str, source: u32) -> io::Result<u64> {
-        let mut payload = Vec::with_capacity(9 + pattern.len());
-        payload.push(1);
-        payload.extend_from_slice(&source.to_le_bytes());
+    /// durable — callers register *after*. Always writes the kind-2
+    /// multi-source revision; kind-1 records from older stores still load.
+    pub fn append_register(&mut self, pattern: &str, sources: &[u32]) -> io::Result<u64> {
+        let mut payload = Vec::with_capacity(9 + sources.len() * 4 + pattern.len());
+        payload.push(2);
+        payload.extend_from_slice(&(sources.len() as u32).to_le_bytes());
+        for s in sources {
+            payload.extend_from_slice(&s.to_le_bytes());
+        }
         payload.extend_from_slice(&(pattern.len() as u32).to_le_bytes());
         payload.extend_from_slice(pattern.as_bytes());
         self.append_record(&payload)
@@ -169,12 +247,23 @@ impl Store {
         let tmp = self.dir.join("checkpoint.tmp");
         {
             let mut f = File::create(&tmp)?;
+            self.trace("write_tmp");
             f.write_all(&bytes)?;
             f.sync_all()?;
+            self.trace("sync_tmp");
         }
         fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        self.trace("rename");
+        // The rename must be durable BEFORE the WAL is truncated: syncing
+        // the renamed file does not sync the directory entry, so without
+        // this a crash could surface the old checkpoint next to an
+        // already-empty WAL — losing every acknowledged batch the new
+        // checkpoint was supposed to absorb.
+        self.sync_dir()?;
         self.wal.set_len(0)?;
+        self.trace("truncate_wal");
         self.wal.sync_data()?;
+        self.trace("sync_wal");
         Ok(bytes.len() as u64)
     }
 }
@@ -201,7 +290,8 @@ mod tests {
         assert!(s.load_checkpoint().unwrap().is_none());
         assert!(s.load_tail().unwrap().is_empty());
         s.append_batch(&batch(0)).unwrap();
-        s.append_register("a.b*.c", 3).unwrap();
+        s.append_register("a.b*.c", &[3]).unwrap();
+        s.append_register("d+", &[0, 2, 5]).unwrap();
         s.append_batch(&batch(10)).unwrap();
         drop(s);
         let s = Store::open(&dir).unwrap();
@@ -209,10 +299,31 @@ mod tests {
             s.load_tail().unwrap(),
             vec![
                 WalRecord::Batch(batch(0)),
-                WalRecord::Register { pattern: "a.b*.c".into(), source: 3 },
+                WalRecord::Register { pattern: "a.b*.c".into(), sources: vec![3] },
+                WalRecord::Register { pattern: "d+".into(), sources: vec![0, 2, 5] },
                 WalRecord::Batch(batch(10)),
             ],
             "records interleave in append order"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Kind-1 register records written before multi-source registration
+    /// existed still decode, as a one-element source list.
+    #[test]
+    fn legacy_kind1_register_record_still_decodes() {
+        let dir = tmp_dir("kind1");
+        let mut s = Store::open(&dir).unwrap();
+        // Hand-frame the legacy layout: kind 1, u32 source, u32 len, pattern.
+        let pattern = b"a.b*.c";
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(&(pattern.len() as u32).to_le_bytes());
+        payload.extend_from_slice(pattern);
+        s.append_record(&payload).unwrap();
+        assert_eq!(
+            s.load_tail().unwrap(),
+            vec![WalRecord::Register { pattern: "a.b*.c".into(), sources: vec![7] }]
         );
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -228,7 +339,7 @@ mod tests {
             labels: vec![2],
             promoted: vec![],
             sync_states: vec![Some(0), Some(1), None, None],
-            queries: vec![("b".into(), 0)],
+            queries: vec![("b".into(), vec![0])],
         };
         let size = s.write_checkpoint(&ck).unwrap();
         assert!(size > 0);
@@ -237,6 +348,38 @@ mod tests {
         // Appends continue cleanly after truncation.
         s.append_batch(&batch(5)).unwrap();
         assert_eq!(s.load_tail().unwrap(), vec![WalRecord::Batch(batch(5))]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: the rename installing the new checkpoint must be made
+    /// durable (directory fsync) BEFORE the WAL is truncated, else a crash
+    /// between the two can surface the old checkpoint next to an empty WAL
+    /// and lose acknowledged batches. A real crash can't run under `cargo
+    /// test`, so the ordering is pinned through the store's op trace.
+    #[test]
+    fn checkpoint_syncs_directory_between_rename_and_truncate() {
+        let dir = tmp_dir("fsync-order");
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.ops, vec!["create_wal", "sync_dir"], "open syncs the created WAL's entry");
+        s.ops.clear();
+        s.append_batch(&batch(0)).unwrap();
+        s.write_checkpoint(&GraphCheckpoint {
+            n_vertices: 2,
+            edges: vec![(0, 1, 1)],
+            labels: vec![0],
+            promoted: vec![],
+            sync_states: vec![Some(0), Some(1)],
+            queries: vec![],
+        })
+        .unwrap();
+        let rename = s.ops.iter().position(|&op| op == "rename").expect("rename traced");
+        let sync_dir = s.ops.iter().position(|&op| op == "sync_dir").expect("dir fsync present");
+        let truncate = s.ops.iter().position(|&op| op == "truncate_wal").expect("truncate traced");
+        assert!(
+            rename < sync_dir && sync_dir < truncate,
+            "dir fsync must land between rename and WAL truncation, got {:?}",
+            s.ops
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -253,7 +396,8 @@ mod tests {
             let s = Store::open(&dir).unwrap();
             assert_eq!(s.load_tail().unwrap(), vec![WalRecord::Batch(batch(0))], "cut at {cut}");
         }
-        // A flipped byte inside the trailing record is also a torn tail...
+        // A flipped byte inside the trailing record is also a torn tail:
+        // nothing intact lies beyond it.
         let mut flipped = full.clone();
         let n = flipped.len();
         flipped[n - 10] ^= 0xff;
@@ -262,13 +406,41 @@ mod tests {
             Store::open(&dir).unwrap().load_tail().unwrap(),
             vec![WalRecord::Batch(batch(0))]
         );
-        // ...but a flipped byte in an *earlier* record is corruption: the
-        // checksum fails, the scan stops there, and the later intact record
-        // is unreachable — the tail ends at the first bad record.
-        let mut early = full;
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a flipped byte in an *earlier* record used to stop the
+    /// scan silently, dropping the intact records behind it — recovery
+    /// would boot with acknowledged batches missing and no error. Mid-log
+    /// corruption must surface as `WalReplay`, reserving the lossy path
+    /// for genuinely torn tails.
+    #[test]
+    fn mid_log_corruption_is_an_error_not_silent_truncation() {
+        let dir = tmp_dir("midlog");
+        let mut s = Store::open(&dir).unwrap();
+        s.append_batch(&batch(0)).unwrap();
+        s.append_register("a.b*.c", &[1, 2]).unwrap();
+        s.append_batch(&batch(10)).unwrap();
+        let wal_path = dir.join(WAL_FILE);
+        let full = fs::read(&wal_path).unwrap();
+        // Corrupt the first record's payload: both later records are intact.
+        let mut early = full.clone();
         early[5] ^= 0xff;
         fs::write(&wal_path, &early).unwrap();
-        assert!(Store::open(&dir).unwrap().load_tail().unwrap().is_empty());
+        let err = Store::open(&dir).unwrap().load_tail().unwrap_err();
+        assert!(
+            matches!(&err, ServeError::WalReplay(msg) if msg.contains("intact record")),
+            "mid-log corruption must refuse to drop intact records, got: {err}"
+        );
+        // Corrupting the middle record likewise errors (one intact behind).
+        let mut mid = full.clone();
+        let second = frame_at(&full, 0).expect("first record intact").1;
+        mid[second + 5] ^= 0xff;
+        fs::write(&wal_path, &mid).unwrap();
+        assert!(matches!(
+            Store::open(&dir).unwrap().load_tail().unwrap_err(),
+            ServeError::WalReplay(_)
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

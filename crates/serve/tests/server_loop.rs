@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use amcca_serve::server::{IngestCore, ServeConfig, Server};
-use amcca_serve::{AdmissionConfig, Client, Submission};
+use amcca_serve::{AdmissionConfig, Client, SubEvent, Submission};
 use amcca_sim::ChipConfig;
 use sdgp_core::graph::GraphMutation;
 use sdgp_core::rpvo::RpvoConfig;
@@ -31,6 +31,10 @@ fn builder(n: u32) -> sdgp_core::GraphBuilder<BfsAlgo> {
 
 fn adds(edges: &[(u32, u32, u32)]) -> Vec<GraphMutation> {
     edges.iter().copied().map(GraphMutation::AddEdge).collect()
+}
+
+fn labeled(edges: &[(u32, u32, u32, u8)]) -> Vec<GraphMutation> {
+    edges.iter().map(|&(u, v, w, l)| GraphMutation::AddLabeledEdge((u, v, w), l)).collect()
 }
 
 /// Reference BFS fixpoint over the same edges, via a fresh offline graph.
@@ -177,9 +181,6 @@ fn kill_then_boot_replays_only_the_tail_bit_identically() {
 #[test]
 fn standing_queries_survive_kill_and_restart() {
     let dir = tmp_dir("queries");
-    let labeled = |edges: &[(u32, u32, u32, u8)]| -> Vec<GraphMutation> {
-        edges.iter().map(|&(u, v, w, l)| GraphMutation::AddLabeledEdge((u, v, w), l)).collect()
-    };
 
     // Build the labelled chain 0 -a-> 1 -b-> 2 -b-> 3 -c-> 4 across a
     // checkpoint boundary, registering one query on each side of it.
@@ -279,6 +280,132 @@ fn obs_stats_frame_is_empty_when_disabled() {
     assert!(snap.hist("span.wal_append_ns").is_none());
     c.shutdown().unwrap();
     server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Subscriptions push one delta per subscribed query per applied increment
+/// that changed its result set — and each delta is exactly the set
+/// difference of the polled results before and after. Unchanged queries
+/// push nothing, and an unsubscribe stops the stream for that query only.
+#[test]
+fn subscriptions_push_deltas_that_mirror_polled_results() {
+    let dir = tmp_dir("subs");
+    let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut sub = Client::connect(server.addr()).unwrap();
+    let mut writer = Client::connect(server.addr()).unwrap();
+
+    // Labelled chain grows under the subscriptions: 0 -a-> 1 -b-> 2 -c-> 3.
+    writer.submit_retrying(&labeled(&[(0, 1, 1, 1)]), 10).unwrap();
+    let qid = sub.register_query("a.b*.c", 0).unwrap();
+    let qm = sub.register_query_multi("b", &[0, 1]).unwrap();
+    let (seq0, base) = sub.subscribe(qid).unwrap();
+    assert_eq!(base, Vec::<u32>::new());
+    let (seqm, base_m) = sub.subscribe(qm).unwrap();
+    assert_eq!((seqm, base_m), (seq0, Vec::new()), "snapshots of the same increment");
+
+    // The b-edge changes only the multi-source query: exactly one delta.
+    writer.submit_retrying(&labeled(&[(1, 2, 1, 2)]), 10).unwrap();
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid: qm, batch_seq: seq0 + 1, added: vec![2], removed: vec![] }
+    );
+    // The c-edge completes a.b*.c — again one delta, for the other query.
+    writer.submit_retrying(&labeled(&[(2, 3, 1, 3)]), 10).unwrap();
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid, batch_seq: seq0 + 2, added: vec![3], removed: vec![] }
+    );
+
+    // Deleting the shared b-edge empties both queries. Polling first parks
+    // the in-flight pushes in the client's pending queue — they must still
+    // come out of next_event in qid order, and match the polled diffs.
+    writer.submit_retrying(&[GraphMutation::DelEdge((1, 2, 1))], 10).unwrap();
+    assert_eq!(sub.query_results(qid).unwrap(), Vec::<u32>::new());
+    assert_eq!(sub.query_results(qm).unwrap(), Vec::<u32>::new());
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid, batch_seq: seq0 + 3, added: vec![], removed: vec![3] }
+    );
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid: qm, batch_seq: seq0 + 3, added: vec![], removed: vec![2] }
+    );
+
+    // After unsubscribing qm, restoring the b-edge pushes only the a.b*.c
+    // delta — qm changes too ([] back to [2]) but is no longer streamed.
+    sub.unsubscribe(qm).unwrap();
+    writer.submit_retrying(&labeled(&[(1, 2, 1, 2)]), 10).unwrap();
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid, batch_seq: seq0 + 4, added: vec![3], removed: vec![] }
+    );
+    assert_eq!(sub.query_results(qm).unwrap(), vec![2], "qm still answers polls");
+
+    writer.shutdown().unwrap();
+    assert!(!server.join().crashed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A subscriber survives a server crash: after kill + re-boot the client
+/// reconnects and re-subscribes, and the fresh snapshot equals the running
+/// set it had accumulated before the crash (checkpoint + WAL tail rebuild
+/// the query state exactly). Deltas keep flowing afterwards.
+#[test]
+fn subscriber_resyncs_after_kill_and_restart() {
+    let dir = tmp_dir("subs-recover");
+    let running = {
+        let (core, _) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+        let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+        let mut sub = Client::connect(server.addr()).unwrap();
+        let mut writer = Client::connect(server.addr()).unwrap();
+        writer.submit_retrying(&labeled(&[(0, 1, 1, 1), (1, 2, 1, 2)]), 10).unwrap();
+        let qid = sub.register_query("a.b*.c", 0).unwrap();
+        let (seq, base) = sub.subscribe(qid).unwrap();
+        assert_eq!(base, Vec::<u32>::new(), "no c-edge yet");
+        writer.checkpoint().unwrap(); // registration travels in the checkpoint
+
+        // Two matches accumulate through pushed deltas; the second rides
+        // the WAL tail into recovery.
+        let mut running: Vec<u32> = base;
+        writer.submit_retrying(&labeled(&[(2, 3, 1, 3)]), 10).unwrap();
+        writer.submit_retrying(&labeled(&[(1, 5, 1, 3)]), 10).unwrap();
+        for want_seq in [seq + 1, seq + 2] {
+            match sub.next_event().unwrap() {
+                SubEvent::Delta { qid: q, batch_seq, added, removed } => {
+                    assert_eq!((q, batch_seq), (qid, want_seq));
+                    running.retain(|v| !removed.contains(v));
+                    running.extend(added);
+                    running.sort_unstable();
+                }
+                other => panic!("expected delta, got {other:?}"),
+            }
+        }
+        assert_eq!(running, vec![3, 5]);
+        writer.kill().unwrap();
+        assert!(server.join().crashed);
+        running
+    };
+
+    // Re-boot: the query state is rebuilt, and a fresh subscribe hands the
+    // reconnecting subscriber exactly the set it had before the crash.
+    let (core, boot) = IngestCore::boot(builder(8), &dir, 0).unwrap();
+    assert!(boot.recovered);
+    let server = Server::start_loopback(core, ServeConfig::default()).unwrap();
+    let mut sub = Client::connect(server.addr()).unwrap();
+    let (seq, base) = sub.subscribe(0).unwrap();
+    assert_eq!(base, running, "resynced snapshot equals the pre-crash running set");
+
+    // The stream continues from the recovered state.
+    let mut writer = Client::connect(server.addr()).unwrap();
+    writer.submit_retrying(&[GraphMutation::DelEdge((2, 3, 1))], 10).unwrap();
+    assert_eq!(
+        sub.next_event().unwrap(),
+        SubEvent::Delta { qid: 0, batch_seq: seq + 1, added: vec![], removed: vec![3] }
+    );
+    assert_eq!(sub.query_results(0).unwrap(), vec![5]);
+    writer.shutdown().unwrap();
+    assert!(!server.join().crashed);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -12,7 +12,7 @@
 mod common;
 
 use amcca::prelude::*;
-use amcca::sdgp_core::oracle_results;
+use amcca::sdgp_core::oracle_results_multi;
 use common::oracle::{surviving_labeled_edges, N};
 use proptest::prelude::*;
 
@@ -80,13 +80,13 @@ fn assert_queries_match_oracle(g: &StreamingGraph<BfsAlgo>, applied: &[GraphMuta
     let live: Vec<(u32, u32, u8)> =
         surviving_labeled_edges(applied).iter().map(|&((u, v, _), l)| (u, v, l)).collect();
     for (qid, q) in g.registered_queries().iter().enumerate() {
-        let want = oracle_results(g.n_vertices(), &live, &q.dfa, q.source);
+        let want = oracle_results_multi(g.n_vertices(), &live, &q.dfa, &q.sources);
         assert_eq!(
             g.query_results(qid as u32),
             want,
-            "{at}: query {qid} ({:?} @ {}) vs from-scratch recompute",
+            "{at}: query {qid} ({:?} @ {:?}) vs from-scratch recompute",
             q.pattern,
-            q.source
+            q.sources
         );
     }
 }
@@ -149,6 +149,58 @@ proptest! {
             }
             assert_queries_match_oracle(&targeted, &applied, &format!("batch {i}"));
         }
+    }
+
+    /// The incrementally tracked result deltas are bit-identical to diffing
+    /// the polled result sets before and after EVERY batch — the invariant
+    /// the serve layer's push subscriptions ride on — under labelled churn,
+    /// across rhizome root counts K ∈ {1, 2, 4}, shard counts ∈ {1, 2}, and
+    /// batch splits. Multi-source queries included, and their maintained
+    /// results must match the multi-source oracle throughout.
+    #[test]
+    fn query_deltas_match_polled_result_diffs(
+        script in arb_labeled_script(),
+        chunks in 1usize..5,
+        ki in 0usize..3,
+        shards in 1usize..3,
+    ) {
+        let k = [1usize, 2, 4][ki];
+        let muts = materialize(&script);
+        prop_assume!(!muts.is_empty());
+        let mut g = graph(k, shards, RepairMode::Targeted);
+        for (pattern, source) in PATTERNS {
+            g.register_query(pattern, source).unwrap();
+        }
+        // A multi-source query rides along: same alphabet, anchors spread out.
+        let multi = g.register_query_multi("a.b*.c", &[0, 3, 5]).unwrap();
+        let n_queries = PATTERNS.len() as u32 + 1;
+        let mut applied: Vec<GraphMutation> = Vec::new();
+        for (i, c) in muts.chunks(muts.len().div_ceil(chunks).max(1)).enumerate() {
+            let before: Vec<Vec<u32>> =
+                (0..n_queries).map(|q| g.query_results(q)).collect();
+            g.stream_increment(c).unwrap();
+            applied.extend_from_slice(c);
+            let deltas = g.take_query_deltas();
+            prop_assert_eq!(deltas.len() as u32, n_queries, "one delta per query");
+            for d in &deltas {
+                let after = g.query_results(d.qid);
+                let prev = &before[d.qid as usize];
+                let want_added: Vec<u32> =
+                    after.iter().copied().filter(|v| !prev.contains(v)).collect();
+                let want_removed: Vec<u32> =
+                    prev.iter().copied().filter(|v| !after.contains(v)).collect();
+                prop_assert_eq!(
+                    (&d.added, &d.removed),
+                    (&want_added, &want_removed),
+                    "batch {}: query {} delta vs polled diff", i, d.qid
+                );
+            }
+            // Drained: a second take yields nothing until the next increment.
+            prop_assert!(g.take_query_deltas().is_empty());
+            assert_queries_match_oracle(&g, &applied, &format!("batch {i}"));
+        }
+        let _ = multi;
+        g.check_mirror_consistency().unwrap();
     }
 
     /// Registering a query against an already-populated graph seeds and
